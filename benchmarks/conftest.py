@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Everything here is session-scoped: the fixed 20-case suite is generated once
+and reused by every benchmark so `pytest benchmarks/ --benchmark-only` stays
+reasonably quick while still covering the paper's full evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_comparison
+from repro.core import Objective
+from repro.generators import paper_case_suite, small_illustration_case
+
+
+@pytest.fixture(scope="session")
+def full_suite():
+    """The full 20-case simulation suite behind Fig. 2 / Fig. 5 / Fig. 6."""
+    return paper_case_suite()
+
+
+@pytest.fixture(scope="session")
+def illustration():
+    """The 5-module / 6-node instance behind Fig. 3 / Fig. 4."""
+    return small_illustration_case()
+
+
+@pytest.fixture(scope="session")
+def delay_comparison(full_suite):
+    """One full minimum-delay comparison run, shared by shape assertions."""
+    return run_comparison(full_suite, Objective.MIN_DELAY)
+
+
+@pytest.fixture(scope="session")
+def framerate_comparison(full_suite):
+    """One full maximum-frame-rate comparison run, shared by shape assertions."""
+    return run_comparison(full_suite, Objective.MAX_FRAME_RATE)

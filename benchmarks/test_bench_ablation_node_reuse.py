@@ -1,0 +1,110 @@
+"""A2 — ablation: what does the no-node-reuse restriction cost for streaming?
+
+The paper restricts its streaming (maximum frame rate) variant to one module
+per node and defers the reuse-enabled problem to future work.  This ablation
+runs both the restricted ELPC heuristic and the reuse-enabled extension
+(:mod:`repro.extensions.framerate_reuse`) over the case suite and over random
+instances, and reports:
+
+* how often reuse changes the achieved frame rate at all,
+* the mean and maximum frame-rate gain from allowing reuse, and
+* how many instances are *only* feasible with reuse (pipelines longer than the
+  longest simple path — the paper's own infeasibility example).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import elpc_max_frame_rate
+from repro.exceptions import InfeasibleMappingError
+from repro.extensions import elpc_max_frame_rate_with_reuse
+from repro.generators import (
+    line_network,
+    paper_case_suite,
+    random_network,
+    random_pipeline,
+    random_request,
+)
+from repro.model import EndToEndRequest
+
+
+@pytest.mark.benchmark(group="ablation-node-reuse")
+def test_reuse_gain_on_case_suite(benchmark, full_suite):
+    """Both variants across the fixed 20-case suite; reuse can only help."""
+
+    def run_both_variants():
+        pairs = []
+        for instance in full_suite:
+            restricted = elpc_max_frame_rate(instance.pipeline, instance.network,
+                                             instance.request)
+            with_reuse = elpc_max_frame_rate_with_reuse(instance.pipeline,
+                                                        instance.network,
+                                                        instance.request)
+            pairs.append((restricted.frame_rate_fps, with_reuse.frame_rate_fps))
+        return pairs
+
+    pairs = benchmark.pedantic(run_both_variants, rounds=1, iterations=1)
+    assert len(pairs) == 20
+
+    gains = [reuse / restricted for restricted, reuse in pairs]
+    improved = sum(1 for g in gains if g > 1.0 + 1e-9)
+    benchmark.extra_info["cases_where_reuse_helps"] = improved
+    benchmark.extra_info["mean_gain"] = sum(gains) / len(gains)
+    benchmark.extra_info["max_gain"] = max(gains)
+
+    # Reuse enlarges the solution space: it must never be (meaningfully) worse.
+    assert all(g >= 0.999 for g in gains)
+
+
+@pytest.mark.benchmark(group="ablation-node-reuse")
+def test_reuse_restores_feasibility_on_sparse_topologies(benchmark):
+    """On long pipelines over short networks only the reuse variant is feasible."""
+
+    def run_battery():
+        only_reuse_feasible = 0
+        both_feasible = 0
+        for seed in range(12):
+            network = line_network(4 + (seed % 3), seed=seed)
+            pipeline = random_pipeline(network.n_nodes + 2 + (seed % 2), seed=seed)
+            request = EndToEndRequest(0, network.n_nodes - 1)
+            reuse_mapping = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+            assert reuse_mapping.frame_rate_fps > 0
+            try:
+                elpc_max_frame_rate(pipeline, network, request)
+                both_feasible += 1
+            except InfeasibleMappingError:
+                only_reuse_feasible += 1
+        return only_reuse_feasible, both_feasible
+
+    only_reuse, both = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+    benchmark.extra_info["only_feasible_with_reuse"] = only_reuse
+    benchmark.extra_info["feasible_for_both"] = both
+    # The battery is constructed so the pipelines outgrow the simple paths.
+    assert only_reuse == 12 and both == 0
+
+
+@pytest.mark.benchmark(group="ablation-node-reuse")
+def test_reuse_gain_on_dense_random_instances(benchmark):
+    """On dense networks with plenty of nodes, reuse rarely changes the optimum."""
+
+    def run_battery():
+        gains = []
+        for seed in range(10):
+            pipeline = random_pipeline(6, seed=seed)
+            network = random_network(18, 60, seed=seed + 2000)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            try:
+                restricted = elpc_max_frame_rate(pipeline, network, request)
+            except InfeasibleMappingError:
+                continue
+            with_reuse = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+            gains.append(with_reuse.frame_rate_fps / restricted.frame_rate_fps)
+        return gains
+
+    gains = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+    assert len(gains) >= 6
+    benchmark.extra_info["mean_gain_dense"] = sum(gains) / len(gains)
+    assert all(g >= 0.999 for g in gains)
+    # With many nodes available, restricting reuse costs little (< 50 % on average).
+    assert sum(gains) / len(gains) < 1.5

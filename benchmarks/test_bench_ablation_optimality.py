@@ -1,0 +1,106 @@
+"""A1 — ablation: dynamic programming vs exhaustive search.
+
+Two design claims of the paper are quantified on a batch of small random
+instances (small enough that the exponential oracles terminate):
+
+* the delay DP is *exact*: it returns the same optimum as brute force on every
+  instance while touching orders of magnitude fewer states;
+* the frame-rate DP is a *heuristic*: the paper argues its misses are
+  "extremely rare"; the bench measures the match rate and the mean optimality
+  gap against the exact exact-n-hop widest path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    elpc_max_frame_rate,
+    elpc_min_delay,
+    exhaustive_max_frame_rate,
+    exhaustive_min_delay,
+)
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import random_network, random_pipeline, random_request
+
+#: Instance battery shared by both ablations (kept small: the oracles are exponential).
+_SEEDS = list(range(24))
+
+
+def _tiny_instance(seed):
+    pipeline = random_pipeline(5, seed=seed)
+    network = random_network(8, 16, seed=seed + 1000)
+    request = random_request(network, seed=seed, min_hop_distance=1)
+    return pipeline, network, request
+
+
+@pytest.mark.benchmark(group="ablation-optimality")
+def test_delay_dp_is_exact(benchmark):
+    """The DP equals brute force on every instance of the battery."""
+
+    def run_dp_battery():
+        results = []
+        for seed in _SEEDS:
+            pipeline, network, request = _tiny_instance(seed)
+            if network.hop_distance(request.source, request.destination) \
+                    > pipeline.n_modules - 1:
+                continue
+            results.append((seed, elpc_min_delay(pipeline, network, request)))
+        return results
+
+    dp_results = benchmark.pedantic(run_dp_battery, rounds=1, iterations=1)
+    assert len(dp_results) >= 15
+
+    mismatches = 0
+    state_ratio = []
+    for seed, dp in dp_results:
+        pipeline, network, request = _tiny_instance(seed)
+        exact = exhaustive_min_delay(pipeline, network, request)
+        if abs(dp.delay_ms - exact.delay_ms) > 1e-6 * max(exact.delay_ms, 1.0):
+            mismatches += 1
+        state_ratio.append(exact.extras["assignments_explored"]
+                           / max(dp.extras["dp_relaxations"], 1))
+    benchmark.extra_info["instances"] = len(dp_results)
+    benchmark.extra_info["mean_bruteforce_to_dp_state_ratio"] = (
+        sum(state_ratio) / len(state_ratio))
+    assert mismatches == 0
+
+
+@pytest.mark.benchmark(group="ablation-optimality")
+def test_framerate_heuristic_gap(benchmark):
+    """Match rate and worst-case gap of the frame-rate heuristic vs the exact optimum."""
+
+    def run_heuristic_battery():
+        outcomes = []
+        for seed in _SEEDS:
+            pipeline, network, request = _tiny_instance(seed)
+            try:
+                exact = exhaustive_max_frame_rate(pipeline, network, request)
+            except InfeasibleMappingError:
+                continue
+            try:
+                heuristic = elpc_max_frame_rate(pipeline, network, request)
+                outcomes.append((exact.frame_rate_fps, heuristic.frame_rate_fps))
+            except InfeasibleMappingError:
+                outcomes.append((exact.frame_rate_fps, None))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_heuristic_battery, rounds=1, iterations=1)
+    assert len(outcomes) >= 10
+
+    solved = [(e, h) for e, h in outcomes if h is not None]
+    matches = sum(1 for e, h in solved if abs(e - h) <= 1e-9 * max(e, 1.0))
+    gaps = [h / e for e, h in solved]
+
+    benchmark.extra_info["instances_with_feasible_optimum"] = len(outcomes)
+    benchmark.extra_info["heuristic_feasible"] = len(solved)
+    benchmark.extra_info["exact_match_rate"] = matches / len(solved)
+    benchmark.extra_info["worst_fraction_of_optimum"] = min(gaps)
+
+    # The heuristic must solve the vast majority of feasible instances ...
+    assert len(solved) / len(outcomes) >= 0.85
+    # ... match the optimum most of the time ("extremely rare" misses) ...
+    assert matches / len(solved) >= 0.75
+    # ... never exceed the optimum, and stay within 2x when it misses.
+    assert all(h <= e + 1e-9 for e, h in solved)
+    assert min(gaps) >= 0.5

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of every mapping algorithm on a fixed medium-sized case.
+
+Not tied to a specific paper figure; this is the per-algorithm runtime table a
+reader uses to compare the implementations' costs (the paper only reports that
+its C++ implementation ran in "milliseconds to seconds").  All algorithms are
+timed on the same case (case 11: 20 modules, 100 nodes, 400 links) so the
+numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Objective, get_solver
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import make_case, PAPER_CASE_SPECS
+
+#: Case 11 of the suite: 20 modules on 100 nodes / 400 links.
+_CASE_INDEX = 10
+
+_DELAY_ALGORITHMS = ["elpc", "streamline", "greedy", "random", "source-only",
+                     "direct-path"]
+_FRAMERATE_ALGORITHMS = ["elpc", "elpc-reuse", "streamline", "greedy", "random"]
+
+
+@pytest.fixture(scope="module")
+def medium_case():
+    return make_case(PAPER_CASE_SPECS[_CASE_INDEX])
+
+
+@pytest.mark.benchmark(group="micro-delay")
+@pytest.mark.parametrize("algorithm", _DELAY_ALGORITHMS)
+def test_delay_algorithm_runtime(benchmark, medium_case, algorithm):
+    solver = get_solver(algorithm, Objective.MIN_DELAY)
+    mapping = benchmark(solver, medium_case.pipeline, medium_case.network,
+                        medium_case.request)
+    benchmark.extra_info["delay_ms"] = mapping.delay_ms
+    assert mapping.path[0] == medium_case.request.source
+    assert mapping.path[-1] == medium_case.request.destination
+
+
+@pytest.mark.benchmark(group="micro-framerate")
+@pytest.mark.parametrize("algorithm", _FRAMERATE_ALGORITHMS)
+def test_framerate_algorithm_runtime(benchmark, medium_case, algorithm):
+    solver = get_solver(algorithm, Objective.MAX_FRAME_RATE)
+
+    def run():
+        try:
+            return solver(medium_case.pipeline, medium_case.network,
+                          medium_case.request)
+        except InfeasibleMappingError:
+            return None
+
+    mapping = benchmark(run)
+    if mapping is not None:
+        benchmark.extra_info["frame_rate_fps"] = mapping.frame_rate_fps
+        assert mapping.path[-1] == medium_case.request.destination
+    else:
+        benchmark.extra_info["frame_rate_fps"] = None

@@ -1,0 +1,59 @@
+"""E2 — Fig. 3: ELPC's minimum end-to-end delay path on the small illustration case.
+
+The paper illustrates the delay variant on a 5-module / 6-node instance where
+the optimum groups several modules on the same nodes (node reuse).  The
+reproduction checks:
+
+* the selected path starts at the designated source (node 0) and ends at the
+  designated destination (node 5), as in the figure;
+* the DP result is *provably optimal*: it matches the exhaustive search;
+* node reuse is actually exercised (fewer path nodes than modules), matching
+  the figure's grouping of modules onto three nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import reproduce_fig3
+from repro.core import exhaustive_min_delay
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_min_delay_walkthrough(benchmark, illustration):
+    result = benchmark(reproduce_fig3)
+    mapping = result.mapping
+
+    assert mapping.path[0] == 0
+    assert mapping.path[-1] == 5
+    assert mapping.pipeline.n_modules == 5
+    # Grouping: the optimum uses fewer nodes than modules (node reuse), like Fig. 3.
+    assert len(mapping.path) < mapping.pipeline.n_modules
+
+    exact = exhaustive_min_delay(illustration.pipeline, illustration.network,
+                                 illustration.request)
+    assert mapping.delay_ms == pytest.approx(exact.delay_ms, rel=1e-9)
+
+    benchmark.extra_info["delay_ms"] = mapping.delay_ms
+    benchmark.extra_info["path"] = mapping.path
+    assert "minimum end-to-end delay" in result.walkthrough_text
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_dp_vs_exhaustive_speed(benchmark, illustration):
+    """The DP solves the illustration instance much faster than brute force."""
+    from repro.core import elpc_min_delay
+
+    def run_both():
+        dp = elpc_min_delay(illustration.pipeline, illustration.network,
+                            illustration.request)
+        return dp
+
+    mapping = benchmark(run_both)
+    exact = exhaustive_min_delay(illustration.pipeline, illustration.network,
+                                 illustration.request)
+    assert mapping.delay_ms == pytest.approx(exact.delay_ms, rel=1e-9)
+    benchmark.extra_info["exhaustive_assignments"] = exact.extras["assignments_explored"]
+    benchmark.extra_info["dp_relaxations"] = mapping.extras["dp_relaxations"]
+    # the DP examines far fewer states than the exhaustive assignment count
+    assert mapping.extras["dp_relaxations"] < exact.extras["assignments_explored"]

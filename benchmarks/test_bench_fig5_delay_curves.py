@@ -1,0 +1,58 @@
+"""E4 — Fig. 5: minimum end-to-end delay per case for ELPC / Streamline / Greedy.
+
+The paper's Fig. 5 plots the three algorithms' minimum end-to-end delay over
+the 20 cases.  Two qualitative features are asserted:
+
+* the ELPC curve never lies above a baseline curve (it is the optimum), and
+* the delay exhibits "the increasing trend" with problem size the paper
+  explains (bigger cases generally mean longer mapping paths and thus larger
+  total delay) — checked as a positive rank correlation between case number
+  and ELPC delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import reproduce_fig5
+from repro.core import Objective
+
+
+def _rank_correlation(values):
+    """Spearman rank correlation of a series against its index (no scipy needed)."""
+    values = np.asarray(values, dtype=float)
+    idx = np.arange(len(values), dtype=float)
+    rank_v = np.argsort(np.argsort(values)).astype(float)
+    rank_i = np.argsort(np.argsort(idx)).astype(float)
+    rv = rank_v - rank_v.mean()
+    ri = rank_i - rank_i.mean()
+    return float((rv * ri).sum() / np.sqrt((rv ** 2).sum() * (ri ** 2).sum()))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_delay_curves(benchmark, delay_comparison):
+    result = benchmark(reproduce_fig5, run=delay_comparison)
+
+    assert result.objective is Objective.MIN_DELAY
+    assert len(result.case_labels) == 20
+    series = result.series
+
+    # ELPC is optimal: it can never be above a baseline on any case.
+    for idx in range(20):
+        elpc = series["elpc"][idx]
+        assert elpc is not None
+        for baseline in ("streamline", "greedy"):
+            value = series[baseline][idx]
+            if value is not None:
+                assert elpc <= value + 1e-9
+
+    # Increasing trend of delay with problem size (paper's observation).
+    correlation = _rank_correlation([v for v in series["elpc"]])
+    benchmark.extra_info["elpc_delay_rank_correlation_with_case"] = correlation
+    assert correlation > 0.5
+
+    # Artifacts are produced for external plotting.
+    assert result.csv_text.startswith("case,")
+    assert "Fig. 5" in result.chart_text
+    assert "legend" in result.chart_text

@@ -1,0 +1,54 @@
+"""E5 — Fig. 6: maximum frame rate per case for ELPC / Streamline / Greedy.
+
+The paper's Fig. 6 plots the three algorithms' maximum frame rate over the 20
+cases and observes that, unlike the delay, the frame rate "is not particularly
+related to the path length", so the curves show no obvious monotone trend.
+Assertions:
+
+* the ELPC curve never lies below a baseline curve on any case where both are
+  feasible;
+* ELPC is feasible on every case of the fixed suite;
+* the ELPC frame-rate series is not monotone in the case number (no trend),
+  in contrast to the Fig. 5 delay series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import reproduce_fig6
+from repro.core import Objective
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_framerate_curves(benchmark, framerate_comparison):
+    result = benchmark(reproduce_fig6, run=framerate_comparison)
+
+    assert result.objective is Objective.MAX_FRAME_RATE
+    assert len(result.case_labels) == 20
+    series = result.series
+
+    elpc_series = series["elpc"]
+    assert all(value is not None for value in elpc_series)
+
+    # ELPC never loses to a baseline where the baseline is feasible.
+    for idx in range(20):
+        for baseline in ("streamline", "greedy"):
+            value = series[baseline][idx]
+            if value is not None:
+                assert elpc_series[idx] >= value - 1e-9
+
+    # No monotone trend with case number (the paper's observation).
+    increasing = all(b >= a for a, b in zip(elpc_series, elpc_series[1:]))
+    decreasing = all(b <= a for a, b in zip(elpc_series, elpc_series[1:]))
+    assert not increasing and not decreasing
+
+    # Frame rates land in the paper's reported order of magnitude (a few to
+    # a few tens of frames per second, not micro- or kilo-hertz).
+    assert 0.1 <= min(elpc_series)
+    assert max(elpc_series) <= 200.0
+
+    benchmark.extra_info["min_fps"] = min(elpc_series)
+    benchmark.extra_info["max_fps"] = max(elpc_series)
+    assert "Fig. 6" in result.chart_text
+    assert result.csv_text.count("\n") >= 20

@@ -1,0 +1,72 @@
+"""A6 — substrate ablation: measurement noise vs mapping quality.
+
+The paper assumes the cost-model parameters are obtained by active measurement
+([13], [14]) and does not study how estimation error affects the mapping
+decision.  This bench quantifies it on the reproduction's calibration
+substrate: a whole-network probing campaign is run at increasing noise levels,
+ELPC maps the pipeline on the *estimated* network, and the chosen mapping is
+re-evaluated on the *true* network.  The penalty relative to the true optimum
+answers "how good do the measurements have to be for the optimisation to still
+pay off?" — the practical question behind deploying the paper's method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import elpc_min_delay
+from repro.generators import random_network, random_request, remote_visualization_pipeline
+from repro.measurement import calibrate_network
+from repro.model import end_to_end_delay_ms
+
+_NOISE_LEVELS = (0.01, 0.05, 0.20)
+
+
+@pytest.mark.benchmark(group="measurement-calibration")
+def test_calibration_campaign_and_mapping_penalty(benchmark):
+    truth = random_network(14, 38, seed=777, name="true-wan")
+    pipeline = remote_visualization_pipeline(dataset_bytes=3_000_000)
+    request = random_request(truth, seed=777, min_hop_distance=2)
+    reference = elpc_min_delay(pipeline, truth, request)
+
+    def run_campaigns():
+        penalties = {}
+        errors = {}
+        for noise in _NOISE_LEVELS:
+            report = calibrate_network(truth, noise_fraction=noise,
+                                       repetitions=3, seed=7)
+            estimated_mapping = elpc_min_delay(pipeline, report.estimated_network,
+                                               request)
+            realised = end_to_end_delay_ms(pipeline, truth,
+                                           estimated_mapping.groups,
+                                           estimated_mapping.path)
+            penalties[noise] = realised / reference.delay_ms
+            errors[noise] = report.mean_bandwidth_error
+        return penalties, errors
+
+    penalties, errors = benchmark.pedantic(run_campaigns, rounds=1, iterations=1)
+    benchmark.extra_info["mapping_penalty_by_noise"] = penalties
+    benchmark.extra_info["mean_bandwidth_error_by_noise"] = errors
+
+    # Estimation error grows with probe noise ...
+    assert errors[0.01] <= errors[0.20]
+    # ... the mapping chosen from estimates can never beat the true optimum ...
+    assert all(p >= 1.0 - 1e-9 for p in penalties.values())
+    # ... and at realistic noise levels the decision stays near-optimal.
+    assert penalties[0.01] <= 1.05
+    assert penalties[0.05] <= 1.25
+    assert penalties[0.20] <= 2.0
+
+
+@pytest.mark.benchmark(group="measurement-calibration")
+def test_single_link_estimation_speed(benchmark):
+    """Micro-benchmark of one probe sweep + regression (the per-link unit of work)."""
+    from repro.measurement import estimate_link, probe_link
+
+    def probe_and_fit():
+        observations = probe_link(250.0, 2.0, noise_fraction=0.05,
+                                  repetitions=5, seed=3)
+        return estimate_link(observations)
+
+    estimate = benchmark(probe_and_fit)
+    assert estimate.relative_bandwidth_error(250.0) < 0.2

@@ -1,0 +1,67 @@
+"""E6 — §4.3 runtime claim: "milliseconds for small-scale problems to seconds
+for large-scale ones", with polynomial O(n·|E|) scaling.
+
+Two groups of benchmarks:
+
+* per-size micro-benchmarks of the two ELPC dynamic programs (these are the
+  numbers a reader compares against the paper's qualitative claim), and
+* a scaling check that the measured delay-DP time grows roughly linearly in
+  the theoretical work n·|E| (the per-unit time may drift by a small constant
+  factor due to interpreter overheads, but not by orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runtime_scaling
+from repro.core import elpc_max_frame_rate, elpc_min_delay
+from repro.generators import make_case, PAPER_CASE_SPECS
+
+# Representative small / medium / large cases of the fixed suite.
+_CASE_INDICES = [0, 9, 19]
+
+
+@pytest.mark.benchmark(group="runtime-delay-dp")
+@pytest.mark.parametrize("case_index", _CASE_INDICES,
+                         ids=[f"case{c + 1:02d}" for c in _CASE_INDICES])
+def test_elpc_delay_runtime_by_case(benchmark, case_index):
+    instance = make_case(PAPER_CASE_SPECS[case_index])
+    mapping = benchmark(elpc_min_delay, instance.pipeline, instance.network,
+                        instance.request)
+    benchmark.extra_info["size"] = instance.size_signature
+    benchmark.extra_info["delay_ms"] = mapping.delay_ms
+    assert mapping.delay_ms > 0
+
+
+@pytest.mark.benchmark(group="runtime-framerate-dp")
+@pytest.mark.parametrize("case_index", _CASE_INDICES,
+                         ids=[f"case{c + 1:02d}" for c in _CASE_INDICES])
+def test_elpc_framerate_runtime_by_case(benchmark, case_index):
+    instance = make_case(PAPER_CASE_SPECS[case_index])
+    mapping = benchmark(elpc_max_frame_rate, instance.pipeline, instance.network,
+                        instance.request)
+    benchmark.extra_info["size"] = instance.size_signature
+    benchmark.extra_info["frame_rate_fps"] = mapping.frame_rate_fps
+    assert mapping.frame_rate_fps > 0
+
+
+@pytest.mark.benchmark(group="runtime-scaling")
+def test_polynomial_scaling_of_delay_dp(benchmark):
+    """Measured runtime per unit of n·|E| work stays within a constant band."""
+    sizes = [(5, 10, 20), (10, 30, 90), (20, 60, 240), (30, 150, 700), (50, 400, 2200)]
+    result = benchmark.pedantic(runtime_scaling, kwargs={"sizes": sizes, "seed": 11},
+                                rounds=1, iterations=1)
+    per_unit = result.delay_runtime_per_unit()
+    benchmark.extra_info["seconds_per_unit_work"] = per_unit
+    benchmark.extra_info["runtimes_s"] = result.delay_runtimes_s
+
+    # Small problems solve in well under a second; the largest stays polynomial
+    # (a few seconds at worst on a laptop-class machine).
+    assert result.delay_runtimes_s[0] < 0.5
+    assert result.delay_runtimes_s[-1] < 10.0
+    # Per-unit cost may vary by constant factors (caching, allocation) but an
+    # exponential algorithm would blow this bound up immediately.
+    assert max(per_unit) / min(per_unit) < 50.0
+    # Runtime grows with problem size overall.
+    assert result.delay_runtimes_s[-1] > result.delay_runtimes_s[0]

@@ -1,0 +1,64 @@
+"""A3 — validation: the discrete-event simulator agrees with Eq. 1 / Eq. 2.
+
+The paper's evaluation is purely analytical (Eq. 1 for delay, Eq. 2 for the
+bottleneck/frame rate).  This bench replays ELPC mappings from the case suite
+in the discrete-event simulator and checks that
+
+* the measured single-dataset end-to-end delay equals the Eq. 1 prediction
+  (exactly, up to float rounding), and
+* the measured steady-state frame rate of a saturated stream converges to the
+  Eq. 2 prediction (within a small tolerance set by the finite frame count).
+
+If these ever diverge, either the cost model or the simulator has drifted —
+which would invalidate the rest of the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import elpc_max_frame_rate, elpc_min_delay
+from repro.simulation import simulate_interactive, simulate_streaming
+
+#: A spread of small / medium / large cases (simulating all 20 would dominate
+#: the benchmark wall time without adding information).
+_CASE_INDICES = [0, 4, 9, 14, 19]
+
+
+@pytest.mark.benchmark(group="sim-validation")
+def test_interactive_replay_matches_eq1(benchmark, full_suite):
+    instances = [full_suite[i] for i in _CASE_INDICES]
+    mappings = [elpc_min_delay(inst.pipeline, inst.network, inst.request)
+                for inst in instances]
+
+    def replay_all():
+        return [simulate_interactive(mapping) for mapping in mappings]
+
+    results = benchmark(replay_all)
+    worst = max(result.prediction_error_relative for result in results)
+    benchmark.extra_info["worst_relative_error"] = worst
+    assert worst < 1e-9
+    for result, mapping in zip(results, mappings):
+        assert result.delay_ms == pytest.approx(mapping.delay_ms, rel=1e-12)
+
+
+@pytest.mark.benchmark(group="sim-validation")
+def test_streaming_replay_matches_eq2(benchmark, full_suite):
+    instances = [full_suite[i] for i in _CASE_INDICES]
+    mappings = [elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+                for inst in instances]
+
+    def replay_all():
+        return [simulate_streaming(mapping, n_frames=60) for mapping in mappings]
+
+    results = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+    worst = max(result.prediction_error_relative for result in results)
+    benchmark.extra_info["worst_relative_error"] = worst
+    benchmark.extra_info["measured_fps"] = [r.achieved_frame_rate_fps for r in results]
+    assert worst < 1e-3
+    # The empirically busiest station dominates the horizon.  It is not fully
+    # saturated over the whole makespan because the horizon includes the
+    # pipeline fill and drain phases (long pipelines such as case 20 spend a
+    # noticeable fraction of the 60-frame run filling up).
+    for result in results:
+        assert result.station_utilisation[result.busiest_station] > 0.6

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Domain scenario 3: calibrate the cost model from (synthetic) measurements.
+
+The paper assumes the cost-model parameters — link bandwidths, minimum link
+delays, node processing powers — are known, and points to active measurement
+techniques ([13], [14]) for obtaining them in a real deployment.  This example
+exercises that calibration path end to end:
+
+1. take a "true" network (which a real deployment could not observe directly),
+2. run a synthetic active-probing campaign over every link and node,
+3. fit the cost-model parameters by linear regression,
+4. map the pipeline on the *estimated* network and evaluate the resulting
+   placement on the *true* network, quantifying how measurement noise
+   propagates into mapping quality.
+
+Run with:  python examples/measurement_calibration.py
+"""
+
+from repro import EndToEndRequest, Objective, end_to_end_delay_ms, solve
+from repro.generators import random_network, random_request, remote_visualization_pipeline
+from repro.measurement import calibrate_network, estimate_link, probe_link
+
+def main() -> None:
+    true_network = random_network(n_nodes=16, n_links=40, seed=23, name="true WAN")
+    request = random_request(true_network, seed=23, min_hop_distance=2)
+    pipeline = remote_visualization_pipeline(dataset_bytes=3_000_000)
+
+    print("=" * 72)
+    print("Single-link estimation: probe sweep + linear regression")
+    print("=" * 72)
+    link = true_network.links()[0]
+    observations = probe_link(link.bandwidth_mbps, link.min_delay_ms,
+                              noise_fraction=0.05, repetitions=5, seed=1)
+    estimate = estimate_link(observations)
+    print(f"true bandwidth      : {link.bandwidth_mbps:9.2f} Mbit/s")
+    print(f"estimated bandwidth : {estimate.bandwidth_mbps:9.2f} Mbit/s "
+          f"(error {estimate.relative_bandwidth_error(link.bandwidth_mbps):.2%})")
+    print(f"true MLD            : {link.min_delay_ms:9.3f} ms")
+    print(f"estimated MLD       : {estimate.min_delay_ms:9.3f} ms "
+          f"(fit R^2 = {estimate.fit.r_squared:.4f})")
+
+    print()
+    print("=" * 72)
+    print("Whole-network calibration campaign at three noise levels")
+    print("=" * 72)
+    print(f"{'noise':>8} {'mean bw err':>12} {'mean pw err':>12} "
+          f"{'delay (true map)':>18} {'delay (est. map)':>18} {'penalty':>9}")
+    reference = solve("elpc", pipeline, true_network, request, Objective.MIN_DELAY)
+    for noise in (0.01, 0.05, 0.20):
+        report = calibrate_network(true_network, noise_fraction=noise, seed=7)
+        estimated_mapping = solve("elpc", pipeline, report.estimated_network, request,
+                                  Objective.MIN_DELAY)
+        # Evaluate the mapping chosen from estimates on the *true* network.
+        realized = end_to_end_delay_ms(pipeline, true_network,
+                                       estimated_mapping.groups, estimated_mapping.path)
+        penalty = realized / reference.delay_ms
+        print(f"{noise:>8.0%} {report.mean_bandwidth_error:>12.2%} "
+              f"{report.mean_power_error:>12.2%} {reference.delay_ms:>15.2f} ms "
+              f"{realized:>15.2f} ms {penalty:>8.3f}x")
+
+    print()
+    print("A penalty of 1.0x means the mapping chosen from noisy estimates is "
+          "still the true optimum; small penalties show the mapping decision is "
+          "robust to realistic measurement noise.")
+
+
+if __name__ == "__main__":
+    main()

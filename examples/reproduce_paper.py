@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Running this script reproduces:
+
+* Fig. 2 — the 20-case comparison table (minimum end-to-end delay and maximum
+  frame rate for ELPC, Streamline and Greedy),
+* Fig. 3 / Fig. 4 — the mapping walkthroughs on the small illustration case,
+* Fig. 5 / Fig. 6 — the per-case performance curves (ASCII charts + CSV),
+* the §4.3 runtime-scaling observation (milliseconds for small cases, larger
+  but polynomially-growing times for big ones).
+
+All outputs are printed and also written under ``experiment_outputs/`` so they
+can be diffed against EXPERIMENTS.md.
+
+Run with:  python examples/reproduce_paper.py [--max-cases N] [--output DIR]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.analysis import (
+    reproduce_fig2,
+    reproduce_fig3,
+    reproduce_fig4,
+    reproduce_fig5,
+    reproduce_fig6,
+    runtime_scaling,
+    write_all_outputs,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="restrict the suite to its first N cases (default: all 20)")
+    parser.add_argument("--output", type=Path, default=Path("experiment_outputs"),
+                        help="directory for the text/CSV artifacts")
+    args = parser.parse_args()
+
+    print("#" * 78)
+    print("# Fig. 2 — mapping performance comparison (table)")
+    print("#" * 78)
+    fig2 = reproduce_fig2(max_cases=args.max_cases)
+    print(fig2.table_text)
+    print()
+    print(f"ELPC wins or ties: {fig2.elpc_wins_delay()}/{len(fig2.delay_run.cases)} "
+          f"delay cases, {fig2.elpc_wins_framerate()}/{len(fig2.framerate_run.cases)} "
+          f"frame-rate cases")
+    print(f"mean improvement over Streamline: "
+          f"{fig2.delay_run.mean_improvement('streamline'):.2f}x (delay), "
+          f"{fig2.framerate_run.mean_improvement('streamline'):.2f}x (frame rate)")
+    print(f"mean improvement over Greedy    : "
+          f"{fig2.delay_run.mean_improvement('greedy'):.2f}x (delay), "
+          f"{fig2.framerate_run.mean_improvement('greedy'):.2f}x (frame rate)")
+
+    print()
+    print("#" * 78)
+    print("# Fig. 3 / Fig. 4 — mapping walkthroughs on the small illustration case")
+    print("#" * 78)
+    print(reproduce_fig3().walkthrough_text)
+    print()
+    print(reproduce_fig4().walkthrough_text)
+
+    print()
+    print("#" * 78)
+    print("# Fig. 5 — minimum end-to-end delay per case")
+    print("#" * 78)
+    fig5 = reproduce_fig5(run=fig2.delay_run)
+    print(fig5.chart_text)
+
+    print()
+    print("#" * 78)
+    print("# Fig. 6 — maximum frame rate per case")
+    print("#" * 78)
+    fig6 = reproduce_fig6(run=fig2.framerate_run)
+    print(fig6.chart_text)
+
+    print()
+    print("#" * 78)
+    print("# §4.3 — algorithm runtime scaling")
+    print("#" * 78)
+    scaling = runtime_scaling()
+    print(f"{'(m, n, l)':>20} {'n*|E| work':>12} {'ELPC delay DP':>16} {'ELPC rate DP':>16}")
+    for size, work, td, tf in zip(scaling.sizes, scaling.work_units(),
+                                  scaling.delay_runtimes_s, scaling.framerate_runtimes_s):
+        print(f"{str(size):>20} {work:>12.0f} {td * 1e3:>13.1f} ms {tf * 1e3:>13.1f} ms")
+
+    print()
+    written = write_all_outputs(args.output, max_cases=args.max_cases)
+    print("artifacts written:")
+    for name, path in sorted(written.items()):
+        print(f"  {name:>16}: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

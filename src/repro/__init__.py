@@ -1,0 +1,74 @@
+"""repro — reproduction of Wu et al., "Optimizing Network Performance of
+Computing Pipelines in Distributed Environments" (IPDPS 2008).
+
+Public API highlights
+---------------------
+* :class:`repro.Pipeline`, :class:`repro.TransportNetwork`,
+  :class:`repro.EndToEndRequest` — problem entities,
+* :func:`repro.elpc_min_delay`, :func:`repro.elpc_max_frame_rate` — the ELPC
+  algorithms (the paper's contribution),
+* :func:`repro.solve` / :func:`repro.available_solvers` — name-based access to
+  every algorithm including the Streamline and Greedy baselines,
+* :mod:`repro.generators` — random pipelines/networks, the 20-case suite, and
+  the domain workloads,
+* :mod:`repro.simulation` — discrete-event replay of a mapping,
+* :mod:`repro.measurement` — synthetic active-probe bandwidth / power estimation,
+* :mod:`repro.analysis` — comparison harness, tables and ASCII figures,
+* :mod:`repro.extensions` — future-work features (frame rate with reuse, DAG
+  workflows, dynamic re-mapping).
+"""
+
+from ._version import PAPER, __version__
+from .core import (
+    Objective,
+    PipelineMapping,
+    available_solvers,
+    elpc_max_frame_rate,
+    elpc_min_delay,
+    exhaustive_max_frame_rate,
+    exhaustive_min_delay,
+    get_solver,
+    mapping_from_assignment,
+    register_solver,
+    solve,
+)
+from .exceptions import (
+    AlgorithmError,
+    InfeasibleMappingError,
+    MeasurementError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+)
+from .model import (
+    CommunicationLink,
+    ComputingModule,
+    ComputingNode,
+    EndToEndRequest,
+    Pipeline,
+    ProblemInstance,
+    TransportNetwork,
+    bottleneck_time_ms,
+    end_to_end_delay_ms,
+    frame_rate_fps,
+    load_instance,
+    save_instance,
+)
+
+__all__ = [
+    "__version__", "PAPER",
+    # entities
+    "ComputingModule", "Pipeline", "ComputingNode", "CommunicationLink",
+    "TransportNetwork", "EndToEndRequest", "ProblemInstance",
+    "save_instance", "load_instance",
+    # cost model
+    "end_to_end_delay_ms", "bottleneck_time_ms", "frame_rate_fps",
+    # algorithms
+    "elpc_min_delay", "elpc_max_frame_rate",
+    "exhaustive_min_delay", "exhaustive_max_frame_rate",
+    "Objective", "PipelineMapping", "mapping_from_assignment",
+    "solve", "get_solver", "register_solver", "available_solvers",
+    # exceptions
+    "ReproError", "SpecificationError", "InfeasibleMappingError",
+    "AlgorithmError", "SimulationError", "MeasurementError",
+]

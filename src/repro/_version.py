@@ -1,0 +1,10 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this library.
+PAPER = (
+    "Wu, Q., Gu, Y., Zhu, M., & Rao, N.S.V. (2008). "
+    "Optimizing network performance of computing pipelines in distributed "
+    "environments. IEEE IPDPS 2008. doi:10.1109/IPDPS.2008.4536465"
+)

@@ -1,0 +1,110 @@
+"""Comparison harness: run several mapping algorithms over a case suite.
+
+This is the code path behind the paper's Section 4.3 evaluation: for every
+case of the simulation suite run ELPC, Streamline and Greedy for both
+objectives, collect their objective values and runtimes, and hand the results
+to the reporting layer (Fig. 2 table) and the plotting layer (Fig. 5 / Fig. 6
+curves).  Failures and infeasibilities are recorded rather than raised so a
+single pathological case cannot abort a whole campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.mapping import Objective
+from ..core.registry import get_solver
+from ..exceptions import InfeasibleMappingError, ReproError
+from ..model.serialization import ProblemInstance
+from .metrics import AlgorithmResult, CaseResult
+
+__all__ = ["ComparisonRun", "run_case", "run_comparison", "DEFAULT_ALGORITHMS"]
+
+#: The three algorithms the paper compares (order matters for the table columns).
+DEFAULT_ALGORITHMS: Tuple[str, ...] = ("elpc", "streamline", "greedy")
+
+
+@dataclass
+class ComparisonRun:
+    """All results of one comparison campaign for one objective."""
+
+    objective: Objective
+    algorithms: Tuple[str, ...]
+    cases: List[CaseResult] = field(default_factory=list)
+
+    def case_names(self) -> List[str]:
+        """Case names in run order."""
+        return [case.case_name for case in self.cases]
+
+    def series(self, algorithm: str) -> List[Optional[float]]:
+        """Objective values of one algorithm across all cases (run order)."""
+        return [case.value(algorithm) for case in self.cases]
+
+    def win_count(self, algorithm: str = "elpc") -> int:
+        """Number of cases where ``algorithm`` is at least tied for best."""
+        wins = 0
+        for case in self.cases:
+            best = case.best_algorithm()
+            if best is None:
+                continue
+            best_value = case.value(best)
+            value = case.value(algorithm)
+            if value is None or best_value is None:
+                continue
+            if abs(value - best_value) <= 1e-9 * max(abs(best_value), 1.0):
+                wins += 1
+        return wins
+
+    def feasible_case_count(self, algorithm: str) -> int:
+        """Number of cases where ``algorithm`` produced a mapping."""
+        return sum(1 for case in self.cases if case.value(algorithm) is not None)
+
+    def mean_improvement(self, baseline: str, *, elpc_name: str = "elpc") -> float:
+        """Mean ELPC-vs-baseline improvement ratio over cases where both succeeded."""
+        ratios = [case.elpc_improvement(baseline, elpc_name=elpc_name)
+                  for case in self.cases]
+        usable = [r for r in ratios if r == r]  # drop NaNs
+        return sum(usable) / len(usable) if usable else float("nan")
+
+
+def run_case(instance: ProblemInstance, objective: Objective,
+             algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+             **solver_kwargs) -> CaseResult:
+    """Run every requested algorithm on one problem instance."""
+    case = CaseResult(case_name=instance.name or "unnamed", objective=objective,
+                      size_signature=instance.size_signature)
+    for name in algorithms:
+        solver = get_solver(name, objective)
+        start = time.perf_counter()
+        try:
+            mapping = solver(instance.pipeline, instance.network, instance.request,
+                             **solver_kwargs)
+            runtime = time.perf_counter() - start
+            value = (mapping.delay_ms if objective is Objective.MIN_DELAY
+                     else mapping.frame_rate_fps)
+            case.add(AlgorithmResult(case_name=case.case_name, algorithm=name,
+                                     objective=objective, value=value,
+                                     runtime_s=runtime, mapping=mapping))
+        except InfeasibleMappingError as exc:
+            runtime = time.perf_counter() - start
+            case.add(AlgorithmResult(case_name=case.case_name, algorithm=name,
+                                     objective=objective, value=None,
+                                     runtime_s=runtime, error=str(exc)))
+        except ReproError as exc:  # pragma: no cover - defensive
+            runtime = time.perf_counter() - start
+            case.add(AlgorithmResult(case_name=case.case_name, algorithm=name,
+                                     objective=objective, value=None,
+                                     runtime_s=runtime, error=f"error: {exc}"))
+    return case
+
+
+def run_comparison(instances: Iterable[ProblemInstance], objective: Objective,
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   **solver_kwargs) -> ComparisonRun:
+    """Run every requested algorithm on every instance of a suite."""
+    run = ComparisonRun(objective=objective, algorithms=tuple(algorithms))
+    for instance in instances:
+        run.cases.append(run_case(instance, objective, algorithms, **solver_kwargs))
+    return run

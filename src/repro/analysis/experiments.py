@@ -1,0 +1,273 @@
+"""High-level reproduction drivers: one function per paper artifact.
+
+Each ``reproduce_*`` function regenerates one table or figure of the paper's
+evaluation section from the fixed case suite and returns a structured result
+(series, table text, mappings) that the benchmarks assert on, the examples
+print, and :func:`write_all_outputs` dumps to disk next to EXPERIMENTS.md.
+
+Paper artifact → function map (also in DESIGN.md):
+
+========  ==========================================  =========================
+Artifact  Content                                      Function
+========  ==========================================  =========================
+Fig. 2    20-case table, both objectives, 3 algorithms :func:`reproduce_fig2`
+Fig. 3    min-delay path on the small instance          :func:`reproduce_fig3`
+Fig. 4    max-frame-rate path on the small instance     :func:`reproduce_fig4`
+Fig. 5    delay curves across the 20 cases              :func:`reproduce_fig5`
+Fig. 6    frame-rate curves across the 20 cases         :func:`reproduce_fig6`
+§4.3      algorithm runtime scaling                     :func:`runtime_scaling`
+========  ==========================================  =========================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.elpc_delay import elpc_min_delay
+from ..core.elpc_framerate import elpc_max_frame_rate
+from ..core.mapping import Objective, PipelineMapping
+from ..generators.cases import paper_case_suite, small_illustration_case
+from ..generators.network_gen import random_network
+from ..generators.pipeline_gen import random_pipeline
+from ..generators.random_state import rng_from_seed
+from ..model.serialization import ProblemInstance
+from .comparison import DEFAULT_ALGORITHMS, ComparisonRun, run_comparison
+from .plotting import ascii_line_chart, series_to_csv
+from .reporting import comparison_table, fig2_table, mapping_walkthrough
+
+__all__ = [
+    "Fig2Result", "FigureSeriesResult", "PathIllustrationResult", "RuntimeScalingResult",
+    "reproduce_fig2", "reproduce_fig3", "reproduce_fig4",
+    "reproduce_fig5", "reproduce_fig6", "runtime_scaling",
+    "write_all_outputs",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Result containers
+# --------------------------------------------------------------------------- #
+@dataclass
+class Fig2Result:
+    """Reproduction of the Fig. 2 table (both objectives, all cases)."""
+
+    delay_run: ComparisonRun
+    framerate_run: ComparisonRun
+    table_text: str
+
+    def elpc_wins_delay(self) -> int:
+        """Cases where ELPC is best or tied on minimum delay."""
+        return self.delay_run.win_count("elpc")
+
+    def elpc_wins_framerate(self) -> int:
+        """Cases where ELPC is best or tied on maximum frame rate."""
+        return self.framerate_run.win_count("elpc")
+
+
+@dataclass
+class FigureSeriesResult:
+    """Reproduction of a per-case curve figure (Fig. 5 or Fig. 6)."""
+
+    objective: Objective
+    case_labels: List[str]
+    series: Dict[str, List[Optional[float]]]
+    chart_text: str
+    csv_text: str
+    run: ComparisonRun
+
+
+@dataclass
+class PathIllustrationResult:
+    """Reproduction of a mapping-illustration figure (Fig. 3 or Fig. 4)."""
+
+    instance: ProblemInstance
+    mapping: PipelineMapping
+    walkthrough_text: str
+
+
+@dataclass
+class RuntimeScalingResult:
+    """Measured ELPC runtimes across problem sizes (§4.3 scaling claim)."""
+
+    sizes: List[Tuple[int, int, int]]          # (modules, nodes, links)
+    delay_runtimes_s: List[float]
+    framerate_runtimes_s: List[float]
+
+    def work_units(self) -> List[float]:
+        """The theoretical work n·|E| for each measured size."""
+        return [float(m * l) for (m, _n, l) in self.sizes]
+
+    def delay_runtime_per_unit(self) -> List[float]:
+        """Measured delay-DP runtime divided by n·|E| (should stay roughly flat)."""
+        return [t / w for t, w in zip(self.delay_runtimes_s, self.work_units())]
+
+
+# --------------------------------------------------------------------------- #
+# Reproduction drivers
+# --------------------------------------------------------------------------- #
+def reproduce_fig2(*, max_cases: Optional[int] = None,
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS) -> Fig2Result:
+    """Regenerate the Fig. 2 comparison table over the fixed case suite."""
+    suite = paper_case_suite(max_cases=max_cases)
+    delay_run = run_comparison(suite, Objective.MIN_DELAY, algorithms)
+    framerate_run = run_comparison(suite, Objective.MAX_FRAME_RATE, algorithms)
+    table = fig2_table(delay_run, framerate_run)
+    return Fig2Result(delay_run=delay_run, framerate_run=framerate_run, table_text=table)
+
+
+def reproduce_fig3(*, seed: int = 42) -> PathIllustrationResult:
+    """Regenerate Fig. 3: ELPC's minimum-delay path on the small illustration case."""
+    instance = small_illustration_case(seed=seed)
+    mapping = elpc_min_delay(instance.pipeline, instance.network, instance.request)
+    text = mapping_walkthrough(
+        mapping, title="Fig. 3 — optimal path with minimum end-to-end delay (ELPC)")
+    return PathIllustrationResult(instance=instance, mapping=mapping,
+                                  walkthrough_text=text)
+
+
+def reproduce_fig4(*, seed: int = 42) -> PathIllustrationResult:
+    """Regenerate Fig. 4: ELPC's maximum-frame-rate path on the small illustration case."""
+    instance = small_illustration_case(seed=seed)
+    mapping = elpc_max_frame_rate(instance.pipeline, instance.network, instance.request)
+    text = mapping_walkthrough(
+        mapping, title="Fig. 4 — optimal path with maximum frame rate (ELPC)")
+    return PathIllustrationResult(instance=instance, mapping=mapping,
+                                  walkthrough_text=text)
+
+
+def _series_result(run: ComparisonRun, objective: Objective,
+                   y_label: str, title: str) -> FigureSeriesResult:
+    case_labels = [str(i + 1) for i in range(len(run.cases))]
+    series = {name: run.series(name) for name in run.algorithms}
+    chart = ascii_line_chart(series, x_labels=case_labels, title=title, y_label=y_label)
+    csv_text = series_to_csv(series, x_labels=case_labels, x_name="case")
+    return FigureSeriesResult(objective=objective, case_labels=case_labels,
+                              series=series, chart_text=chart, csv_text=csv_text,
+                              run=run)
+
+
+def reproduce_fig5(*, max_cases: Optional[int] = None,
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   run: Optional[ComparisonRun] = None) -> FigureSeriesResult:
+    """Regenerate Fig. 5: minimum end-to-end delay per case for all algorithms.
+
+    Pass an existing ``run`` (e.g. from :func:`reproduce_fig2`) to avoid
+    re-solving the suite.
+    """
+    if run is None:
+        suite = paper_case_suite(max_cases=max_cases)
+        run = run_comparison(suite, Objective.MIN_DELAY, algorithms)
+    return _series_result(run, Objective.MIN_DELAY,
+                          "minimum end-to-end delay (ms)",
+                          "Fig. 5 — minimum end-to-end delay per case")
+
+
+def reproduce_fig6(*, max_cases: Optional[int] = None,
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   run: Optional[ComparisonRun] = None) -> FigureSeriesResult:
+    """Regenerate Fig. 6: maximum frame rate per case for all algorithms."""
+    if run is None:
+        suite = paper_case_suite(max_cases=max_cases)
+        run = run_comparison(suite, Objective.MAX_FRAME_RATE, algorithms)
+    return _series_result(run, Objective.MAX_FRAME_RATE,
+                          "maximum frame rate (frames/s)",
+                          "Fig. 6 — maximum frame rate per case")
+
+
+def runtime_scaling(*, sizes: Optional[Sequence[Tuple[int, int, int]]] = None,
+                    seed: int = 7, repetitions: int = 1) -> RuntimeScalingResult:
+    """Measure ELPC runtimes across problem sizes (the §4.3 "milliseconds to seconds" claim).
+
+    ``sizes`` is a sequence of (modules, nodes, links) triples; the default
+    sweep spans two orders of magnitude of n·|E| work.
+    """
+    if sizes is None:
+        sizes = [(5, 10, 20), (10, 30, 90), (20, 60, 240),
+                 (30, 120, 600), (40, 250, 1200), (60, 500, 3000)]
+    rng = rng_from_seed(seed)
+    delay_times: List[float] = []
+    framerate_times: List[float] = []
+    measured_sizes: List[Tuple[int, int, int]] = []
+    for (m, n, l) in sizes:
+        pipeline = random_pipeline(m, seed=rng)
+        network = random_network(n, l, seed=rng)
+        from ..generators.network_gen import random_request
+
+        request = random_request(network, seed=rng, min_hop_distance=2)
+        best_delay = float("inf")
+        best_rate = float("inf")
+        for _ in range(max(repetitions, 1)):
+            t0 = time.perf_counter()
+            elpc_min_delay(pipeline, network, request)
+            best_delay = min(best_delay, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            try:
+                elpc_max_frame_rate(pipeline, network, request)
+                best_rate = min(best_rate, time.perf_counter() - t0)
+            except Exception:
+                best_rate = min(best_rate, time.perf_counter() - t0)
+        measured_sizes.append((m, n, l))
+        delay_times.append(best_delay)
+        framerate_times.append(best_rate)
+    return RuntimeScalingResult(sizes=measured_sizes,
+                                delay_runtimes_s=delay_times,
+                                framerate_runtimes_s=framerate_times)
+
+
+# --------------------------------------------------------------------------- #
+# Disk output
+# --------------------------------------------------------------------------- #
+def write_all_outputs(output_dir: Union[str, Path], *,
+                      max_cases: Optional[int] = None) -> Dict[str, Path]:
+    """Regenerate every artifact and write text/CSV outputs under ``output_dir``.
+
+    Returns a mapping of artifact name to the path written.  Used by
+    ``examples/reproduce_paper.py`` and handy for refreshing EXPERIMENTS.md.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    fig2 = reproduce_fig2(max_cases=max_cases)
+    written["fig2"] = out / "fig2_table.txt"
+    written["fig2"].write_text(fig2.table_text + "\n", encoding="utf-8")
+
+    from .export import mapping_to_dot
+
+    fig3 = reproduce_fig3()
+    written["fig3"] = out / "fig3_min_delay_path.txt"
+    written["fig3"].write_text(fig3.walkthrough_text + "\n", encoding="utf-8")
+    written["fig3_dot"] = out / "fig3_min_delay_path.dot"
+    written["fig3_dot"].write_text(
+        mapping_to_dot(fig3.mapping, name="fig3-min-delay"), encoding="utf-8")
+
+    fig4 = reproduce_fig4()
+    written["fig4"] = out / "fig4_max_framerate_path.txt"
+    written["fig4"].write_text(fig4.walkthrough_text + "\n", encoding="utf-8")
+    written["fig4_dot"] = out / "fig4_max_framerate_path.dot"
+    written["fig4_dot"].write_text(
+        mapping_to_dot(fig4.mapping, name="fig4-max-framerate"), encoding="utf-8")
+
+    fig5 = reproduce_fig5(run=fig2.delay_run)
+    written["fig5"] = out / "fig5_delay_curves.txt"
+    written["fig5"].write_text(fig5.chart_text + "\n", encoding="utf-8")
+    written["fig5_csv"] = out / "fig5_delay_curves.csv"
+    written["fig5_csv"].write_text(fig5.csv_text, encoding="utf-8")
+
+    fig6 = reproduce_fig6(run=fig2.framerate_run)
+    written["fig6"] = out / "fig6_framerate_curves.txt"
+    written["fig6"].write_text(fig6.chart_text + "\n", encoding="utf-8")
+    written["fig6_csv"] = out / "fig6_framerate_curves.csv"
+    written["fig6_csv"].write_text(fig6.csv_text, encoding="utf-8")
+
+    scaling = runtime_scaling()
+    lines = ["modules,nodes,links,work_n_times_E,elpc_delay_runtime_s,elpc_framerate_runtime_s"]
+    for (m, n, l), td, tf in zip(scaling.sizes, scaling.delay_runtimes_s,
+                                 scaling.framerate_runtimes_s):
+        lines.append(f"{m},{n},{l},{m * l},{td:.6f},{tf:.6f}")
+    written["runtime_scaling"] = out / "runtime_scaling.csv"
+    written["runtime_scaling"].write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    return written

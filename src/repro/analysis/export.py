@@ -1,0 +1,120 @@
+"""Graph exports: Graphviz DOT rendering of networks and mappings.
+
+matplotlib is unavailable offline, but Graphviz DOT is plain text, so the
+library can still produce figures a user renders later with ``dot -Tpng`` (or
+pastes into any online Graphviz viewer).  Two exports are provided:
+
+* :func:`network_to_dot` — the transport network alone (node labels show the
+  processing power, edge labels the bandwidth / minimum link delay),
+* :func:`mapping_to_dot` — the network with one mapping overlaid: nodes used
+  by the mapping are filled and annotated with the modules they execute, the
+  links the data crosses are bold, and the bottleneck component is
+  highlighted, which is exactly the visual content of the paper's Fig. 3 and
+  Fig. 4.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.mapping import PipelineMapping
+from ..model.network import TransportNetwork
+
+__all__ = ["network_to_dot", "mapping_to_dot", "write_dot"]
+
+
+def _edge_key(u: int, v: int) -> tuple:
+    return (u, v) if u <= v else (v, u)
+
+
+def network_to_dot(network: TransportNetwork, *, name: str = "network",
+                   include_attributes: bool = True) -> str:
+    """Render a transport network as an undirected Graphviz graph."""
+    lines: List[str] = [f'graph "{name}" {{']
+    lines.append('  layout=neato; overlap=false; splines=true;')
+    lines.append('  node [shape=circle, fontsize=10];')
+    lines.append('  edge [fontsize=8, color="#666666"];')
+    for node in network.nodes():
+        label = f"v{node.node_id}"
+        if include_attributes:
+            label += f"\\np={node.processing_power:.0f}"
+        lines.append(f'  n{node.node_id} [label="{label}"];')
+    for link in network.links():
+        attrs = ""
+        if include_attributes:
+            attrs = (f' [label="{link.bandwidth_mbps:.0f}Mbps/'
+                     f'{link.min_delay_ms:.1f}ms"]')
+        lines.append(f'  n{link.start_node} -- n{link.end_node}{attrs};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mapping_to_dot(mapping: PipelineMapping, *, name: str = "mapping",
+                   include_attributes: bool = False) -> str:
+    """Render a mapping overlaid on its network (Fig. 3 / Fig. 4 style).
+
+    Used nodes are filled light blue and list the modules they run; the
+    mapped links are drawn bold; the bottleneck node or link is drawn red.
+    """
+    network = mapping.network
+    pipeline = mapping.pipeline
+    breakdown = mapping.breakdown()
+
+    used_modules: Dict[int, List[str]] = {}
+    for group, node_id in zip(mapping.groups, mapping.path):
+        labels = [pipeline.modules[m].name or f"M{m}" for m in group]
+        used_modules.setdefault(node_id, []).extend(labels)
+
+    mapped_edges = set()
+    for u, v in zip(mapping.path, mapping.path[1:]):
+        mapped_edges.add(_edge_key(u, v))
+
+    bottleneck_node: Optional[int] = None
+    bottleneck_edge: Optional[tuple] = None
+    if breakdown.bottleneck_kind == "node":
+        bottleneck_node = mapping.path[breakdown.bottleneck_index]
+    else:
+        u = mapping.path[breakdown.bottleneck_index]
+        v = mapping.path[breakdown.bottleneck_index + 1]
+        bottleneck_edge = _edge_key(u, v)
+
+    lines: List[str] = [f'graph "{name}" {{']
+    lines.append('  layout=neato; overlap=false; splines=true;')
+    lines.append('  node [shape=circle, fontsize=10];')
+    lines.append('  edge [fontsize=8];')
+    for node in network.nodes():
+        label = f"v{node.node_id}"
+        if include_attributes:
+            label += f"\\np={node.processing_power:.0f}"
+        style = []
+        if node.node_id in used_modules:
+            module_text = "\\n".join(used_modules[node.node_id])
+            label += f"\\n{module_text}"
+            fill = "#ffcccc" if node.node_id == bottleneck_node else "#cce5ff"
+            style.append(f'style=filled, fillcolor="{fill}"')
+        attr_text = ", ".join([f'label="{label}"'] + style)
+        lines.append(f"  n{node.node_id} [{attr_text}];")
+    for link in network.links():
+        key = _edge_key(link.start_node, link.end_node)
+        attrs = ['color="#bbbbbb"']
+        if include_attributes:
+            attrs.append(f'label="{link.bandwidth_mbps:.0f}Mbps"')
+        if key in mapped_edges:
+            color = "red" if key == bottleneck_edge else "black"
+            attrs = [f'color="{color}"', "penwidth=2.5"]
+            if include_attributes:
+                attrs.append(f'label="{link.bandwidth_mbps:.0f}Mbps"')
+        lines.append(f"  n{link.start_node} -- n{link.end_node} [{', '.join(attrs)}];")
+    lines.append(f'  label="{name}: delay {mapping.delay_ms:.1f} ms, '
+                 f'{mapping.frame_rate_fps:.2f} frames/s";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(text: str, path: Union[str, Path]) -> Path:
+    """Write DOT text to ``path`` (creating parent directories) and return it."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text, encoding="utf-8")
+    return out

@@ -1,0 +1,104 @@
+"""Result records and derived metrics for algorithm comparisons.
+
+A comparison run produces one :class:`AlgorithmResult` per (case, algorithm,
+objective) triple; :class:`CaseResult` groups the results of one case and
+computes the derived quantities the paper discusses — which algorithm wins,
+and by what factor ELPC improves on each baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.mapping import Objective, PipelineMapping
+
+__all__ = ["AlgorithmResult", "CaseResult", "improvement_ratio"]
+
+
+def improvement_ratio(objective: Objective, elpc_value: float,
+                      baseline_value: float) -> float:
+    """How much better ELPC's objective value is than a baseline's.
+
+    For minimum delay the ratio is ``baseline / elpc`` (how many times slower
+    the baseline's mapping responds); for maximum frame rate it is
+    ``elpc / baseline`` (how many times more frames per second ELPC sustains).
+    Either way a value ≥ 1 means ELPC is at least as good.
+    """
+    if elpc_value <= 0 or baseline_value <= 0:
+        return float("nan")
+    if objective is Objective.MIN_DELAY:
+        return baseline_value / elpc_value
+    return elpc_value / baseline_value
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Outcome of one algorithm on one case for one objective.
+
+    ``value`` is ``None`` when the algorithm reported the instance infeasible
+    (or failed); ``runtime_s`` is still recorded in that case.
+    """
+
+    case_name: str
+    algorithm: str
+    objective: Objective
+    value: Optional[float]
+    runtime_s: float
+    mapping: Optional[PipelineMapping] = field(default=None, compare=False, repr=False)
+    error: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        """``True`` when the algorithm produced a mapping."""
+        return self.value is not None
+
+    def value_or_nan(self) -> float:
+        """The objective value, or NaN for infeasible/failed runs (plot-friendly)."""
+        return self.value if self.value is not None else math.nan
+
+
+@dataclass
+class CaseResult:
+    """All algorithms' results on one case for one objective."""
+
+    case_name: str
+    objective: Objective
+    size_signature: Tuple[int, int, int]
+    results: Dict[str, AlgorithmResult] = field(default_factory=dict)
+
+    def add(self, result: AlgorithmResult) -> None:
+        """Register one algorithm's result (overwrites a previous entry)."""
+        self.results[result.algorithm] = result
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names present, sorted."""
+        return sorted(self.results)
+
+    def value(self, algorithm: str) -> Optional[float]:
+        """Objective value of one algorithm (``None`` if absent or infeasible)."""
+        result = self.results.get(algorithm)
+        return result.value if result is not None else None
+
+    def best_algorithm(self) -> Optional[str]:
+        """Name of the algorithm with the best feasible objective value."""
+        feasible = {name: r.value for name, r in self.results.items()
+                    if r.value is not None}
+        if not feasible:
+            return None
+        if self.objective is Objective.MIN_DELAY:
+            return min(feasible, key=feasible.get)
+        return max(feasible, key=feasible.get)
+
+    def elpc_improvement(self, baseline: str, *, elpc_name: str = "elpc") -> float:
+        """Improvement ratio of ELPC over ``baseline`` on this case (NaN if either failed)."""
+        elpc_value = self.value(elpc_name)
+        base_value = self.value(baseline)
+        if elpc_value is None or base_value is None:
+            return float("nan")
+        return improvement_ratio(self.objective, elpc_value, base_value)
+
+    def to_row(self, algorithms: Sequence[str]) -> List[Optional[float]]:
+        """Objective values in the given algorithm order (``None`` for missing)."""
+        return [self.value(name) for name in algorithms]

@@ -1,0 +1,137 @@
+"""ASCII plotting and CSV export of result series.
+
+matplotlib is not available in the offline reproduction environment, so the
+figures are regenerated as (a) CSV files that any external plotting tool can
+consume and (b) ASCII line charts good enough to eyeball the qualitative
+shapes the paper shows (ELPC under the baselines in Fig. 5, above them in
+Fig. 6).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..exceptions import SpecificationError
+
+__all__ = ["ascii_line_chart", "series_to_csv", "write_csv"]
+
+#: Characters used to draw the distinct series of a chart, in order.
+_SERIES_MARKS = "EOX*+#@%"
+
+
+def ascii_line_chart(series: Mapping[str, Sequence[Optional[float]]], *,
+                     x_labels: Optional[Sequence[str]] = None,
+                     title: str = "",
+                     y_label: str = "",
+                     width: int = 72,
+                     height: int = 20) -> str:
+    """Render several named series as an ASCII chart (one column per x value).
+
+    ``None`` / NaN entries are skipped (shown as gaps).  Series are drawn with
+    distinct marker characters; a legend is appended below the chart.
+    """
+    if not series:
+        raise SpecificationError("no series to plot")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise SpecificationError(f"all series must have the same length, got {lengths}")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise SpecificationError("series are empty")
+    if height < 3 or width < 12:
+        raise SpecificationError("chart needs at least height 3 and width 12")
+
+    finite = [v for values in series.values() for v in values
+              if v is not None and not math.isnan(v) and math.isfinite(v)]
+    if not finite:
+        raise SpecificationError("series contain no finite values")
+    y_min, y_max = min(finite), max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    plot_width = max(n_points, min(width, n_points * 4))
+    # column of each x index
+    def col_of(idx: int) -> int:
+        if n_points == 1:
+            return 0
+        return round(idx * (plot_width - 1) / (n_points - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    grid = [[" "] * plot_width for _ in range(height)]
+    for series_idx, (name, values) in enumerate(series.items()):
+        mark = _SERIES_MARKS[series_idx % len(_SERIES_MARKS)]
+        for idx, value in enumerate(values):
+            if value is None or math.isnan(value) or not math.isfinite(value):
+                continue
+            r, c = row_of(value), col_of(idx)
+            grid[r][c] = mark if grid[r][c] == " " else "&"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = 12
+    for r in range(height):
+        frac = 1.0 - r / (height - 1)
+        y_value = y_min + frac * (y_max - y_min)
+        lines.append(f"{y_value:>{label_width}.2f} |" + "".join(grid[r]))
+    lines.append(" " * label_width + " +" + "-" * plot_width)
+    if x_labels:
+        # Only label first, middle and last columns to keep the axis readable.
+        axis = [" "] * plot_width
+        for idx in (0, n_points // 2, n_points - 1):
+            label = str(x_labels[idx])
+            col = col_of(idx)
+            for offset, ch in enumerate(label):
+                pos = min(col + offset, plot_width - 1)
+                axis[pos] = ch
+        lines.append(" " * (label_width + 2) + "".join(axis))
+    if y_label:
+        lines.append(f"(y axis: {y_label})")
+    legend = "  ".join(f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} = {name}"
+                       for i, name in enumerate(series))
+    lines.append("legend: " + legend + "   (& = overlapping points)")
+    return "\n".join(lines)
+
+
+def series_to_csv(series: Mapping[str, Sequence[Optional[float]]], *,
+                  x_labels: Optional[Sequence[str]] = None,
+                  x_name: str = "case") -> str:
+    """Serialise named series into a CSV string (one row per x value)."""
+    if not series:
+        raise SpecificationError("no series to export")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise SpecificationError(f"all series must have the same length, got {lengths}")
+    n_points = lengths.pop()
+    names = list(series)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([x_name] + names)
+    for idx in range(n_points):
+        label = x_labels[idx] if x_labels is not None else idx + 1
+        row: List[Union[str, float]] = [label]
+        for name in names:
+            value = series[name][idx]
+            row.append("" if value is None or (isinstance(value, float) and math.isnan(value))
+                       else value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(series: Mapping[str, Sequence[Optional[float]]],
+              path: Union[str, Path], *,
+              x_labels: Optional[Sequence[str]] = None,
+              x_name: str = "case") -> Path:
+    """Write :func:`series_to_csv` output to ``path`` and return the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(series_to_csv(series, x_labels=x_labels, x_name=x_name),
+                   encoding="utf-8")
+    return out

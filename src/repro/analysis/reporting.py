@@ -1,0 +1,131 @@
+"""Tabular reporting: the Fig. 2-style comparison table and mapping walkthroughs.
+
+Everything renders to plain text so the benchmark harness, the examples and
+the CLI can print directly to the terminal and dump to files committed next to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.mapping import Objective, PipelineMapping
+from .comparison import ComparisonRun
+
+__all__ = ["format_value", "comparison_table", "fig2_table", "mapping_walkthrough"]
+
+
+def format_value(value: Optional[float], *, precision: int = 2) -> str:
+    """Render one objective value; infeasible/missing entries render as ``-``."""
+    if value is None or value != value:  # NaN check
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def comparison_table(run: ComparisonRun, *, precision: int = 2,
+                     value_header: Optional[str] = None) -> str:
+    """Plain-text table of one comparison run: one row per case, one column per algorithm."""
+    header_value = value_header or (
+        "Minimum end-to-end delay (ms)" if run.objective is Objective.MIN_DELAY
+        else "Maximum frame rate (frames/s)")
+    algorithms = list(run.algorithms)
+    name_width = max([len("Case (m, n, l)")] +
+                     [len(_case_label(case)) for case in run.cases])
+    col_width = max(12, max(len(a) for a in algorithms) + 2)
+
+    lines = [header_value]
+    header = f"{'Case (m, n, l)':<{name_width}}" + "".join(
+        f"{a:>{col_width}}" for a in algorithms)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for case in run.cases:
+        row = f"{_case_label(case):<{name_width}}"
+        for algorithm in algorithms:
+            row += f"{format_value(case.value(algorithm), precision=precision):>{col_width}}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    summary = (f"{'ELPC best or tied in':<{name_width}}"
+               f"{run.win_count('elpc'):>{col_width}} / {len(run.cases)} cases")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _case_label(case) -> str:
+    m, n, l = case.size_signature
+    return f"{case.case_name}  (m={m}, n={n}, l={l})"
+
+
+def fig2_table(delay_run: ComparisonRun, framerate_run: ComparisonRun, *,
+               precision: int = 2) -> str:
+    """The paper's Fig. 2: both objectives side by side for every case.
+
+    The delay half reports minimum end-to-end delay in milliseconds (node
+    reuse allowed); the frame-rate half reports maximum frame rate in frames
+    per second (no node reuse).  Infeasible entries show ``-`` — the paper
+    notes such extreme cases can exist.
+    """
+    if [c.case_name for c in delay_run.cases] != [c.case_name for c in framerate_run.cases]:
+        raise ValueError("the two runs must cover the same cases in the same order")
+    algorithms_d = list(delay_run.algorithms)
+    algorithms_f = list(framerate_run.algorithms)
+
+    name_width = max([len("Case (m, n, l)")] +
+                     [len(_case_label(case)) for case in delay_run.cases])
+    col = 12
+    delay_header = " | " + "".join(f"{a:>{col}}" for a in algorithms_d)
+    rate_header = " | " + "".join(f"{a:>{col}}" for a in algorithms_f)
+
+    lines: List[str] = []
+    lines.append("Mapping performance comparison of ELPC, Streamline, and Greedy")
+    lines.append(f"{'':<{name_width}} | {'Min end-to-end delay (ms, node reuse)':^{col * len(algorithms_d)}}"
+                 f" | {'Max frame rate (frames/s, no reuse)':^{col * len(algorithms_f)}}")
+    lines.append(f"{'Case (m, n, l)':<{name_width}}" + delay_header + rate_header)
+    lines.append("-" * (name_width + 3 + col * len(algorithms_d) + 3 + col * len(algorithms_f)))
+    for dcase, fcase in zip(delay_run.cases, framerate_run.cases):
+        row = f"{_case_label(dcase):<{name_width}}"
+        row += " | " + "".join(
+            f"{format_value(dcase.value(a), precision=precision):>{col}}"
+            for a in algorithms_d)
+        row += " | " + "".join(
+            f"{format_value(fcase.value(a), precision=precision):>{col}}"
+            for a in algorithms_f)
+        lines.append(row)
+    lines.append("-" * (name_width + 3 + col * len(algorithms_d) + 3 + col * len(algorithms_f)))
+    lines.append(f"ELPC best or tied: delay {delay_run.win_count('elpc')}/{len(delay_run.cases)} cases, "
+                 f"frame rate {framerate_run.win_count('elpc')}/{len(framerate_run.cases)} cases")
+    return "\n".join(lines)
+
+
+def mapping_walkthrough(mapping: PipelineMapping, *, title: str = "") -> str:
+    """Narrative description of one mapping (the Fig. 3 / Fig. 4 style captions).
+
+    Lists which modules run on which nodes, every link crossed, and where the
+    bottleneck sits.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    pipeline, network = mapping.pipeline, mapping.network
+    lines.append(f"pipeline: {pipeline.n_modules} modules, network: "
+                 f"{network.n_nodes} nodes / {network.n_links} links")
+    lines.append(f"selected path: {' -> '.join(f'node {v}' for v in mapping.path)}")
+    for group, node_id in zip(mapping.groups, mapping.path):
+        names = []
+        for mid in group:
+            mod = pipeline.modules[mid]
+            names.append(mod.name or f"module {mid}")
+        power = network.processing_power(node_id)
+        lines.append(f"  node {node_id} (p={power:.1f}): " + ", ".join(names))
+    for i in range(len(mapping.path) - 1):
+        u, v = mapping.path[i], mapping.path[i + 1]
+        link = network.link(u, v)
+        message = pipeline.group_output_bytes(mapping.groups[i])
+        lines.append(f"  link {u} -> {v}: {message:,.0f} bytes over "
+                     f"{link.bandwidth_mbps:.1f} Mbit/s (MLD {link.min_delay_ms:.2f} ms)")
+    breakdown = mapping.breakdown()
+    lines.append(f"end-to-end delay : {mapping.delay_ms:.2f} ms")
+    lines.append(f"bottleneck       : {breakdown.bottleneck_ms:.2f} ms on "
+                 f"{breakdown.bottleneck_kind} #{breakdown.bottleneck_index} "
+                 f"-> frame rate {mapping.frame_rate_fps:.2f} frames/s")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Baseline mapping algorithms the paper compares ELPC against, plus reference mappers.
+
+* :mod:`repro.baselines.streamline` — the Streamline grid-scheduling heuristic
+  adapted to linear pipelines (paper Section 3.2),
+* :mod:`repro.baselines.greedy` — the locally-optimal Greedy mapper
+  (paper Section 3.3),
+* :mod:`repro.baselines.dcp` — a Dynamic-Critical-Path-inspired mapper from
+  the related work (Kwok & Ahmad), adapted to linear pipelines,
+* :mod:`repro.baselines.random_mapping` — uniform-random feasible mapping
+  (sanity-check floor, not from the paper),
+* :mod:`repro.baselines.naive` — source-only and direct-path reference mappers
+  (not from the paper).
+"""
+
+from .dcp import dcp_min_delay
+from .greedy import greedy_max_frame_rate, greedy_min_delay
+from .naive import (
+    direct_path_max_frame_rate,
+    direct_path_min_delay,
+    source_only_min_delay,
+)
+from .random_mapping import random_max_frame_rate, random_min_delay
+from .streamline import (
+    resource_ranks,
+    stage_needs,
+    streamline_max_frame_rate,
+    streamline_min_delay,
+)
+
+__all__ = [
+    "greedy_min_delay", "greedy_max_frame_rate", "dcp_min_delay",
+    "streamline_min_delay", "streamline_max_frame_rate",
+    "stage_needs", "resource_ranks",
+    "random_min_delay", "random_max_frame_rate",
+    "source_only_min_delay", "direct_path_min_delay", "direct_path_max_frame_rate",
+]

@@ -1,0 +1,150 @@
+"""Shared helpers for the baseline mapping algorithms.
+
+The baselines (Greedy, Streamline, Random, naive reference mappers) all build
+per-module node assignments step by step under the same structural rules as
+ELPC: the first module is pinned to the source, the last to the destination,
+consecutive modules must sit on identical or adjacent nodes, and — for the
+streaming variant — no node may be used twice.  The helpers here implement the
+common feasibility filtering ("can I still reach the destination with the
+modules I have left?") so each baseline only encodes its own selection rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from ..exceptions import InfeasibleMappingError
+from ..model.cost import computing_time_ms, transport_time_ms
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..types import NodeId
+
+__all__ = [
+    "hop_distances_to",
+    "candidate_nodes_delay",
+    "candidate_nodes_no_reuse",
+    "incremental_delay_ms",
+    "step_bottleneck_ms",
+    "normalise",
+]
+
+
+def hop_distances_to(network: TransportNetwork, destination: NodeId) -> Dict[NodeId, int]:
+    """Shortest hop distance from every node to ``destination``.
+
+    Unreachable nodes are absent from the returned dictionary.
+    """
+    return dict(nx.single_source_shortest_path_length(network.graph, destination))
+
+
+def candidate_nodes_delay(network: TransportNetwork, current: NodeId,
+                          destination: NodeId, modules_remaining: int,
+                          dist_to_dest: Dict[NodeId, int]) -> List[NodeId]:
+    """Feasible next-module hosts when node reuse is allowed.
+
+    A candidate is the current node itself or one of its neighbours, filtered
+    to nodes from which the destination is still reachable using at most
+    ``modules_remaining - 1`` further link crossings (each remaining module
+    can cross at most one link).  When no modules remain after this one, only
+    the destination itself qualifies.
+    """
+    raw = [current] + network.neighbors(current)
+    feasible: List[NodeId] = []
+    for cand in raw:
+        d = dist_to_dest.get(cand)
+        if d is None:
+            continue
+        if d <= modules_remaining - 1:
+            feasible.append(cand)
+    return feasible
+
+
+def candidate_nodes_no_reuse(network: TransportNetwork, current: NodeId,
+                             destination: NodeId, modules_remaining: int,
+                             visited: Set[NodeId],
+                             dist_to_dest: Dict[NodeId, int]) -> List[NodeId]:
+    """Feasible next-module hosts when node reuse is forbidden.
+
+    Candidates are unvisited neighbours of the current node from which the
+    destination remains reachable within the remaining hop budget.  The hop
+    filter uses distances in the full graph (ignoring the visited set), so it
+    is a necessary — not sufficient — condition; a baseline can still paint
+    itself into a corner, in which case it reports infeasibility.
+    """
+    feasible: List[NodeId] = []
+    for cand in network.neighbors(current):
+        if cand in visited:
+            continue
+        d = dist_to_dest.get(cand)
+        if d is None:
+            continue
+        if d > modules_remaining - 1:
+            continue
+        if modules_remaining - 1 == 0 and cand != destination:
+            continue
+        feasible.append(cand)
+    return feasible
+
+
+def incremental_delay_ms(pipeline: Pipeline, network: TransportNetwork,
+                         module_index: int, previous_node: NodeId,
+                         candidate: NodeId, *,
+                         include_link_delay: bool = True) -> float:
+    """Delay added by placing module ``module_index`` on ``candidate``.
+
+    The increment is the module's computing time on the candidate plus — when
+    the candidate differs from the previous module's node — the transfer time
+    of the module's input message over the connecting link.
+    """
+    module = pipeline.modules[module_index]
+    cost = computing_time_ms(network, candidate, module.complexity, module.input_bytes)
+    if candidate != previous_node:
+        cost += transport_time_ms(network, previous_node, candidate,
+                                  module.input_bytes,
+                                  include_link_delay=include_link_delay)
+    return cost
+
+
+def step_bottleneck_ms(pipeline: Pipeline, network: TransportNetwork,
+                       module_index: int, previous_node: NodeId,
+                       candidate: NodeId, *,
+                       include_link_delay: bool = True) -> float:
+    """Bottleneck contribution of placing module ``module_index`` on ``candidate``.
+
+    The contribution is the larger of the module's computing time on the
+    candidate and the transfer time of its input message over the link from
+    the previous module's node (zero when the nodes coincide).
+    """
+    module = pipeline.modules[module_index]
+    compute = computing_time_ms(network, candidate, module.complexity, module.input_bytes)
+    link = 0.0
+    if candidate != previous_node:
+        link = transport_time_ms(network, previous_node, candidate,
+                                 module.input_bytes,
+                                 include_link_delay=include_link_delay)
+    return max(compute, link)
+
+
+def normalise(values: Sequence[float]) -> List[float]:
+    """Scale a sequence to ``[0, 1]`` by its maximum (all-zero input stays zero).
+
+    Used by the Streamline heuristic to combine computation and communication
+    needs/capacities measured in different units into a single rank.
+    """
+    peak = max(values) if values else 0.0
+    if peak <= 0.0:
+        return [0.0 for _ in values]
+    return [v / peak for v in values]
+
+
+def raise_stuck(algorithm: str, module_index: int, current: NodeId,
+                request: EndToEndRequest, pipeline: Pipeline) -> None:
+    """Raise a uniform :class:`InfeasibleMappingError` when a baseline gets stuck."""
+    raise InfeasibleMappingError(
+        f"{algorithm} found no feasible node for module {module_index} "
+        f"(currently at node {current}); the instance may be infeasible or the "
+        "heuristic painted itself into a corner",
+        source=request.source, destination=request.destination,
+        n_modules=pipeline.n_modules)

@@ -1,0 +1,132 @@
+"""Dynamic-Critical-Path-inspired baseline (related work, Kwok & Ahmad 1996).
+
+The paper's related-work section cites the Dynamic Critical-Path (DCP)
+scheduling algorithm, which maps task graphs onto fully connected identical
+processors by repeatedly placing the task currently on the dynamic critical
+path onto the processor that minimises its (and its critical successor's)
+start time.  DCP is not one of the paper's evaluated comparators, but it is a
+natural extra baseline for the reproduction's comparison harness: unlike
+Greedy it looks at *global* slack when ordering decisions, yet unlike ELPC it
+still commits greedily per module.
+
+Adaptation to this problem setting (documented, as for Streamline):
+
+* the "task graph" is the linear pipeline, so the dynamic critical path is
+  simply the chain of not-yet-mapped modules; its length is measured with
+  network-average node power and link bandwidth;
+* processors are the heterogeneous nodes of an *arbitrary* topology, so module
+  placement is restricted to the current node and its neighbours, filtered by
+  destination reachability (the same structural rules every other baseline
+  follows);
+* each module is placed on the candidate minimising its *absolute finish
+  time* — the accumulated delay so far plus the module's transfer and
+  computing time plus a critical-path look-ahead term estimating the cheapest
+  possible completion of the remaining modules from that candidate.
+
+Only the minimum-delay (interactive) variant is provided; DCP is a makespan
+algorithm and has no natural bottleneck/frame-rate formulation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
+from ..model.cost import computing_time_ms, transport_time_ms
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance
+from ..types import NodeId
+from .base import candidate_nodes_delay, hop_distances_to, raise_stuck
+
+__all__ = ["dcp_min_delay"]
+
+
+def _mean_power(network: TransportNetwork) -> float:
+    return network.total_processing_power() / network.n_nodes
+
+
+def _remaining_critical_path_ms(pipeline: Pipeline, network: TransportNetwork,
+                                next_module: int, *, hops_to_destination: int) -> float:
+    """Optimistic cost of completing modules ``next_module..n-1``.
+
+    Uses the network's fastest node for computation and its fastest link for
+    the transfers that are unavoidable (at least ``hops_to_destination`` of
+    them).  Being optimistic keeps the look-ahead admissible: it never
+    penalises a candidate for work that might turn out cheaper.
+    """
+    best_power = max(node.processing_power for node in network.nodes())
+    best_bandwidth = max(link.bandwidth_mbps for link in network.links())
+    compute = sum(pipeline.modules[j].workload for j in range(next_module, pipeline.n_modules))
+    compute_ms = compute / (best_power * 1e3)
+    transfer_bytes = 0.0
+    if hops_to_destination > 0:
+        # the cheapest messages that could still need to cross links
+        sizes = sorted(pipeline.modules[j - 1].output_bytes
+                       for j in range(next_module, pipeline.n_modules))
+        transfer_bytes = sum(sizes[:hops_to_destination])
+    transfer_ms = transfer_bytes * 8.0 / (best_bandwidth * 1e3)
+    return compute_ms + transfer_ms
+
+
+def dcp_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                  request: EndToEndRequest, *,
+                  include_link_delay: bool = True) -> PipelineMapping:
+    """Dynamic-Critical-Path-inspired minimum end-to-end delay mapping.
+
+    Walks the pipeline in order (the linear pipeline's dynamic critical path
+    is its remaining suffix) and places each module on the reachable candidate
+    minimising ``finish time + optimistic remaining critical path``.
+    """
+    start = time.perf_counter()
+    check_delay_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+    assignment: List[NodeId] = [request.source]
+    elapsed = 0.0
+
+    for j in range(1, n):
+        current = assignment[-1]
+        remaining = n - j
+        if j == n - 1:
+            candidates = [request.destination] if (
+                current == request.destination
+                or network.has_link(current, request.destination)) else []
+        else:
+            candidates = candidate_nodes_delay(network, current, request.destination,
+                                               remaining, dist_to_dest)
+        if not candidates:
+            raise_stuck("dcp (min delay)", j, current, request, pipeline)
+
+        module = pipeline.modules[j]
+
+        def score(candidate: NodeId) -> float:
+            step = computing_time_ms(network, candidate, module.complexity,
+                                     module.input_bytes)
+            if candidate != current:
+                step += transport_time_ms(network, current, candidate,
+                                          module.input_bytes,
+                                          include_link_delay=include_link_delay)
+            lookahead = _remaining_critical_path_ms(
+                pipeline, network, j + 1,
+                hops_to_destination=dist_to_dest.get(candidate, 0))
+            return elapsed + step + lookahead
+
+        best = min(candidates, key=score)
+        step_cost = computing_time_ms(network, best, module.complexity, module.input_bytes)
+        if best != current:
+            step_cost += transport_time_ms(network, current, best, module.input_bytes,
+                                           include_link_delay=include_link_delay)
+        elapsed += step_cost
+        assignment.append(best)
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="dcp",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras["include_link_delay"] = include_link_delay
+    return mapping

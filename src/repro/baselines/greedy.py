@@ -1,0 +1,132 @@
+"""Greedy baseline mapper (paper Section 3.3).
+
+The paper's Greedy algorithm "iteratively obtains the greatest immediate gain
+based on certain local optimality criteria at each step": walking the pipeline
+in order, each new module is mapped onto the current node (when node reuse is
+allowed) or one of its neighbour nodes, choosing the candidate with the
+minimal immediate cost — the incremental delay for the interactive objective,
+the incremental bottleneck for the streaming objective.  The decision ignores
+its effect on later steps, which is exactly why ELPC's dynamic program beats
+it.  Complexity :math:`O(n \\cdot k)`.
+
+Adaptation detail: so the greedy walk can actually terminate on the designated
+destination node, candidates are filtered to nodes from which the destination
+is still reachable with the modules that remain (a necessary feasibility
+condition; see :mod:`repro.baselines.base`).  Without the filter the greedy
+baseline fails on most sparse topologies, which would make the comparison
+meaningless rather than merely unfavourable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Set
+
+from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance, check_framerate_instance
+from ..types import NodeId
+from .base import (
+    candidate_nodes_delay,
+    candidate_nodes_no_reuse,
+    hop_distances_to,
+    incremental_delay_ms,
+    raise_stuck,
+    step_bottleneck_ms,
+)
+
+__all__ = ["greedy_min_delay", "greedy_max_frame_rate"]
+
+
+def greedy_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                     request: EndToEndRequest, *,
+                     include_link_delay: bool = True) -> PipelineMapping:
+    """Greedy minimum end-to-end delay mapping with node reuse.
+
+    Module 0 starts on the source node; each subsequent module is placed on
+    the current node or a neighbour, whichever adds the least delay right now;
+    the final module is pinned to the destination.
+    """
+    start = time.perf_counter()
+    check_delay_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+    assignment: List[NodeId] = [request.source]
+
+    for j in range(1, n):
+        current = assignment[-1]
+        remaining = n - j  # modules still to place, including this one
+        if j == n - 1:
+            candidates = [request.destination] if (
+                current == request.destination or network.has_link(current, request.destination)
+            ) else []
+        else:
+            candidates = candidate_nodes_delay(network, current, request.destination,
+                                               remaining, dist_to_dest)
+        if not candidates:
+            raise_stuck("greedy (min delay)", j, current, request, pipeline)
+        best = min(candidates,
+                   key=lambda cand: incremental_delay_ms(
+                       pipeline, network, j, current, cand,
+                       include_link_delay=include_link_delay))
+        assignment.append(best)
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="greedy",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras["include_link_delay"] = include_link_delay
+    return mapping
+
+
+def greedy_max_frame_rate(pipeline: Pipeline, network: TransportNetwork,
+                          request: EndToEndRequest, *,
+                          include_link_delay: bool = True) -> PipelineMapping:
+    """Greedy maximum frame rate mapping without node reuse.
+
+    Each module is placed on the unvisited neighbour that minimises the
+    immediate bottleneck contribution (the larger of its computing time and
+    the incoming transfer time); the final module is pinned to the
+    destination.  Raises :class:`~repro.exceptions.InfeasibleMappingError`
+    when the walk gets stuck — greedily committing to attractive nodes can
+    exhaust all simple paths to the destination even when one exists.
+    """
+    start = time.perf_counter()
+    check_framerate_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+    assignment: List[NodeId] = [request.source]
+    visited: Set[NodeId] = {request.source}
+
+    for j in range(1, n):
+        current = assignment[-1]
+        remaining = n - j
+        candidates = candidate_nodes_no_reuse(network, current, request.destination,
+                                              remaining, visited, dist_to_dest)
+        if j < n - 1:
+            # keep the destination free for the final module
+            candidates = [c for c in candidates if c != request.destination]
+        else:
+            candidates = [c for c in candidates if c == request.destination]
+        if not candidates:
+            raise_stuck("greedy (max frame rate)", j, current, request, pipeline)
+        best = min(candidates,
+                   key=lambda cand: step_bottleneck_ms(
+                       pipeline, network, j, current, cand,
+                       include_link_delay=include_link_delay))
+        assignment.append(best)
+        visited.add(best)
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MAX_FRAME_RATE, algorithm="greedy",
+        runtime_s=runtime, allow_reuse=False)
+    mapping.extras["include_link_delay"] = include_link_delay
+    return mapping

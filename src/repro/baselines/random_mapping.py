@@ -1,0 +1,115 @@
+"""Random feasible mapper — a sanity-check lower bound for the comparisons.
+
+Neither ELPC, Streamline nor Greedy should ever lose to a mapper that picks a
+uniformly random feasible candidate at every step; the test suite and the
+ablation benches use this baseline to detect evaluation bugs (an "optimiser"
+losing to random selection is a red flag) and to give the performance plots a
+reference floor.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Set
+
+from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
+from ..exceptions import InfeasibleMappingError
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance, check_framerate_instance
+from ..types import NodeId
+from .base import (
+    candidate_nodes_delay,
+    candidate_nodes_no_reuse,
+    hop_distances_to,
+    raise_stuck,
+)
+
+__all__ = ["random_min_delay", "random_max_frame_rate"]
+
+
+def random_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                     request: EndToEndRequest, *,
+                     seed: Optional[int] = None,
+                     include_link_delay: bool = True) -> PipelineMapping:
+    """Uniform-random feasible mapping for the minimum-delay problem (reuse allowed)."""
+    start = time.perf_counter()
+    check_delay_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+    rng = random.Random(seed)
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+    assignment: List[NodeId] = [request.source]
+    for j in range(1, n):
+        current = assignment[-1]
+        remaining = n - j
+        candidates = candidate_nodes_delay(network, current, request.destination,
+                                           remaining, dist_to_dest)
+        if j == n - 1:
+            candidates = [c for c in candidates if c == request.destination]
+        if not candidates:
+            raise_stuck("random (min delay)", j, current, request, pipeline)
+        assignment.append(rng.choice(candidates))
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="random",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras["seed"] = seed
+    return mapping
+
+
+def random_max_frame_rate(pipeline: Pipeline, network: TransportNetwork,
+                          request: EndToEndRequest, *,
+                          seed: Optional[int] = None,
+                          max_restarts: int = 32,
+                          include_link_delay: bool = True) -> PipelineMapping:
+    """Uniform-random simple-path mapping for the maximum-frame-rate problem.
+
+    A random walk over unvisited nodes can dead-end even on feasible
+    instances, so the walk is restarted up to ``max_restarts`` times before
+    reporting infeasibility.
+    """
+    start = time.perf_counter()
+    check_framerate_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+    rng = random.Random(seed)
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+
+    last_error: Optional[InfeasibleMappingError] = None
+    for _attempt in range(max_restarts):
+        assignment: List[NodeId] = [request.source]
+        visited: Set[NodeId] = {request.source}
+        stuck = False
+        for j in range(1, n):
+            current = assignment[-1]
+            remaining = n - j
+            candidates = candidate_nodes_no_reuse(network, current, request.destination,
+                                                  remaining, visited, dist_to_dest)
+            if j < n - 1:
+                candidates = [c for c in candidates if c != request.destination]
+            else:
+                candidates = [c for c in candidates if c == request.destination]
+            if not candidates:
+                stuck = True
+                break
+            choice = rng.choice(candidates)
+            assignment.append(choice)
+            visited.add(choice)
+        if not stuck:
+            runtime = time.perf_counter() - start
+            mapping = mapping_from_assignment(
+                pipeline, network, assignment,
+                objective=Objective.MAX_FRAME_RATE, algorithm="random",
+                runtime_s=runtime, allow_reuse=False)
+            mapping.extras["seed"] = seed
+            mapping.extras["restarts"] = _attempt
+            return mapping
+        last_error = InfeasibleMappingError(
+            "random walk dead-ended before reaching the destination",
+            source=request.source, destination=request.destination, n_modules=n)
+
+    assert last_error is not None
+    raise last_error

@@ -1,0 +1,211 @@
+"""Streamline baseline mapper (paper Section 3.2), adapted to linear pipelines.
+
+Streamline (Agarwalla et al., MMCN 2006) is a grid scheduling heuristic for
+coarse-grain dataflow graphs.  It "works as a global greedy algorithm that
+expects to maximize the throughput of an application by assigning the best
+resources to the most needy stages in terms of computation and communication
+requirements at each step", with complexity :math:`O(m \\cdot n^2)` for
+``m`` stages and ``n`` resources.
+
+The reproduction follows the same two ideas and documents the adaptation the
+paper alludes to ("the Streamline algorithm adapted to linear pipelines"):
+
+1. **Rank stages by need.**  Each pipeline stage's computation need is its
+   workload :math:`c_j m_{j-1}`; its communication need is the data volume it
+   moves :math:`m_{j-1} + m_j`.  Both are normalised and summed.
+2. **Rank resources by capability.**  Each node's computation capability is
+   its processing power; its communication capability is the total bandwidth
+   of its incident links.  Both are normalised and summed.
+3. **Assign the best remaining resource to the neediest unassigned stage**,
+   one stage at a time (the source and the destination stage are pre-pinned to
+   the designated source and destination nodes).  For the interactive variant
+   node reuse is permitted, so "remaining" never excludes a node; for the
+   streaming variant each node hosts at most one stage.
+4. **Linear-pipeline adaptation.**  Streamline assumes an n-to-n connected
+   resource pool, so its raw assignment may place consecutive stages on
+   non-adjacent nodes of our *arbitrary-topology* network.  The adaptation
+   pass walks the pipeline in order and, wherever the tentative node is not
+   reachable (not identical/adjacent to the previous stage's node, or it
+   would make the destination unreachable), falls back to the feasible
+   candidate with the highest resource rank.  This preserves Streamline's
+   "best resource to neediest stage" character while always returning a
+   structurally valid mapping, making the comparison with ELPC meaningful on
+   sparse topologies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance, check_framerate_instance
+from ..types import NodeId
+from .base import (
+    candidate_nodes_delay,
+    candidate_nodes_no_reuse,
+    hop_distances_to,
+    normalise,
+    raise_stuck,
+)
+
+__all__ = ["streamline_min_delay", "streamline_max_frame_rate",
+           "stage_needs", "resource_ranks"]
+
+
+def stage_needs(pipeline: Pipeline) -> List[float]:
+    """Combined (normalised computation + communication) need of every stage.
+
+    Index-aligned with the pipeline modules.  The data source has zero
+    computation need but a communication need equal to the raw dataset it
+    emits, matching Streamline's treatment of producer stages.
+    """
+    comp = [mod.workload for mod in pipeline.modules]
+    comm = [mod.input_bytes + mod.output_bytes for mod in pipeline.modules]
+    comp_n = normalise(comp)
+    comm_n = normalise(comm)
+    return [c + m for c, m in zip(comp_n, comm_n)]
+
+
+def resource_ranks(network: TransportNetwork) -> Dict[NodeId, float]:
+    """Combined (normalised computation + communication) capability of every node."""
+    ids = network.node_ids()
+    power = [network.processing_power(nid) for nid in ids]
+    capacity = [network.node_communication_capacity(nid) for nid in ids]
+    power_n = normalise(power)
+    capacity_n = normalise(capacity)
+    return {nid: p + c for nid, p, c in zip(ids, power_n, capacity_n)}
+
+
+def _streamline_tentative_assignment(pipeline: Pipeline, network: TransportNetwork,
+                                     request: EndToEndRequest, *,
+                                     exclusive: bool) -> List[NodeId]:
+    """Phase 1–3: the raw Streamline assignment (may violate adjacency).
+
+    ``exclusive`` forbids assigning the same node to two stages (streaming
+    variant).  The source and destination stages are pre-pinned.
+    """
+    n = pipeline.n_modules
+    needs = stage_needs(pipeline)
+    ranks = resource_ranks(network)
+
+    assignment: List[Optional[NodeId]] = [None] * n
+    assignment[0] = request.source
+    assignment[n - 1] = request.destination
+    used: Set[NodeId] = set()
+    if exclusive:
+        used.update({request.source, request.destination})
+
+    # most needy unpinned stage first
+    order = sorted(range(1, n - 1), key=lambda j: needs[j], reverse=True)
+    # best resources first
+    ranked_nodes = sorted(network.node_ids(), key=lambda nid: ranks[nid], reverse=True)
+
+    for stage in order:
+        chosen: Optional[NodeId] = None
+        for nid in ranked_nodes:
+            if exclusive and nid in used:
+                continue
+            chosen = nid
+            break
+        if chosen is None:
+            # more interior stages than free nodes; reuse the best node anyway,
+            # the adaptation pass will surface infeasibility if it matters.
+            chosen = ranked_nodes[0]
+        assignment[stage] = chosen
+        if exclusive:
+            used.add(chosen)
+
+    assert all(nid is not None for nid in assignment)
+    return [nid for nid in assignment if nid is not None]
+
+
+def _adapt_to_linear_pipeline(pipeline: Pipeline, network: TransportNetwork,
+                              request: EndToEndRequest,
+                              tentative: List[NodeId], *,
+                              allow_reuse: bool,
+                              algorithm: str) -> List[NodeId]:
+    """Phase 4: repair the tentative assignment into a feasible walk.
+
+    Walks the pipeline in order; a stage keeps its tentative node when that
+    node is reachable from the previous stage's node and the destination stays
+    reachable; otherwise the stage falls back to the feasible candidate with
+    the highest Streamline resource rank.
+    """
+    ranks = resource_ranks(network)
+    dist_to_dest = hop_distances_to(network, request.destination)
+    n = pipeline.n_modules
+    assignment: List[NodeId] = [request.source]
+    visited: Set[NodeId] = {request.source}
+
+    for j in range(1, n):
+        current = assignment[-1]
+        remaining = n - j
+        if allow_reuse:
+            candidates = candidate_nodes_delay(network, current, request.destination,
+                                               remaining, dist_to_dest)
+            if j == n - 1:
+                candidates = [c for c in candidates if c == request.destination]
+        else:
+            candidates = candidate_nodes_no_reuse(network, current, request.destination,
+                                                  remaining, visited, dist_to_dest)
+            if j < n - 1:
+                candidates = [c for c in candidates if c != request.destination]
+            else:
+                candidates = [c for c in candidates if c == request.destination]
+        if not candidates:
+            raise_stuck(algorithm, j, current, request, pipeline)
+        tentative_node = tentative[j]
+        if tentative_node in candidates:
+            chosen = tentative_node
+        else:
+            chosen = max(candidates, key=lambda cand: ranks[cand])
+        assignment.append(chosen)
+        visited.add(chosen)
+    return assignment
+
+
+def streamline_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                         request: EndToEndRequest, *,
+                         include_link_delay: bool = True) -> PipelineMapping:
+    """Streamline mapping for the interactive (minimum delay, reuse allowed) objective."""
+    start = time.perf_counter()
+    check_delay_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+    tentative = _streamline_tentative_assignment(pipeline, network, request,
+                                                 exclusive=False)
+    assignment = _adapt_to_linear_pipeline(pipeline, network, request, tentative,
+                                           allow_reuse=True,
+                                           algorithm="streamline (min delay)")
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="streamline",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras["tentative_assignment"] = tentative
+    mapping.extras["include_link_delay"] = include_link_delay
+    return mapping
+
+
+def streamline_max_frame_rate(pipeline: Pipeline, network: TransportNetwork,
+                              request: EndToEndRequest, *,
+                              include_link_delay: bool = True) -> PipelineMapping:
+    """Streamline mapping for the streaming (maximum frame rate, no reuse) objective."""
+    start = time.perf_counter()
+    check_framerate_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+    tentative = _streamline_tentative_assignment(pipeline, network, request,
+                                                 exclusive=True)
+    assignment = _adapt_to_linear_pipeline(pipeline, network, request, tentative,
+                                           allow_reuse=False,
+                                           algorithm="streamline (max frame rate)")
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MAX_FRAME_RATE, algorithm="streamline",
+        runtime_s=runtime, allow_reuse=False)
+    mapping.extras["tentative_assignment"] = tentative
+    mapping.extras["include_link_delay"] = include_link_delay
+    return mapping

@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Two entry points are installed with the package:
+
+* ``repro-map`` — map a pipeline (a built-in workload or a saved instance
+  file) onto a network with any registered algorithm and print the resulting
+  placement.
+* ``repro-bench`` — regenerate the paper's evaluation artifacts (Fig. 2 table,
+  Fig. 5 / Fig. 6 curves, runtime scaling) and write them under an output
+  directory.
+
+Both are thin wrappers over the library API so everything they do is also
+available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.experiments import reproduce_fig2, write_all_outputs
+from .core.mapping import Objective
+from .core.registry import available_solvers, get_solver
+from .exceptions import ReproError
+from .generators.cases import make_case, PAPER_CASE_SPECS
+from .generators.network_gen import random_network, random_request
+from .generators.workloads import named_workloads
+from .model.serialization import ProblemInstance, load_instance
+
+__all__ = ["main_map", "main_bench"]
+
+
+def _build_map_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Map a computing pipeline onto a network (Wu et al., IPDPS 2008).")
+    parser.add_argument("--algorithm", "-a", default="elpc",
+                        help="mapping algorithm (see --list-algorithms)")
+    parser.add_argument("--objective", "-o", choices=["delay", "framerate"],
+                        default="delay", help="optimisation objective")
+    parser.add_argument("--instance", type=Path, default=None,
+                        help="JSON problem-instance file written by repro.save_instance")
+    parser.add_argument("--case", type=int, default=None,
+                        help="use case N (1..20) of the built-in suite")
+    parser.add_argument("--workload", choices=sorted(named_workloads()), default=None,
+                        help="use a built-in domain pipeline on a random network")
+    parser.add_argument("--nodes", type=int, default=20,
+                        help="random network size when --workload is used")
+    parser.add_argument("--links", type=int, default=60,
+                        help="random network link count when --workload is used")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the random network when --workload is used")
+    parser.add_argument("--list-algorithms", action="store_true",
+                        help="list registered algorithms and exit")
+    return parser
+
+
+def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
+    chosen = [x is not None for x in (args.instance, args.case, args.workload)]
+    if sum(chosen) != 1:
+        raise ReproError(
+            "choose exactly one of --instance, --case or --workload")
+    if args.instance is not None:
+        return load_instance(args.instance)
+    if args.case is not None:
+        if not 1 <= args.case <= len(PAPER_CASE_SPECS):
+            raise ReproError(f"--case must be in 1..{len(PAPER_CASE_SPECS)}")
+        return make_case(PAPER_CASE_SPECS[args.case - 1])
+    pipeline = named_workloads()[args.workload]
+    network = random_network(args.nodes, args.links, seed=args.seed)
+    request = random_request(network, seed=args.seed, min_hop_distance=2)
+    return ProblemInstance(pipeline=pipeline, network=network, request=request,
+                           name=f"{args.workload}-on-random-{args.nodes}")
+
+
+def main_map(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-map``; returns a process exit code."""
+    parser = _build_map_parser()
+    args = parser.parse_args(argv)
+    objective = (Objective.MIN_DELAY if args.objective == "delay"
+                 else Objective.MAX_FRAME_RATE)
+    if args.list_algorithms:
+        for name in available_solvers(objective):
+            print(name)
+        return 0
+    try:
+        instance = _resolve_instance(args)
+        solver = get_solver(args.algorithm, objective)
+        mapping = solver(instance.pipeline, instance.network, instance.request)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from .analysis.reporting import mapping_walkthrough
+
+    print(mapping_walkthrough(mapping,
+                              title=f"{args.algorithm} / {objective.value} on "
+                                    f"{instance.name or 'instance'}"))
+    return 0
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's evaluation artifacts (tables and figures).")
+    parser.add_argument("--output", "-o", type=Path, default=Path("experiment_outputs"),
+                        help="directory to write tables/curves into")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="restrict the suite to the first N cases (faster)")
+    parser.add_argument("--print-table", action="store_true",
+                        help="also print the Fig. 2 table to stdout")
+    return parser
+
+
+def main_bench(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-bench``; returns a process exit code."""
+    parser = _build_bench_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.print_table:
+            fig2 = reproduce_fig2(max_cases=args.max_cases)
+            print(fig2.table_text)
+        written = write_all_outputs(args.output, max_cases=args.max_cases)
+    except ReproError as exc:  # pragma: no cover - defensive
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name, path in sorted(written.items()):
+        print(f"{name:>16}: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_map())

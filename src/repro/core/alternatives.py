@@ -1,0 +1,255 @@
+"""Alternative and fault-tolerant mappings.
+
+The ELPC dynamic programs return a single optimal (or near-optimal) mapping.
+Operationally, a deployment also wants to know *what to do when something
+breaks*: if a computing node leaves the resource pool (crash, maintenance,
+pre-emption by a higher-priority job), which mapping should the pipeline fall
+back to, and how much performance is lost?
+
+This module answers that with three building blocks:
+
+* :func:`solve_excluding_nodes` — re-run any registered solver on a copy of the
+  network from which a set of nodes has been removed (the designated source
+  and destination can never be excluded — without them the request itself is
+  void).
+* :func:`fault_tolerance_plan` — for every single-node failure that could
+  affect the primary mapping, pre-compute the best fallback mapping and the
+  resulting degradation factor; the result doubles as a criticality ranking of
+  the nodes the primary mapping depends on.
+* :func:`k_alternative_mappings` — a portfolio of ``k`` structurally diverse
+  mappings (each subsequent mapping avoids the most-loaded non-endpoint node
+  of the previous ones), useful when the scheduler wants standby options
+  without waiting for a failure signal.
+
+These utilities are reproduction extensions (not part of the paper), but they
+only compose public primitives — the solvers and the cost model — so they
+double as integration exercises for the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InfeasibleMappingError, SpecificationError
+from ..model.link import CommunicationLink
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.node import ComputingNode
+from ..model.pipeline import Pipeline
+from ..types import NodeId
+from .mapping import Objective, PipelineMapping
+from .registry import get_solver
+
+__all__ = [
+    "remove_nodes",
+    "solve_excluding_nodes",
+    "FailureImpact",
+    "FaultTolerancePlan",
+    "fault_tolerance_plan",
+    "k_alternative_mappings",
+]
+
+
+def remove_nodes(network: TransportNetwork,
+                 excluded: Iterable[NodeId]) -> TransportNetwork:
+    """A copy of ``network`` without the excluded nodes (and their links)."""
+    excluded_set = set(excluded)
+    for node_id in excluded_set:
+        if not network.has_node(node_id):
+            raise SpecificationError(f"cannot exclude unknown node {node_id}")
+    nodes: List[ComputingNode] = [n for n in network.nodes()
+                                  if n.node_id not in excluded_set]
+    links: List[CommunicationLink] = [
+        l for l in network.links()
+        if l.start_node not in excluded_set and l.end_node not in excluded_set]
+    return TransportNetwork(nodes=nodes, links=links,
+                            name=f"{network.name or 'network'}-minus-{sorted(excluded_set)}")
+
+
+def solve_excluding_nodes(pipeline: Pipeline, network: TransportNetwork,
+                          request: EndToEndRequest, objective: Objective,
+                          excluded: Iterable[NodeId], *,
+                          algorithm: str = "elpc", **solver_kwargs) -> PipelineMapping:
+    """Solve the mapping problem on the network with ``excluded`` nodes removed.
+
+    Raises :class:`SpecificationError` when the exclusion set contains the
+    request's source or destination, and propagates
+    :class:`InfeasibleMappingError` when no mapping survives the exclusion.
+    """
+    excluded_set = set(excluded)
+    if request.source in excluded_set or request.destination in excluded_set:
+        raise SpecificationError(
+            "the source and destination nodes cannot be excluded: the request "
+            "is undefined without them")
+    reduced = remove_nodes(network, excluded_set)
+    solver = get_solver(algorithm, objective)
+    return solver(pipeline, reduced, request, **solver_kwargs)
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Consequence of losing one node of the primary mapping.
+
+    Attributes
+    ----------
+    failed_node:
+        The node whose failure is being planned for.
+    fallback:
+        The best mapping that avoids the failed node, or ``None`` when no
+        feasible mapping exists without it.
+    degradation:
+        ``fallback objective / primary objective`` expressed so that 1.0 means
+        "no loss" and larger values mean "worse": for minimum delay it is the
+        delay ratio (fallback / primary), for maximum frame rate it is the
+        inverse rate ratio (primary / fallback).  ``inf`` when no fallback
+        exists.
+    """
+
+    failed_node: NodeId
+    fallback: Optional[PipelineMapping]
+    degradation: float
+
+    @property
+    def survivable(self) -> bool:
+        """``True`` when a feasible fallback mapping exists."""
+        return self.fallback is not None
+
+
+@dataclass
+class FaultTolerancePlan:
+    """Pre-computed fallback mappings for every relevant single-node failure."""
+
+    primary: PipelineMapping
+    objective: Objective
+    impacts: Dict[NodeId, FailureImpact] = field(default_factory=dict)
+
+    def covered_nodes(self) -> List[NodeId]:
+        """Nodes for which a failure impact has been computed."""
+        return sorted(self.impacts)
+
+    def unsurvivable_nodes(self) -> List[NodeId]:
+        """Nodes whose failure leaves no feasible mapping at all."""
+        return sorted(node for node, impact in self.impacts.items()
+                      if not impact.survivable)
+
+    def worst_degradation(self) -> float:
+        """Largest degradation factor over all survivable failures (1.0 if none)."""
+        survivable = [impact.degradation for impact in self.impacts.values()
+                      if impact.survivable]
+        return max(survivable, default=1.0)
+
+    def most_critical_node(self) -> Optional[NodeId]:
+        """The node whose failure hurts the most (unsurvivable beats any factor)."""
+        if not self.impacts:
+            return None
+        unsurvivable = self.unsurvivable_nodes()
+        if unsurvivable:
+            return unsurvivable[0]
+        return max(self.impacts, key=lambda n: self.impacts[n].degradation)
+
+    def fallback_for(self, failed_node: NodeId) -> PipelineMapping:
+        """The pre-computed fallback for ``failed_node`` (raises if unsurvivable/unknown)."""
+        impact = self.impacts.get(failed_node)
+        if impact is None:
+            raise SpecificationError(
+                f"no failure impact computed for node {failed_node}")
+        if impact.fallback is None:
+            raise InfeasibleMappingError(
+                f"no feasible mapping exists without node {failed_node}")
+        return impact.fallback
+
+
+def _objective_value(mapping: PipelineMapping, objective: Objective) -> float:
+    return mapping.delay_ms if objective is Objective.MIN_DELAY else mapping.frame_rate_fps
+
+
+def _degradation(primary_value: float, fallback_value: float,
+                 objective: Objective) -> float:
+    if objective is Objective.MIN_DELAY:
+        return fallback_value / primary_value if primary_value > 0 else float("inf")
+    return primary_value / fallback_value if fallback_value > 0 else float("inf")
+
+
+def fault_tolerance_plan(pipeline: Pipeline, network: TransportNetwork,
+                         request: EndToEndRequest, *,
+                         objective: Objective = Objective.MIN_DELAY,
+                         algorithm: str = "elpc",
+                         candidate_nodes: Optional[Sequence[NodeId]] = None,
+                         **solver_kwargs) -> FaultTolerancePlan:
+    """Pre-compute fallback mappings for single-node failures.
+
+    Parameters
+    ----------
+    candidate_nodes:
+        Which failures to plan for.  Defaults to every node used by the
+        primary mapping except the pinned source and destination (failures of
+        unused nodes leave the primary mapping untouched; failures of the
+        endpoints cannot be planned around).
+    """
+    solver = get_solver(algorithm, objective)
+    primary = solver(pipeline, network, request, **solver_kwargs)
+    primary_value = _objective_value(primary, objective)
+
+    if candidate_nodes is None:
+        candidates: List[NodeId] = [
+            node for node in sorted(set(primary.path))
+            if node not in (request.source, request.destination)]
+    else:
+        candidates = [node for node in candidate_nodes
+                      if node not in (request.source, request.destination)]
+
+    plan = FaultTolerancePlan(primary=primary, objective=objective)
+    for node in candidates:
+        try:
+            fallback = solve_excluding_nodes(pipeline, network, request, objective,
+                                             [node], algorithm=algorithm,
+                                             **solver_kwargs)
+            degradation = _degradation(primary_value,
+                                       _objective_value(fallback, objective),
+                                       objective)
+        except InfeasibleMappingError:
+            fallback, degradation = None, float("inf")
+        plan.impacts[node] = FailureImpact(failed_node=node, fallback=fallback,
+                                           degradation=degradation)
+    return plan
+
+
+def k_alternative_mappings(pipeline: Pipeline, network: TransportNetwork,
+                           request: EndToEndRequest, k: int, *,
+                           objective: Objective = Objective.MIN_DELAY,
+                           algorithm: str = "elpc",
+                           **solver_kwargs) -> List[PipelineMapping]:
+    """Up to ``k`` structurally diverse mappings, best first.
+
+    The first mapping is the solver's optimum on the full network.  Each
+    subsequent mapping additionally excludes the most heavily used
+    non-endpoint node of the mappings found so far, forcing structural
+    diversity; generation stops early when the exclusions make the problem
+    infeasible.
+    """
+    if k < 1:
+        raise SpecificationError("k must be at least 1")
+    solver = get_solver(algorithm, objective)
+    mappings: List[PipelineMapping] = [solver(pipeline, network, request, **solver_kwargs)]
+    excluded: Set[NodeId] = set()
+
+    while len(mappings) < k:
+        # Pick the not-yet-excluded non-endpoint node carrying the most work
+        # across the mappings found so far.
+        load: Dict[NodeId, float] = {}
+        for mapping in mappings:
+            for group, node in zip(mapping.groups, mapping.path):
+                if node in (request.source, request.destination) or node in excluded:
+                    continue
+                load[node] = load.get(node, 0.0) + pipeline.group_workload(group)
+        if not load:
+            break
+        victim = max(load, key=load.get)
+        excluded.add(victim)
+        try:
+            mappings.append(solve_excluding_nodes(
+                pipeline, network, request, objective, excluded,
+                algorithm=algorithm, **solver_kwargs))
+        except InfeasibleMappingError:
+            break
+    return mappings

@@ -1,0 +1,223 @@
+"""The two-dimensional dynamic-programming table used by the ELPC algorithms.
+
+The paper's Fig. 1 depicts ELPC as filling a table whose columns are the
+pipeline modules :math:`M_1..M_n` and whose rows are the network nodes
+:math:`v_1..v_k`: cell :math:`T^j(v_i)` holds the optimal objective value for
+mapping the first :math:`j` modules onto a path from the source node to node
+:math:`v_i`, and is computed from the cells in column :math:`j-1` (the same
+node for the "extend the current group" sub-case, and the node's neighbours
+for the "start a new group over a link" sub-case).
+
+:class:`DPTable` stores the values together with predecessor pointers so a
+completed table can be back-tracked into a per-module node assignment, and can
+be rendered / exported for inspection (the Fig. 1 illustration and the DP
+ablation benches use this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AlgorithmError
+from ..types import NodeId
+
+__all__ = ["DPCell", "DPTable"]
+
+#: Value representing an unreachable / not-yet-computed cell.
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class DPCell:
+    """One cell :math:`T^j(v_i)` of the ELPC dynamic-programming table.
+
+    Attributes
+    ----------
+    value:
+        Optimal objective value (total delay or bottleneck time, in ms) of the
+        sub-problem "map modules ``0..module_index`` onto a path from the
+        source to ``node_id``"; ``inf`` when the sub-problem is infeasible.
+    predecessor:
+        Node id of the cell in the previous column this value was derived
+        from, or ``None`` for base-column cells / unreachable cells.
+    same_node:
+        ``True`` when the transition kept the new module on the same node as
+        the previous one (sub-case (i): group extension, no link crossed);
+        ``False`` when a link ``predecessor -> node_id`` was crossed
+        (sub-case (ii): new group).
+    """
+
+    value: float
+    predecessor: Optional[NodeId]
+    same_node: bool
+
+
+class DPTable:
+    """Dense DP table indexed by ``(module_index, node_id)``.
+
+    ``module_index`` runs from 0 (the data source, base column) to
+    ``n_modules - 1`` (the end user).  All cells start at ``inf`` with no
+    predecessor.
+    """
+
+    def __init__(self, n_modules: int, node_ids: Sequence[NodeId]) -> None:
+        if n_modules < 2:
+            raise AlgorithmError("DP table needs at least 2 module columns")
+        if not node_ids:
+            raise AlgorithmError("DP table needs at least one node row")
+        self.n_modules = int(n_modules)
+        self.node_ids: List[NodeId] = list(node_ids)
+        self._row_of: Dict[NodeId, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self._values = np.full((len(self.node_ids), self.n_modules), INFINITY, dtype=float)
+        self._pred: List[List[Optional[NodeId]]] = [
+            [None] * self.n_modules for _ in self.node_ids]
+        self._same: List[List[bool]] = [
+            [False] * self.n_modules for _ in self.node_ids]
+        #: number of cell relaxations performed (diagnostic, used by benches)
+        self.relaxations = 0
+
+    # ------------------------------------------------------------------ #
+    # Cell access
+    # ------------------------------------------------------------------ #
+    def _row(self, node_id: NodeId) -> int:
+        try:
+            return self._row_of[node_id]
+        except KeyError:
+            raise AlgorithmError(f"node {node_id} is not a row of this DP table") from None
+
+    def set(self, module_index: int, node_id: NodeId, value: float,
+            predecessor: Optional[NodeId] = None, *, same_node: bool = False) -> None:
+        """Unconditionally write a cell (used for base-column initialisation)."""
+        row = self._row(node_id)
+        self._values[row, module_index] = value
+        self._pred[row][module_index] = predecessor
+        self._same[row][module_index] = same_node
+
+    def relax(self, module_index: int, node_id: NodeId, value: float,
+              predecessor: Optional[NodeId], *, same_node: bool = False) -> bool:
+        """Write a cell only if ``value`` improves (strictly lowers) it.
+
+        Returns ``True`` when the cell was updated.  Both ELPC variants
+        minimise their cell values (total delay, or bottleneck time whose
+        reciprocal is the frame rate), so "improve" always means "decrease".
+        """
+        self.relaxations += 1
+        row = self._row(node_id)
+        if value < self._values[row, module_index]:
+            self._values[row, module_index] = value
+            self._pred[row][module_index] = predecessor
+            self._same[row][module_index] = same_node
+            return True
+        return False
+
+    def value(self, module_index: int, node_id: NodeId) -> float:
+        """Current value of cell ``T^{module_index}(node_id)``."""
+        return float(self._values[self._row(node_id), module_index])
+
+    def cell(self, module_index: int, node_id: NodeId) -> DPCell:
+        """Full cell contents (value + predecessor information)."""
+        row = self._row(node_id)
+        return DPCell(value=float(self._values[row, module_index]),
+                      predecessor=self._pred[row][module_index],
+                      same_node=self._same[row][module_index])
+
+    def is_reachable(self, module_index: int, node_id: NodeId) -> bool:
+        """``True`` if the sub-problem for this cell has a feasible solution."""
+        return math.isfinite(self.value(module_index, node_id))
+
+    def column(self, module_index: int) -> Dict[NodeId, float]:
+        """All finite values of one column, as ``{node_id: value}``."""
+        out: Dict[NodeId, float] = {}
+        for nid in self.node_ids:
+            v = self.value(module_index, nid)
+            if math.isfinite(v):
+                out[nid] = v
+        return out
+
+    def reachable_nodes(self, module_index: int) -> List[NodeId]:
+        """Node ids whose cell in the given column is finite."""
+        return sorted(self.column(module_index))
+
+    # ------------------------------------------------------------------ #
+    # Back-tracking
+    # ------------------------------------------------------------------ #
+    def backtrack_assignment(self, node_id: NodeId,
+                             module_index: Optional[int] = None) -> List[NodeId]:
+        """Reconstruct the per-module node assignment ending at ``node_id``.
+
+        Follows predecessor pointers from column ``module_index`` (default:
+        the last column) back to column 0 and returns a list ``assignment``
+        with ``assignment[j]`` = node executing module ``j``.
+        """
+        j = self.n_modules - 1 if module_index is None else module_index
+        if not self.is_reachable(j, node_id):
+            raise AlgorithmError(
+                f"cannot backtrack from unreachable cell (module {j}, node {node_id})")
+        assignment: List[NodeId] = [0] * (j + 1)
+        current = node_id
+        for col in range(j, 0, -1):
+            assignment[col] = current
+            cell = self.cell(col, current)
+            if cell.predecessor is None:
+                raise AlgorithmError(
+                    f"broken predecessor chain at (module {col}, node {current})")
+            # For a same-node transition the predecessor stores the same node id,
+            # so a single unconditional hop works for both sub-cases.
+            current = cell.predecessor
+        assignment[0] = current
+        return assignment
+
+    def backtrack_path(self, node_id: NodeId,
+                       module_index: Optional[int] = None) -> List[NodeId]:
+        """Reconstruct the node *walk* (one entry per group) ending at ``node_id``.
+
+        Consecutive modules kept on the same node collapse into a single walk
+        entry, matching the grouping semantics of
+        :func:`repro.core.mapping.mapping_from_assignment`.
+        """
+        assignment = self.backtrack_assignment(node_id, module_index)
+        path: List[NodeId] = []
+        for nid in assignment:
+            if not path or path[-1] != nid:
+                path.append(nid)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Export / inspection
+    # ------------------------------------------------------------------ #
+    def to_array(self) -> np.ndarray:
+        """Dense copy of the value matrix (rows = nodes, columns = modules)."""
+        return self._values.copy()
+
+    def finite_cell_count(self) -> int:
+        """Number of reachable cells in the whole table."""
+        return int(np.isfinite(self._values).sum())
+
+    def render(self, *, max_nodes: int = 12, max_modules: int = 10,
+               fmt: str = "{:9.2f}") -> str:
+        """ASCII rendering of (a corner of) the table, in the style of Fig. 1.
+
+        Rows are nodes, columns are modules; unreachable cells show ``inf``.
+        Intended for debugging and the small-instance walkthrough example.
+        """
+        node_ids = self.node_ids[:max_nodes]
+        cols = list(range(min(self.n_modules, max_modules)))
+        header = "node\\module |" + "".join(f"{f'M{c}':>10}" for c in cols)
+        lines = [header, "-" * len(header)]
+        for nid in node_ids:
+            cells = []
+            for c in cols:
+                v = self.value(c, nid)
+                cells.append(f"{'inf':>10}" if math.isinf(v) else f"{fmt.format(v):>10}")
+            lines.append(f"{f'v{nid}':>11} |" + "".join(cells))
+        if len(self.node_ids) > max_nodes or self.n_modules > max_modules:
+            lines.append(f"... ({len(self.node_ids)} nodes x {self.n_modules} modules total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DPTable(nodes={len(self.node_ids)}, modules={self.n_modules}, "
+                f"finite={self.finite_cell_count()})")

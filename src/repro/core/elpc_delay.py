@@ -1,0 +1,135 @@
+"""ELPC dynamic program for minimum end-to-end delay with node reuse
+(paper Section 3.1.1).
+
+For interactive applications a single dataset flows through the pipeline, so
+at any instant only one module is executing; nodes may therefore be *reused*
+(two or more modules, contiguous or not, run on the same node) without
+resource contention.  Under this model the mapping problem is solved exactly
+in polynomial time by a dynamic program over the table
+
+.. math::
+
+   T^j(v_i) = \\min\\begin{cases}
+       T^{j-1}(v_i) + c_j m_{j-1} / p_{v_i} & \\text{(sub-case i: same node)}\\\\
+       \\min_{u \\in adj(v_i)}\\left( T^{j-1}(u) + c_j m_{j-1}/p_{v_i}
+           + m_{j-1}/b_{u,v_i} \\right) & \\text{(sub-case ii: cross a link)}
+   \\end{cases}
+
+with :math:`T^1(v_s) = 0` and every other base cell infinite.  The answer is
+:math:`T^n(v_d)`, back-tracked into a concrete module→node assignment.  The
+complexity is :math:`O(n\\,(|E| + k))` — the paper states :math:`O(n|E|)`, the
+extra :math:`k` term being the same-node transitions.
+
+Two small deviations from the literal formulas, both documented in DESIGN.md:
+
+* the base condition in the paper excludes mapping module 2 onto the source
+  node, yet its own Fig. 3 example does exactly that; starting the recursion
+  from :math:`T^1(v_s) = 0` (module 1 is the data source and computes nothing)
+  subsumes the paper's base case and allows source reuse;
+* the transport term optionally includes the minimum link delay
+  (``include_link_delay=True``, default) because the Section 2.2 cost model
+  defines it, even though Eq. 3 writes only the bandwidth term.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+from ..exceptions import InfeasibleMappingError
+from ..model.cost import computing_time_ms, transport_time_ms
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance
+from .dp_table import DPTable
+from .mapping import Objective, PipelineMapping, mapping_from_assignment
+
+__all__ = ["elpc_min_delay"]
+
+
+def elpc_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                   request: EndToEndRequest, *,
+                   include_link_delay: bool = True,
+                   keep_table: bool = False) -> PipelineMapping:
+    """Optimal minimum end-to-end delay mapping with node reuse (ELPC).
+
+    Parameters
+    ----------
+    pipeline, network, request:
+        The problem instance; the first module is pinned to
+        ``request.source`` and the last to ``request.destination``.
+    include_link_delay:
+        Include each link's minimum link delay in transport costs (default).
+    keep_table:
+        Store the filled :class:`~repro.core.dp_table.DPTable` under
+        ``mapping.extras["dp_table"]`` for inspection (Fig. 1 walkthrough).
+
+    Returns
+    -------
+    PipelineMapping
+        The optimal mapping.  Its :attr:`~repro.core.mapping.PipelineMapping.delay_ms`
+        equals the DP optimum.
+
+    Raises
+    ------
+    InfeasibleMappingError
+        If the source and destination are disconnected or the pipeline has
+        fewer modules than the shortest source→destination path has nodes.
+    """
+    start = time.perf_counter()
+    report = check_delay_instance(pipeline, network, request)
+    report.raise_if_infeasible(source=request.source, destination=request.destination)
+
+    n = pipeline.n_modules
+    node_ids = network.node_ids()
+    table = DPTable(n_modules=n, node_ids=node_ids)
+
+    # Base column: module 0 is the data source, it performs no computation and
+    # must sit on the designated source node.
+    table.set(0, request.source, 0.0, predecessor=None, same_node=False)
+
+    for j in range(1, n):
+        module = pipeline.modules[j]
+        message_in = module.input_bytes  # m_{j-1}
+        prev_col = table.column(j - 1)
+        if not prev_col:
+            break  # nothing reachable, final feasibility check will fire
+        for v in node_ids:
+            compute = computing_time_ms(network, v, module.complexity, module.input_bytes)
+            # Sub-case (i): module j stays on the node running module j-1.
+            prev_same = prev_col.get(v)
+            if prev_same is not None:
+                table.relax(j, v, prev_same + compute, predecessor=v, same_node=True)
+            # Sub-case (ii): module j starts a new group on v, data crosses a link.
+            for u in network.neighbors(v):
+                prev_u = prev_col.get(u)
+                if prev_u is None:
+                    continue
+                link_time = transport_time_ms(network, u, v, message_in,
+                                              include_link_delay=include_link_delay)
+                table.relax(j, v, prev_u + compute + link_time,
+                            predecessor=u, same_node=False)
+
+    best = table.value(n - 1, request.destination)
+    if not math.isfinite(best):
+        raise InfeasibleMappingError(
+            "ELPC (min delay) found no feasible mapping reaching the destination",
+            source=request.source, destination=request.destination, n_modules=n)
+
+    assignment = table.backtrack_assignment(request.destination)
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="elpc",
+        runtime_s=runtime, allow_reuse=True)
+    extras = {
+        "dp_value_ms": best,
+        "dp_relaxations": table.relaxations,
+        "dp_finite_cells": table.finite_cell_count(),
+        "include_link_delay": include_link_delay,
+    }
+    if keep_table:
+        extras["dp_table"] = table
+    mapping.extras.update(extras)
+    return mapping

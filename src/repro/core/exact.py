@@ -1,0 +1,217 @@
+"""Exhaustive optimality oracles for small problem instances.
+
+These brute-force solvers exist to *verify* the polynomial-time algorithms:
+
+* :func:`exhaustive_min_delay` enumerates every per-module node assignment in
+  which consecutive modules sit on identical or adjacent nodes (node reuse
+  allowed) and returns the assignment with the smallest Eq. 1 delay.  The
+  ELPC delay DP is provably optimal, so on any instance both must agree —
+  the property-based tests and the A1 ablation bench rely on this oracle.
+* :func:`exhaustive_max_frame_rate` enumerates every simple source→destination
+  path with exactly ``n`` nodes (the exact-n-hop widest path problem, which is
+  NP-complete — see :mod:`repro.core.reduction`) and returns the one with the
+  smallest bottleneck.  The ELPC frame-rate DP is a heuristic, so this oracle
+  quantifies its optimality gap.
+
+Both raise :class:`~repro.exceptions.SpecificationError` when the instance is
+larger than ``node_limit`` / ``module_limit`` — they are exponential by design
+and must never be called on benchmark-sized inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import InfeasibleMappingError, SpecificationError
+from ..model.cost import bottleneck_time_ms, end_to_end_delay_ms
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from .mapping import Objective, PipelineMapping, mapping_from_assignment
+
+__all__ = [
+    "exhaustive_min_delay",
+    "exhaustive_max_frame_rate",
+    "enumerate_exact_hop_paths",
+]
+
+#: Default safety limits for the exponential searches.
+DEFAULT_NODE_LIMIT = 12
+DEFAULT_MODULE_LIMIT = 8
+
+
+def _feasible_assignments(pipeline: Pipeline, network: TransportNetwork,
+                          request: EndToEndRequest) -> Iterator[List[int]]:
+    """Yield every module→node assignment respecting adjacency (reuse allowed).
+
+    Module 0 is pinned to the source, module ``n-1`` to the destination, and
+    each later module must run on the same node as its predecessor or on one
+    of that node's neighbours.
+    """
+    n = pipeline.n_modules
+
+    def extend(prefix: List[int]) -> Iterator[List[int]]:
+        j = len(prefix)
+        if j == n:
+            if prefix[-1] == request.destination:
+                yield list(prefix)
+            return
+        last = prefix[-1]
+        choices = [last] + network.neighbors(last)
+        for v in choices:
+            prefix.append(v)
+            yield from extend(prefix)
+            prefix.pop()
+
+    yield from extend([request.source])
+
+
+def exhaustive_min_delay(pipeline: Pipeline, network: TransportNetwork,
+                         request: EndToEndRequest, *,
+                         include_link_delay: bool = True,
+                         node_limit: int = DEFAULT_NODE_LIMIT,
+                         module_limit: int = DEFAULT_MODULE_LIMIT) -> PipelineMapping:
+    """Brute-force optimal minimum-delay mapping (node reuse allowed).
+
+    Exponential in the pipeline length; guarded by ``node_limit`` and
+    ``module_limit``.
+    """
+    if network.n_nodes > node_limit:
+        raise SpecificationError(
+            f"exhaustive_min_delay limited to networks with <= {node_limit} nodes")
+    if pipeline.n_modules > module_limit:
+        raise SpecificationError(
+            f"exhaustive_min_delay limited to pipelines with <= {module_limit} modules")
+    request.validate(network)
+
+    start = time.perf_counter()
+    best_delay = math.inf
+    best_assignment: Optional[List[int]] = None
+    explored = 0
+    for assignment in _feasible_assignments(pipeline, network, request):
+        explored += 1
+        mapping = mapping_from_assignment(
+            pipeline, network, assignment,
+            objective=Objective.MIN_DELAY, algorithm="exhaustive")
+        delay = end_to_end_delay_ms(pipeline, network, mapping.groups, mapping.path,
+                                    include_link_delay=include_link_delay)
+        if delay < best_delay:
+            best_delay = delay
+            best_assignment = assignment
+
+    if best_assignment is None:
+        raise InfeasibleMappingError(
+            "no feasible assignment reaches the destination",
+            source=request.source, destination=request.destination,
+            n_modules=pipeline.n_modules)
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, best_assignment,
+        objective=Objective.MIN_DELAY, algorithm="exhaustive",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras.update({
+        "assignments_explored": explored,
+        "optimal_delay_ms": best_delay,
+        "include_link_delay": include_link_delay,
+    })
+    return mapping
+
+
+def enumerate_exact_hop_paths(network: TransportNetwork, source: int,
+                              destination: int, n_nodes: int) -> Iterator[List[int]]:
+    """Yield every *simple* path from source to destination with exactly ``n_nodes`` nodes.
+
+    This is the solution space of the restricted frame-rate problem (one
+    module per node).  The enumeration is a depth-first search that prunes
+    branches which cannot reach the destination in the remaining number of
+    hops.
+    """
+    if n_nodes < 1:
+        return
+    if n_nodes == 1:
+        if source == destination:
+            yield [source]
+        return
+
+    # Hop distance to the destination, used for pruning.
+    import networkx as nx
+
+    try:
+        dist_to_dest = nx.single_source_shortest_path_length(network.graph, destination)
+    except Exception:  # pragma: no cover - defensive
+        dist_to_dest = {}
+
+    def extend(path: List[int], used: set) -> Iterator[List[int]]:
+        remaining = n_nodes - len(path)
+        last = path[-1]
+        if remaining == 0:
+            if last == destination:
+                yield list(path)
+            return
+        # prune: destination must still be reachable within `remaining` hops
+        d = dist_to_dest.get(last)
+        if d is None or d > remaining:
+            return
+        for nxt in network.neighbors(last):
+            if nxt in used:
+                continue
+            path.append(nxt)
+            used.add(nxt)
+            yield from extend(path, used)
+            used.remove(nxt)
+            path.pop()
+
+    yield from extend([source], {source})
+
+
+def exhaustive_max_frame_rate(pipeline: Pipeline, network: TransportNetwork,
+                              request: EndToEndRequest, *,
+                              include_link_delay: bool = True,
+                              node_limit: int = 20) -> PipelineMapping:
+    """Brute-force optimal maximum-frame-rate mapping without node reuse.
+
+    Enumerates every simple source→destination path with exactly ``n`` nodes
+    (the exact-n-hop widest path problem) and keeps the smallest-bottleneck
+    one.  Guarded by ``node_limit``; the pruned DFS keeps moderate instances
+    tractable but the worst case remains exponential.
+    """
+    if network.n_nodes > node_limit:
+        raise SpecificationError(
+            f"exhaustive_max_frame_rate limited to networks with <= {node_limit} nodes")
+    request.validate(network)
+
+    n = pipeline.n_modules
+    start = time.perf_counter()
+    best_bottleneck = math.inf
+    best_path: Optional[List[int]] = None
+    explored = 0
+    for path in enumerate_exact_hop_paths(network, request.source,
+                                          request.destination, n):
+        explored += 1
+        groups = [[j] for j in range(n)]
+        bottleneck = bottleneck_time_ms(pipeline, network, groups, path,
+                                        include_link_delay=include_link_delay)
+        if bottleneck < best_bottleneck:
+            best_bottleneck = bottleneck
+            best_path = path
+
+    if best_path is None:
+        raise InfeasibleMappingError(
+            f"no simple path with exactly {n} nodes exists between "
+            f"{request.source} and {request.destination}",
+            source=request.source, destination=request.destination, n_modules=n)
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, best_path,
+        objective=Objective.MAX_FRAME_RATE, algorithm="exhaustive",
+        runtime_s=runtime, allow_reuse=False)
+    mapping.extras.update({
+        "paths_explored": explored,
+        "optimal_bottleneck_ms": best_bottleneck,
+        "include_link_delay": include_link_delay,
+    })
+    return mapping

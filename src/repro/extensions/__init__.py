@@ -1,0 +1,32 @@
+"""Optional extensions implementing the paper's stated future-work directions.
+
+* :mod:`repro.extensions.framerate_reuse` — maximum frame rate with node reuse,
+* :mod:`repro.extensions.dag_workflow` — general DAG workflow mapping,
+* :mod:`repro.extensions.dynamic` — time-varying resources and adaptive re-mapping.
+"""
+
+from .dag_workflow import (
+    DagMappingResult,
+    DagTask,
+    DagWorkflow,
+    dag_makespan,
+    linearize_pipeline,
+    map_dag_earliest_finish,
+)
+from .dynamic import (
+    AdaptiveComparison,
+    ResourceProfile,
+    compare_static_vs_adaptive,
+    evaluate_adaptive,
+    evaluate_static,
+    network_at,
+)
+from .framerate_reuse import elpc_max_frame_rate_with_reuse
+
+__all__ = [
+    "elpc_max_frame_rate_with_reuse",
+    "DagTask", "DagWorkflow", "DagMappingResult",
+    "linearize_pipeline", "map_dag_earliest_finish", "dag_makespan",
+    "ResourceProfile", "network_at", "AdaptiveComparison",
+    "evaluate_static", "evaluate_adaptive", "compare_static_vs_adaptive",
+]

@@ -1,0 +1,210 @@
+"""Extension: time-varying resources and adaptive re-mapping (paper Section 5).
+
+The paper's conclusions note that a single constant is "not always sufficient
+to describe the node computing capability, which highly depends on the type
+and availability of system resources and could be time varying in a dynamic
+environment".  This module provides a small framework to study that setting:
+
+* :class:`ResourceProfile` — piecewise-constant multipliers on node powers and
+  link bandwidths over time (e.g. a node drops to 40 % capacity between
+  t = 10 s and t = 30 s because a competing job arrives),
+* :func:`network_at` — materialise the network as it looks at a given time,
+* :func:`evaluate_static` / :func:`evaluate_adaptive` — compare a mapping
+  computed once at t = 0 against a policy that re-runs a solver every
+  ``remap_interval`` to track resource drift, reporting the per-epoch
+  end-to-end delay (interactive) of each strategy.
+
+The adaptive policy is intentionally simple (periodic full re-optimisation);
+it is an ablation harness, not a contribution claim.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.elpc_delay import elpc_min_delay
+from ..core.mapping import PipelineMapping
+from ..exceptions import SpecificationError
+from ..model.cost import end_to_end_delay_ms
+from ..model.link import CommunicationLink
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.node import ComputingNode
+from ..model.pipeline import Pipeline
+from ..types import NodeId
+
+__all__ = [
+    "ResourceProfile",
+    "network_at",
+    "AdaptiveComparison",
+    "evaluate_static",
+    "evaluate_adaptive",
+    "compare_static_vs_adaptive",
+]
+
+
+@dataclass
+class ResourceProfile:
+    """Piecewise-constant time profiles of node-power and link-bandwidth multipliers.
+
+    A multiplier of 1.0 means "as specified in the base network"; 0.5 means
+    the resource currently delivers half its nominal capability.  Each change
+    is registered with :meth:`set_node_factor` / :meth:`set_link_factor` and
+    takes effect from its timestamp until the next registered change for the
+    same resource.
+    """
+
+    _node_events: Dict[NodeId, List[Tuple[float, float]]] = field(default_factory=dict)
+    _link_events: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = field(
+        default_factory=dict)
+
+    @staticmethod
+    def _key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+        return (u, v) if u <= v else (v, u)
+
+    def set_node_factor(self, node_id: NodeId, time_s: float, factor: float) -> None:
+        """From ``time_s`` on, node ``node_id`` runs at ``factor`` × nominal power."""
+        if factor <= 0:
+            raise SpecificationError("node power factor must be positive")
+        events = self._node_events.setdefault(node_id, [])
+        events.append((float(time_s), float(factor)))
+        events.sort()
+
+    def set_link_factor(self, u: NodeId, v: NodeId, time_s: float, factor: float) -> None:
+        """From ``time_s`` on, link ``u``–``v`` delivers ``factor`` × nominal bandwidth."""
+        if factor <= 0:
+            raise SpecificationError("link bandwidth factor must be positive")
+        events = self._link_events.setdefault(self._key(u, v), [])
+        events.append((float(time_s), float(factor)))
+        events.sort()
+
+    @staticmethod
+    def _factor_at(events: List[Tuple[float, float]], time_s: float) -> float:
+        if not events:
+            return 1.0
+        times = [t for t, _f in events]
+        idx = bisect.bisect_right(times, time_s) - 1
+        return events[idx][1] if idx >= 0 else 1.0
+
+    def node_factor(self, node_id: NodeId, time_s: float) -> float:
+        """Multiplier applied to the node's power at ``time_s``."""
+        return self._factor_at(self._node_events.get(node_id, []), time_s)
+
+    def link_factor(self, u: NodeId, v: NodeId, time_s: float) -> float:
+        """Multiplier applied to the link's bandwidth at ``time_s``."""
+        return self._factor_at(self._link_events.get(self._key(u, v), []), time_s)
+
+    def change_times(self) -> List[float]:
+        """All distinct timestamps at which some resource changes."""
+        times = {t for events in self._node_events.values() for t, _ in events}
+        times |= {t for events in self._link_events.values() for t, _ in events}
+        return sorted(times)
+
+
+def network_at(base: TransportNetwork, profile: ResourceProfile,
+               time_s: float) -> TransportNetwork:
+    """The network as it effectively looks at ``time_s`` under ``profile``."""
+    nodes = [ComputingNode(node_id=n.node_id,
+                           processing_power=n.processing_power
+                           * profile.node_factor(n.node_id, time_s),
+                           ip_address=n.ip_address, name=n.name)
+             for n in base.nodes()]
+    links = [CommunicationLink(start_node=l.start_node, end_node=l.end_node,
+                               bandwidth_mbps=l.bandwidth_mbps
+                               * profile.link_factor(l.start_node, l.end_node, time_s),
+                               min_delay_ms=l.min_delay_ms, link_id=l.link_id)
+             for l in base.links()]
+    return TransportNetwork(nodes=nodes, links=links, name=base.name)
+
+
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    """Per-epoch delays of the static and adaptive strategies.
+
+    ``epochs`` holds the evaluation timestamps; ``static_delay_ms[i]`` and
+    ``adaptive_delay_ms[i]`` are the end-to-end delays a request issued at
+    ``epochs[i]`` would experience under each strategy.
+    """
+
+    epochs: Tuple[float, ...]
+    static_delay_ms: Tuple[float, ...]
+    adaptive_delay_ms: Tuple[float, ...]
+    remap_count: int
+
+    @property
+    def mean_static_ms(self) -> float:
+        """Average delay of the never-remapped strategy."""
+        return sum(self.static_delay_ms) / len(self.static_delay_ms)
+
+    @property
+    def mean_adaptive_ms(self) -> float:
+        """Average delay of the periodically re-optimised strategy."""
+        return sum(self.adaptive_delay_ms) / len(self.adaptive_delay_ms)
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Static mean delay divided by adaptive mean delay (>1 ⇒ adaptation pays off)."""
+        return self.mean_static_ms / self.mean_adaptive_ms if self.mean_adaptive_ms else 1.0
+
+
+def evaluate_static(pipeline: Pipeline, base: TransportNetwork,
+                    request: EndToEndRequest, profile: ResourceProfile,
+                    epochs: Sequence[float], *,
+                    solver: Callable[..., PipelineMapping] = elpc_min_delay) -> List[float]:
+    """Delay at every epoch of a mapping computed once on the nominal network."""
+    mapping = solver(pipeline, base, request)
+    delays: List[float] = []
+    for t in epochs:
+        current = network_at(base, profile, t)
+        delays.append(end_to_end_delay_ms(pipeline, current, mapping.groups, mapping.path))
+    return delays
+
+
+def evaluate_adaptive(pipeline: Pipeline, base: TransportNetwork,
+                      request: EndToEndRequest, profile: ResourceProfile,
+                      epochs: Sequence[float], *, remap_interval: float,
+                      solver: Callable[..., PipelineMapping] = elpc_min_delay
+                      ) -> Tuple[List[float], int]:
+    """Delay at every epoch under periodic re-optimisation.
+
+    The mapping is recomputed on the *current* network whenever
+    ``remap_interval`` seconds have elapsed since the previous optimisation;
+    between re-optimisations the most recent mapping is used.  Returns the
+    per-epoch delays and the number of re-optimisations performed (excluding
+    the initial one).
+    """
+    if remap_interval <= 0:
+        raise SpecificationError("remap_interval must be positive")
+    delays: List[float] = []
+    mapping: Optional[PipelineMapping] = None
+    last_remap = -float("inf")
+    remaps = -1  # the first solve is not counted as a re-map
+    for t in epochs:
+        if mapping is None or t - last_remap >= remap_interval:
+            current = network_at(base, profile, t)
+            mapping = solver(pipeline, current, request)
+            last_remap = t
+            remaps += 1
+        current = network_at(base, profile, t)
+        delays.append(end_to_end_delay_ms(pipeline, current, mapping.groups, mapping.path))
+    return delays, max(remaps, 0)
+
+
+def compare_static_vs_adaptive(pipeline: Pipeline, base: TransportNetwork,
+                               request: EndToEndRequest, profile: ResourceProfile,
+                               *, horizon_s: float = 60.0, step_s: float = 5.0,
+                               remap_interval: float = 10.0,
+                               solver: Callable[..., PipelineMapping] = elpc_min_delay
+                               ) -> AdaptiveComparison:
+    """Run both strategies over a time horizon and package the comparison."""
+    if horizon_s <= 0 or step_s <= 0:
+        raise SpecificationError("horizon_s and step_s must be positive")
+    epochs = [round(t * step_s, 9) for t in range(int(horizon_s / step_s) + 1)]
+    static = evaluate_static(pipeline, base, request, profile, epochs, solver=solver)
+    adaptive, remaps = evaluate_adaptive(pipeline, base, request, profile, epochs,
+                                         remap_interval=remap_interval, solver=solver)
+    return AdaptiveComparison(epochs=tuple(epochs),
+                              static_delay_ms=tuple(static),
+                              adaptive_delay_ms=tuple(adaptive),
+                              remap_count=remaps)

@@ -1,0 +1,172 @@
+"""Extension: maximum frame rate *with* node reuse (paper Section 5, future work).
+
+The paper's streaming variant forbids node reuse because "node reuse in
+streaming applications causes resource sharing, and hence affects the
+optimality of the solutions to previous mapping subproblems"; studying the
+reuse-enabled problem is explicitly listed as future work.  This module
+provides a dynamic-programming heuristic for it, so the A2 ablation benchmark
+can quantify how much frame rate the restriction costs.
+
+Model.  When several modules run on the same node, a streaming pipeline keeps
+that node busy for the *sum* of their computing times per frame, so the node's
+contribution to the bottleneck is its aggregated load divided by its power
+(this is what :func:`repro.model.cost.bottleneck_time_ms` computes with
+``account_node_sharing=True``).  The heuristic therefore allows *contiguous*
+reuse only — a node may host a whole group of consecutive modules, but the
+mapped walk never loops back to an earlier node.  Looping back is never
+beneficial under the sharing model (it adds load to a node that already
+contributes to the bottleneck and adds two extra link crossings), so the
+restriction costs nothing in practice while keeping the state space small.
+
+DP state.  For module ``j`` on node ``v`` the cell stores the pair
+``(bottleneck excluding the group currently open on v, load of that open
+group)``; cells are compared by ``max(excluded, open_load / p_v)``.  Extending
+the open group adds the module's workload to the open load; crossing a link
+closes the predecessor's group (folding its computing time into the excluded
+bottleneck together with the link's transfer time) and opens a fresh group.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
+from ..exceptions import InfeasibleMappingError
+from ..model.cost import transport_time_ms
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance
+from ..types import NodeId
+
+__all__ = ["elpc_max_frame_rate_with_reuse"]
+
+#: One DP cell: (bottleneck excluding the open group, open-group workload,
+#:              predecessor node, predecessor had same node, visited bitmask)
+_Cell = Tuple[float, float, Optional[NodeId], bool, int]
+
+
+def _cell_value(cell: _Cell, power: float) -> float:
+    """Comparable objective of a cell: its bottleneck if the open group closed now."""
+    excluded, open_load, _pred, _same, _mask = cell
+    return max(excluded, open_load / (power * 1e3))
+
+
+def elpc_max_frame_rate_with_reuse(pipeline: Pipeline, network: TransportNetwork,
+                                   request: EndToEndRequest, *,
+                                   include_link_delay: bool = True) -> PipelineMapping:
+    """Heuristic maximum-frame-rate mapping in which nodes may host whole groups.
+
+    Returns a :class:`~repro.core.mapping.PipelineMapping` with
+    ``allow_reuse=True``; its :attr:`frame_rate_fps` accounts for CPU sharing
+    on reused nodes.  Feasibility requirements are those of the delay problem
+    (reuse makes any connected instance with enough modules feasible).
+
+    Because both this DP and the restricted (no-reuse) DP are heuristics, the
+    function also runs the restricted variant when it is feasible and returns
+    whichever mapping achieves the higher frame rate, so enabling the
+    extension can never degrade the result ("portfolio" guarantee; the
+    fallback is flagged in ``extras["fell_back_to_restricted"]``).
+    """
+    start = time.perf_counter()
+    check_delay_instance(pipeline, network, request).raise_if_infeasible(
+        source=request.source, destination=request.destination)
+
+    n = pipeline.n_modules
+    node_ids = network.node_ids()
+    node_bit = {nid: 1 << i for i, nid in enumerate(node_ids)}
+    power = {nid: network.processing_power(nid) for nid in node_ids}
+
+    # cells[j][v] = best cell for "modules 0..j placed, module j on node v"
+    cells: List[Dict[NodeId, _Cell]] = [dict() for _ in range(n)]
+    cells[0][request.source] = (0.0, 0.0, None, False, node_bit[request.source])
+    # back-pointers: for reconstruction we need, per (j, v), the predecessor node
+    # and whether the transition reused the same node — stored inside the cell.
+    history: List[Dict[NodeId, Tuple[Optional[NodeId], bool]]] = [dict() for _ in range(n)]
+    history[0][request.source] = (None, False)
+
+    for j in range(1, n):
+        module = pipeline.modules[j]
+        workload = module.workload
+        message_in = module.input_bytes
+        prev = cells[j - 1]
+        if not prev:
+            break
+        for v in node_ids:
+            best: Optional[_Cell] = None
+            best_value = math.inf
+            # (i) extend the open group on the same node
+            same = prev.get(v)
+            if same is not None:
+                excluded, open_load, _p, _s, mask = same
+                cand: _Cell = (excluded, open_load + workload, v, True, mask)
+                value = _cell_value(cand, power[v])
+                if value < best_value:
+                    best, best_value = cand, value
+            # (ii) close the predecessor's group and cross a link u -> v
+            for u in network.neighbors(v):
+                from_u = prev.get(u)
+                if from_u is None:
+                    continue
+                excluded, open_load, _p, _s, mask = from_u
+                if mask & node_bit[v]:
+                    continue  # looping back to an earlier node is never modelled
+                closed = max(excluded, open_load / (power[u] * 1e3))
+                link_time = transport_time_ms(network, u, v, message_in,
+                                              include_link_delay=include_link_delay)
+                cand = (max(closed, link_time), workload, u, False, mask | node_bit[v])
+                value = _cell_value(cand, power[v])
+                if value < best_value:
+                    best, best_value = cand, value
+            if best is not None:
+                current = cells[j].get(v)
+                if current is None or best_value < _cell_value(current, power[v]):
+                    cells[j][v] = best
+                    history[j][v] = (best[2], best[3])
+
+    final = cells[n - 1].get(request.destination)
+    if final is None:
+        raise InfeasibleMappingError(
+            "frame-rate-with-reuse DP could not reach the destination",
+            source=request.source, destination=request.destination, n_modules=n)
+
+    # Reconstruct the per-module assignment by walking the history backwards.
+    assignment: List[NodeId] = [request.destination] * n
+    current = request.destination
+    for j in range(n - 1, 0, -1):
+        assignment[j] = current
+        pred, _same = history[j][current]
+        assert pred is not None
+        current = pred
+    assignment[0] = current
+
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MAX_FRAME_RATE, algorithm="elpc-reuse",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras["dp_bottleneck_ms"] = _cell_value(final, power[request.destination])
+    mapping.extras["include_link_delay"] = include_link_delay
+
+    # Portfolio guarantee: allowing reuse enlarges the solution space, so the
+    # extension must never return a worse frame rate than the restricted
+    # (no-reuse) heuristic.  Both are heuristics, so run the restricted DP as
+    # well and keep whichever mapping streams faster.
+    try:
+        from ..core.elpc_framerate import elpc_max_frame_rate
+
+        restricted = elpc_max_frame_rate(pipeline, network, request,
+                                         include_link_delay=include_link_delay)
+    except InfeasibleMappingError:
+        restricted = None
+    if restricted is not None and restricted.frame_rate_fps > mapping.frame_rate_fps:
+        better = mapping_from_assignment(
+            pipeline, network, restricted.assignment(),
+            objective=Objective.MAX_FRAME_RATE, algorithm="elpc-reuse",
+            runtime_s=time.perf_counter() - start, allow_reuse=True)
+        better.extras["dp_bottleneck_ms"] = restricted.extras["dp_bottleneck_ms"]
+        better.extras["include_link_delay"] = include_link_delay
+        better.extras["fell_back_to_restricted"] = True
+        return better
+    return mapping

@@ -1,0 +1,55 @@
+"""Simulation dataset generators (paper Section 4.1).
+
+* :mod:`repro.generators.pipeline_gen` — random linear pipelines,
+* :mod:`repro.generators.network_gen` — random arbitrary-topology networks,
+* :mod:`repro.generators.topologies` — structured topology families,
+* :mod:`repro.generators.cases` — the fixed 20-case suite behind Fig. 2 /
+  Fig. 5 / Fig. 6 and the small Fig. 3 / Fig. 4 illustration instance,
+* :mod:`repro.generators.workloads` — the domain pipelines from the paper's
+  motivating applications,
+* :mod:`repro.generators.random_state` — seeds and attribute value ranges.
+"""
+
+from .cases import (
+    PAPER_CASE_SPECS,
+    CaseSpec,
+    make_case,
+    paper_case_suite,
+    small_illustration_case,
+)
+from .network_gen import (
+    max_links,
+    min_links_for_connectivity,
+    random_connected_edge_set,
+    random_network,
+    random_request,
+)
+from .pipeline_gen import pipeline_from_sizes, random_pipeline, random_pipeline_batch
+from .random_state import DEFAULT_RANGES, ParameterRanges, rng_from_seed, spawn
+from .topologies import (
+    complete_network,
+    grid_network,
+    line_network,
+    ring_network,
+    star_network,
+    wan_cluster_network,
+)
+from .workloads import (
+    named_workloads,
+    remote_visualization_pipeline,
+    tsi_supernova_pipeline,
+    video_surveillance_pipeline,
+)
+
+__all__ = [
+    "CaseSpec", "PAPER_CASE_SPECS", "make_case", "paper_case_suite",
+    "small_illustration_case",
+    "random_network", "random_request", "random_connected_edge_set",
+    "min_links_for_connectivity", "max_links",
+    "random_pipeline", "random_pipeline_batch", "pipeline_from_sizes",
+    "ParameterRanges", "DEFAULT_RANGES", "rng_from_seed", "spawn",
+    "complete_network", "line_network", "ring_network", "star_network",
+    "grid_network", "wan_cluster_network",
+    "remote_visualization_pipeline", "video_surveillance_pipeline",
+    "tsi_supernova_pipeline", "named_workloads",
+]

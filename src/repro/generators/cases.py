@@ -1,0 +1,153 @@
+"""The 20-case simulation suite used for the paper's performance comparison
+(Fig. 2 table and the Fig. 5 / Fig. 6 curves).
+
+The paper tabulates 20 cases, each characterised by its problem size
+"(m modules, n nodes, l links)", spanning small instances (a handful of
+modules on a handful of nodes) to large ones (on the order of a hundred
+modules on hundreds of nodes).  The authors' exact size triples and attribute
+draws were not published in machine-readable form, so this module fixes a
+*documented* suite with the same qualitative progression (sizes grow roughly
+geometrically from case 1 to case 20) and deterministic seeds, giving every
+benchmark and example an identical, reproducible dataset.
+
+The link counts below are undirected-link counts; the paper's counts (e.g.
+"32 links" for the 6-node illustration) appear to enumerate directed links,
+i.e. roughly twice ours for the same density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import SpecificationError
+from ..model.network import EndToEndRequest
+from ..model.serialization import ProblemInstance
+from .network_gen import max_links, min_links_for_connectivity, random_network, random_request
+from .pipeline_gen import random_pipeline
+from .random_state import DEFAULT_RANGES, ParameterRanges, SeedLike, rng_from_seed
+
+__all__ = ["CaseSpec", "PAPER_CASE_SPECS", "make_case", "paper_case_suite",
+           "small_illustration_case"]
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """Size specification of one simulation case.
+
+    Attributes
+    ----------
+    case_number:
+        1-based case index (the paper's "Case No." column).
+    n_modules, n_nodes, n_links:
+        The paper's "(m, n, l)" problem-size triple (undirected links).
+    seed:
+        Seed used to draw this case's pipeline, network and request; derived
+        deterministically from the case number so the suite is stable across
+        runs and machines.
+    """
+
+    case_number: int
+    n_modules: int
+    n_nodes: int
+    n_links: int
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """The paper's row label, e.g. ``"m=10, n=20, l=60"``."""
+        return f"m={self.n_modules}, n={self.n_nodes}, l={self.n_links}"
+
+    def __post_init__(self) -> None:
+        if self.n_modules < 2:
+            raise SpecificationError("a case needs at least 2 modules")
+        lo = min_links_for_connectivity(self.n_nodes)
+        hi = max_links(self.n_nodes)
+        if not lo <= self.n_links <= hi:
+            raise SpecificationError(
+                f"case {self.case_number}: {self.n_nodes} nodes admit between "
+                f"{lo} and {hi} links, spec asks for {self.n_links}")
+        if self.n_modules > self.n_nodes:
+            raise SpecificationError(
+                f"case {self.case_number}: more modules ({self.n_modules}) than nodes "
+                f"({self.n_nodes}) makes the no-reuse streaming variant infeasible")
+
+
+def _spec(case_number: int, m: int, n: int, l: int) -> CaseSpec:
+    # Seed derived from the case number only, so editing one spec never
+    # perturbs the datasets of the other cases.
+    return CaseSpec(case_number=case_number, n_modules=m, n_nodes=n, n_links=l,
+                    seed=20080416 + 1000 * case_number)
+
+
+#: The fixed 20-case suite (m modules, n nodes, l undirected links).
+PAPER_CASE_SPECS: Tuple[CaseSpec, ...] = (
+    _spec(1, 5, 6, 10),
+    _spec(2, 6, 8, 16),
+    _spec(3, 8, 10, 22),
+    _spec(4, 8, 15, 40),
+    _spec(5, 10, 20, 60),
+    _spec(6, 10, 30, 90),
+    _spec(7, 12, 40, 140),
+    _spec(8, 12, 50, 180),
+    _spec(9, 15, 60, 240),
+    _spec(10, 15, 80, 320),
+    _spec(11, 20, 100, 400),
+    _spec(12, 20, 120, 500),
+    _spec(13, 25, 150, 650),
+    _spec(14, 25, 180, 800),
+    _spec(15, 30, 210, 950),
+    _spec(16, 30, 250, 1200),
+    _spec(17, 40, 300, 1500),
+    _spec(18, 40, 350, 1800),
+    _spec(19, 50, 400, 2200),
+    _spec(20, 60, 500, 3000),
+)
+
+
+def make_case(spec: CaseSpec, *,
+              ranges: ParameterRanges = DEFAULT_RANGES) -> ProblemInstance:
+    """Materialise one case specification into a concrete problem instance."""
+    rng = rng_from_seed(spec.seed)
+    pipeline = random_pipeline(spec.n_modules, seed=rng, ranges=ranges,
+                               name=f"case-{spec.case_number:02d}-pipeline")
+    network = random_network(spec.n_nodes, spec.n_links, seed=rng, ranges=ranges,
+                             name=f"case-{spec.case_number:02d}-network")
+    request = random_request(network, seed=rng, min_hop_distance=2)
+    return ProblemInstance(pipeline=pipeline, network=network, request=request,
+                           name=f"case-{spec.case_number:02d}")
+
+
+def paper_case_suite(*, ranges: ParameterRanges = DEFAULT_RANGES,
+                     max_cases: Optional[int] = None) -> List[ProblemInstance]:
+    """The full 20-case suite (optionally truncated to the first ``max_cases``).
+
+    Every benchmark that reproduces Fig. 2 / Fig. 5 / Fig. 6 calls this; the
+    instances are deterministic, so results are directly comparable across
+    runs.
+    """
+    specs: Sequence[CaseSpec] = PAPER_CASE_SPECS
+    if max_cases is not None:
+        if max_cases < 1:
+            raise SpecificationError("max_cases must be at least 1")
+        specs = specs[:max_cases]
+    return [make_case(spec, ranges=ranges) for spec in specs]
+
+
+def small_illustration_case(*, seed: int = 42,
+                            ranges: ParameterRanges = DEFAULT_RANGES) -> ProblemInstance:
+    """The small instance used by the paper's Fig. 3 / Fig. 4 walkthrough.
+
+    The paper illustrates the two ELPC variants on a problem with 5 modules
+    and 6 nodes (a dense, almost complete topology — the paper quotes 32
+    directed links; we use the complete 15-link undirected graph).  Node 0 is
+    the data source and node 5 the end user, exactly as in the figures.
+    """
+    from .topologies import complete_network
+
+    rng = rng_from_seed(seed)
+    pipeline = random_pipeline(5, seed=rng, ranges=ranges, name="illustration-pipeline")
+    network = complete_network(6, seed=rng, ranges=ranges, name="illustration-network")
+    request = EndToEndRequest(source=0, destination=5)
+    return ProblemInstance(pipeline=pipeline, network=network, request=request,
+                           name="fig3-fig4-illustration")

@@ -1,0 +1,127 @@
+"""Random transport-network generator (paper Section 4.1, network attributes).
+
+The paper's datasets randomly vary "the number of nodes, node processing
+power, number of links, link bandwidth, and minimum link delay in a network",
+with topologies that are "not necessarily completely connected but essentially
+arbitrary".  :func:`random_network` reproduces that: it builds a *connected*
+random graph with an exact number of links (a uniform spanning tree plus
+random extra edges), then draws per-node and per-link attributes from a
+:class:`~repro.generators.random_state.ParameterRanges`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SpecificationError
+from ..model.link import CommunicationLink
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.node import ComputingNode
+from .random_state import DEFAULT_RANGES, ParameterRanges, SeedLike, rng_from_seed
+
+__all__ = [
+    "random_network",
+    "random_connected_edge_set",
+    "min_links_for_connectivity",
+    "max_links",
+    "random_request",
+]
+
+
+def min_links_for_connectivity(n_nodes: int) -> int:
+    """Minimum number of links a connected ``n_nodes``-node network can have."""
+    return max(n_nodes - 1, 0)
+
+
+def max_links(n_nodes: int) -> int:
+    """Maximum number of links an ``n_nodes``-node simple network can have."""
+    return n_nodes * (n_nodes - 1) // 2
+
+
+def random_connected_edge_set(n_nodes: int, n_links: int,
+                              rng: np.random.Generator) -> List[Tuple[int, int]]:
+    """Draw a connected simple graph on ``n_nodes`` vertices with exactly ``n_links`` edges.
+
+    Construction: a random spanning tree via a random permutation (each new
+    vertex attaches to a uniformly chosen earlier vertex), then uniformly
+    sampled extra edges until the requested count is reached.
+    """
+    if n_nodes < 2:
+        raise SpecificationError("a network needs at least 2 nodes")
+    lo, hi = min_links_for_connectivity(n_nodes), max_links(n_nodes)
+    if not lo <= n_links <= hi:
+        raise SpecificationError(
+            f"{n_nodes} nodes admit between {lo} and {hi} links, requested {n_links}")
+
+    order = rng.permutation(n_nodes)
+    edges: set = set()
+    for idx in range(1, n_nodes):
+        u = int(order[idx])
+        v = int(order[int(rng.integers(0, idx))])
+        edges.add((min(u, v), max(u, v)))
+
+    # Add extra edges uniformly at random among the absent ones.
+    missing = n_links - len(edges)
+    if missing > 0:
+        absent = [(i, j) for i in range(n_nodes) for j in range(i + 1, n_nodes)
+                  if (i, j) not in edges]
+        chosen = rng.choice(len(absent), size=missing, replace=False)
+        for idx in np.atleast_1d(chosen):
+            edges.add(absent[int(idx)])
+    return sorted(edges)
+
+
+def random_network(n_nodes: int, n_links: int, *, seed: SeedLike = None,
+                   ranges: ParameterRanges = DEFAULT_RANGES,
+                   name: Optional[str] = None) -> TransportNetwork:
+    """Draw a random connected transport network.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of computing nodes (≥ 2).
+    n_links:
+        Exact number of communication links; must lie between ``n_nodes - 1``
+        (spanning tree) and ``n_nodes (n_nodes-1)/2`` (complete graph).
+    seed, ranges, name:
+        Reproducibility seed, attribute value ranges, and an optional label.
+    """
+    rng = rng_from_seed(seed)
+    edges = random_connected_edge_set(n_nodes, n_links, rng)
+
+    powers = ranges.draw_node_power(rng, size=n_nodes)
+    bandwidths = ranges.draw_bandwidth(rng, size=len(edges))
+    delays = ranges.draw_link_delay(rng, size=len(edges))
+
+    nodes = [ComputingNode(node_id=i, processing_power=float(powers[i]))
+             for i in range(n_nodes)]
+    links = [CommunicationLink(start_node=u, end_node=v,
+                               bandwidth_mbps=float(bandwidths[idx]),
+                               min_delay_ms=float(delays[idx]),
+                               link_id=idx)
+             for idx, (u, v) in enumerate(edges)]
+    return TransportNetwork(nodes=nodes, links=links, name=name)
+
+
+def random_request(network: TransportNetwork, *, seed: SeedLike = None,
+                   min_hop_distance: int = 1) -> EndToEndRequest:
+    """Pick a random (source, destination) pair at least ``min_hop_distance`` hops apart.
+
+    The paper designates the source (where the raw data lives) and the
+    destination (where the end user sits) per problem instance; the case-suite
+    generator uses this helper to pick a non-trivial pair.
+    """
+    rng = rng_from_seed(seed)
+    ids = network.node_ids()
+    if len(ids) < 2:
+        raise SpecificationError("need at least two nodes to pick a request")
+    for _ in range(1000):
+        source, destination = (int(x) for x in rng.choice(ids, size=2, replace=False))
+        hops = network.hop_distance(source, destination)
+        if hops >= min_hop_distance:
+            return EndToEndRequest(source=source, destination=destination)
+    # Degenerate fallback: any distinct pair (connected networks always allow it).
+    source, destination = ids[0], ids[-1]
+    return EndToEndRequest(source=source, destination=destination)

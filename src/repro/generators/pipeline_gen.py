@@ -1,0 +1,114 @@
+"""Random linear-pipeline generator (paper Section 4.1, pipeline attributes).
+
+The paper's datasets randomly vary "the number of modules, module
+complexities, input data sizes, and output data sizes in a pipeline".
+:func:`random_pipeline` draws those quantities from a
+:class:`~repro.generators.random_state.ParameterRanges` and chains them into a
+valid :class:`~repro.model.pipeline.Pipeline` (each stage's input size equals
+its predecessor's output size; the first module is a pure data source; the
+last module emits nothing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import SpecificationError
+from ..model.module import ComputingModule, sink_module, source_module
+from ..model.pipeline import Pipeline
+from .random_state import DEFAULT_RANGES, ParameterRanges, SeedLike, rng_from_seed
+
+__all__ = ["random_pipeline", "pipeline_from_sizes", "random_pipeline_batch"]
+
+
+def random_pipeline(n_modules: int, *, seed: SeedLike = None,
+                    ranges: ParameterRanges = DEFAULT_RANGES,
+                    name: Optional[str] = None) -> Pipeline:
+    """Draw a random linear pipeline with ``n_modules`` modules.
+
+    Parameters
+    ----------
+    n_modules:
+        Total number of modules including the data source and the end user
+        (minimum 2).
+    seed:
+        Integer seed or :class:`numpy.random.Generator` for reproducibility.
+    ranges:
+        Value ranges for complexities and data sizes.
+    name:
+        Optional pipeline label.
+
+    Notes
+    -----
+    Message sizes are drawn independently per stage boundary (log-uniformly),
+    so a pipeline can both expand data (e.g. decompression, rendering) and
+    shrink it (e.g. feature extraction, filtering) — matching the disparate
+    stage behaviours of the paper's motivating applications.
+    """
+    if n_modules < 2:
+        raise SpecificationError(f"a pipeline needs at least 2 modules, got {n_modules}")
+    rng = rng_from_seed(seed)
+
+    # message sizes m_1 .. m_{n-1}: m_j is the output of module j (1-based
+    # paper indexing); the terminal module outputs nothing.
+    message_sizes = ranges.draw_data_size(rng, size=n_modules - 1)
+    complexities = ranges.draw_complexity(rng, size=n_modules - 1)
+
+    modules: List[ComputingModule] = [source_module(float(message_sizes[0]))]
+    for j in range(1, n_modules):
+        incoming = float(message_sizes[j - 1])
+        outgoing = 0.0 if j == n_modules - 1 else float(message_sizes[j])
+        modules.append(ComputingModule(
+            module_id=j,
+            complexity=float(complexities[j - 1]),
+            input_bytes=incoming,
+            output_bytes=outgoing,
+        ))
+    return Pipeline(modules=tuple(modules), name=name)
+
+
+def pipeline_from_sizes(message_sizes: Sequence[float],
+                        complexities: Sequence[float], *,
+                        name: Optional[str] = None) -> Pipeline:
+    """Build a pipeline from explicit message sizes and stage complexities.
+
+    ``message_sizes[j]`` is the size of the message from module ``j`` to
+    module ``j+1`` (so its length is one less than the number of modules);
+    ``complexities[j]`` is the complexity of module ``j+1`` (the computing
+    stages, i.e. everything but the data source).  Both sequences must have
+    the same length.
+    """
+    if len(message_sizes) != len(complexities):
+        raise SpecificationError(
+            "message_sizes and complexities must have the same length "
+            f"(got {len(message_sizes)} and {len(complexities)})")
+    if not message_sizes:
+        raise SpecificationError("at least one message size is required")
+    n = len(message_sizes) + 1
+    modules: List[ComputingModule] = [source_module(float(message_sizes[0]))]
+    for j in range(1, n):
+        incoming = float(message_sizes[j - 1])
+        outgoing = 0.0 if j == n - 1 else float(message_sizes[j])
+        modules.append(ComputingModule(
+            module_id=j,
+            complexity=float(complexities[j - 1]),
+            input_bytes=incoming,
+            output_bytes=outgoing,
+        ))
+    return Pipeline(modules=tuple(modules), name=name)
+
+
+def random_pipeline_batch(count: int, n_modules: int, *, seed: SeedLike = None,
+                          ranges: ParameterRanges = DEFAULT_RANGES) -> List[Pipeline]:
+    """Draw ``count`` independent random pipelines of the same length.
+
+    Convenience for statistical experiments (e.g. the optimality-gap ablation
+    averages over many random pipelines).
+    """
+    if count < 1:
+        raise SpecificationError("count must be at least 1")
+    rng = rng_from_seed(seed)
+    return [random_pipeline(n_modules, seed=rng, ranges=ranges,
+                            name=f"random-{i}") for i in range(count)]

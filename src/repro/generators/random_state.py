@@ -1,0 +1,150 @@
+"""Seeded random-number handling and value ranges for the simulation datasets.
+
+The paper's evaluation (Section 4.1) builds its datasets "by randomly varying
+the following pipeline and network attributes within a suitably selected range
+of values".  The exact ranges were not published; :class:`ParameterRanges`
+documents the ranges this reproduction selected so that the generated problem
+sizes land in the same regimes the paper reports (end-to-end delays of
+hundreds to a couple of thousand milliseconds, frame rates of roughly 1–45
+frames per second) — see DESIGN.md, "Substitutions".
+
+All generators accept either an integer seed or an existing
+:class:`numpy.random.Generator`; :func:`rng_from_seed` normalises both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import SpecificationError
+
+__all__ = ["SeedLike", "rng_from_seed", "spawn", "ParameterRanges", "DEFAULT_RANGES"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def rng_from_seed(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    * ``None`` → non-deterministic generator,
+    * ``int`` → ``np.random.default_rng(seed)``,
+    * an existing generator is passed through unchanged (so callers can thread
+      one generator through several generation steps).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Used by the case-suite generator so that changing how many values one case
+    draws does not perturb the datasets of the following cases.
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def _check_range(lo: float, hi: float, name: str, *, positive: bool = True) -> None:
+    if hi < lo:
+        raise SpecificationError(f"{name}: upper bound {hi} below lower bound {lo}")
+    if positive and lo <= 0:
+        raise SpecificationError(f"{name}: bounds must be strictly positive")
+
+
+@dataclass(frozen=True)
+class ParameterRanges:
+    """Value ranges used when drawing random pipelines and networks.
+
+    All ranges are inclusive ``(low, high)`` and drawn uniformly unless noted.
+
+    Attributes
+    ----------
+    module_complexity:
+        Abstract operations per input byte (paper: *ModuleComplexity*).
+    data_size_bytes:
+        Inter-module message sizes (paper: *InputDataInBytes* /
+        *OutputDataInBytes*).  Drawn log-uniformly because realistic pipeline
+        stages shrink or grow data by multiplicative factors.
+    node_power:
+        Normalised node processing power in millions of operations per second
+        (paper: *ProcessingPower*).
+    link_bandwidth_mbps:
+        Link bandwidth in Mbit/s (paper: *LinkBWInMbps*).
+    link_delay_ms:
+        Minimum link delay in milliseconds (paper: *LinkDelayInMilliseconds*).
+    """
+
+    module_complexity: Tuple[float, float] = (5.0, 100.0)
+    data_size_bytes: Tuple[float, float] = (20_000.0, 2_000_000.0)
+    node_power: Tuple[float, float] = (50.0, 500.0)
+    link_bandwidth_mbps: Tuple[float, float] = (10.0, 1000.0)
+    link_delay_ms: Tuple[float, float] = (0.1, 5.0)
+
+    def __post_init__(self) -> None:
+        _check_range(*self.module_complexity, name="module_complexity")
+        _check_range(*self.data_size_bytes, name="data_size_bytes")
+        _check_range(*self.node_power, name="node_power")
+        _check_range(*self.link_bandwidth_mbps, name="link_bandwidth_mbps")
+        _check_range(*self.link_delay_ms, name="link_delay_ms", positive=False)
+        if self.link_delay_ms[0] < 0:
+            raise SpecificationError("link_delay_ms bounds must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Draw helpers
+    # ------------------------------------------------------------------ #
+    def draw_complexity(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Uniform draw(s) of module complexity."""
+        lo, hi = self.module_complexity
+        return rng.uniform(lo, hi, size=size)
+
+    def draw_data_size(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Log-uniform draw(s) of message sizes in bytes."""
+        lo, hi = self.data_size_bytes
+        return np.exp(rng.uniform(np.log(lo), np.log(hi), size=size))
+
+    def draw_node_power(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Uniform draw(s) of node processing power."""
+        lo, hi = self.node_power
+        return rng.uniform(lo, hi, size=size)
+
+    def draw_bandwidth(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Log-uniform draw(s) of link bandwidth in Mbit/s."""
+        lo, hi = self.link_bandwidth_mbps
+        return np.exp(rng.uniform(np.log(lo), np.log(hi), size=size))
+
+    def draw_link_delay(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Uniform draw(s) of minimum link delay in milliseconds."""
+        lo, hi = self.link_delay_ms
+        return rng.uniform(lo, hi, size=size)
+
+    # ------------------------------------------------------------------ #
+    # Variants
+    # ------------------------------------------------------------------ #
+    def scaled_data(self, factor: float) -> "ParameterRanges":
+        """Return a copy with the data-size range multiplied by ``factor``."""
+        lo, hi = self.data_size_bytes
+        return replace(self, data_size_bytes=(lo * factor, hi * factor))
+
+    def homogeneous(self) -> "ParameterRanges":
+        """Return a copy with degenerate (single-value) node and link ranges.
+
+        Produces the "fully homogeneous platform" of Benoit & Robert that the
+        related-work section mentions — useful for tests where every mapping
+        of the same shape must cost the same.
+        """
+        def mid(pair: Tuple[float, float]) -> Tuple[float, float]:
+            m = (pair[0] + pair[1]) / 2.0
+            return (m, m)
+
+        return replace(self,
+                       node_power=mid(self.node_power),
+                       link_bandwidth_mbps=mid(self.link_bandwidth_mbps),
+                       link_delay_ms=mid(self.link_delay_ms))
+
+
+#: Default ranges used by every generator unless the caller overrides them.
+DEFAULT_RANGES = ParameterRanges()

@@ -1,0 +1,186 @@
+"""Structured topology families.
+
+The random generator (:mod:`repro.generators.network_gen`) produces the
+"essentially arbitrary" topologies of the paper's evaluation; the families
+here cover the structured settings discussed in the related-work section and
+are useful for targeted tests and ablations:
+
+* :func:`complete_network` — the fully connected resource pool assumed by
+  Streamline and by the "fully homogeneous / communication homogeneous"
+  platforms of Benoit & Robert,
+* :func:`line_network`, :func:`ring_network`, :func:`star_network`,
+  :func:`grid_network` — canonical sparse topologies with known shortest/
+  longest path structure (handy for exercising the infeasibility corner
+  cases), and
+* :func:`wan_cluster_network` — a two-level "clusters joined by a wide-area
+  backbone" topology that mimics the remote-visualization deployments the
+  paper motivates (fast LAN links inside a site, thin WAN links between
+  sites).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SpecificationError
+from ..model.link import CommunicationLink
+from ..model.network import TransportNetwork
+from ..model.node import ComputingNode
+from .random_state import DEFAULT_RANGES, ParameterRanges, SeedLike, rng_from_seed
+
+__all__ = [
+    "complete_network",
+    "line_network",
+    "ring_network",
+    "star_network",
+    "grid_network",
+    "wan_cluster_network",
+]
+
+
+def _nodes_with_random_power(n_nodes: int, rng: np.random.Generator,
+                             ranges: ParameterRanges) -> List[ComputingNode]:
+    powers = ranges.draw_node_power(rng, size=n_nodes)
+    return [ComputingNode(node_id=i, processing_power=float(powers[i]))
+            for i in range(n_nodes)]
+
+
+def _link(u: int, v: int, rng: np.random.Generator,
+          ranges: ParameterRanges) -> CommunicationLink:
+    return CommunicationLink(
+        start_node=u, end_node=v,
+        bandwidth_mbps=float(ranges.draw_bandwidth(rng)),
+        min_delay_ms=float(ranges.draw_link_delay(rng)))
+
+
+def complete_network(n_nodes: int, *, seed: SeedLike = None,
+                     ranges: ParameterRanges = DEFAULT_RANGES,
+                     name: Optional[str] = None) -> TransportNetwork:
+    """Fully connected network (dedicated deployment environment)."""
+    if n_nodes < 2:
+        raise SpecificationError("a network needs at least 2 nodes")
+    rng = rng_from_seed(seed)
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_nodes, rng, ranges),
+                           name=name or f"complete-{n_nodes}")
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            net.add_link(_link(u, v, rng, ranges))
+    return net
+
+
+def line_network(n_nodes: int, *, seed: SeedLike = None,
+                 ranges: ParameterRanges = DEFAULT_RANGES,
+                 name: Optional[str] = None) -> TransportNetwork:
+    """Path topology ``0 - 1 - ... - (n-1)``."""
+    if n_nodes < 2:
+        raise SpecificationError("a network needs at least 2 nodes")
+    rng = rng_from_seed(seed)
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_nodes, rng, ranges),
+                           name=name or f"line-{n_nodes}")
+    for u in range(n_nodes - 1):
+        net.add_link(_link(u, u + 1, rng, ranges))
+    return net
+
+
+def ring_network(n_nodes: int, *, seed: SeedLike = None,
+                 ranges: ParameterRanges = DEFAULT_RANGES,
+                 name: Optional[str] = None) -> TransportNetwork:
+    """Cycle topology ``0 - 1 - ... - (n-1) - 0``."""
+    if n_nodes < 3:
+        raise SpecificationError("a ring needs at least 3 nodes")
+    rng = rng_from_seed(seed)
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_nodes, rng, ranges),
+                           name=name or f"ring-{n_nodes}")
+    for u in range(n_nodes):
+        net.add_link(_link(u, (u + 1) % n_nodes, rng, ranges))
+    return net
+
+
+def star_network(n_leaves: int, *, seed: SeedLike = None,
+                 ranges: ParameterRanges = DEFAULT_RANGES,
+                 name: Optional[str] = None) -> TransportNetwork:
+    """Hub-and-spoke topology: node 0 is the hub, nodes ``1..n_leaves`` are leaves."""
+    if n_leaves < 1:
+        raise SpecificationError("a star needs at least 1 leaf")
+    rng = rng_from_seed(seed)
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_leaves + 1, rng, ranges),
+                           name=name or f"star-{n_leaves}")
+    for leaf in range(1, n_leaves + 1):
+        net.add_link(_link(0, leaf, rng, ranges))
+    return net
+
+
+def grid_network(rows: int, cols: int, *, seed: SeedLike = None,
+                 ranges: ParameterRanges = DEFAULT_RANGES,
+                 name: Optional[str] = None) -> TransportNetwork:
+    """2-D mesh topology with ``rows × cols`` nodes (row-major node ids)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise SpecificationError("a grid needs at least 2 nodes")
+    rng = rng_from_seed(seed)
+    n_nodes = rows * cols
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_nodes, rng, ranges),
+                           name=name or f"grid-{rows}x{cols}")
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.add_link(_link(nid(r, c), nid(r, c + 1), rng, ranges))
+            if r + 1 < rows:
+                net.add_link(_link(nid(r, c), nid(r + 1, c), rng, ranges))
+    return net
+
+
+def wan_cluster_network(n_clusters: int, nodes_per_cluster: int, *,
+                        seed: SeedLike = None,
+                        ranges: ParameterRanges = DEFAULT_RANGES,
+                        wan_bandwidth_factor: float = 0.05,
+                        wan_delay_ms: float = 20.0,
+                        name: Optional[str] = None) -> TransportNetwork:
+    """Two-level wide-area topology: dense fast clusters joined by a thin WAN ring.
+
+    Each cluster is a complete sub-graph with LAN-class links drawn from
+    ``ranges``; consecutive clusters are joined by a single WAN link whose
+    bandwidth is ``wan_bandwidth_factor`` times a LAN draw and whose minimum
+    link delay is ``wan_delay_ms``.  This is the structure of the remote
+    visualization scenario in the paper's introduction: supercomputer site,
+    intermediate computing facilities, and the end user's site connected over
+    wide-area networks.
+    """
+    if n_clusters < 2 or nodes_per_cluster < 1:
+        raise SpecificationError("need at least 2 clusters of at least 1 node")
+    if not 0 < wan_bandwidth_factor <= 1:
+        raise SpecificationError("wan_bandwidth_factor must be in (0, 1]")
+    rng = rng_from_seed(seed)
+    n_nodes = n_clusters * nodes_per_cluster
+    net = TransportNetwork(nodes=_nodes_with_random_power(n_nodes, rng, ranges),
+                           name=name or f"wan-{n_clusters}x{nodes_per_cluster}")
+
+    def members(cluster: int) -> List[int]:
+        return list(range(cluster * nodes_per_cluster,
+                          (cluster + 1) * nodes_per_cluster))
+
+    # intra-cluster complete LAN
+    for cluster in range(n_clusters):
+        ids = members(cluster)
+        for i, u in enumerate(ids):
+            for v in ids[i + 1:]:
+                net.add_link(_link(u, v, rng, ranges))
+
+    # inter-cluster WAN ring (chain for 2 clusters)
+    gateways = [members(c)[0] for c in range(n_clusters)]
+    pairs = list(zip(gateways, gateways[1:]))
+    if n_clusters > 2:
+        pairs.append((gateways[-1], gateways[0]))
+    for u, v in pairs:
+        lan_bw = float(ranges.draw_bandwidth(rng))
+        net.add_link(CommunicationLink(
+            start_node=u, end_node=v,
+            bandwidth_mbps=max(lan_bw * wan_bandwidth_factor, 1e-3),
+            min_delay_ms=wan_delay_ms))
+    return net

@@ -1,0 +1,128 @@
+"""Domain workloads from the paper's motivating applications (Section 1 / 2.1).
+
+The paper motivates the pipeline-mapping problem with two concrete application
+classes; this module provides ready-made pipelines for both, plus the
+Terascale Supernova Initiative remote-visualization scenario cited as the
+driving use case:
+
+* :func:`remote_visualization_pipeline` — the interactive remote visualization
+  pipeline ("data filtering, isosurface extraction, geometry rendering, image
+  compositing, and final display"),
+* :func:`video_surveillance_pipeline` — the streaming video monitoring
+  pipeline ("feature extraction and detection, facial reconstruction, pattern
+  recognition, data mining, and identity matching"),
+* :func:`tsi_supernova_pipeline` — a larger variant of the visualization
+  pipeline sized for Terascale Supernova Initiative simulation dumps.
+
+Per-stage complexities and data-reduction factors are synthetic but chosen so
+the relative stage weights are plausible (rendering and isosurface extraction
+dominate computation; filtering and compositing shrink the data), which is all
+the mapping algorithms are sensitive to.  Absolute magnitudes can be rescaled
+with the ``data_scale`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..exceptions import SpecificationError
+from ..model.pipeline import Pipeline
+from .pipeline_gen import pipeline_from_sizes
+
+__all__ = [
+    "remote_visualization_pipeline",
+    "video_surveillance_pipeline",
+    "tsi_supernova_pipeline",
+    "named_workloads",
+]
+
+#: Stage table for the remote visualization pipeline:
+#: (name, complexity [ops/byte], data reduction factor applied to the message).
+_VISUALIZATION_STAGES: Tuple[Tuple[str, float, float], ...] = (
+    ("data filtering", 12.0, 0.40),
+    ("isosurface extraction", 80.0, 0.35),
+    ("geometry rendering", 120.0, 0.25),
+    ("image compositing", 30.0, 0.60),
+    ("final display", 8.0, 1.0),
+)
+
+#: Stage table for the video surveillance pipeline.
+_SURVEILLANCE_STAGES: Tuple[Tuple[str, float, float], ...] = (
+    ("feature extraction and detection", 60.0, 0.30),
+    ("facial reconstruction", 90.0, 0.80),
+    ("pattern recognition", 70.0, 0.25),
+    ("data mining", 40.0, 0.50),
+    ("identity matching", 20.0, 1.0),
+)
+
+
+def _pipeline_from_stage_table(stages: Tuple[Tuple[str, float, float], ...],
+                               source_bytes: float, name: str) -> Pipeline:
+    if source_bytes <= 0:
+        raise SpecificationError("source data size must be positive")
+    sizes: List[float] = []
+    complexities: List[float] = []
+    names: List[str] = []
+    current = float(source_bytes)
+    for stage_name, complexity, reduction in stages:
+        sizes.append(current)
+        complexities.append(complexity)
+        names.append(stage_name)
+        current = current * reduction
+    pipeline = pipeline_from_sizes(sizes, complexities, name=name)
+    # Re-attach stage names (pipeline_from_sizes builds unnamed modules).
+    from ..model.module import ComputingModule
+
+    renamed = [pipeline.modules[0]]
+    for mod, stage_name in zip(pipeline.modules[1:], names):
+        renamed.append(mod.renamed(stage_name))
+    return Pipeline(modules=tuple(renamed), name=name)
+
+
+def remote_visualization_pipeline(*, dataset_bytes: float = 4_000_000.0,
+                                  data_scale: float = 1.0) -> Pipeline:
+    """Interactive remote-visualization pipeline (6 modules: source + 5 stages).
+
+    ``dataset_bytes`` is the size of the raw simulation slice requested by an
+    interactive parameter update; ``data_scale`` multiplies every message size
+    (use >1 for higher-resolution runs).
+    """
+    if data_scale <= 0:
+        raise SpecificationError("data_scale must be positive")
+    return _pipeline_from_stage_table(
+        _VISUALIZATION_STAGES, dataset_bytes * data_scale, "remote visualization")
+
+
+def video_surveillance_pipeline(*, frame_bytes: float = 600_000.0,
+                                data_scale: float = 1.0) -> Pipeline:
+    """Streaming video-surveillance pipeline (6 modules: camera source + 5 stages).
+
+    ``frame_bytes`` is the size of one captured camera frame; the streaming
+    objective (maximum frame rate) is the natural one for this workload.
+    """
+    if data_scale <= 0:
+        raise SpecificationError("data_scale must be positive")
+    return _pipeline_from_stage_table(
+        _SURVEILLANCE_STAGES, frame_bytes * data_scale, "video surveillance")
+
+
+def tsi_supernova_pipeline(*, dump_bytes: float = 50_000_000.0) -> Pipeline:
+    """Terascale-Supernova-Initiative-sized remote visualization pipeline.
+
+    Same stage structure as :func:`remote_visualization_pipeline` but sized
+    for a multi-megabyte simulation dump and with an extra data-retrieval
+    stage in front, mirroring the TSI scenario in which "simulation datasets
+    generated on remote supercomputers must be retrieved, filtered,
+    transferred, processed, visualized, and analyzed".
+    """
+    stages = (("data retrieval", 4.0, 1.0),) + _VISUALIZATION_STAGES
+    return _pipeline_from_stage_table(stages, dump_bytes, "TSI supernova visualization")
+
+
+def named_workloads() -> Dict[str, Pipeline]:
+    """All built-in domain workloads keyed by a short name (for the CLI/examples)."""
+    return {
+        "visualization": remote_visualization_pipeline(),
+        "surveillance": video_surveillance_pipeline(),
+        "tsi": tsi_supernova_pipeline(),
+    }

@@ -1,0 +1,36 @@
+"""Measurement substrate: synthetic active probing and cost-model estimation.
+
+Stands in for the real-network measurement techniques the paper references
+([13], [14]) — see DESIGN.md, "Substitutions".  The estimation code path is
+exactly what a deployment against real probes would use; only the probe
+*generator* is synthetic.
+"""
+
+from .bandwidth import (
+    LinkEstimate,
+    bandwidth_mbps_to_slope,
+    estimate_link,
+    slope_to_bandwidth_mbps,
+)
+from .calibration import CalibrationReport, calibrate_network
+from .probes import (
+    ProbeObservation,
+    default_probe_sizes,
+    probe_link,
+    probe_module_on_node,
+)
+from .profiling import (
+    ComplexityEstimate,
+    NodePowerEstimate,
+    estimate_complexity,
+    estimate_node_power,
+)
+from .regression import LinearFit, fit_line, fit_line_robust
+
+__all__ = [
+    "ProbeObservation", "default_probe_sizes", "probe_link", "probe_module_on_node",
+    "LinearFit", "fit_line", "fit_line_robust",
+    "LinkEstimate", "estimate_link", "slope_to_bandwidth_mbps", "bandwidth_mbps_to_slope",
+    "ComplexityEstimate", "NodePowerEstimate", "estimate_complexity", "estimate_node_power",
+    "CalibrationReport", "calibrate_network",
+]

@@ -1,0 +1,88 @@
+"""Link bandwidth / minimum-link-delay estimation from probe observations.
+
+Inverts the transport cost model :math:`T(m) = m/b + d`: a linear regression
+of observed transfer times on message sizes yields a slope of :math:`1/b`
+(converted from our byte/ms units) and an intercept of :math:`d`.  This is the
+estimation technique the paper cites from [14] for real deployments; here it
+runs on synthetic probes from :mod:`repro.measurement.probes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import MeasurementError
+from ..model.link import BITS_PER_BYTE, MEGABIT
+from .probes import ProbeObservation
+from .regression import LinearFit, fit_line, fit_line_robust
+
+__all__ = ["LinkEstimate", "estimate_link", "slope_to_bandwidth_mbps",
+           "bandwidth_mbps_to_slope"]
+
+#: Milliseconds per byte for a 1 Mbit/s link: 8 bits / 1e6 bit/s * 1e3 ms/s.
+_MS_PER_BYTE_AT_1MBPS = BITS_PER_BYTE / MEGABIT * 1e3
+
+
+def slope_to_bandwidth_mbps(slope_ms_per_byte: float) -> float:
+    """Convert a fitted slope (ms per byte) into a bandwidth in Mbit/s."""
+    if slope_ms_per_byte <= 0:
+        raise MeasurementError(
+            "fitted slope must be positive to correspond to a finite bandwidth")
+    return _MS_PER_BYTE_AT_1MBPS / slope_ms_per_byte
+
+
+def bandwidth_mbps_to_slope(bandwidth_mbps: float) -> float:
+    """Convert a bandwidth in Mbit/s into the transfer-time slope (ms per byte)."""
+    if bandwidth_mbps <= 0:
+        raise MeasurementError("bandwidth must be positive")
+    return _MS_PER_BYTE_AT_1MBPS / bandwidth_mbps
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """Estimated link parameters and the quality of the underlying fit.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Estimated bandwidth (from the regression slope).
+    min_delay_ms:
+        Estimated minimum link delay (from the regression intercept, clipped
+        at zero — a slightly negative intercept is measurement noise).
+    fit:
+        The underlying :class:`~repro.measurement.regression.LinearFit`.
+    """
+
+    bandwidth_mbps: float
+    min_delay_ms: float
+    fit: LinearFit
+
+    def relative_bandwidth_error(self, true_bandwidth_mbps: float) -> float:
+        """Relative error against a known ground-truth bandwidth."""
+        if true_bandwidth_mbps <= 0:
+            raise MeasurementError("true bandwidth must be positive")
+        return abs(self.bandwidth_mbps - true_bandwidth_mbps) / true_bandwidth_mbps
+
+
+def estimate_link(observations: Sequence[ProbeObservation], *,
+                  robust: bool = False) -> LinkEstimate:
+    """Estimate a link's bandwidth and MLD from timed probe observations.
+
+    Parameters
+    ----------
+    observations:
+        At least two probes of distinct sizes.
+    robust:
+        Use the Theil–Sen robust fit instead of ordinary least squares
+        (recommended when a minority of probes hit transient congestion).
+    """
+    if len(observations) < 2:
+        raise MeasurementError("need at least two probe observations")
+    sizes = [o.size_bytes for o in observations]
+    times = [o.time_ms for o in observations]
+    fit = fit_line_robust(sizes, times) if robust else fit_line(sizes, times)
+    bandwidth = slope_to_bandwidth_mbps(fit.slope)
+    return LinkEstimate(bandwidth_mbps=bandwidth,
+                        min_delay_ms=max(fit.intercept, 0.0),
+                        fit=fit)

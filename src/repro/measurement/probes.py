@@ -1,0 +1,114 @@
+"""Synthetic active-measurement probes.
+
+The paper assumes that "the bandwidth of a network transport path can be
+measured using active traffic measurement technique based on a linear
+regression model" and that module processing times can be profiled similarly.
+Real WAN probing obviously cannot run inside this offline reproduction, so the
+probe *generator* here synthesises the observations such a measurement
+campaign would produce: given a link's (or node's) true parameters it emits
+noisy timing samples for a sweep of message (or input) sizes.  The estimators
+in :mod:`repro.measurement.bandwidth` / :mod:`repro.measurement.profiling`
+then recover the parameters from those observations — the same code path a
+deployment against real measurements would use (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from ..generators.random_state import SeedLike, rng_from_seed
+from ..model.link import transfer_time_ms
+
+__all__ = [
+    "ProbeObservation",
+    "default_probe_sizes",
+    "probe_link",
+    "probe_module_on_node",
+]
+
+
+@dataclass(frozen=True)
+class ProbeObservation:
+    """One timed probe: ``size_bytes`` transferred/processed in ``time_ms``."""
+
+    size_bytes: float
+    time_ms: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise MeasurementError("probe size must be non-negative")
+        if self.time_ms < 0:
+            raise MeasurementError("probe time must be non-negative")
+
+
+def default_probe_sizes(*, n_sizes: int = 10, smallest_bytes: float = 10_000.0,
+                        largest_bytes: float = 2_000_000.0) -> List[float]:
+    """A geometric sweep of probe message sizes (small enough to finish quickly,
+    large enough that the bandwidth term dominates the minimum link delay)."""
+    if n_sizes < 2:
+        raise MeasurementError("need at least two probe sizes")
+    if not 0 < smallest_bytes < largest_bytes:
+        raise MeasurementError("probe size bounds must satisfy 0 < smallest < largest")
+    return list(np.geomspace(smallest_bytes, largest_bytes, num=n_sizes))
+
+
+def probe_link(true_bandwidth_mbps: float, true_min_delay_ms: float, *,
+               sizes_bytes: Optional[Sequence[float]] = None,
+               repetitions: int = 3,
+               noise_fraction: float = 0.05,
+               seed: SeedLike = None) -> List[ProbeObservation]:
+    """Synthesise active-probe observations for one link.
+
+    Each probe of ``s`` bytes takes ``s/b + d`` milliseconds plus multiplicative
+    Gaussian noise of relative magnitude ``noise_fraction`` (cross-traffic,
+    host scheduling jitter).  ``repetitions`` probes are generated per size.
+    """
+    if repetitions < 1:
+        raise MeasurementError("repetitions must be at least 1")
+    if noise_fraction < 0:
+        raise MeasurementError("noise_fraction must be non-negative")
+    rng = rng_from_seed(seed)
+    sizes = list(sizes_bytes) if sizes_bytes is not None else default_probe_sizes()
+    observations: List[ProbeObservation] = []
+    for size in sizes:
+        ideal = transfer_time_ms(size, true_bandwidth_mbps, true_min_delay_ms)
+        for _ in range(repetitions):
+            noisy = ideal * float(1.0 + noise_fraction * rng.standard_normal())
+            observations.append(ProbeObservation(size_bytes=float(size),
+                                                 time_ms=max(noisy, 0.0)))
+    return observations
+
+
+def probe_module_on_node(true_complexity: float, true_power: float, *,
+                         sizes_bytes: Optional[Sequence[float]] = None,
+                         repetitions: int = 3,
+                         noise_fraction: float = 0.05,
+                         overhead_ms: float = 0.0,
+                         seed: SeedLike = None) -> List[ProbeObservation]:
+    """Synthesise module-execution timing samples on a node of known power.
+
+    Each run over ``s`` input bytes takes ``c·s/(p·10³) + overhead`` ms plus
+    multiplicative noise; the profiling estimator recovers ``c`` (and the
+    fixed overhead) by linear regression on ``s``.
+    """
+    if repetitions < 1:
+        raise MeasurementError("repetitions must be at least 1")
+    if true_power <= 0:
+        raise MeasurementError("node power must be positive")
+    if noise_fraction < 0 or overhead_ms < 0:
+        raise MeasurementError("noise_fraction and overhead_ms must be non-negative")
+    rng = rng_from_seed(seed)
+    sizes = list(sizes_bytes) if sizes_bytes is not None else default_probe_sizes()
+    observations: List[ProbeObservation] = []
+    for size in sizes:
+        ideal = true_complexity * size / (true_power * 1e3) + overhead_ms
+        for _ in range(repetitions):
+            noisy = ideal * float(1.0 + noise_fraction * rng.standard_normal())
+            observations.append(ProbeObservation(size_bytes=float(size),
+                                                 time_ms=max(noisy, 0.0)))
+    return observations

@@ -1,0 +1,109 @@
+"""Module-complexity and node-power estimation from execution-time samples.
+
+The computing cost model is :math:`T(m) = c\\,m / (p \\cdot 10^3)` milliseconds
+for ``m`` input bytes on a node of power ``p``.  Two estimation directions are
+supported, mirroring how a deployment would calibrate itself:
+
+* :func:`estimate_complexity` — the node's power is known (e.g. from a
+  micro-benchmark); regressing observed run times on input sizes yields the
+  module's complexity (slope × p × 10³) and any fixed per-invocation overhead
+  (intercept).
+* :func:`estimate_node_power` — the module's complexity is known (calibrated
+  once on a reference node); timing it on a new node yields that node's
+  relative processing power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+from .probes import ProbeObservation
+from .regression import LinearFit, fit_line, fit_line_robust
+
+__all__ = ["ComplexityEstimate", "NodePowerEstimate",
+           "estimate_complexity", "estimate_node_power"]
+
+
+@dataclass(frozen=True)
+class ComplexityEstimate:
+    """Estimated module complexity (ops/byte) and per-invocation overhead (ms)."""
+
+    complexity: float
+    overhead_ms: float
+    fit: LinearFit
+
+    def relative_error(self, true_complexity: float) -> float:
+        """Relative error against a known ground-truth complexity."""
+        if true_complexity <= 0:
+            raise MeasurementError("true complexity must be positive")
+        return abs(self.complexity - true_complexity) / true_complexity
+
+
+@dataclass(frozen=True)
+class NodePowerEstimate:
+    """Estimated node processing power (millions of operations per second)."""
+
+    processing_power: float
+    n_samples: int
+    dispersion: float
+
+    def relative_error(self, true_power: float) -> float:
+        """Relative error against a known ground-truth power."""
+        if true_power <= 0:
+            raise MeasurementError("true power must be positive")
+        return abs(self.processing_power - true_power) / true_power
+
+
+def estimate_complexity(observations: Sequence[ProbeObservation],
+                        node_power: float, *, robust: bool = False) -> ComplexityEstimate:
+    """Estimate a module's complexity from run times on a node of known power.
+
+    The regression slope is ``c / (p·10³)`` ms per byte, so
+    ``c = slope · p · 10³``; the intercept is the fixed overhead.
+    """
+    if node_power <= 0:
+        raise MeasurementError("node power must be positive")
+    if len(observations) < 2:
+        raise MeasurementError("need at least two timing observations")
+    sizes = [o.size_bytes for o in observations]
+    times = [o.time_ms for o in observations]
+    fit = fit_line_robust(sizes, times) if robust else fit_line(sizes, times)
+    if fit.slope <= 0:
+        raise MeasurementError(
+            "fitted slope is non-positive; the samples do not grow with input size")
+    return ComplexityEstimate(complexity=fit.slope * node_power * 1e3,
+                              overhead_ms=max(fit.intercept, 0.0),
+                              fit=fit)
+
+
+def estimate_node_power(observations: Sequence[ProbeObservation],
+                        module_complexity: float) -> NodePowerEstimate:
+    """Estimate a node's power from run times of a module of known complexity.
+
+    Each observation yields an independent estimate
+    ``p = c · m / (T · 10³)``; the returned power is their median and
+    ``dispersion`` is the interquartile range divided by the median (a robust
+    spread measure — large values indicate the node's availability fluctuated
+    during profiling, the situation the paper's future-work section worries
+    about).
+    """
+    if module_complexity <= 0:
+        raise MeasurementError("module complexity must be positive")
+    estimates = []
+    for obs in observations:
+        if obs.time_ms <= 0 or obs.size_bytes <= 0:
+            continue
+        estimates.append(module_complexity * obs.size_bytes / (obs.time_ms * 1e3))
+    if not estimates:
+        raise MeasurementError("no usable observations (need positive sizes and times)")
+    arr = np.asarray(estimates, dtype=float)
+    median = float(np.median(arr))
+    q75, q25 = np.percentile(arr, [75, 25])
+    dispersion = float((q75 - q25) / median) if median > 0 else float("inf")
+    return NodePowerEstimate(processing_power=median,
+                             n_samples=len(estimates),
+                             dispersion=dispersion)

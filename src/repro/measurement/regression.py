@@ -1,0 +1,106 @@
+"""Ordinary-least-squares and robust linear regression used by the estimators.
+
+The paper points to an "active traffic measurement technique based on a linear
+regression model" for estimating link bandwidth and minimum link delay
+([Wu & Rao 2005], reference [14]) and to analogous profiling for module
+processing times ([13]).  Those measurement papers are out of the reproduced
+paper's scope, but the estimators need a fitting primitive; this module
+provides one with no dependency beyond numpy:
+
+* :func:`fit_line` — ordinary least squares ``y = intercept + slope * x`` with
+  an R² quality measure,
+* :func:`fit_line_robust` — a Theil–Sen style median-of-slopes fit that
+  tolerates a minority of outliers (bursty cross-traffic during a probe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MeasurementError
+
+__all__ = ["LinearFit", "fit_line", "fit_line_robust"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a linear fit ``y ≈ intercept + slope · x``.
+
+    ``r_squared`` is the coefficient of determination of the fit on the data
+    it was computed from (1.0 for a perfect fit; 0.0 when the fit explains
+    nothing beyond the mean).
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_samples: int
+
+    def predict(self, x: float) -> float:
+        """Predicted ``y`` at ``x``."""
+        return self.intercept + self.slope * float(x)
+
+
+def _validate(x: Sequence[float], y: Sequence[float]) -> tuple:
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise MeasurementError("x and y must be one-dimensional and equally long")
+    if xs.size < 2:
+        raise MeasurementError("need at least two observations to fit a line")
+    if np.allclose(xs, xs[0]):
+        raise MeasurementError("all x values are identical; the slope is undefined")
+    return xs, ys
+
+
+def _r_squared(xs: np.ndarray, ys: np.ndarray, slope: float, intercept: float) -> float:
+    predicted = intercept + slope * xs
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return max(0.0, 1.0 - ss_res / ss_tot)
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary-least-squares fit of ``y`` on ``x``."""
+    xs, ys = _validate(x, y)
+    x_mean, y_mean = xs.mean(), ys.mean()
+    cov = float(np.sum((xs - x_mean) * (ys - y_mean)))
+    var = float(np.sum((xs - x_mean) ** 2))
+    slope = cov / var
+    intercept = y_mean - slope * x_mean
+    return LinearFit(slope=slope, intercept=intercept,
+                     r_squared=_r_squared(xs, ys, slope, intercept),
+                     n_samples=int(xs.size))
+
+
+def fit_line_robust(x: Sequence[float], y: Sequence[float], *,
+                    max_pairs: int = 10_000) -> LinearFit:
+    """Theil–Sen style robust fit: median pairwise slope, median-based intercept.
+
+    For more than ``max_pairs`` point pairs a deterministic subsample of pairs
+    is used (every k-th pair), keeping the estimator O(``max_pairs``) while
+    remaining reproducible.
+    """
+    xs, ys = _validate(x, y)
+    n = xs.size
+    slopes = []
+    pair_count = n * (n - 1) // 2
+    stride = max(1, pair_count // max_pairs)
+    idx = 0
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if idx % stride == 0 and xs[j] != xs[i]:
+                slopes.append((ys[j] - ys[i]) / (xs[j] - xs[i]))
+            idx += 1
+    if not slopes:
+        raise MeasurementError("could not form any slope estimate (degenerate x values)")
+    slope = float(np.median(slopes))
+    intercept = float(np.median(ys - slope * xs))
+    return LinearFit(slope=slope, intercept=intercept,
+                     r_squared=_r_squared(xs, ys, slope, intercept),
+                     n_samples=int(n))

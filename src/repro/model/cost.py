@@ -1,0 +1,286 @@
+"""Analytical cost models of the paper (Section 2.2) and the objective
+functions of the two mapping problems (Section 2.3, Eq. 1 and Eq. 2).
+
+The two primitive estimates are:
+
+* computing time of module :math:`M_i` on node :math:`v_j`
+  (:func:`computing_time_ms`):
+
+  .. math:: T_{computing}(M_i, v_j) = \\frac{c_i\\, m_{i-1}}{p_j}
+
+* transport time of a message of size :math:`m` over link :math:`L_{i,j}`
+  (:func:`transport_time_ms`):
+
+  .. math:: T_{transport}(m, L_{i,j}) = \\frac{m}{b_{i,j}} + d_{i,j}
+
+On top of these, :func:`end_to_end_delay_ms` evaluates Eq. 1 (total delay of a
+grouped mapping along a path, interactive objective) and
+:func:`bottleneck_time_ms` / :func:`frame_rate_fps` evaluate Eq. 2 (bottleneck
+time and the streaming frame rate it implies).
+
+A note on the minimum link delay term: the expanded sums in Eq. 1 / Eq. 3 of
+the paper write only the bandwidth term :math:`m/b`, while the transport cost
+model of Section 2.2 includes the MLD :math:`d`.  The reproduction includes
+the MLD by default (``include_link_delay=True``) because that is the model the
+paper defines; passing ``False`` reproduces the literal formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..exceptions import SpecificationError
+from ..types import Grouping, Milliseconds, NodeId, NodePath
+from .link import transfer_time_ms
+from .network import TransportNetwork
+from .pipeline import Pipeline
+
+__all__ = [
+    "computing_time_ms",
+    "transport_time_ms",
+    "group_computing_time_ms",
+    "end_to_end_delay_ms",
+    "bottleneck_time_ms",
+    "frame_rate_fps",
+    "CostBreakdown",
+    "cost_breakdown",
+]
+
+
+def computing_time_ms(network: TransportNetwork, node_id: NodeId,
+                      complexity: float, input_bytes: float) -> Milliseconds:
+    """Computing time (ms) of a module of given complexity/input on a node.
+
+    Implements :math:`T = c\\,m / p` with the unit convention that node power
+    is millions of operations per second and complexity is operations per
+    input byte, so ``ms = (c * m) / (p * 1e3)``.
+    """
+    power = network.processing_power(node_id)
+    workload = complexity * input_bytes
+    if workload < 0:
+        raise SpecificationError("module workload must be non-negative")
+    return workload / (power * 1e3)
+
+
+def transport_time_ms(network: TransportNetwork, u: NodeId, v: NodeId,
+                      message_bytes: float, *,
+                      include_link_delay: bool = True) -> Milliseconds:
+    """Transport time (ms) of ``message_bytes`` over the direct link ``u``–``v``.
+
+    Intra-node transfers (``u == v``) are free, per the paper's assumption that
+    "the inter-module transport time within one group on the same node is
+    negligible".
+    """
+    if u == v:
+        return 0.0
+    link = network.link(u, v)
+    mld = link.min_delay_ms if include_link_delay else 0.0
+    return transfer_time_ms(message_bytes, link.bandwidth_mbps, mld)
+
+
+def group_computing_time_ms(pipeline: Pipeline, network: TransportNetwork,
+                            module_ids: Sequence[int], node_id: NodeId) -> Milliseconds:
+    """Computing time (ms) of a whole module group placed on one node.
+
+    Evaluates :math:`\\frac{1}{p_v} \\sum_{j \\in g,\\ j \\ge 2} c_j m_{j-1}`;
+    the data-source module contributes zero workload by construction.
+    """
+    workload = pipeline.group_workload(module_ids)
+    return workload / (network.processing_power(node_id) * 1e3)
+
+
+def _validate_mapping_shape(pipeline: Pipeline, network: TransportNetwork,
+                            groups: Grouping, path: Sequence[NodeId]) -> None:
+    """Common structural checks shared by Eq. 1 and Eq. 2 evaluation."""
+    if len(groups) != len(path):
+        raise SpecificationError(
+            f"grouping has {len(groups)} groups but path has {len(path)} nodes")
+    if not groups:
+        raise SpecificationError("a mapping needs at least one group")
+    flat: List[int] = [m for g in groups for m in g]
+    if flat != list(range(pipeline.n_modules)):
+        raise SpecificationError(
+            "groups must partition modules 0..n-1 into contiguous, ordered blocks; "
+            f"got {groups}")
+    if any(len(g) == 0 for g in groups):
+        raise SpecificationError("empty module group in mapping")
+    if not network.is_walk(list(path)):
+        raise SpecificationError(
+            f"path {list(path)} is not a walk in the network "
+            "(consecutive nodes must be identical or adjacent)")
+
+
+def end_to_end_delay_ms(pipeline: Pipeline, network: TransportNetwork,
+                        groups: Grouping, path: Sequence[NodeId], *,
+                        include_link_delay: bool = True) -> Milliseconds:
+    """Total end-to-end delay of a mapping (Eq. 1 of the paper), in milliseconds.
+
+    ``groups[i]`` is the list of module ids executed on ``path[i]``; the
+    message produced by the last module of ``groups[i]`` crosses the link
+    ``path[i] -> path[i+1]`` (for free if the two entries are the same node).
+
+    Parameters
+    ----------
+    include_link_delay:
+        Include the per-link minimum link delay in each transport term
+        (default).  ``False`` reproduces the bandwidth-only sums literally
+        written in the paper's Eq. 1.
+    """
+    _validate_mapping_shape(pipeline, network, groups, path)
+    total = 0.0
+    for group, node_id in zip(groups, path):
+        total += group_computing_time_ms(pipeline, network, group, node_id)
+    for i in range(len(path) - 1):
+        message = pipeline.group_output_bytes(groups[i])
+        total += transport_time_ms(network, path[i], path[i + 1], message,
+                                   include_link_delay=include_link_delay)
+    return total
+
+
+def bottleneck_time_ms(pipeline: Pipeline, network: TransportNetwork,
+                       groups: Grouping, path: Sequence[NodeId], *,
+                       include_link_delay: bool = True,
+                       account_node_sharing: bool = True) -> Milliseconds:
+    """Bottleneck time of a mapping (Eq. 2 of the paper), in milliseconds.
+
+    The bottleneck is the maximum over (a) the computing time of every group
+    on its node and (b) the transport time of every inter-group message over
+    its link.  The achievable steady-state frame rate of the streaming
+    pipeline is its reciprocal (:func:`frame_rate_fps`).
+
+    Parameters
+    ----------
+    account_node_sharing:
+        When the same physical node appears several times in ``path`` (node
+        reuse), the modules placed on it compete for its CPU in streaming
+        mode, so their computing times add up when evaluating that node's
+        load.  The paper's restricted problem forbids reuse so the issue never
+        arises there; the extension in
+        :mod:`repro.extensions.framerate_reuse` relies on this flag being
+        ``True`` (default).  Set it to ``False`` to score each visit
+        independently (the literal reading of Eq. 2).
+    """
+    _validate_mapping_shape(pipeline, network, groups, path)
+    candidates: List[float] = []
+
+    if account_node_sharing:
+        per_node_load: dict = {}
+        for group, node_id in zip(groups, path):
+            per_node_load.setdefault(node_id, 0.0)
+            per_node_load[node_id] += pipeline.group_workload(group)
+        for node_id, workload in per_node_load.items():
+            candidates.append(workload / (network.processing_power(node_id) * 1e3))
+    else:
+        for group, node_id in zip(groups, path):
+            candidates.append(group_computing_time_ms(pipeline, network, group, node_id))
+
+    for i in range(len(path) - 1):
+        message = pipeline.group_output_bytes(groups[i])
+        candidates.append(
+            transport_time_ms(network, path[i], path[i + 1], message,
+                              include_link_delay=include_link_delay))
+    return max(candidates)
+
+
+def frame_rate_fps(pipeline: Pipeline, network: TransportNetwork,
+                   groups: Grouping, path: Sequence[NodeId], *,
+                   include_link_delay: bool = True,
+                   account_node_sharing: bool = True) -> float:
+    """Steady-state frame rate (frames/second) implied by the mapping's bottleneck.
+
+    ``fps = 1000 / bottleneck_ms`` (the factor 1000 converts from the
+    per-millisecond bottleneck to the paper's frames-per-second unit).  A
+    zero bottleneck (empty workload on infinitely fast links) yields ``inf``.
+    """
+    bottleneck = bottleneck_time_ms(
+        pipeline, network, groups, path,
+        include_link_delay=include_link_delay,
+        account_node_sharing=account_node_sharing)
+    if bottleneck <= 0.0:
+        return float("inf")
+    return 1e3 / bottleneck
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-component cost decomposition of a mapping.
+
+    Attributes
+    ----------
+    node_times_ms:
+        Computing time of each group on its node, ordered along the path.
+    link_times_ms:
+        Transport time of each inter-group message, ordered along the path
+        (length ``len(node_times_ms) - 1``).
+    total_delay_ms:
+        Eq. 1 objective (sum of all components).
+    bottleneck_ms:
+        Eq. 2 objective (max component, with node-sharing aggregation).
+    bottleneck_kind:
+        ``"node"`` or ``"link"`` — which component type limits the frame rate.
+    bottleneck_index:
+        Index of the limiting component within its list.
+    """
+
+    node_times_ms: tuple
+    link_times_ms: tuple
+    total_delay_ms: float
+    bottleneck_ms: float
+    bottleneck_kind: str
+    bottleneck_index: int
+
+    @property
+    def frame_rate_fps(self) -> float:
+        """Frames per second implied by :attr:`bottleneck_ms`."""
+        return float("inf") if self.bottleneck_ms <= 0 else 1e3 / self.bottleneck_ms
+
+
+def cost_breakdown(pipeline: Pipeline, network: TransportNetwork,
+                   groups: Grouping, path: Sequence[NodeId], *,
+                   include_link_delay: bool = True) -> CostBreakdown:
+    """Full per-component decomposition of a mapping's cost.
+
+    Used by the reporting layer (to annotate where the bottleneck sits, as in
+    the paper's Fig. 4 caption "the bottleneck is located on the last node")
+    and by the simulator validation benches.
+    """
+    _validate_mapping_shape(pipeline, network, groups, path)
+    node_times = [group_computing_time_ms(pipeline, network, g, v)
+                  for g, v in zip(groups, path)]
+    link_times = [
+        transport_time_ms(network, path[i], path[i + 1],
+                          pipeline.group_output_bytes(groups[i]),
+                          include_link_delay=include_link_delay)
+        for i in range(len(path) - 1)
+    ]
+    total = sum(node_times) + sum(link_times)
+
+    # Bottleneck with node-sharing aggregation (reused nodes accumulate load).
+    per_node_load: dict = {}
+    for group, node_id in zip(groups, path):
+        per_node_load[node_id] = per_node_load.get(node_id, 0.0) + pipeline.group_workload(group)
+    shared_node_times = {
+        node_id: load / (network.processing_power(node_id) * 1e3)
+        for node_id, load in per_node_load.items()
+    }
+
+    bottleneck_kind = "node"
+    bottleneck_index = 0
+    bottleneck = -1.0
+    for idx, node_id in enumerate(path):
+        t = shared_node_times[node_id]
+        if t > bottleneck:
+            bottleneck, bottleneck_kind, bottleneck_index = t, "node", idx
+    for idx, t in enumerate(link_times):
+        if t > bottleneck:
+            bottleneck, bottleneck_kind, bottleneck_index = t, "link", idx
+
+    return CostBreakdown(
+        node_times_ms=tuple(node_times),
+        link_times_ms=tuple(link_times),
+        total_delay_ms=total,
+        bottleneck_ms=bottleneck,
+        bottleneck_kind=bottleneck_kind,
+        bottleneck_index=bottleneck_index,
+    )

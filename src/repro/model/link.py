@@ -1,0 +1,161 @@
+"""Communication-link entity of the network cost model (paper Section 2.2 / 4.1).
+
+A link :math:`L_{i,j}` between nodes :math:`v_i` and :math:`v_j` is
+characterised by two attributes: its *bandwidth* (BW) :math:`b_{i,j}` and its
+*minimum link delay* (MLD) :math:`d_{i,j}`.  The paper's simulation datasets
+carry five per-link parameters (startNodeID, endNodeID, LinkID, LinkBWInMbps,
+LinkDelayInMilliseconds), all of which are represented here.
+
+The transfer time of a message of :math:`m` bytes over the link is estimated
+as :math:`T_{transport}(m, L_{i,j}) = m / b_{i,j} + d_{i,j}` — implemented in
+:meth:`CommunicationLink.transport_time_ms` with explicit unit conversions
+(bytes and Mbit/s in, milliseconds out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..exceptions import SpecificationError
+from ..types import NodeId
+
+#: Number of bits per byte, spelled out for readability of unit conversions.
+BITS_PER_BYTE = 8.0
+
+#: One megabit, in bits.
+MEGABIT = 1e6
+
+
+def transfer_time_ms(message_bytes: float, bandwidth_mbps: float,
+                     min_delay_ms: float = 0.0) -> float:
+    """Transfer time in milliseconds of ``message_bytes`` over a link.
+
+    Implements the paper's transport cost model
+    :math:`T = m / b + d` with explicit units:
+
+    ``time_ms = message_bytes * 8 / (bandwidth_mbps * 1e6) * 1e3 + min_delay_ms``
+
+    Parameters
+    ----------
+    message_bytes:
+        Message size in bytes (non-negative).
+    bandwidth_mbps:
+        Link bandwidth in megabits per second (strictly positive).
+    min_delay_ms:
+        Minimum link delay (MLD) in milliseconds (non-negative).
+    """
+    if message_bytes < 0:
+        raise SpecificationError(f"message size must be >= 0, got {message_bytes!r}")
+    if not bandwidth_mbps > 0:
+        raise SpecificationError(f"bandwidth must be > 0, got {bandwidth_mbps!r}")
+    if min_delay_ms < 0:
+        raise SpecificationError(f"minimum link delay must be >= 0, got {min_delay_ms!r}")
+    seconds = message_bytes * BITS_PER_BYTE / (bandwidth_mbps * MEGABIT)
+    return seconds * 1e3 + min_delay_ms
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicationLink:
+    """A (bidirectional) communication link :math:`L_{i,j}` of the transport network.
+
+    Parameters
+    ----------
+    start_node:
+        The paper's *startNodeID*.
+    end_node:
+        The paper's *endNodeID*.  Must differ from ``start_node`` (self-loops
+        are meaningless: intra-node transfers are free in the cost model).
+    bandwidth_mbps:
+        The paper's *LinkBWInMbps* — strictly positive.
+    min_delay_ms:
+        The paper's *LinkDelayInMilliseconds* (minimum link delay, MLD) —
+        non-negative.  Significant only for messages whose size is comparable
+        to the network MTU.
+    link_id:
+        The paper's *LinkID*; optional, assigned by the network container if
+        omitted.
+    """
+
+    start_node: NodeId
+    end_node: NodeId
+    bandwidth_mbps: float
+    min_delay_ms: float = 0.0
+    link_id: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in ("start_node", "end_node"):
+            value = getattr(self, attr)
+            if int(value) != value or value < 0:
+                raise SpecificationError(
+                    f"{attr} must be a non-negative integer, got {value!r}")
+        if self.start_node == self.end_node:
+            raise SpecificationError(
+                f"self-loop link on node {self.start_node} is not allowed")
+        if not self.bandwidth_mbps > 0:
+            raise SpecificationError(
+                f"link ({self.start_node},{self.end_node}): bandwidth must be > 0, "
+                f"got {self.bandwidth_mbps!r}")
+        if self.min_delay_ms < 0:
+            raise SpecificationError(
+                f"link ({self.start_node},{self.end_node}): minimum link delay must "
+                f"be >= 0, got {self.min_delay_ms!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def endpoints(self) -> tuple[NodeId, NodeId]:
+        """The (start, end) node-id pair."""
+        return (self.start_node, self.end_node)
+
+    def transport_time_ms(self, message_bytes: float) -> float:
+        """Transfer time (ms) of a message over this link: :math:`m/b + d`."""
+        return transfer_time_ms(message_bytes, self.bandwidth_mbps, self.min_delay_ms)
+
+    def bandwidth_bytes_per_ms(self) -> float:
+        """Bandwidth expressed in bytes per millisecond (convenience for simulators)."""
+        return self.bandwidth_mbps * MEGABIT / BITS_PER_BYTE / 1e3
+
+    def connects(self, u: NodeId, v: NodeId) -> bool:
+        """``True`` if this link joins nodes ``u`` and ``v`` (either direction)."""
+        return {u, v} == {self.start_node, self.end_node}
+
+    def reversed(self) -> "CommunicationLink":
+        """Return the same physical link with start/end swapped."""
+        return replace(self, start_node=self.end_node, end_node=self.start_node)
+
+    # ------------------------------------------------------------------ #
+    # Transformers / serialization
+    # ------------------------------------------------------------------ #
+    def with_bandwidth(self, bandwidth_mbps: float) -> "CommunicationLink":
+        """Return a copy with a different bandwidth (for dynamic scenarios)."""
+        return replace(self, bandwidth_mbps=bandwidth_mbps)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        return {
+            "start_node": self.start_node,
+            "end_node": self.end_node,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "min_delay_ms": self.min_delay_ms,
+            "link_id": self.link_id,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CommunicationLink":
+        """Reconstruct a link from :meth:`to_dict` output."""
+        return cls(
+            start_node=int(data["start_node"]),
+            end_node=int(data["end_node"]),
+            bandwidth_mbps=float(data["bandwidth_mbps"]),
+            min_delay_ms=float(data.get("min_delay_ms", 0.0)),
+            link_id=data.get("link_id"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"L({self.start_node},{self.end_node})"
+                f"[bw={self.bandwidth_mbps:g}Mbps, mld={self.min_delay_ms:g}ms]")

@@ -1,0 +1,193 @@
+"""Computing-module entity of the pipeline cost model (paper Section 2.2).
+
+A *computing module* :math:`M_i` is one stage of a linear computing pipeline.
+It is characterised by the four parameters that the paper's simulation datasets
+use (Section 4.1):
+
+* ``module_id`` — the paper's *ModuleID*,
+* ``complexity`` — the paper's *ModuleComplexity*, an abstract quantity
+  combining the algorithmic complexity and the implementation details of the
+  stage; together with the incoming data size it determines the number of CPU
+  cycles needed,
+* ``input_bytes`` — *InputDataInBytes*, the size of the data received from the
+  predecessor module (:math:`m_{i-1}`),
+* ``output_bytes`` — *OutputDataInBytes*, the size of the partial result the
+  module sends to its successor (:math:`m_i`).
+
+The first module of a pipeline is the *data source* (it performs no
+computation, it only emits data) and the last module is the *end user /
+terminal* (it computes but transfers nothing further); this convention is
+encoded in :class:`repro.model.pipeline.Pipeline`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..exceptions import SpecificationError
+from ..types import ModuleId
+
+
+@dataclass(frozen=True, slots=True)
+class ComputingModule:
+    """One stage :math:`M_i` of a linear computing pipeline.
+
+    Parameters
+    ----------
+    module_id:
+        Zero-based identifier of the module within its pipeline.
+    complexity:
+        Abstract per-byte computational complexity :math:`c_i` (operations per
+        input byte).  Must be non-negative; a value of ``0`` models a pure
+        forwarding stage (the data source has complexity ``0`` by convention).
+    input_bytes:
+        Size :math:`m_{i-1}` of the data this module consumes, in bytes.
+    output_bytes:
+        Size :math:`m_i` of the data this module produces, in bytes.
+    name:
+        Optional human-readable label (e.g. ``"isosurface extraction"``).
+    metadata:
+        Free-form dictionary carried along for workload bookkeeping; it is not
+        interpreted by any algorithm.
+    """
+
+    module_id: ModuleId
+    complexity: float
+    input_bytes: float
+    output_bytes: float
+    name: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if int(self.module_id) != self.module_id or self.module_id < 0:
+            raise SpecificationError(
+                f"module_id must be a non-negative integer, got {self.module_id!r}")
+        if self.complexity < 0:
+            raise SpecificationError(
+                f"module {self.module_id}: complexity must be >= 0, "
+                f"got {self.complexity!r}")
+        if self.input_bytes < 0:
+            raise SpecificationError(
+                f"module {self.module_id}: input_bytes must be >= 0, "
+                f"got {self.input_bytes!r}")
+        if self.output_bytes < 0:
+            raise SpecificationError(
+                f"module {self.module_id}: output_bytes must be >= 0, "
+                f"got {self.output_bytes!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def workload(self) -> float:
+        """Abstract number of operations required: :math:`c_i \\cdot m_{i-1}`.
+
+        This is the numerator of the paper's computing-time estimate
+        :math:`T_{computing}(M_i, v_j) = c_i m_{i-1} / p_j`.
+        """
+        return self.complexity * self.input_bytes
+
+    @property
+    def is_forwarding(self) -> bool:
+        """``True`` when the module performs no computation (complexity 0)."""
+        return self.workload == 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Ratio of output to input data size (``inf`` when input is 0)."""
+        if self.input_bytes == 0:
+            return float("inf") if self.output_bytes > 0 else 1.0
+        return self.output_bytes / self.input_bytes
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors / transformers
+    # ------------------------------------------------------------------ #
+    def renamed(self, name: str) -> "ComputingModule":
+        """Return a copy of this module with a different display ``name``."""
+        return replace(self, name=name)
+
+    def with_id(self, module_id: ModuleId) -> "ComputingModule":
+        """Return a copy of this module re-numbered as ``module_id``."""
+        return replace(self, module_id=module_id)
+
+    def scaled(self, *, complexity: float = 1.0, data: float = 1.0) -> "ComputingModule":
+        """Return a copy with complexity and/or data sizes multiplied.
+
+        Useful for sensitivity sweeps: ``mod.scaled(data=2.0)`` doubles both
+        the input and output data sizes while keeping the per-byte complexity.
+        """
+        if complexity < 0 or data < 0:
+            raise SpecificationError("scaling factors must be non-negative")
+        return replace(
+            self,
+            complexity=self.complexity * complexity,
+            input_bytes=self.input_bytes * data,
+            output_bytes=self.output_bytes * data,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization helpers
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        return {
+            "module_id": self.module_id,
+            "complexity": self.complexity,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "name": self.name,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ComputingModule":
+        """Reconstruct a module from :meth:`to_dict` output."""
+        return cls(
+            module_id=int(data["module_id"]),
+            complexity=float(data["complexity"]),
+            input_bytes=float(data["input_bytes"]),
+            output_bytes=float(data["output_bytes"]),
+            name=data.get("name"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"M{self.module_id}"
+        return (f"{label}(c={self.complexity:g}, in={self.input_bytes:g}B, "
+                f"out={self.output_bytes:g}B)")
+
+
+def source_module(output_bytes: float, *, module_id: ModuleId = 0,
+                  name: str = "data source") -> ComputingModule:
+    """Create the conventional pipeline *data source* module :math:`M_1`.
+
+    The source performs no computation (complexity 0, no input data); it only
+    emits ``output_bytes`` of raw data into the pipeline, matching the paper's
+    assumption that "the first module M1 only transfers data from the source
+    node".
+    """
+    return ComputingModule(
+        module_id=module_id,
+        complexity=0.0,
+        input_bytes=0.0,
+        output_bytes=output_bytes,
+        name=name,
+    )
+
+
+def sink_module(complexity: float, input_bytes: float, *,
+                module_id: ModuleId, name: str = "end user") -> ComputingModule:
+    """Create the conventional pipeline *end user* (terminal) module :math:`M_n`.
+
+    The sink consumes its input and produces no further data, matching the
+    paper's assumption that "the last module Mn only performs certain
+    computation without data transfer".
+    """
+    return ComputingModule(
+        module_id=module_id,
+        complexity=complexity,
+        input_bytes=input_bytes,
+        output_bytes=0.0,
+        name=name,
+    )

@@ -1,0 +1,460 @@
+"""Transport-network container (the paper's graph :math:`G = (V, E)`).
+
+The underlying transport network consists of :math:`k` geographically
+distributed computing nodes connected by communication links of given
+bandwidth and minimum link delay.  The topology is *arbitrary* — it "may or
+may not be a complete graph, depending on whether the node deployment
+environment is the Internet or a dedicated network" — and the paper's
+simulation datasets describe it "in the form of an adjacency matrix"
+(Section 4.1).
+
+:class:`TransportNetwork` stores :class:`~repro.model.node.ComputingNode` and
+:class:`~repro.model.link.CommunicationLink` objects on top of an undirected
+:class:`networkx.Graph` and offers the queries every mapping algorithm needs:
+neighbour iteration, constant-time link lookup, hop distances, widest paths,
+and adjacency-matrix import/export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import SpecificationError
+from ..types import NodeId, NodePath
+from .link import CommunicationLink, transfer_time_ms
+from .node import ComputingNode
+
+
+class TransportNetwork:
+    """An arbitrary-topology network of heterogeneous nodes and links.
+
+    The network is undirected: a link registered between ``u`` and ``v`` can
+    carry traffic in both directions with the same bandwidth and minimum link
+    delay, matching the paper's model in which :math:`L_{i,j}` is a property
+    of the node pair.
+
+    Instances are mutable only through :meth:`add_node` / :meth:`add_link`;
+    mapping algorithms treat the network as read-only.
+    """
+
+    def __init__(self, nodes: Iterable[ComputingNode] = (),
+                 links: Iterable[CommunicationLink] = (),
+                 *, name: Optional[str] = None) -> None:
+        self._graph = nx.Graph()
+        self._nodes: Dict[NodeId, ComputingNode] = {}
+        self._links: Dict[Tuple[NodeId, NodeId], CommunicationLink] = {}
+        self._next_link_id = 0
+        self.name = name
+        for node in nodes:
+            self.add_node(node)
+        for link in links:
+            self.add_link(link)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: ComputingNode) -> None:
+        """Register a computing node.  Node ids must be unique."""
+        if node.node_id in self._nodes:
+            raise SpecificationError(f"duplicate node_id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._graph.add_node(node.node_id)
+
+    def add_link(self, link: CommunicationLink) -> None:
+        """Register a communication link.  Both endpoints must already exist."""
+        u, v = link.start_node, link.end_node
+        if u not in self._nodes or v not in self._nodes:
+            raise SpecificationError(
+                f"link ({u},{v}) references an unknown node; add nodes first")
+        key = self._edge_key(u, v)
+        if key in self._links:
+            raise SpecificationError(f"duplicate link between nodes {u} and {v}")
+        if link.link_id is None:
+            link = CommunicationLink(
+                start_node=link.start_node,
+                end_node=link.end_node,
+                bandwidth_mbps=link.bandwidth_mbps,
+                min_delay_ms=link.min_delay_ms,
+                link_id=self._next_link_id,
+                metadata=dict(link.metadata),
+            )
+        self._next_link_id = max(self._next_link_id + 1,
+                                 (link.link_id or 0) + 1)
+        self._links[key] = link
+        self._graph.add_edge(u, v,
+                             bandwidth_mbps=link.bandwidth_mbps,
+                             min_delay_ms=link.min_delay_ms,
+                             link_id=link.link_id)
+
+    def connect(self, u: NodeId, v: NodeId, bandwidth_mbps: float,
+                min_delay_ms: float = 0.0) -> CommunicationLink:
+        """Convenience wrapper: create and register a link between ``u`` and ``v``."""
+        link = CommunicationLink(start_node=u, end_node=v,
+                                 bandwidth_mbps=bandwidth_mbps,
+                                 min_delay_ms=min_delay_ms)
+        self.add_link(link)
+        return self._links[self._edge_key(u, v)]
+
+    @staticmethod
+    def _edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+        return (u, v) if u <= v else (v, u)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of computing nodes :math:`k = |V|`."""
+        return len(self._nodes)
+
+    @property
+    def n_links(self) -> int:
+        """Number of communication links :math:`|E|`."""
+        return len(self._links)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (treat as read-only)."""
+        return self._graph
+
+    def node_ids(self) -> List[NodeId]:
+        """All node ids, sorted ascending."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> List[ComputingNode]:
+        """All node objects, sorted by id."""
+        return [self._nodes[nid] for nid in self.node_ids()]
+
+    def links(self) -> List[CommunicationLink]:
+        """All link objects, sorted by endpoint pair."""
+        return [self._links[key] for key in sorted(self._links)]
+
+    def node(self, node_id: NodeId) -> ComputingNode:
+        """The node object with id ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SpecificationError(f"unknown node_id {node_id}") from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """``True`` if ``node_id`` is a registered node."""
+        return node_id in self._nodes
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        """``True`` if nodes ``u`` and ``v`` are directly connected."""
+        return self._edge_key(u, v) in self._links
+
+    def link(self, u: NodeId, v: NodeId) -> CommunicationLink:
+        """The link object joining ``u`` and ``v`` (either orientation)."""
+        try:
+            return self._links[self._edge_key(u, v)]
+        except KeyError:
+            raise SpecificationError(f"no link between nodes {u} and {v}") from None
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """Ids of nodes directly connected to ``node_id``, sorted ascending."""
+        if node_id not in self._nodes:
+            raise SpecificationError(f"unknown node_id {node_id}")
+        return sorted(self._graph.neighbors(node_id))
+
+    def degree(self, node_id: NodeId) -> int:
+        """Number of links incident to ``node_id``."""
+        return len(self.neighbors(node_id))
+
+    def processing_power(self, node_id: NodeId) -> float:
+        """Processing power :math:`p_i` of node ``node_id``."""
+        return self.node(node_id).processing_power
+
+    def bandwidth(self, u: NodeId, v: NodeId) -> float:
+        """Bandwidth (Mbit/s) of the link between ``u`` and ``v``."""
+        return self.link(u, v).bandwidth_mbps
+
+    def min_delay(self, u: NodeId, v: NodeId) -> float:
+        """Minimum link delay (ms) of the link between ``u`` and ``v``."""
+        return self.link(u, v).min_delay_ms
+
+    def is_connected(self) -> bool:
+        """``True`` if every node can reach every other node."""
+        if self.n_nodes == 0:
+            return False
+        return nx.is_connected(self._graph)
+
+    def is_complete(self) -> bool:
+        """``True`` if the topology is a complete graph (dedicated environment)."""
+        k = self.n_nodes
+        return self.n_links == k * (k - 1) // 2
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.node_ids())
+
+    # ------------------------------------------------------------------ #
+    # Path queries used by mapping algorithms
+    # ------------------------------------------------------------------ #
+    def is_walk(self, path: Sequence[NodeId]) -> bool:
+        """``True`` if consecutive entries of ``path`` are equal or adjacent.
+
+        A mapping path may keep consecutive module groups on the same node
+        (node reuse), which is represented by repeating the node id; this
+        helper therefore accepts repetitions.
+        """
+        if not path:
+            return False
+        if any(nid not in self._nodes for nid in path):
+            return False
+        for u, v in zip(path, path[1:]):
+            if u != v and not self.has_link(u, v):
+                return False
+        return True
+
+    def hop_distance(self, source: NodeId, destination: NodeId) -> int:
+        """Minimum number of hops between two nodes (``-1`` if unreachable)."""
+        if source not in self._nodes or destination not in self._nodes:
+            raise SpecificationError("unknown endpoint node id")
+        try:
+            return nx.shortest_path_length(self._graph, source, destination)
+        except nx.NetworkXNoPath:
+            return -1
+
+    def shortest_transfer_path(self, source: NodeId, destination: NodeId,
+                               message_bytes: float) -> Tuple[NodePath, float]:
+        """Minimum-latency multi-hop route for a message of ``message_bytes``.
+
+        Edge weight is the link transfer time :math:`m/b + d` for the given
+        message size.  Returns ``(path, total_time_ms)``; a zero-hop path
+        (``source == destination``) costs 0 ms.  Used by baseline mappers that
+        may place consecutive modules on non-adjacent nodes and must route the
+        intermediate traffic.
+        """
+        if source == destination:
+            return [source], 0.0
+
+        def weight(u: NodeId, v: NodeId, _attrs: Dict[str, Any]) -> float:
+            link = self.link(u, v)
+            return link.transport_time_ms(message_bytes)
+
+        try:
+            path = nx.dijkstra_path(self._graph, source, destination, weight=weight)
+        except nx.NetworkXNoPath:
+            raise SpecificationError(
+                f"no route between nodes {source} and {destination}") from None
+        total = sum(self.link(u, v).transport_time_ms(message_bytes)
+                    for u, v in zip(path, path[1:]))
+        return list(path), total
+
+    def widest_path(self, source: NodeId, destination: NodeId) -> Tuple[NodePath, float]:
+        """Maximum-bottleneck-bandwidth route between two nodes.
+
+        Returns ``(path, bottleneck_bandwidth_mbps)``.  The zero-hop path has
+        infinite bottleneck bandwidth.  Implemented as a maximum-capacity
+        variant of Dijkstra's algorithm.
+        """
+        if source not in self._nodes or destination not in self._nodes:
+            raise SpecificationError("unknown endpoint node id")
+        if source == destination:
+            return [source], float("inf")
+        best: Dict[NodeId, float] = {nid: 0.0 for nid in self._nodes}
+        prev: Dict[NodeId, Optional[NodeId]] = {nid: None for nid in self._nodes}
+        best[source] = float("inf")
+        import heapq
+
+        heap: List[Tuple[float, NodeId]] = [(-best[source], source)]
+        visited: set = set()
+        while heap:
+            neg_cap, u = heapq.heappop(heap)
+            cap = -neg_cap
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == destination:
+                break
+            for v in self._graph.neighbors(u):
+                if v in visited:
+                    continue
+                through = min(cap, self.bandwidth(u, v))
+                if through > best[v]:
+                    best[v] = through
+                    prev[v] = u
+                    heapq.heappush(heap, (-through, v))
+        if best[destination] <= 0.0:
+            raise SpecificationError(
+                f"no route between nodes {source} and {destination}")
+        path: NodePath = [destination]
+        while prev[path[-1]] is not None:
+            path.append(prev[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path, best[destination]
+
+    def longest_simple_path_at_least(self, source: NodeId, destination: NodeId,
+                                     length: int, *, node_limit: int = 64) -> bool:
+        """``True`` if a simple source→destination path with ≥ ``length`` nodes exists.
+
+        Used for feasibility diagnostics of the no-reuse frame-rate problem
+        ("the pipeline is longer than the longest end-to-end path").  The
+        check is exact but exponential, so it is only attempted on networks
+        with at most ``node_limit`` nodes; larger networks conservatively
+        return ``True`` (feasibility is then discovered by the solver itself).
+        """
+        if self.n_nodes > node_limit:
+            return True
+        target = max(length, 1)
+        for path in nx.all_simple_paths(self._graph, source, destination,
+                                        cutoff=self.n_nodes):
+            if len(path) >= target:
+                return True
+        return source == destination and target <= 1
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics (used by generators, reporting and Streamline)
+    # ------------------------------------------------------------------ #
+    def total_processing_power(self) -> float:
+        """Sum of node processing powers."""
+        return sum(n.processing_power for n in self._nodes.values())
+
+    def mean_bandwidth(self) -> float:
+        """Mean link bandwidth in Mbit/s (0 for an edgeless network)."""
+        if not self._links:
+            return 0.0
+        return float(np.mean([l.bandwidth_mbps for l in self._links.values()]))
+
+    def node_communication_capacity(self, node_id: NodeId) -> float:
+        """Sum of bandwidths of links incident to ``node_id`` (Mbit/s).
+
+        The Streamline heuristic ranks resources by both computation and
+        communication capability; this is the communication half.
+        """
+        return sum(self.bandwidth(node_id, nbr) for nbr in self.neighbors(node_id))
+
+    def density(self) -> float:
+        """Edge density ``|E| / (k·(k-1)/2)`` in ``[0, 1]``."""
+        k = self.n_nodes
+        if k < 2:
+            return 0.0
+        return self.n_links / (k * (k - 1) / 2)
+
+    # ------------------------------------------------------------------ #
+    # Adjacency-matrix import/export (paper Section 4.1)
+    # ------------------------------------------------------------------ #
+    def adjacency_matrix(self) -> np.ndarray:
+        """Boolean adjacency matrix ordered by ascending node id."""
+        ids = self.node_ids()
+        index = {nid: i for i, nid in enumerate(ids)}
+        mat = np.zeros((len(ids), len(ids)), dtype=bool)
+        for (u, v) in self._links:
+            mat[index[u], index[v]] = True
+            mat[index[v], index[u]] = True
+        return mat
+
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Matrix of link bandwidths (Mbit/s); 0 where no link exists."""
+        ids = self.node_ids()
+        index = {nid: i for i, nid in enumerate(ids)}
+        mat = np.zeros((len(ids), len(ids)), dtype=float)
+        for (u, v), link in self._links.items():
+            mat[index[u], index[v]] = link.bandwidth_mbps
+            mat[index[v], index[u]] = link.bandwidth_mbps
+        return mat
+
+    def delay_matrix(self) -> np.ndarray:
+        """Matrix of minimum link delays (ms); 0 where no link exists."""
+        ids = self.node_ids()
+        index = {nid: i for i, nid in enumerate(ids)}
+        mat = np.zeros((len(ids), len(ids)), dtype=float)
+        for (u, v), link in self._links.items():
+            mat[index[u], index[v]] = link.min_delay_ms
+            mat[index[v], index[u]] = link.min_delay_ms
+        return mat
+
+    @classmethod
+    def from_matrices(cls, powers: Sequence[float], bandwidth: np.ndarray,
+                      delay: Optional[np.ndarray] = None,
+                      *, name: Optional[str] = None) -> "TransportNetwork":
+        """Build a network from a power vector and bandwidth/delay matrices.
+
+        ``bandwidth[i, j] > 0`` declares a link between nodes ``i`` and ``j``;
+        the matrices must be symmetric with a zero diagonal, matching the
+        paper's adjacency-matrix dataset format.
+        """
+        bw = np.asarray(bandwidth, dtype=float)
+        k = len(powers)
+        if bw.shape != (k, k):
+            raise SpecificationError(
+                f"bandwidth matrix shape {bw.shape} does not match {k} nodes")
+        if not np.allclose(bw, bw.T):
+            raise SpecificationError("bandwidth matrix must be symmetric")
+        if np.any(np.diag(bw) != 0):
+            raise SpecificationError("bandwidth matrix diagonal must be zero")
+        if delay is None:
+            dl = np.zeros_like(bw)
+        else:
+            dl = np.asarray(delay, dtype=float)
+            if dl.shape != bw.shape:
+                raise SpecificationError("delay matrix shape mismatch")
+            if not np.allclose(dl, dl.T):
+                raise SpecificationError("delay matrix must be symmetric")
+        net = cls(name=name)
+        for nid, power in enumerate(powers):
+            net.add_node(ComputingNode(node_id=nid, processing_power=float(power)))
+        for i in range(k):
+            for j in range(i + 1, k):
+                if bw[i, j] > 0:
+                    net.connect(i, j, bandwidth_mbps=float(bw[i, j]),
+                                min_delay_ms=float(dl[i, j]))
+        return net
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain (JSON-compatible) dictionary."""
+        return {
+            "name": self.name,
+            "nodes": [n.to_dict() for n in self.nodes()],
+            "links": [l.to_dict() for l in self.links()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransportNetwork":
+        """Reconstruct a network from :meth:`to_dict` output."""
+        return cls(
+            nodes=(ComputingNode.from_dict(n) for n in data["nodes"]),
+            links=(CommunicationLink.from_dict(l) for l in data["links"]),
+            name=data.get("name"),
+        )
+
+    def copy(self) -> "TransportNetwork":
+        """Deep copy of the network (nodes and links are immutable, so shared)."""
+        return TransportNetwork(nodes=self.nodes(), links=self.links(), name=self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "network"
+        return f"{label}[k={self.n_nodes}, |E|={self.n_links}]"
+
+
+@dataclass(frozen=True)
+class EndToEndRequest:
+    """A mapping request: which pipeline to place between which two nodes.
+
+    The paper designates "a source node and a destination node to run the
+    first module and the last module of the pipeline ... the system knows
+    where the raw data is stored and where an end user is located".
+    """
+
+    source: NodeId
+    destination: NodeId
+
+    def validate(self, network: TransportNetwork) -> None:
+        """Raise :class:`SpecificationError` if either endpoint is unknown."""
+        if not network.has_node(self.source):
+            raise SpecificationError(f"unknown source node {self.source}")
+        if not network.has_node(self.destination):
+            raise SpecificationError(f"unknown destination node {self.destination}")

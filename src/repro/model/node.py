@@ -1,0 +1,117 @@
+"""Computing-node entity of the network cost model (paper Section 2.2 / 4.1).
+
+A network node :math:`v_i` is characterised by the paper's three simulation
+parameters: *NodeID*, *NodeIP* and *ProcessingPower*.  The processing power
+:math:`p_i` is a normalised abstract quantity combining processor frequency,
+bus speed, memory size, storage performance and co-processors; this library
+interprets it as "millions of abstract operations per second" so that the
+computing time of a module with workload :math:`c\\,m` operations is
+``c * m / (p * 1e3)`` milliseconds (see :mod:`repro.model.cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from ..exceptions import SpecificationError
+from ..types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class ComputingNode:
+    """One computing node :math:`v_i` of the transport network.
+
+    Parameters
+    ----------
+    node_id:
+        The paper's *NodeID* (a non-negative integer, unique per network).
+    processing_power:
+        The paper's *ProcessingPower* :math:`p_i` — normalised computing
+        capability, interpreted as millions of abstract operations per second.
+        Must be strictly positive.
+    ip_address:
+        The paper's *NodeIP*; purely informational in the reproduction (the
+        simulated networks are not real hosts), defaults to a synthetic
+        ``10.0.x.y`` address derived from the node id.
+    name:
+        Optional human-readable label (e.g. ``"ORNL supercomputer"``).
+    """
+
+    node_id: NodeId
+    processing_power: float
+    ip_address: Optional[str] = None
+    name: Optional[str] = None
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if int(self.node_id) != self.node_id or self.node_id < 0:
+            raise SpecificationError(
+                f"node_id must be a non-negative integer, got {self.node_id!r}")
+        if not self.processing_power > 0:
+            raise SpecificationError(
+                f"node {self.node_id}: processing_power must be > 0, "
+                f"got {self.processing_power!r}")
+        if self.ip_address is None:
+            object.__setattr__(self, "ip_address", synthetic_ip(self.node_id))
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def computing_time_ms(self, workload_operations: float) -> float:
+        """Time in milliseconds to execute ``workload_operations`` abstract operations.
+
+        ``time_ms = operations / (processing_power * 1e3)`` because the power
+        is expressed in millions of operations per second
+        (``1e6 ops/s == 1e3 ops/ms``).
+        """
+        if workload_operations < 0:
+            raise SpecificationError("workload must be non-negative")
+        return workload_operations / (self.processing_power * 1e3)
+
+    def relative_speed(self, other: "ComputingNode") -> float:
+        """How many times faster this node is than ``other``."""
+        return self.processing_power / other.processing_power
+
+    # ------------------------------------------------------------------ #
+    # Transformers / serialization
+    # ------------------------------------------------------------------ #
+    def with_power(self, processing_power: float) -> "ComputingNode":
+        """Return a copy with a different processing power (for dynamic scenarios)."""
+        return replace(self, processing_power=processing_power)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        return {
+            "node_id": self.node_id,
+            "processing_power": self.processing_power,
+            "ip_address": self.ip_address,
+            "name": self.name,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ComputingNode":
+        """Reconstruct a node from :meth:`to_dict` output."""
+        return cls(
+            node_id=int(data["node_id"]),
+            processing_power=float(data["processing_power"]),
+            ip_address=data.get("ip_address"),
+            name=data.get("name"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"v{self.node_id}"
+        return f"{label}(p={self.processing_power:g})"
+
+
+def synthetic_ip(node_id: NodeId) -> str:
+    """Deterministic synthetic IPv4 address for a simulated node.
+
+    The paper's datasets carry a *NodeIP* field; the reproduction generates a
+    stable private-range address from the node id so that serialised networks
+    round-trip exactly.
+    """
+    nid = int(node_id)
+    return f"10.{(nid >> 16) & 0xFF}.{(nid >> 8) & 0xFF}.{nid & 0xFF}"

@@ -1,0 +1,29 @@
+"""Discrete-event execution simulator (validation substrate).
+
+The paper evaluates its algorithms analytically on simulated datasets; this
+subpackage goes one step further and *replays* any produced mapping as a timed
+execution so the analytical cost model can be validated end to end:
+
+* :func:`simulate_interactive` — single-dataset replay; the measured delay
+  must equal Eq. 1,
+* :func:`simulate_streaming` — continuous-frame replay; the measured
+  steady-state rate must converge to the Eq. 2 frame rate,
+* :class:`SimulationEngine`, :class:`FifoStation`, :class:`Trace` — the
+  reusable event-driven substrate underneath.
+"""
+
+from .engine import SimulationEngine
+from .events import Event, EventQueue
+from .interactive import InteractiveResult, simulate_interactive
+from .processes import MappedPipelineProcess
+from .resources import FifoStation
+from .streaming import StreamingResult, simulate_streaming
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "SimulationEngine", "Event", "EventQueue",
+    "FifoStation", "MappedPipelineProcess",
+    "Trace", "TraceRecord",
+    "InteractiveResult", "simulate_interactive",
+    "StreamingResult", "simulate_streaming",
+]

@@ -1,0 +1,106 @@
+"""The discrete-event simulation engine.
+
+A deliberately small, dependency-free engine: callbacks are scheduled on an
+:class:`~repro.simulation.events.EventQueue` and executed in timestamp order;
+the engine tracks the simulated clock and guards against common mistakes
+(scheduling in the past, runaway simulations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..exceptions import SimulationError
+from .events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Minimal calendar-driven simulation core.
+
+    Usage pattern::
+
+        engine = SimulationEngine()
+        engine.schedule(0.0, lambda ev: ...)
+        engine.run()
+        print(engine.now_ms)
+    """
+
+    def __init__(self, *, max_events: int = 10_000_000) -> None:
+        self._queue = EventQueue()
+        self._now_ms = 0.0
+        self._processed = 0
+        self._max_events = int(max_events)
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Clock and bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, time_ms: float, callback: Callable[[Event], None], *,
+                 kind: str = "generic",
+                 payload: Optional[Dict[str, Any]] = None) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time_ms``."""
+        if time_ms < self._now_ms - 1e-9:
+            raise SimulationError(
+                f"cannot schedule an event at {time_ms} ms; the clock is already "
+                f"at {self._now_ms} ms")
+        return self._queue.push(max(time_ms, self._now_ms), callback,
+                                kind=kind, payload=payload)
+
+    def schedule_in(self, delay_ms: float, callback: Callable[[Event], None], *,
+                    kind: str = "generic",
+                    payload: Optional[Dict[str, Any]] = None) -> Event:
+        """Schedule ``callback`` ``delay_ms`` milliseconds from the current clock."""
+        if delay_ms < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_ms}")
+        return self.schedule(self._now_ms + delay_ms, callback, kind=kind, payload=payload)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> Event:
+        """Execute the single earliest pending event and return it."""
+        event = self._queue.pop()
+        self._now_ms = event.time_ms
+        self._processed += 1
+        event.callback(event)
+        return event
+
+    def run(self, *, until_ms: Optional[float] = None) -> float:
+        """Run until the calendar drains (or until ``until_ms``); returns the final clock.
+
+        Raises :class:`SimulationError` if the event budget (``max_events``)
+        is exhausted, which indicates a scheduling loop.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run call)")
+        self._running = True
+        try:
+            while not self._queue.is_empty():
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until_ms is not None and next_time > until_ms:
+                    self._now_ms = until_ms
+                    break
+                if self._processed >= self._max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {self._max_events} events; "
+                        "likely a scheduling loop")
+                self.step()
+        finally:
+            self._running = False
+        return self._now_ms

@@ -1,0 +1,85 @@
+"""Event primitives of the discrete-event simulation substrate.
+
+The simulator exists to *validate* the analytical cost model: a mapping
+produced by any solver can be replayed as a timed execution, and the measured
+end-to-end delay / steady-state frame rate must agree with Eq. 1 / Eq. 2 (this
+is the A3 validation experiment in DESIGN.md).
+
+The engine is a classic calendar of :class:`Event` objects ordered by
+timestamp (ties broken by insertion sequence so the simulation is
+deterministic), stored in a binary heap (:class:`EventQueue`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence in the simulation calendar.
+
+    Events compare by ``(time_ms, sequence)`` so that simultaneous events fire
+    in scheduling order; the callback and payload do not participate in
+    ordering.
+    """
+
+    time_ms: float
+    sequence: int
+    callback: Callable[["Event"], None] = field(compare=False)
+    kind: str = field(default="generic", compare=False)
+    payload: Dict[str, Any] = field(default_factory=dict, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the calendar head."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time_ms: float, callback: Callable[[Event], None], *,
+             kind: str = "generic", payload: Optional[Dict[str, Any]] = None) -> Event:
+        """Schedule a callback at ``time_ms``; returns the event (cancellable)."""
+        if time_ms < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time_ms}")
+        event = Event(time_ms=float(time_ms), sequence=next(self._counter),
+                      callback=callback, kind=kind, payload=dict(payload or {}))
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the calendar is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("event queue is empty")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next non-cancelled event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ms if self._heap else None
+
+    def is_empty(self) -> bool:
+        """``True`` when no non-cancelled events remain."""
+        return self.peek_time() is None

@@ -1,0 +1,73 @@
+"""Interactive replay: a single dataset traverses the mapped pipeline.
+
+This is the execution model behind the paper's minimum end-to-end delay
+objective: one dataset is processed sequentially along the pipeline, so there
+is never any queueing and the measured completion time must equal the Eq. 1
+prediction exactly (up to floating-point rounding).  The A3 validation bench
+asserts that agreement on every algorithm's mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.mapping import PipelineMapping
+from .engine import SimulationEngine
+from .processes import MappedPipelineProcess
+from .trace import Trace
+
+__all__ = ["InteractiveResult", "simulate_interactive"]
+
+
+@dataclass(frozen=True)
+class InteractiveResult:
+    """Outcome of replaying a single dataset through a mapping.
+
+    Attributes
+    ----------
+    delay_ms:
+        Measured end-to-end delay (should equal the mapping's Eq. 1 value).
+    predicted_delay_ms:
+        The analytical Eq. 1 value, for convenience.
+    trace:
+        Full activity trace.
+    events_processed:
+        Number of simulation events executed.
+    """
+
+    delay_ms: float
+    predicted_delay_ms: float
+    trace: Trace
+    events_processed: int
+
+    @property
+    def prediction_error_ms(self) -> float:
+        """Absolute difference between measurement and analytical prediction."""
+        return abs(self.delay_ms - self.predicted_delay_ms)
+
+    @property
+    def prediction_error_relative(self) -> float:
+        """Relative prediction error (0 when the prediction is exact)."""
+        if self.predicted_delay_ms == 0:
+            return 0.0 if self.delay_ms == 0 else float("inf")
+        return self.prediction_error_ms / self.predicted_delay_ms
+
+
+def simulate_interactive(mapping: PipelineMapping, *,
+                         include_link_delay: bool = True) -> InteractiveResult:
+    """Replay one dataset through ``mapping`` and measure its end-to-end delay."""
+    engine = SimulationEngine()
+    trace = Trace()
+    process = MappedPipelineProcess(engine, mapping, trace=trace,
+                                    include_link_delay=include_link_delay)
+    process.release_frames(1, interval_ms=0.0)
+    engine.run()
+    measured = process.completion_ms[0]
+    from ..model.cost import end_to_end_delay_ms
+
+    predicted = end_to_end_delay_ms(mapping.pipeline, mapping.network,
+                                    mapping.groups, mapping.path,
+                                    include_link_delay=include_link_delay)
+    return InteractiveResult(delay_ms=measured, predicted_delay_ms=predicted,
+                             trace=trace, events_processed=engine.processed_events)

@@ -1,0 +1,155 @@
+"""Replay of a mapped pipeline as a chain of FIFO stations.
+
+:class:`MappedPipelineProcess` turns a
+:class:`~repro.core.mapping.PipelineMapping` into alternating compute and
+transfer stations and pushes a configurable number of frames through them.
+Two contention details matter for fidelity to the paper's model:
+
+* **Node sharing.**  When the mapping reuses a physical node for several
+  module groups, all of those groups are served by *one* compute server (the
+  node has one CPU in the paper's model), so a streaming workload pays the
+  summed service time per frame on that node.  Stations therefore share their
+  underlying server per node id.
+* **Link sharing.**  Likewise, if a looped walk crosses the same physical link
+  twice, both crossings share one transfer server.
+
+Intra-node transfers cost nothing (consecutive groups on the same node never
+occur by construction — such groups are merged — and the path never revisits a
+node consecutively).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.mapping import PipelineMapping
+from ..exceptions import SimulationError
+from ..model.cost import group_computing_time_ms, transport_time_ms
+from .engine import SimulationEngine
+from .resources import FifoStation
+from .trace import Trace
+
+__all__ = ["MappedPipelineProcess"]
+
+
+class MappedPipelineProcess:
+    """Drives frames through the stations of one mapped pipeline.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine everything is scheduled on.
+    mapping:
+        The pipeline mapping to replay.
+    trace:
+        Optional trace collector.
+    include_link_delay:
+        Whether transfer service times include each link's minimum link delay
+        (must match the option used when the mapping was produced for
+        exact-agreement checks).
+    """
+
+    def __init__(self, engine: SimulationEngine, mapping: PipelineMapping, *,
+                 trace: Optional[Trace] = None,
+                 include_link_delay: bool = True) -> None:
+        self.engine = engine
+        self.mapping = mapping
+        self.trace = trace
+        self.include_link_delay = include_link_delay
+        self.completion_ms: Dict[int, float] = {}
+        self.release_ms: Dict[int, float] = {}
+        self._on_frame_done: Optional[Callable[[int, float], None]] = None
+
+        pipeline, network = mapping.pipeline, mapping.network
+        groups, path = mapping.groups, mapping.path
+
+        # Shared servers per physical resource.
+        self._node_stations: Dict[int, FifoStation] = {}
+        self._link_stations: Dict[Tuple[int, int], FifoStation] = {}
+
+        # The per-stage service plan: (station, service_ms) alternating
+        # compute / transfer along the mapped walk.
+        self._stages: List[Tuple[FifoStation, float]] = []
+        for idx, (group, node_id) in enumerate(zip(groups, path)):
+            station = self._node_stations.get(node_id)
+            if station is None:
+                station = FifoStation(engine, f"node:{node_id}", "compute", trace)
+                self._node_stations[node_id] = station
+            service = group_computing_time_ms(pipeline, network, group, node_id)
+            self._stages.append((station, service))
+            if idx < len(path) - 1:
+                u, v = node_id, path[idx + 1]
+                if u == v:
+                    raise SimulationError(
+                        "consecutive groups on the same node should have been merged")
+                key = (u, v) if u <= v else (v, u)
+                link_station = self._link_stations.get(key)
+                if link_station is None:
+                    link_station = FifoStation(engine, f"link:{key[0]}-{key[1]}",
+                                               "transfer", trace)
+                    self._link_stations[key] = link_station
+                message = pipeline.group_output_bytes(group)
+                service = transport_time_ms(network, u, v, message,
+                                            include_link_delay=include_link_delay)
+                self._stages.append((link_station, service))
+
+    # ------------------------------------------------------------------ #
+    # Frame injection
+    # ------------------------------------------------------------------ #
+    def release_frames(self, n_frames: int, *, interval_ms: float = 0.0,
+                       on_frame_done: Optional[Callable[[int, float], None]] = None) -> None:
+        """Schedule the release of ``n_frames`` frames into the first station.
+
+        ``interval_ms = 0`` saturates the pipeline (the paper's streaming
+        scenario: datasets are "continuously generated and fed into the
+        pipeline"); a positive interval models a source with a fixed capture
+        rate.
+        """
+        if n_frames < 1:
+            raise SimulationError("need at least one frame")
+        if interval_ms < 0:
+            raise SimulationError("interval must be non-negative")
+        self._on_frame_done = on_frame_done
+        for frame_id in range(n_frames):
+            release = frame_id * interval_ms
+            self.release_ms[frame_id] = release
+            self.engine.schedule(release, self._make_release(frame_id),
+                                 kind="frame-release", payload={"frame": frame_id})
+
+    def _make_release(self, frame_id: int) -> Callable:
+        def release(_event) -> None:
+            self._advance(frame_id, stage_index=0)
+        return release
+
+    # ------------------------------------------------------------------ #
+    # Stage progression
+    # ------------------------------------------------------------------ #
+    def _advance(self, frame_id: int, stage_index: int) -> None:
+        if stage_index >= len(self._stages):
+            now = self.engine.now_ms
+            self.completion_ms[frame_id] = now
+            if self._on_frame_done is not None:
+                self._on_frame_done(frame_id, now)
+            return
+        station, service = self._stages[stage_index]
+        station.submit(frame_id, service,
+                       lambda fid, _t, nxt=stage_index + 1: self._advance(fid, nxt))
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def stations(self) -> List[FifoStation]:
+        """All distinct stations (compute then transfer, in first-use order)."""
+        seen: Dict[int, FifoStation] = {}
+        out: List[FifoStation] = []
+        for station, _service in self._stages:
+            if id(station) not in seen:
+                seen[id(station)] = station
+                out.append(station)
+        return out
+
+    def frame_latency_ms(self, frame_id: int) -> float:
+        """Release-to-completion latency of one frame."""
+        if frame_id not in self.completion_ms:
+            raise SimulationError(f"frame {frame_id} has not completed")
+        return self.completion_ms[frame_id] - self.release_ms[frame_id]

@@ -1,0 +1,103 @@
+"""FIFO station resources used by the pipeline replay.
+
+Each computing node and each communication link of a mapped pipeline is
+modelled as a single-server FIFO station: it serves one frame at a time, in
+arrival order, and a frame that arrives while the server is busy waits in the
+station queue.  This is exactly the contention model behind the paper's
+bottleneck analysis — in steady state the throughput of a chain of FIFO
+stations is the reciprocal of the largest service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+from ..exceptions import SimulationError
+from .engine import SimulationEngine
+from .trace import Trace
+
+__all__ = ["FifoStation"]
+
+
+@dataclass
+class _Job:
+    frame_id: int
+    service_ms: float
+    on_done: Callable[[int, float], None]
+
+
+class FifoStation:
+    """A single-server FIFO station bound to a simulation engine.
+
+    Parameters
+    ----------
+    engine:
+        The driving :class:`~repro.simulation.engine.SimulationEngine`.
+    label:
+        Station label used in the trace (e.g. ``"node:4/group:1"``).
+    kind:
+        ``"compute"`` or ``"transfer"`` — recorded in the trace.
+    trace:
+        Optional :class:`~repro.simulation.trace.Trace` to record activities in.
+    """
+
+    def __init__(self, engine: SimulationEngine, label: str, kind: str,
+                 trace: Optional[Trace] = None) -> None:
+        if kind not in ("compute", "transfer"):
+            raise SimulationError(f"unknown station kind {kind!r}")
+        self.engine = engine
+        self.label = label
+        self.kind = kind
+        self.trace = trace
+        self._queue: Deque[_Job] = deque()
+        self._busy = False
+        #: total busy time accumulated by this station (ms)
+        self.busy_ms = 0.0
+        #: number of jobs fully served
+        self.completed = 0
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+    def submit(self, frame_id: int, service_ms: float,
+               on_done: Callable[[int, float], None]) -> None:
+        """Enqueue a job for ``frame_id`` needing ``service_ms`` of service.
+
+        ``on_done(frame_id, completion_time_ms)`` fires when the job leaves
+        the station.
+        """
+        if service_ms < 0:
+            raise SimulationError(f"negative service time {service_ms} on {self.label}")
+        self._queue.append(_Job(frame_id=frame_id, service_ms=service_ms, on_done=on_done))
+        if not self._busy:
+            self._start_next()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs currently waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.popleft()
+        start = self.engine.now_ms
+
+        def finish(_event) -> None:
+            end = self.engine.now_ms
+            self.busy_ms += end - start
+            self.completed += 1
+            if self.trace is not None:
+                self.trace.record(job.frame_id, self.label, self.kind, start, end)
+            job.on_done(job.frame_id, end)
+            self._start_next()
+
+        self.engine.schedule_in(job.service_ms, finish, kind=f"{self.kind}-done",
+                                payload={"station": self.label, "frame": job.frame_id})

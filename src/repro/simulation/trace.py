@@ -1,0 +1,142 @@
+"""Execution traces recorded by the discrete-event simulator.
+
+Every station activity (a module group computing a frame on a node, or a
+message crossing a link) is logged as a :class:`TraceRecord`; the
+:class:`Trace` container offers the queries the validation benches and the
+examples need: per-frame end-to-end latencies, per-station busy time and
+utilisation, and the empirically busiest station (which should coincide with
+the analytical bottleneck of Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed station activity.
+
+    Attributes
+    ----------
+    frame_id:
+        Which dataset/frame the activity belonged to (0-based).
+    station:
+        Station label, e.g. ``"node:4/group:1"`` or ``"link:4-5"``.
+    kind:
+        ``"compute"`` or ``"transfer"``.
+    start_ms, end_ms:
+        Activity start and end timestamps.
+    """
+
+    frame_id: int
+    station: str
+    kind: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Length of the activity in milliseconds."""
+        return self.end_ms - self.start_ms
+
+
+class Trace:
+    """Chronological collection of :class:`TraceRecord` objects."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, frame_id: int, station: str, kind: str,
+               start_ms: float, end_ms: float) -> None:
+        """Append one completed activity to the trace."""
+        if end_ms < start_ms:
+            raise SimulationError(
+                f"activity on {station} ends ({end_ms}) before it starts ({start_ms})")
+        self._records.append(TraceRecord(frame_id=frame_id, station=station,
+                                         kind=kind, start_ms=start_ms, end_ms=end_ms))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[TraceRecord]:
+        """All records in recording order."""
+        return list(self._records)
+
+    def frames(self) -> List[int]:
+        """All frame ids seen, ascending."""
+        return sorted({r.frame_id for r in self._records})
+
+    def stations(self) -> List[str]:
+        """All station labels seen, sorted."""
+        return sorted({r.station for r in self._records})
+
+    def frame_completion_ms(self, frame_id: int) -> float:
+        """Timestamp at which the last activity of a frame finished."""
+        times = [r.end_ms for r in self._records if r.frame_id == frame_id]
+        if not times:
+            raise SimulationError(f"frame {frame_id} does not appear in the trace")
+        return max(times)
+
+    def frame_start_ms(self, frame_id: int) -> float:
+        """Timestamp at which the first activity of a frame started."""
+        times = [r.start_ms for r in self._records if r.frame_id == frame_id]
+        if not times:
+            raise SimulationError(f"frame {frame_id} does not appear in the trace")
+        return min(times)
+
+    def frame_latency_ms(self, frame_id: int) -> float:
+        """End-to-end latency of one frame (completion minus start)."""
+        return self.frame_completion_ms(frame_id) - self.frame_start_ms(frame_id)
+
+    def station_busy_ms(self, station: str) -> float:
+        """Total busy time of one station across all frames."""
+        return sum(r.duration_ms for r in self._records if r.station == station)
+
+    def busiest_station(self) -> Tuple[str, float]:
+        """The station with the largest total busy time, and that busy time."""
+        if not self._records:
+            raise SimulationError("trace is empty")
+        best_station, best_busy = "", -1.0
+        for station in self.stations():
+            busy = self.station_busy_ms(station)
+            if busy > best_busy:
+                best_station, best_busy = station, busy
+        return best_station, best_busy
+
+    def utilisation(self, station: str, horizon_ms: Optional[float] = None) -> float:
+        """Fraction of time a station was busy over ``horizon_ms`` (default: makespan)."""
+        horizon = horizon_ms if horizon_ms is not None else self.makespan_ms()
+        if horizon <= 0:
+            return 0.0
+        return min(self.station_busy_ms(station) / horizon, 1.0)
+
+    def makespan_ms(self) -> float:
+        """End of the last recorded activity (0 for an empty trace)."""
+        return max((r.end_ms for r in self._records), default=0.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics used in the examples' printed reports."""
+        frames = self.frames()
+        latencies = [self.frame_latency_ms(f) for f in frames]
+        out: Dict[str, float] = {
+            "frames": float(len(frames)),
+            "records": float(len(self._records)),
+            "makespan_ms": self.makespan_ms(),
+        }
+        if latencies:
+            out["mean_latency_ms"] = sum(latencies) / len(latencies)
+            out["max_latency_ms"] = max(latencies)
+            out["min_latency_ms"] = min(latencies)
+        return out

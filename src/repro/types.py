@@ -1,0 +1,75 @@
+"""Shared type aliases and small protocol definitions.
+
+Keeping these in one place makes signatures across the package consistent and
+documents the unit conventions used throughout the reproduction:
+
+* **data sizes** are expressed in bytes (``InputDataInBytes`` /
+  ``OutputDataInBytes`` in the paper's Section 4.1),
+* **bandwidth** in megabits per second (``LinkBWInMbps``),
+* **minimum link delay** in milliseconds (``LinkDelayInMilliseconds``),
+* **time** everywhere else in milliseconds, matching the paper's reported
+  "minimum end-to-end delay (milliseconds)",
+* **frame rate** in frames per second (the reciprocal of the bottleneck time
+  after converting milliseconds to seconds),
+* **node processing power** is the paper's normalised abstract quantity; we
+  interpret it as "millions of abstract operations per second", and module
+  complexity as "abstract operations per input byte", so that
+  ``computing_time_ms = complexity * input_bytes / (power * 1e3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, Union
+
+#: Identifier of a computing node in a transport network.
+NodeId = int
+
+#: Identifier of a module (stage) in a computing pipeline.
+ModuleId = int
+
+#: An edge in the transport network, as an (u, v) node-id pair.
+EdgeId = Tuple[NodeId, NodeId]
+
+#: A walk through the network: an ordered sequence of node ids in which
+#: consecutive entries are connected by a link (repetitions allowed when node
+#: reuse is permitted).
+NodePath = List[NodeId]
+
+#: A pipeline decomposition: group index -> list of module ids in that group.
+Grouping = List[List[ModuleId]]
+
+#: Milliseconds.
+Milliseconds = float
+
+#: Frames per second.
+FramesPerSecond = float
+
+Number = Union[int, float]
+
+
+class SupportsSeed(Protocol):
+    """Anything accepted as a seed by :func:`repro.generators.rng_from_seed`."""
+
+    def __int__(self) -> int:  # pragma: no cover - structural typing only
+        ...
+
+
+def ensure_positive(value: Number, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` if it is not > 0."""
+    out = float(value)
+    if not out > 0.0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return out
+
+
+def ensure_non_negative(value: Number, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` if it is negative."""
+    out = float(value)
+    if out < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return out
+
+
+def pairwise(seq: Sequence) -> Iterable[Tuple]:
+    """Yield consecutive pairs ``(seq[i], seq[i+1])`` of a sequence."""
+    return zip(seq, seq[1:])

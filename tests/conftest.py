@@ -1,0 +1,128 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deterministic (fixed seeds) so test failures are
+reproducible.  The "tiny" fixtures are small enough for the exhaustive
+optimality oracles; the "medium" fixtures exercise more realistic sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import (
+    complete_network,
+    line_network,
+    random_network,
+    random_pipeline,
+    random_request,
+    remote_visualization_pipeline,
+    small_illustration_case,
+    video_surveillance_pipeline,
+)
+from repro.model import (
+    CommunicationLink,
+    ComputingModule,
+    ComputingNode,
+    EndToEndRequest,
+    Pipeline,
+    TransportNetwork,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Hand-built entities with easily checkable numbers
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def simple_pipeline() -> Pipeline:
+    """A 4-module pipeline with round numbers (workloads easy to verify by hand).
+
+    Module data sizes (bytes): source emits 1_000_000; stage outputs 500_000,
+    250_000, 0.  Complexities: 10, 20, 40 ops/byte for the three computing
+    stages.
+    """
+    return Pipeline.from_stage_specs(
+        source_bytes=1_000_000,
+        stages=[(10.0, 500_000), (20.0, 250_000), (40.0, 0)],
+        stage_names=["filter", "render", "display"],
+        name="simple",
+    )
+
+
+@pytest.fixture
+def simple_network() -> TransportNetwork:
+    """A 4-node line-plus-chord network with round numbers.
+
+    Topology: 0-1, 1-2, 2-3, 0-2.  Powers: 100, 200, 400, 50.
+    Bandwidths: all 80 Mbit/s except the 0-2 chord at 8 Mbit/s.  MLD 1 ms
+    everywhere.
+    """
+    nodes = [
+        ComputingNode(node_id=0, processing_power=100.0),
+        ComputingNode(node_id=1, processing_power=200.0),
+        ComputingNode(node_id=2, processing_power=400.0),
+        ComputingNode(node_id=3, processing_power=50.0),
+    ]
+    links = [
+        CommunicationLink(0, 1, bandwidth_mbps=80.0, min_delay_ms=1.0),
+        CommunicationLink(1, 2, bandwidth_mbps=80.0, min_delay_ms=1.0),
+        CommunicationLink(2, 3, bandwidth_mbps=80.0, min_delay_ms=1.0),
+        CommunicationLink(0, 2, bandwidth_mbps=8.0, min_delay_ms=1.0),
+    ]
+    return TransportNetwork(nodes=nodes, links=links, name="simple-net")
+
+
+@pytest.fixture
+def simple_request() -> EndToEndRequest:
+    """Source node 0, destination node 3 on the simple network."""
+    return EndToEndRequest(source=0, destination=3)
+
+
+# --------------------------------------------------------------------------- #
+# Generated instances
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def tiny_instance():
+    """Small random instance (5 modules, 7 nodes) usable with the exhaustive oracles."""
+    pipeline = random_pipeline(5, seed=101)
+    network = random_network(7, 14, seed=101)
+    request = random_request(network, seed=101, min_hop_distance=2)
+    return pipeline, network, request
+
+
+@pytest.fixture
+def illustration_instance():
+    """The paper's Fig. 3 / Fig. 4 small illustration case."""
+    return small_illustration_case()
+
+
+@pytest.fixture
+def medium_instance():
+    """Medium random instance (12 modules, 40 nodes)."""
+    pipeline = random_pipeline(12, seed=202)
+    network = random_network(40, 130, seed=202)
+    request = random_request(network, seed=202, min_hop_distance=3)
+    return pipeline, network, request
+
+
+@pytest.fixture
+def visualization_pipeline() -> Pipeline:
+    """The remote-visualization domain workload."""
+    return remote_visualization_pipeline()
+
+
+@pytest.fixture
+def surveillance_pipeline() -> Pipeline:
+    """The video-surveillance domain workload."""
+    return video_surveillance_pipeline()
+
+
+@pytest.fixture
+def complete6() -> TransportNetwork:
+    """A complete 6-node network (every placement is adjacency-feasible)."""
+    return complete_network(6, seed=33)
+
+
+@pytest.fixture
+def line5() -> TransportNetwork:
+    """A 5-node line network (unique simple path between the two ends)."""
+    return line_network(5, seed=44)

@@ -1,0 +1,140 @@
+"""Tests for alternative / fault-tolerant mappings (:mod:`repro.core.alternatives`)."""
+
+import pytest
+
+from repro.core import (
+    Objective,
+    elpc_min_delay,
+    fault_tolerance_plan,
+    k_alternative_mappings,
+    remove_nodes,
+    solve_excluding_nodes,
+)
+from repro.exceptions import InfeasibleMappingError, SpecificationError
+from repro.generators import line_network, random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest
+
+
+class TestRemoveNodes:
+    def test_nodes_and_incident_links_removed(self, simple_network):
+        reduced = remove_nodes(simple_network, [2])
+        assert not reduced.has_node(2)
+        assert reduced.n_nodes == 3
+        assert not reduced.has_link(1, 2)
+        assert reduced.has_link(0, 1)
+
+    def test_unknown_node_rejected(self, simple_network):
+        with pytest.raises(SpecificationError):
+            remove_nodes(simple_network, [99])
+
+    def test_original_untouched(self, simple_network):
+        remove_nodes(simple_network, [1])
+        assert simple_network.has_node(1)
+
+
+class TestSolveExcludingNodes:
+    def test_fallback_avoids_excluded_node(self, medium_instance):
+        pipeline, network, request = medium_instance
+        primary = elpc_min_delay(pipeline, network, request)
+        victims = [n for n in set(primary.path)
+                   if n not in (request.source, request.destination)]
+        if not victims:
+            pytest.skip("primary mapping uses only the endpoints")
+        victim = victims[0]
+        fallback = solve_excluding_nodes(pipeline, network, request,
+                                         Objective.MIN_DELAY, [victim])
+        assert victim not in fallback.path
+        assert fallback.delay_ms >= primary.delay_ms - 1e-9  # optimum can only degrade
+
+    def test_endpoints_cannot_be_excluded(self, medium_instance):
+        pipeline, network, request = medium_instance
+        with pytest.raises(SpecificationError):
+            solve_excluding_nodes(pipeline, network, request, Objective.MIN_DELAY,
+                                  [request.source])
+
+    def test_infeasible_when_cut_vertex_removed(self):
+        # On a line, removing any interior node disconnects source from destination.
+        network = line_network(5, seed=1)
+        pipeline = random_pipeline(6, seed=1)
+        request = EndToEndRequest(0, 4)
+        with pytest.raises(InfeasibleMappingError):
+            solve_excluding_nodes(pipeline, network, request, Objective.MIN_DELAY, [2])
+
+
+class TestFaultTolerancePlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        pipeline = random_pipeline(8, seed=31)
+        network = random_network(16, 48, seed=31)
+        request = random_request(network, seed=31, min_hop_distance=2)
+        return fault_tolerance_plan(pipeline, network, request), request
+
+    def test_covers_non_endpoint_primary_nodes(self, plan):
+        ft_plan, request = plan
+        expected = {n for n in set(ft_plan.primary.path)
+                    if n not in (request.source, request.destination)}
+        assert set(ft_plan.covered_nodes()) == expected
+
+    def test_fallbacks_avoid_their_failed_node(self, plan):
+        ft_plan, _request = plan
+        for node, impact in ft_plan.impacts.items():
+            if impact.survivable:
+                assert node not in impact.fallback.path
+                assert impact.degradation >= 1.0 - 1e-9
+
+    def test_worst_degradation_and_critical_node(self, plan):
+        ft_plan, _request = plan
+        if not ft_plan.impacts:
+            pytest.skip("primary mapping uses only the endpoints")
+        worst = ft_plan.worst_degradation()
+        assert worst >= 1.0 - 1e-9
+        critical = ft_plan.most_critical_node()
+        assert critical in ft_plan.impacts
+
+    def test_fallback_for_lookup(self, plan):
+        ft_plan, _request = plan
+        for node in ft_plan.covered_nodes():
+            impact = ft_plan.impacts[node]
+            if impact.survivable:
+                assert ft_plan.fallback_for(node) is impact.fallback
+        with pytest.raises(SpecificationError):
+            ft_plan.fallback_for(10_000)
+
+    def test_explicit_candidate_nodes(self):
+        pipeline = random_pipeline(6, seed=32)
+        network = random_network(12, 30, seed=32)
+        request = random_request(network, seed=32, min_hop_distance=2)
+        others = [n for n in network.node_ids()
+                  if n not in (request.source, request.destination)][:3]
+        plan = fault_tolerance_plan(pipeline, network, request, candidate_nodes=others)
+        assert set(plan.covered_nodes()) == set(others)
+
+
+class TestKAlternatives:
+    def test_first_is_optimal_and_later_are_diverse(self):
+        pipeline = random_pipeline(7, seed=33)
+        network = random_network(15, 45, seed=33)
+        request = random_request(network, seed=33, min_hop_distance=2)
+        alternatives = k_alternative_mappings(pipeline, network, request, k=3)
+        assert 1 <= len(alternatives) <= 3
+        optimal = elpc_min_delay(pipeline, network, request)
+        assert alternatives[0].delay_ms == pytest.approx(optimal.delay_ms, rel=1e-9)
+        # objective values are non-decreasing (each alternative solves a more
+        # constrained problem)
+        for earlier, later in zip(alternatives, alternatives[1:]):
+            assert later.delay_ms >= earlier.delay_ms - 1e-9
+
+    def test_k_validation(self, medium_instance):
+        pipeline, network, request = medium_instance
+        with pytest.raises(SpecificationError):
+            k_alternative_mappings(pipeline, network, request, k=0)
+
+    def test_framerate_objective_supported(self):
+        pipeline = random_pipeline(5, seed=34)
+        network = random_network(12, 36, seed=34)
+        request = random_request(network, seed=34, min_hop_distance=2)
+        alternatives = k_alternative_mappings(pipeline, network, request, k=2,
+                                              objective=Objective.MAX_FRAME_RATE)
+        assert alternatives
+        for earlier, later in zip(alternatives, alternatives[1:]):
+            assert later.frame_rate_fps <= earlier.frame_rate_fps + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for the comparison harness (:mod:`repro.analysis.comparison`)."""
+
+import pytest
+
+from repro.analysis import DEFAULT_ALGORITHMS, run_case, run_comparison
+from repro.core import Objective
+from repro.generators import make_case, PAPER_CASE_SPECS, paper_case_suite
+from repro.model import EndToEndRequest, ProblemInstance
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return paper_case_suite(max_cases=3)
+
+
+class TestRunCase:
+    def test_all_default_algorithms_reported(self, small_suite):
+        case = run_case(small_suite[0], Objective.MIN_DELAY)
+        assert set(case.results) == set(DEFAULT_ALGORITHMS)
+        assert case.size_signature == small_suite[0].size_signature
+        for result in case.results.values():
+            assert result.runtime_s >= 0.0
+
+    def test_elpc_is_best_for_delay(self, small_suite):
+        case = run_case(small_suite[0], Objective.MIN_DELAY)
+        assert case.best_algorithm() == "elpc" or \
+            case.value("elpc") == pytest.approx(case.value(case.best_algorithm()))
+
+    def test_infeasible_recorded_not_raised(self):
+        """An instance that is infeasible for the no-reuse variant must produce
+        value=None entries rather than an exception."""
+        from repro.generators import line_network, random_pipeline
+        pipeline = random_pipeline(4, seed=0)
+        network = line_network(5, seed=0)
+        instance = ProblemInstance(pipeline=pipeline, network=network,
+                                   request=EndToEndRequest(0, 2), name="bad")
+        case = run_case(instance, Objective.MAX_FRAME_RATE)
+        assert all(result.value is None for result in case.results.values())
+        assert all(result.error for result in case.results.values())
+
+    def test_custom_algorithm_list(self, small_suite):
+        case = run_case(small_suite[0], Objective.MIN_DELAY, algorithms=("elpc", "random"))
+        assert set(case.results) == {"elpc", "random"}
+
+
+class TestRunComparison:
+    def test_series_shapes(self, small_suite):
+        run = run_comparison(small_suite, Objective.MIN_DELAY)
+        assert len(run.cases) == len(small_suite)
+        assert run.case_names() == [inst.name for inst in small_suite]
+        for algorithm in DEFAULT_ALGORITHMS:
+            assert len(run.series(algorithm)) == len(small_suite)
+
+    def test_elpc_wins_every_delay_case(self, small_suite):
+        run = run_comparison(small_suite, Objective.MIN_DELAY)
+        assert run.win_count("elpc") == len(small_suite)
+
+    def test_feasible_counts(self, small_suite):
+        run = run_comparison(small_suite, Objective.MIN_DELAY)
+        assert run.feasible_case_count("elpc") == len(small_suite)
+
+    def test_mean_improvement_at_least_one(self, small_suite):
+        run = run_comparison(small_suite, Objective.MIN_DELAY)
+        assert run.mean_improvement("streamline") >= 1.0 - 1e-9
+        assert run.mean_improvement("greedy") >= 1.0 - 1e-9
+
+    def test_framerate_objective_runs(self, small_suite):
+        run = run_comparison(small_suite, Objective.MAX_FRAME_RATE)
+        assert len(run.cases) == len(small_suite)
+        # ELPC must be feasible on the fixed suite cases (validated at generation)
+        assert run.feasible_case_count("elpc") == len(small_suite)

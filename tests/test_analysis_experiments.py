@@ -1,0 +1,124 @@
+"""Tests for the per-figure reproduction drivers (:mod:`repro.analysis.experiments`).
+
+These are the library-level checks that the reproduced artifacts have the
+*shape* the paper reports; the full-suite versions live in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    reproduce_fig2,
+    reproduce_fig3,
+    reproduce_fig4,
+    reproduce_fig5,
+    reproduce_fig6,
+    runtime_scaling,
+    write_all_outputs,
+)
+from repro.core import Objective
+
+
+@pytest.fixture(scope="module")
+def fig2_small():
+    # Keep the unit-test version small; the benchmark runs all 20 cases.
+    return reproduce_fig2(max_cases=4)
+
+
+class TestFig2:
+    def test_runs_cover_requested_cases(self, fig2_small):
+        assert len(fig2_small.delay_run.cases) == 4
+        assert len(fig2_small.framerate_run.cases) == 4
+
+    def test_elpc_never_loses_on_delay(self, fig2_small):
+        assert fig2_small.elpc_wins_delay() == 4
+
+    def test_elpc_never_loses_on_framerate(self, fig2_small):
+        assert fig2_small.elpc_wins_framerate() == 4
+
+    def test_table_text_structure(self, fig2_small):
+        assert "Min end-to-end delay" in fig2_small.table_text
+        assert "case-01" in fig2_small.table_text
+
+
+class TestFig3AndFig4:
+    def test_fig3_shape(self):
+        result = reproduce_fig3()
+        assert result.instance.pipeline.n_modules == 5
+        assert result.mapping.objective is Objective.MIN_DELAY
+        assert result.mapping.path[0] == 0
+        assert result.mapping.path[-1] == 5
+        assert "minimum end-to-end delay" in result.walkthrough_text
+
+    def test_fig4_shape(self):
+        result = reproduce_fig4()
+        assert result.mapping.objective is Objective.MAX_FRAME_RATE
+        assert len(result.mapping.path) == 5
+        assert len(set(result.mapping.path)) == 5  # no reuse
+        assert "maximum frame rate" in result.walkthrough_text
+
+    def test_fig3_reuses_nodes_fig4_does_not(self):
+        fig3 = reproduce_fig3()
+        fig4 = reproduce_fig4()
+        # Fig. 3 groups at least two modules on some node (5 modules on <= 6 nodes,
+        # and the optimum in the paper grouped several); Fig. 4 uses 5 distinct nodes.
+        assert len(fig3.mapping.path) <= 5
+        assert len(fig4.mapping.path) == 5
+
+
+class TestFig5AndFig6:
+    def test_series_from_existing_run(self, fig2_small):
+        fig5 = reproduce_fig5(run=fig2_small.delay_run)
+        assert set(fig5.series) == set(fig2_small.delay_run.algorithms)
+        assert len(fig5.case_labels) == 4
+        assert "Fig. 5" in fig5.chart_text
+        assert fig5.csv_text.startswith("case,")
+
+    def test_fig5_elpc_curve_below_baselines(self, fig2_small):
+        fig5 = reproduce_fig5(run=fig2_small.delay_run)
+        for idx in range(len(fig5.case_labels)):
+            elpc = fig5.series["elpc"][idx]
+            for other in ("streamline", "greedy"):
+                value = fig5.series[other][idx]
+                if value is not None and elpc is not None:
+                    assert elpc <= value + 1e-9
+
+    def test_fig6_elpc_curve_above_baselines(self, fig2_small):
+        fig6 = reproduce_fig6(run=fig2_small.framerate_run)
+        for idx in range(len(fig6.case_labels)):
+            elpc = fig6.series["elpc"][idx]
+            for other in ("streamline", "greedy"):
+                value = fig6.series[other][idx]
+                if value is not None and elpc is not None:
+                    assert elpc >= value - 1e-9
+
+    def test_standalone_generation(self):
+        fig6 = reproduce_fig6(max_cases=2)
+        assert len(fig6.case_labels) == 2
+
+
+class TestRuntimeScaling:
+    def test_measures_all_sizes(self):
+        result = runtime_scaling(sizes=[(5, 10, 20), (10, 20, 60)])
+        assert len(result.sizes) == 2
+        assert all(t > 0 for t in result.delay_runtimes_s)
+        assert result.work_units() == [5 * 20.0, 10 * 60.0]
+        assert len(result.delay_runtime_per_unit()) == 2
+
+    def test_runtime_grows_with_problem_size(self):
+        result = runtime_scaling(sizes=[(5, 10, 20), (40, 200, 1000)])
+        assert result.delay_runtimes_s[1] > result.delay_runtimes_s[0]
+
+
+class TestWriteAllOutputs:
+    def test_artifacts_written(self, tmp_path):
+        written = write_all_outputs(tmp_path, max_cases=2)
+        expected = {"fig2", "fig3", "fig4", "fig5", "fig5_csv", "fig6", "fig6_csv",
+                    "runtime_scaling"}
+        assert expected <= set(written)
+        for path in written.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+        assert "Fig. 5" in (tmp_path / "fig5_delay_curves.txt").read_text()
+        assert (tmp_path / "runtime_scaling.csv").read_text().startswith("modules,")

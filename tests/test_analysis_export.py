@@ -1,0 +1,63 @@
+"""Tests for the Graphviz DOT export."""
+
+import pytest
+
+from repro.analysis import mapping_to_dot, network_to_dot, write_dot
+from repro.core import elpc_max_frame_rate, elpc_min_delay
+
+
+class TestNetworkToDot:
+    def test_contains_all_nodes_and_links(self, simple_network):
+        dot = network_to_dot(simple_network)
+        assert dot.startswith('graph "network"')
+        for node_id in simple_network.node_ids():
+            assert f"n{node_id} [" in dot
+        assert dot.count(" -- ") == simple_network.n_links
+        assert dot.rstrip().endswith("}")
+
+    def test_attribute_toggle(self, simple_network):
+        with_attrs = network_to_dot(simple_network, include_attributes=True)
+        without = network_to_dot(simple_network, include_attributes=False)
+        assert "Mbps" in with_attrs
+        assert "Mbps" not in without
+
+    def test_custom_name(self, simple_network):
+        assert 'graph "wan"' in network_to_dot(simple_network, name="wan")
+
+
+class TestMappingToDot:
+    def test_highlights_used_nodes_and_links(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_min_delay(inst.pipeline, inst.network, inst.request)
+        dot = mapping_to_dot(mapping, name="fig3")
+        # used nodes are filled, mapped links are bold
+        assert "fillcolor" in dot
+        assert "penwidth=2.5" in dot
+        assert "delay" in dot and "frames/s" in dot
+        # every network link appears exactly once
+        assert dot.count(" -- ") == inst.network.n_links
+
+    def test_bottleneck_highlighted(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        dot = mapping_to_dot(mapping)
+        breakdown = mapping.breakdown()
+        if breakdown.bottleneck_kind == "node":
+            assert "#ffcccc" in dot
+        else:
+            assert 'color="red"' in dot
+
+    def test_module_names_listed(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_min_delay(inst.pipeline, inst.network, inst.request)
+        dot = mapping_to_dot(mapping)
+        # at least one module label (M<k> or a stage name) appears on a node
+        assert any(f"M{m}" in dot or (inst.pipeline.modules[m].name or "") in dot
+                   for m in range(inst.pipeline.n_modules))
+
+
+class TestWriteDot:
+    def test_writes_file(self, tmp_path, simple_network):
+        path = write_dot(network_to_dot(simple_network), tmp_path / "a" / "net.dot")
+        assert path.exists()
+        assert path.read_text().startswith("graph")

@@ -1,0 +1,73 @@
+"""Tests for result records and improvement metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis import AlgorithmResult, CaseResult, improvement_ratio
+from repro.core import Objective
+
+
+class TestImprovementRatio:
+    def test_delay_direction(self):
+        # ELPC delay 100 ms vs baseline 200 ms -> 2x improvement
+        assert improvement_ratio(Objective.MIN_DELAY, 100.0, 200.0) == pytest.approx(2.0)
+
+    def test_framerate_direction(self):
+        # ELPC 30 fps vs baseline 10 fps -> 3x improvement
+        assert improvement_ratio(Objective.MAX_FRAME_RATE, 30.0, 10.0) == pytest.approx(3.0)
+
+    def test_degenerate_values_give_nan(self):
+        assert math.isnan(improvement_ratio(Objective.MIN_DELAY, 0.0, 10.0))
+        assert math.isnan(improvement_ratio(Objective.MIN_DELAY, 10.0, 0.0))
+
+
+class TestAlgorithmResult:
+    def test_feasible_flag(self):
+        ok = AlgorithmResult("c", "elpc", Objective.MIN_DELAY, 12.0, 0.01)
+        bad = AlgorithmResult("c", "greedy", Objective.MIN_DELAY, None, 0.01,
+                              error="stuck")
+        assert ok.feasible and not bad.feasible
+        assert ok.value_or_nan() == 12.0
+        assert math.isnan(bad.value_or_nan())
+
+
+def build_case(objective=Objective.MIN_DELAY):
+    case = CaseResult(case_name="case-1", objective=objective,
+                      size_signature=(5, 6, 10))
+    case.add(AlgorithmResult("case-1", "elpc", objective, 100.0, 0.01))
+    case.add(AlgorithmResult("case-1", "streamline", objective, 150.0, 0.02))
+    case.add(AlgorithmResult("case-1", "greedy", objective, None, 0.005, error="x"))
+    return case
+
+
+class TestCaseResult:
+    def test_lookup_and_algorithms(self):
+        case = build_case()
+        assert case.algorithms() == ["elpc", "greedy", "streamline"]
+        assert case.value("elpc") == 100.0
+        assert case.value("greedy") is None
+        assert case.value("unknown") is None
+
+    def test_best_algorithm_min_delay(self):
+        assert build_case().best_algorithm() == "elpc"
+
+    def test_best_algorithm_max_framerate(self):
+        case = CaseResult("c", Objective.MAX_FRAME_RATE, (5, 6, 10))
+        case.add(AlgorithmResult("c", "elpc", Objective.MAX_FRAME_RATE, 20.0, 0.0))
+        case.add(AlgorithmResult("c", "greedy", Objective.MAX_FRAME_RATE, 25.0, 0.0))
+        assert case.best_algorithm() == "greedy"
+
+    def test_best_algorithm_all_infeasible(self):
+        case = CaseResult("c", Objective.MIN_DELAY, (5, 6, 10))
+        case.add(AlgorithmResult("c", "elpc", Objective.MIN_DELAY, None, 0.0))
+        assert case.best_algorithm() is None
+
+    def test_elpc_improvement(self):
+        case = build_case()
+        assert case.elpc_improvement("streamline") == pytest.approx(1.5)
+        assert math.isnan(case.elpc_improvement("greedy"))
+
+    def test_to_row_order(self):
+        case = build_case()
+        assert case.to_row(["streamline", "elpc", "greedy"]) == [150.0, 100.0, None]

@@ -1,0 +1,125 @@
+"""Tests for the reporting and plotting layers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ascii_line_chart,
+    comparison_table,
+    fig2_table,
+    format_value,
+    mapping_walkthrough,
+    run_comparison,
+    series_to_csv,
+    write_csv,
+)
+from repro.core import Objective, elpc_min_delay
+from repro.exceptions import SpecificationError
+from repro.generators import paper_case_suite
+
+
+@pytest.fixture(scope="module")
+def runs():
+    suite = paper_case_suite(max_cases=3)
+    delay = run_comparison(suite, Objective.MIN_DELAY)
+    rate = run_comparison(suite, Objective.MAX_FRAME_RATE)
+    return delay, rate
+
+
+class TestFormatValue:
+    def test_number(self):
+        assert format_value(12.3456) == "12.35"
+        assert format_value(12.3456, precision=1) == "12.3"
+
+    def test_missing(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+
+
+class TestComparisonTable:
+    def test_contains_cases_and_algorithms(self, runs):
+        delay, _rate = runs
+        text = comparison_table(delay)
+        for case in delay.cases:
+            assert case.case_name in text
+        for algorithm in delay.algorithms:
+            assert algorithm in text
+        assert "ELPC best or tied" in text
+
+    def test_fig2_table_combines_both_objectives(self, runs):
+        delay, rate = runs
+        text = fig2_table(delay, rate)
+        assert "Min end-to-end delay" in text
+        assert "Max frame rate" in text
+        assert "ELPC best or tied" in text
+        assert "case-01" in text
+
+    def test_fig2_table_requires_same_cases(self, runs):
+        delay, rate = runs
+        import copy
+        truncated = copy.copy(rate)
+        truncated.cases = rate.cases[:-1]
+        with pytest.raises(ValueError):
+            fig2_table(delay, truncated)
+
+
+class TestMappingWalkthrough:
+    def test_mentions_modules_links_and_bottleneck(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_min_delay(inst.pipeline, inst.network, inst.request)
+        text = mapping_walkthrough(mapping, title="Test title")
+        assert "Test title" in text
+        assert "selected path" in text
+        assert "bottleneck" in text
+        assert "end-to-end delay" in text
+        for node in mapping.path:
+            assert f"node {node}" in text
+
+
+class TestAsciiChart:
+    def test_basic_chart(self):
+        series = {"elpc": [1.0, 2.0, 3.0], "greedy": [2.0, 3.0, 4.0]}
+        text = ascii_line_chart(series, x_labels=["1", "2", "3"],
+                                title="T", y_label="ms")
+        assert "T" in text
+        assert "legend" in text
+        assert "elpc" in text and "greedy" in text
+
+    def test_handles_missing_points(self):
+        series = {"a": [1.0, None, 3.0]}
+        text = ascii_line_chart(series)
+        assert "legend" in text
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(SpecificationError):
+            ascii_line_chart({})
+        with pytest.raises(SpecificationError):
+            ascii_line_chart({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(SpecificationError):
+            ascii_line_chart({"a": [None, None]})
+
+    def test_size_validation(self):
+        with pytest.raises(SpecificationError):
+            ascii_line_chart({"a": [1.0, 2.0]}, height=1)
+
+
+class TestCsvExport:
+    def test_series_to_csv_contents(self):
+        series = {"elpc": [1.5, 2.5], "greedy": [3.0, None]}
+        text = series_to_csv(series, x_labels=["c1", "c2"], x_name="case")
+        lines = text.strip().splitlines()
+        assert lines[0] == "case,elpc,greedy"
+        assert lines[1].startswith("c1,1.5,3.0")
+        assert lines[2].startswith("c2,2.5,")  # missing value -> empty cell
+
+    def test_write_csv_creates_file(self, tmp_path):
+        path = write_csv({"a": [1.0, 2.0]}, tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert "a" in path.read_text()
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(SpecificationError):
+            series_to_csv({"a": [1.0], "b": [1.0, 2.0]})
+        with pytest.raises(SpecificationError):
+            series_to_csv({})

@@ -1,0 +1,63 @@
+"""Tests for the Dynamic-Critical-Path-inspired baseline."""
+
+import pytest
+
+from repro.baselines import dcp_min_delay
+from repro.core import Objective, available_solvers, elpc_min_delay, solve
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import line_network, random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest
+
+
+class TestDcpStructure:
+    def test_valid_mapping(self, simple_pipeline, simple_network, simple_request):
+        mapping = dcp_min_delay(simple_pipeline, simple_network, simple_request)
+        assert mapping.algorithm == "dcp"
+        assert mapping.objective is Objective.MIN_DELAY
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+        assert simple_network.is_walk(mapping.path)
+
+    def test_registered_in_registry(self):
+        assert "dcp" in available_solvers(Objective.MIN_DELAY)
+        assert "dcp" not in available_solvers(Objective.MAX_FRAME_RATE)
+
+    def test_callable_via_solve(self, simple_pipeline, simple_network, simple_request):
+        mapping = solve("dcp", simple_pipeline, simple_network, simple_request,
+                        Objective.MIN_DELAY)
+        assert mapping.algorithm == "dcp"
+
+    def test_infeasible_short_pipeline(self):
+        network = line_network(6, seed=4)
+        pipeline = random_pipeline(3, seed=4)
+        with pytest.raises(InfeasibleMappingError):
+            dcp_min_delay(pipeline, network, EndToEndRequest(0, 5))
+
+
+class TestDcpQuality:
+    def test_never_better_than_elpc(self):
+        for seed in range(10):
+            pipeline = random_pipeline(7, seed=seed)
+            network = random_network(14, 42, seed=seed + 900)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            dcp = dcp_min_delay(pipeline, network, request)
+            optimal = elpc_min_delay(pipeline, network, request)
+            assert dcp.delay_ms >= optimal.delay_ms - 1e-9
+
+    def test_lookahead_usually_helps_over_greedy(self):
+        """DCP's critical-path look-ahead should not lose to Greedy on average."""
+        from repro.baselines import greedy_min_delay
+        dcp_total, greedy_total = 0.0, 0.0
+        for seed in range(12):
+            pipeline = random_pipeline(7, seed=seed + 50)
+            network = random_network(16, 50, seed=seed + 950)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            dcp_total += dcp_min_delay(pipeline, network, request).delay_ms
+            greedy_total += greedy_min_delay(pipeline, network, request).delay_ms
+        assert dcp_total <= greedy_total * 1.05  # at worst marginally behind
+
+    def test_runs_on_medium_instance(self, medium_instance):
+        pipeline, network, request = medium_instance
+        mapping = dcp_min_delay(pipeline, network, request)
+        assert mapping.delay_ms > 0
+        assert mapping.runtime_s < 5.0

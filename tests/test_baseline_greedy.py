@@ -1,0 +1,89 @@
+"""Tests for the Greedy baseline mapper."""
+
+import pytest
+
+from repro.baselines import greedy_max_frame_rate, greedy_min_delay
+from repro.core import elpc_max_frame_rate, elpc_min_delay
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import line_network, random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest, assert_no_reuse
+
+
+class TestGreedyMinDelay:
+    def test_valid_mapping_structure(self, simple_pipeline, simple_network, simple_request):
+        mapping = greedy_min_delay(simple_pipeline, simple_network, simple_request)
+        assert mapping.algorithm == "greedy"
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+        assert simple_network.is_walk(mapping.path)
+
+    def test_never_better_than_elpc(self):
+        """ELPC is optimal, so Greedy can never beat it (may tie)."""
+        for seed in range(10):
+            pipeline = random_pipeline(6, seed=seed)
+            network = random_network(12, 30, seed=seed)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            greedy = greedy_min_delay(pipeline, network, request)
+            optimal = elpc_min_delay(pipeline, network, request)
+            assert greedy.delay_ms >= optimal.delay_ms - 1e-9
+
+    def test_single_hop_instance(self, simple_pipeline, simple_network):
+        mapping = greedy_min_delay(simple_pipeline, simple_network, EndToEndRequest(0, 1))
+        assert mapping.path[0] == 0 and mapping.path[-1] == 1
+
+    def test_line_network_forced_route(self):
+        network = line_network(4, seed=7)
+        pipeline = random_pipeline(6, seed=7)
+        mapping = greedy_min_delay(pipeline, network, EndToEndRequest(0, 3))
+        # every node of the line must appear (in order) since it is the only route
+        assert [n for i, n in enumerate(mapping.path) if i == 0 or n != mapping.path[i - 1]] \
+            == [0, 1, 2, 3]
+
+    def test_infeasible_short_pipeline(self):
+        network = line_network(6, seed=7)
+        pipeline = random_pipeline(3, seed=7)
+        with pytest.raises(InfeasibleMappingError):
+            greedy_min_delay(pipeline, network, EndToEndRequest(0, 5))
+
+
+class TestGreedyMaxFrameRate:
+    def test_no_reuse_and_endpoints(self, simple_pipeline, simple_network, simple_request):
+        mapping = greedy_max_frame_rate(simple_pipeline, simple_network, simple_request)
+        assert_no_reuse(mapping.path)
+        assert len(mapping.path) == simple_pipeline.n_modules
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+
+    def test_never_better_than_exhaustive(self):
+        from repro.core import exhaustive_max_frame_rate
+        for seed in range(8):
+            pipeline = random_pipeline(4, seed=seed)
+            network = random_network(8, 18, seed=seed + 40)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            try:
+                exact = exhaustive_max_frame_rate(pipeline, network, request)
+                greedy = greedy_max_frame_rate(pipeline, network, request)
+            except InfeasibleMappingError:
+                continue
+            assert greedy.frame_rate_fps <= exact.frame_rate_fps + 1e-9
+
+    def test_destination_reserved_for_last_module(self):
+        for seed in range(5):
+            pipeline = random_pipeline(5, seed=seed)
+            network = random_network(10, 25, seed=seed + 60)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            try:
+                mapping = greedy_max_frame_rate(pipeline, network, request)
+            except InfeasibleMappingError:
+                continue
+            assert request.destination not in mapping.path[:-1]
+
+    def test_infeasible_when_not_enough_nodes(self, simple_network, simple_request):
+        pipeline = random_pipeline(9, seed=3)
+        with pytest.raises(InfeasibleMappingError):
+            greedy_max_frame_rate(pipeline, simple_network, simple_request)
+
+    def test_runtime_recorded(self, simple_pipeline, simple_network, simple_request):
+        mapping = greedy_max_frame_rate(simple_pipeline, simple_network, simple_request)
+        assert mapping.runtime_s >= 0.0
+        assert mapping.extras["include_link_delay"] is True

@@ -1,0 +1,105 @@
+"""Tests for the Random and naive reference mappers."""
+
+import pytest
+
+from repro.baselines import (
+    direct_path_max_frame_rate,
+    direct_path_min_delay,
+    random_max_frame_rate,
+    random_min_delay,
+    source_only_min_delay,
+)
+from repro.core import elpc_min_delay
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import line_network, random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest, assert_no_reuse
+
+
+class TestRandomMinDelay:
+    def test_structure_and_reproducibility(self, simple_pipeline, simple_network,
+                                           simple_request):
+        a = random_min_delay(simple_pipeline, simple_network, simple_request, seed=9)
+        b = random_min_delay(simple_pipeline, simple_network, simple_request, seed=9)
+        c = random_min_delay(simple_pipeline, simple_network, simple_request, seed=10)
+        assert a.path == b.path and a.groups == b.groups
+        assert a.path[0] == simple_request.source and a.path[-1] == simple_request.destination
+        assert simple_network.is_walk(c.path)
+
+    def test_never_better_than_elpc(self):
+        for seed in range(6):
+            pipeline = random_pipeline(6, seed=seed)
+            network = random_network(10, 26, seed=seed + 30)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            rnd = random_min_delay(pipeline, network, request, seed=seed)
+            opt = elpc_min_delay(pipeline, network, request)
+            assert rnd.delay_ms >= opt.delay_ms - 1e-9
+
+
+class TestRandomMaxFrameRate:
+    def test_no_reuse_path(self, simple_pipeline, simple_network, simple_request):
+        mapping = random_max_frame_rate(simple_pipeline, simple_network, simple_request,
+                                        seed=1)
+        assert_no_reuse(mapping.path)
+        assert len(mapping.path) == simple_pipeline.n_modules
+        assert "restarts" in mapping.extras
+
+    def test_infeasible_instance_raises(self, simple_network, simple_request):
+        pipeline = random_pipeline(9, seed=2)
+        with pytest.raises(InfeasibleMappingError):
+            random_max_frame_rate(pipeline, simple_network, simple_request, seed=2)
+
+
+class TestSourceOnly:
+    def test_all_compute_on_source_when_adjacent(self, simple_pipeline, simple_network):
+        mapping = source_only_min_delay(simple_pipeline, simple_network,
+                                        EndToEndRequest(0, 1))
+        assert mapping.modules_on_node(0) == [0, 1, 2]
+        assert mapping.modules_on_node(1) == [3]
+
+    def test_relays_along_shortest_path(self, simple_pipeline, simple_network,
+                                        simple_request):
+        mapping = source_only_min_delay(simple_pipeline, simple_network, simple_request)
+        # source 0 to destination 3: shortest path 0-2-3 (2 hops), pipeline 4 modules
+        assert mapping.path[0] == 0 and mapping.path[-1] == 3
+        assert mapping.modules_on_node(0) == [0, 1]
+
+    def test_infeasible_when_pipeline_shorter_than_route(self):
+        network = line_network(6, seed=0)
+        pipeline = random_pipeline(3, seed=0)
+        with pytest.raises(InfeasibleMappingError):
+            source_only_min_delay(pipeline, network, EndToEndRequest(0, 5))
+
+    def test_never_better_than_elpc(self, medium_instance):
+        pipeline, network, request = medium_instance
+        naive = source_only_min_delay(pipeline, network, request)
+        opt = elpc_min_delay(pipeline, network, request)
+        assert naive.delay_ms >= opt.delay_ms - 1e-9
+
+
+class TestDirectPath:
+    def test_even_spread_on_shortest_path(self, simple_pipeline, simple_network,
+                                          simple_request):
+        mapping = direct_path_min_delay(simple_pipeline, simple_network, simple_request)
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+        # 4 modules over a 3-node shortest route: group sizes 2,1,1
+        assert sorted(len(g) for g in mapping.groups) == [1, 1, 2]
+
+    def test_direct_path_framerate_structure(self, simple_pipeline, simple_network,
+                                             simple_request):
+        mapping = direct_path_max_frame_rate(simple_pipeline, simple_network,
+                                             simple_request)
+        assert_no_reuse(mapping.path)
+        assert len(mapping.path) == simple_pipeline.n_modules
+
+    def test_direct_path_framerate_infeasible(self):
+        network = line_network(5, seed=1)
+        pipeline = random_pipeline(4, seed=1)
+        with pytest.raises(InfeasibleMappingError):
+            direct_path_max_frame_rate(pipeline, network, EndToEndRequest(0, 2))
+
+    def test_never_better_than_elpc(self, medium_instance):
+        pipeline, network, request = medium_instance
+        naive = direct_path_min_delay(pipeline, network, request)
+        opt = elpc_min_delay(pipeline, network, request)
+        assert naive.delay_ms >= opt.delay_ms - 1e-9

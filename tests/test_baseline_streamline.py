@@ -1,0 +1,135 @@
+"""Tests for the Streamline baseline mapper (adapted to linear pipelines)."""
+
+import pytest
+
+from repro.baselines import (
+    resource_ranks,
+    stage_needs,
+    streamline_max_frame_rate,
+    streamline_min_delay,
+)
+from repro.core import elpc_min_delay
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import (
+    complete_network,
+    line_network,
+    random_network,
+    random_pipeline,
+    random_request,
+)
+from repro.model import EndToEndRequest, assert_no_reuse
+
+
+class TestStageNeeds:
+    def test_length_and_alignment(self, visualization_pipeline):
+        needs = stage_needs(visualization_pipeline)
+        assert len(needs) == visualization_pipeline.n_modules
+        assert all(n >= 0 for n in needs)
+
+    def test_heaviest_stage_has_highest_need(self, visualization_pipeline):
+        needs = stage_needs(visualization_pipeline)
+        workloads = visualization_pipeline.workloads()
+        # the module with the largest workload should be among the top-2 needs
+        heaviest = workloads.index(max(workloads))
+        top2 = sorted(range(len(needs)), key=lambda j: needs[j], reverse=True)[:2]
+        assert heaviest in top2
+
+    def test_source_has_zero_compute_need_but_positive_comm_need(self, simple_pipeline):
+        needs = stage_needs(simple_pipeline)
+        assert needs[0] > 0.0  # communication component only
+
+
+class TestResourceRanks:
+    def test_all_nodes_ranked(self, simple_network):
+        ranks = resource_ranks(simple_network)
+        assert set(ranks) == set(simple_network.node_ids())
+        assert all(0.0 <= r <= 2.0 for r in ranks.values())
+
+    def test_most_powerful_well_connected_node_ranks_highest(self, simple_network):
+        ranks = resource_ranks(simple_network)
+        # node 2 has the highest power (400) and good connectivity in the fixture
+        assert max(ranks, key=ranks.get) == 2
+
+
+class TestStreamlineMinDelay:
+    def test_valid_structure(self, simple_pipeline, simple_network, simple_request):
+        mapping = streamline_min_delay(simple_pipeline, simple_network, simple_request)
+        assert mapping.algorithm == "streamline"
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+        assert simple_network.is_walk(mapping.path)
+        assert "tentative_assignment" in mapping.extras
+
+    def test_never_better_than_elpc(self):
+        for seed in range(10):
+            pipeline = random_pipeline(6, seed=seed)
+            network = random_network(14, 40, seed=seed + 10)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            streamline = streamline_min_delay(pipeline, network, request)
+            optimal = elpc_min_delay(pipeline, network, request)
+            assert streamline.delay_ms >= optimal.delay_ms - 1e-9
+
+    def test_tentative_assignment_respected_on_complete_graph(self):
+        """On a complete network every tentative choice is adjacency-feasible,
+        so the adapted assignment should keep the interior tentative picks."""
+        network = complete_network(8, seed=3)
+        pipeline = random_pipeline(5, seed=3)
+        request = EndToEndRequest(0, 7)
+        mapping = streamline_min_delay(pipeline, network, request)
+        tentative = mapping.extras["tentative_assignment"]
+        assert mapping.assignment()[0] == tentative[0] == 0
+        assert mapping.assignment()[-1] == tentative[-1] == 7
+
+    def test_infeasible_short_pipeline(self):
+        network = line_network(6, seed=2)
+        pipeline = random_pipeline(3, seed=2)
+        with pytest.raises(InfeasibleMappingError):
+            streamline_min_delay(pipeline, network, EndToEndRequest(0, 5))
+
+
+class TestStreamlineMaxFrameRate:
+    def test_no_reuse_structure(self, simple_pipeline, complete6):
+        # A dense topology: Streamline's needs-first placement is always repairable.
+        request = EndToEndRequest(0, 5)
+        mapping = streamline_max_frame_rate(simple_pipeline, complete6, request)
+        assert_no_reuse(mapping.path)
+        assert len(mapping.path) == simple_pipeline.n_modules
+        assert mapping.path[-1] == request.destination
+
+    def test_sparse_topology_may_be_reported_infeasible(self, simple_pipeline,
+                                                        simple_network, simple_request):
+        """On the sparse fixture the needs-first tentative choice can paint the
+        walk into a corner; the algorithm must report that cleanly rather than
+        return an invalid mapping."""
+        try:
+            mapping = streamline_max_frame_rate(simple_pipeline, simple_network,
+                                                simple_request)
+            assert_no_reuse(mapping.path)
+            assert mapping.path[-1] == simple_request.destination
+        except InfeasibleMappingError:
+            pass
+
+    def test_interior_stages_get_distinct_nodes_on_complete_graph(self):
+        network = complete_network(10, seed=6)
+        pipeline = random_pipeline(6, seed=6)
+        mapping = streamline_max_frame_rate(pipeline, network, EndToEndRequest(0, 9))
+        assert len(set(mapping.path)) == len(mapping.path)
+
+    def test_infeasible_when_not_enough_nodes(self, simple_network, simple_request):
+        pipeline = random_pipeline(9, seed=5)
+        with pytest.raises(InfeasibleMappingError):
+            streamline_max_frame_rate(pipeline, simple_network, simple_request)
+
+    def test_feasible_on_random_instances_or_reports(self):
+        successes = 0
+        for seed in range(8):
+            pipeline = random_pipeline(5, seed=seed)
+            network = random_network(12, 35, seed=seed + 70)
+            request = random_request(network, seed=seed, min_hop_distance=2)
+            try:
+                mapping = streamline_max_frame_rate(pipeline, network, request)
+                assert_no_reuse(mapping.path)
+                successes += 1
+            except InfeasibleMappingError:
+                pass
+        assert successes >= 4  # the heuristic should succeed on most dense instances

@@ -1,0 +1,69 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import main_bench, main_map
+
+
+class TestReproMap:
+    def test_list_algorithms(self, capsys):
+        assert main_map(["--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "elpc" in out and "greedy" in out
+
+    def test_map_builtin_case_delay(self, capsys):
+        assert main_map(["--case", "1", "--algorithm", "elpc",
+                         "--objective", "delay"]) == 0
+        out = capsys.readouterr().out
+        assert "selected path" in out
+        assert "end-to-end delay" in out
+
+    def test_map_builtin_case_framerate(self, capsys):
+        assert main_map(["--case", "2", "--algorithm", "greedy",
+                         "--objective", "framerate"]) == 0
+        out = capsys.readouterr().out
+        assert "frame" in out
+
+    def test_map_workload_on_random_network(self, capsys):
+        assert main_map(["--workload", "surveillance", "--nodes", "15",
+                         "--links", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "node" in out
+
+    def test_map_saved_instance(self, tmp_path, capsys):
+        from repro.generators import make_case, PAPER_CASE_SPECS
+        from repro.model import save_instance
+        path = save_instance(make_case(PAPER_CASE_SPECS[0]), tmp_path / "inst.json")
+        assert main_map(["--instance", str(path)]) == 0
+        assert "selected path" in capsys.readouterr().out
+
+    def test_error_when_no_input_selected(self, capsys):
+        assert main_map([]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_error_when_multiple_inputs_selected(self, capsys):
+        assert main_map(["--case", "1", "--workload", "tsi"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_error_on_bad_case_number(self, capsys):
+        assert main_map(["--case", "99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_error_on_unknown_algorithm(self, capsys):
+        assert main_map(["--case", "1", "--algorithm", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReproBench:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        assert main_bench(["--output", str(tmp_path / "out"), "--max-cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert (tmp_path / "out" / "fig2_table.txt").exists()
+        assert (tmp_path / "out" / "fig5_delay_curves.csv").exists()
+
+    def test_print_table_option(self, tmp_path, capsys):
+        assert main_bench(["--output", str(tmp_path), "--max-cases", "2",
+                           "--print-table"]) == 0
+        out = capsys.readouterr().out
+        assert "Mapping performance comparison" in out

@@ -1,0 +1,143 @@
+"""Unit tests for the analytical cost model (:mod:`repro.model.cost`)."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import (
+    bottleneck_time_ms,
+    computing_time_ms,
+    cost_breakdown,
+    end_to_end_delay_ms,
+    frame_rate_fps,
+    group_computing_time_ms,
+    transport_time_ms,
+)
+
+
+class TestPrimitiveCosts:
+    def test_computing_time_known_value(self, simple_network):
+        # node 0 power 100 Mops/s = 100e3 ops/ms; c=10, m=1e6 -> 1e7 ops -> 100 ms
+        t = computing_time_ms(simple_network, 0, complexity=10.0, input_bytes=1_000_000)
+        assert t == pytest.approx(100.0)
+
+    def test_computing_time_scales_inverse_with_power(self, simple_network):
+        slow = computing_time_ms(simple_network, 0, 10.0, 1_000_000)   # power 100
+        fast = computing_time_ms(simple_network, 2, 10.0, 1_000_000)   # power 400
+        assert slow == pytest.approx(4 * fast)
+
+    def test_transport_time_known_value(self, simple_network):
+        # 1 MB over 80 Mbit/s: 8e6 bits / 8e7 bit/s = 0.1 s = 100 ms, + 1 ms MLD
+        t = transport_time_ms(simple_network, 0, 1, 1_000_000)
+        assert t == pytest.approx(101.0)
+
+    def test_transport_time_without_mld(self, simple_network):
+        t = transport_time_ms(simple_network, 0, 1, 1_000_000, include_link_delay=False)
+        assert t == pytest.approx(100.0)
+
+    def test_intra_node_transport_free(self, simple_network):
+        assert transport_time_ms(simple_network, 2, 2, 1_000_000) == 0.0
+
+    def test_transport_requires_link(self, simple_network):
+        with pytest.raises(SpecificationError):
+            transport_time_ms(simple_network, 0, 3, 100.0)
+
+    def test_group_computing_time(self, simple_pipeline, simple_network):
+        # modules 1 and 2: workloads 10*1e6 + 20*5e5 = 2e7 ops, node 1 power 200
+        t = group_computing_time_ms(simple_pipeline, simple_network, [1, 2], 1)
+        assert t == pytest.approx(2e7 / (200 * 1e3))
+
+
+class TestEndToEndDelay:
+    def test_single_node_mapping(self, simple_pipeline, simple_network):
+        # whole pipeline on node 0 (power 100): workload 1e7+1e7+1e7 = 3e7 -> 300 ms
+        groups = [[0, 1, 2, 3]]
+        delay = end_to_end_delay_ms(simple_pipeline, simple_network, groups, [0])
+        assert delay == pytest.approx(300.0)
+
+    def test_two_node_mapping_known_value(self, simple_pipeline, simple_network):
+        # groups [[0,1],[2,3]] on nodes [0, 1]:
+        #   node 0: module 1 workload 1e7 -> 100 ms
+        #   link 0-1: 500_000 bytes at 80 Mbit/s -> 50 ms + 1 ms MLD
+        #   node 1: modules 2,3 workload 1e7 + 1e7 = 2e7 -> 100 ms
+        groups = [[0, 1], [2, 3]]
+        delay = end_to_end_delay_ms(simple_pipeline, simple_network, groups, [0, 1])
+        assert delay == pytest.approx(100.0 + 51.0 + 100.0)
+
+    def test_mld_toggle(self, simple_pipeline, simple_network):
+        groups = [[0, 1], [2, 3]]
+        with_mld = end_to_end_delay_ms(simple_pipeline, simple_network, groups, [0, 1])
+        without = end_to_end_delay_ms(simple_pipeline, simple_network, groups, [0, 1],
+                                      include_link_delay=False)
+        assert with_mld - without == pytest.approx(1.0)
+
+    def test_mismatched_groups_and_path(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            end_to_end_delay_ms(simple_pipeline, simple_network, [[0, 1, 2, 3]], [0, 1])
+
+    def test_non_contiguous_groups_rejected(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            end_to_end_delay_ms(simple_pipeline, simple_network,
+                                [[0, 2], [1, 3]], [0, 1])
+
+    def test_non_adjacent_path_rejected(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            end_to_end_delay_ms(simple_pipeline, simple_network,
+                                [[0, 1], [2, 3]], [0, 3])
+
+
+class TestBottleneckAndFrameRate:
+    def test_bottleneck_is_max_component(self, simple_pipeline, simple_network):
+        groups = [[0, 1], [2, 3]]
+        bottleneck = bottleneck_time_ms(simple_pipeline, simple_network, groups, [0, 1])
+        assert bottleneck == pytest.approx(100.0)  # max(100, 51, 100)
+
+    def test_frame_rate_reciprocal(self, simple_pipeline, simple_network):
+        groups = [[0, 1], [2, 3]]
+        fps = frame_rate_fps(simple_pipeline, simple_network, groups, [0, 1])
+        assert fps == pytest.approx(1000.0 / 100.0)
+
+    def test_node_sharing_aggregates_load(self, simple_pipeline, simple_network):
+        # Path loops back to node 0: groups [[0,1],[2],[3]] on [0, 1, 0].
+        groups = [[0, 1], [2], [3]]
+        path = [0, 1, 0]
+        shared = bottleneck_time_ms(simple_pipeline, simple_network, groups, path,
+                                    account_node_sharing=True)
+        independent = bottleneck_time_ms(simple_pipeline, simple_network, groups, path,
+                                         account_node_sharing=False)
+        # node 0 carries modules 1 and 3: (1e7 + 1e7) / 100e3 = 200 ms when shared
+        assert shared == pytest.approx(200.0)
+        assert independent < shared
+
+    def test_frame_rate_infinite_for_zero_work(self, simple_network):
+        from repro.model import Pipeline
+        # Forwarding-only pipeline with zero-byte messages costs nothing anywhere.
+        p = Pipeline.from_stage_specs(0.0, [(0.0, 0.0), (0.0, 0.0)])
+        fps = frame_rate_fps(p, simple_network, [[0, 1], [2]], [0, 1],
+                             include_link_delay=False)
+        assert fps == float("inf")
+
+
+class TestCostBreakdown:
+    def test_components_sum_to_total(self, simple_pipeline, simple_network):
+        groups = [[0, 1], [2], [3]]
+        path = [0, 1, 2]
+        bd = cost_breakdown(simple_pipeline, simple_network, groups, path)
+        assert sum(bd.node_times_ms) + sum(bd.link_times_ms) == pytest.approx(
+            bd.total_delay_ms)
+        assert bd.total_delay_ms == pytest.approx(
+            end_to_end_delay_ms(simple_pipeline, simple_network, groups, path))
+
+    def test_bottleneck_location(self, simple_pipeline, simple_network):
+        groups = [[0, 1], [2, 3]]
+        bd = cost_breakdown(simple_pipeline, simple_network, groups, [0, 1])
+        assert bd.bottleneck_kind in ("node", "link")
+        assert bd.bottleneck_ms == pytest.approx(
+            bottleneck_time_ms(simple_pipeline, simple_network, groups, [0, 1]))
+        assert bd.frame_rate_fps == pytest.approx(1000.0 / bd.bottleneck_ms)
+
+    def test_link_bottleneck_detected(self, simple_pipeline, simple_network):
+        # Use the thin 0-2 chord (8 Mbit/s): 1 MB transfer = 1000 ms + 1 dominates.
+        groups = [[0], [1, 2, 3]]
+        bd = cost_breakdown(simple_pipeline, simple_network, groups, [0, 2])
+        assert bd.bottleneck_kind == "link"
+        assert bd.bottleneck_ms == pytest.approx(1001.0)

@@ -1,0 +1,115 @@
+"""Unit tests for the ELPC dynamic-programming table (:mod:`repro.core.dp_table`)."""
+
+import math
+
+import pytest
+
+from repro.core import DPTable
+from repro.core.dp_table import DPCell
+from repro.exceptions import AlgorithmError
+
+
+class TestConstruction:
+    def test_all_cells_start_unreachable(self):
+        table = DPTable(n_modules=4, node_ids=[0, 1, 2])
+        for j in range(4):
+            for v in (0, 1, 2):
+                assert not table.is_reachable(j, v)
+                assert math.isinf(table.value(j, v))
+        assert table.finite_cell_count() == 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(AlgorithmError):
+            DPTable(n_modules=1, node_ids=[0])
+        with pytest.raises(AlgorithmError):
+            DPTable(n_modules=3, node_ids=[])
+
+    def test_unknown_node_rejected(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        with pytest.raises(AlgorithmError):
+            table.value(0, 7)
+
+
+class TestRelaxation:
+    def test_set_and_get(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        table.set(0, 0, 0.0)
+        assert table.value(0, 0) == 0.0
+        assert table.is_reachable(0, 0)
+
+    def test_relax_only_improves(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        assert table.relax(1, 0, 10.0, predecessor=0)
+        assert not table.relax(1, 0, 12.0, predecessor=1)
+        assert table.relax(1, 0, 8.0, predecessor=1)
+        assert table.value(1, 0) == 8.0
+        assert table.cell(1, 0).predecessor == 1
+        assert table.relaxations == 3
+
+    def test_cell_contents(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        table.relax(2, 1, 5.0, predecessor=0, same_node=False)
+        cell = table.cell(2, 1)
+        assert isinstance(cell, DPCell)
+        assert cell.value == 5.0
+        assert cell.predecessor == 0
+        assert not cell.same_node
+
+    def test_column_and_reachable_nodes(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1, 2])
+        table.set(1, 0, 3.0)
+        table.set(1, 2, 7.0)
+        assert table.column(1) == {0: 3.0, 2: 7.0}
+        assert table.reachable_nodes(1) == [0, 2]
+
+
+class TestBacktracking:
+    def build_chain(self) -> DPTable:
+        """Table for 3 modules on nodes 0-1-2: module 0 on 0, 1 on 1, 2 on 2."""
+        table = DPTable(n_modules=3, node_ids=[0, 1, 2])
+        table.set(0, 0, 0.0)
+        table.relax(1, 1, 4.0, predecessor=0, same_node=False)
+        table.relax(2, 2, 9.0, predecessor=1, same_node=False)
+        return table
+
+    def test_backtrack_assignment(self):
+        table = self.build_chain()
+        assert table.backtrack_assignment(2) == [0, 1, 2]
+
+    def test_backtrack_with_same_node_transition(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        table.set(0, 0, 0.0)
+        table.relax(1, 0, 2.0, predecessor=0, same_node=True)
+        table.relax(2, 1, 6.0, predecessor=0, same_node=False)
+        assert table.backtrack_assignment(1) == [0, 0, 1]
+        assert table.backtrack_path(1) == [0, 1]
+
+    def test_backtrack_from_unreachable_cell(self):
+        table = self.build_chain()
+        with pytest.raises(AlgorithmError):
+            table.backtrack_assignment(0)  # module 2 never reached node 0
+
+    def test_backtrack_partial_column(self):
+        table = self.build_chain()
+        assert table.backtrack_assignment(1, module_index=1) == [0, 1]
+
+
+class TestExportAndRender:
+    def test_to_array_shape(self):
+        table = DPTable(n_modules=4, node_ids=[0, 1, 2])
+        arr = table.to_array()
+        assert arr.shape == (3, 4)
+
+    def test_render_contains_values_and_inf(self):
+        table = DPTable(n_modules=3, node_ids=[0, 1])
+        table.set(0, 0, 0.0)
+        table.set(1, 1, 42.5)
+        text = table.render()
+        assert "42.50" in text
+        assert "inf" in text
+        assert "M0" in text and "v1" in text
+
+    def test_render_truncates_large_tables(self):
+        table = DPTable(n_modules=30, node_ids=list(range(40)))
+        text = table.render(max_nodes=5, max_modules=4)
+        assert "total" in text

@@ -1,0 +1,104 @@
+"""Tests for the exhaustive optimality oracles (:mod:`repro.core.exact`)."""
+
+import pytest
+
+from repro.core import (
+    enumerate_exact_hop_paths,
+    exhaustive_max_frame_rate,
+    exhaustive_min_delay,
+)
+from repro.exceptions import InfeasibleMappingError, SpecificationError
+from repro.generators import complete_network, line_network, random_pipeline
+from repro.model import EndToEndRequest, assert_no_reuse
+
+
+class TestExhaustiveMinDelay:
+    def test_respects_endpoints_and_walk(self, tiny_instance):
+        pipeline, network, request = tiny_instance
+        mapping = exhaustive_min_delay(pipeline, network, request)
+        assert mapping.path[0] == request.source
+        assert mapping.path[-1] == request.destination
+        assert network.is_walk(mapping.path)
+        assert mapping.extras["assignments_explored"] > 0
+
+    def test_refuses_large_instances(self):
+        network = complete_network(20, seed=1)
+        pipeline = random_pipeline(4, seed=1)
+        with pytest.raises(SpecificationError):
+            exhaustive_min_delay(pipeline, network, EndToEndRequest(0, 1))
+
+    def test_refuses_long_pipelines(self, simple_network, simple_request):
+        pipeline = random_pipeline(12, seed=2)
+        with pytest.raises(SpecificationError):
+            exhaustive_min_delay(pipeline, simple_network, simple_request,
+                                 module_limit=8)
+
+    def test_single_node_problem(self, simple_network):
+        pipeline = random_pipeline(3, seed=3)
+        mapping = exhaustive_min_delay(pipeline, simple_network, EndToEndRequest(2, 2))
+        assert mapping.path[0] == 2 and mapping.path[-1] == 2
+
+
+class TestEnumerateExactHopPaths:
+    def test_line_has_single_full_path(self):
+        network = line_network(5, seed=0)
+        paths = list(enumerate_exact_hop_paths(network, 0, 4, 5))
+        assert paths == [[0, 1, 2, 3, 4]]
+
+    def test_no_paths_when_too_long(self):
+        network = line_network(4, seed=0)
+        assert list(enumerate_exact_hop_paths(network, 0, 3, 5)) == []
+
+    def test_single_node_path(self):
+        network = line_network(3, seed=0)
+        assert list(enumerate_exact_hop_paths(network, 1, 1, 1)) == [[1]]
+        assert list(enumerate_exact_hop_paths(network, 0, 1, 1)) == []
+
+    def test_all_paths_simple_and_correct_length(self, complete6):
+        count = 0
+        for path in enumerate_exact_hop_paths(complete6, 0, 5, 4):
+            count += 1
+            assert len(path) == 4
+            assert len(set(path)) == 4
+            assert path[0] == 0 and path[-1] == 5
+            assert complete6.is_walk(path)
+        # complete graph on 6 nodes: choose 2 ordered intermediates from 4 -> 12
+        assert count == 12
+
+    def test_zero_or_negative_length(self, complete6):
+        assert list(enumerate_exact_hop_paths(complete6, 0, 5, 0)) == []
+
+
+class TestExhaustiveMaxFrameRate:
+    def test_optimal_no_reuse_path(self, tiny_instance):
+        pipeline, network, request = tiny_instance
+        try:
+            mapping = exhaustive_max_frame_rate(pipeline, network, request)
+        except InfeasibleMappingError:
+            pytest.skip("tiny instance infeasible for the no-reuse variant")
+        assert len(mapping.path) == pipeline.n_modules
+        assert_no_reuse(mapping.path)
+        assert mapping.extras["paths_explored"] >= 1
+
+    def test_infeasible_raises(self):
+        network = line_network(5, seed=1)
+        pipeline = random_pipeline(4, seed=1)
+        with pytest.raises(InfeasibleMappingError):
+            exhaustive_max_frame_rate(pipeline, network, EndToEndRequest(0, 2))
+
+    def test_refuses_large_networks(self):
+        network = complete_network(30, seed=2)
+        pipeline = random_pipeline(4, seed=2)
+        with pytest.raises(SpecificationError):
+            exhaustive_max_frame_rate(pipeline, network, EndToEndRequest(0, 1))
+
+    def test_beats_or_equals_any_enumerated_path(self, illustration_instance):
+        from repro.model import bottleneck_time_ms
+        inst = illustration_instance
+        best = exhaustive_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        n = inst.pipeline.n_modules
+        groups = [[j] for j in range(n)]
+        for path in enumerate_exact_hop_paths(inst.network, inst.request.source,
+                                              inst.request.destination, n):
+            other = bottleneck_time_ms(inst.pipeline, inst.network, groups, path)
+            assert best.bottleneck_ms <= other + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for the DAG workflow extension."""
+
+import pytest
+
+from repro.core import elpc_min_delay
+from repro.exceptions import SpecificationError
+from repro.extensions import (
+    DagTask,
+    DagWorkflow,
+    dag_makespan,
+    linearize_pipeline,
+    map_dag_earliest_finish,
+)
+from repro.generators import random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest
+
+
+def diamond_workflow() -> DagWorkflow:
+    """source -> (left, right) -> sink with asymmetric branch weights."""
+    dag = DagWorkflow()
+    dag.add_task(DagTask(0, complexity=0.0, name="source"))
+    dag.add_task(DagTask(1, complexity=50.0, name="left"))
+    dag.add_task(DagTask(2, complexity=5.0, name="right"))
+    dag.add_task(DagTask(3, complexity=10.0, name="sink"))
+    dag.add_dependency(0, 1, 400_000)
+    dag.add_dependency(0, 2, 400_000)
+    dag.add_dependency(1, 3, 100_000)
+    dag.add_dependency(2, 3, 100_000)
+    return dag
+
+
+class TestDagWorkflowConstruction:
+    def test_basic_queries(self):
+        dag = diamond_workflow()
+        assert dag.n_tasks == 4
+        assert dag.entry_task() == 0
+        assert dag.exit_task() == 3
+        assert dag.predecessors(3) == [1, 2]
+        assert dag.successors(0) == [1, 2]
+        assert dag.edge_bytes(0, 1) == 400_000
+        assert dag.task_input_bytes(3) == 200_000
+        assert dag.task_ids()[0] == 0
+        dag.validate()
+
+    def test_cycle_rejected(self):
+        dag = diamond_workflow()
+        with pytest.raises(SpecificationError):
+            dag.add_dependency(3, 0, 10.0)
+
+    def test_duplicate_task_rejected(self):
+        dag = diamond_workflow()
+        with pytest.raises(SpecificationError):
+            dag.add_task(DagTask(2, complexity=1.0))
+
+    def test_unknown_edge_queries(self):
+        dag = diamond_workflow()
+        with pytest.raises(SpecificationError):
+            dag.edge_bytes(1, 2)
+        with pytest.raises(SpecificationError):
+            dag.task(99)
+
+    def test_multiple_exits_rejected(self):
+        dag = DagWorkflow()
+        dag.add_task(DagTask(0, 0.0))
+        dag.add_task(DagTask(1, 1.0))
+        dag.add_task(DagTask(2, 1.0))
+        dag.add_dependency(0, 1, 10.0)
+        dag.add_dependency(0, 2, 10.0)
+        with pytest.raises(SpecificationError):
+            dag.validate()
+
+    def test_upward_rank_monotone_towards_entry(self, simple_network):
+        dag = diamond_workflow()
+        rank = dag.upward_rank(simple_network)
+        assert rank[0] >= max(rank[1], rank[2])
+        assert rank[3] <= min(rank[1], rank[2])
+
+
+class TestLinearization:
+    def test_chain_shape(self, simple_pipeline):
+        dag = linearize_pipeline(simple_pipeline)
+        assert dag.n_tasks == simple_pipeline.n_modules
+        assert dag.entry_task() == 0
+        assert dag.exit_task() == simple_pipeline.n_modules - 1
+        for j in range(simple_pipeline.n_modules - 1):
+            assert dag.edge_bytes(j, j + 1) == simple_pipeline.message_size(j)
+
+    def test_chain_makespan_matches_eq1(self, simple_pipeline, simple_network):
+        """Evaluating a chain DAG under the per-module assignment of a linear
+        mapping reproduces the Eq. 1 delay (intra-node transfers are free and
+        every inter-node message crosses a direct link)."""
+        mapping = elpc_min_delay(simple_pipeline, simple_network, EndToEndRequest(0, 3))
+        dag = linearize_pipeline(simple_pipeline)
+        assignment = {j: node for j, node in enumerate(mapping.assignment())}
+        makespan, finish = dag_makespan(dag, simple_network, assignment)
+        assert makespan == pytest.approx(mapping.delay_ms)
+        assert finish[dag.exit_task()] == pytest.approx(mapping.delay_ms)
+
+
+class TestDagMapping:
+    def test_heuristic_respects_pinning(self, simple_network):
+        dag = diamond_workflow()
+        result = map_dag_earliest_finish(dag, simple_network, EndToEndRequest(0, 3))
+        assert result.assignment[0] == 0
+        assert result.assignment[3] == 3
+        assert result.makespan_ms > 0
+        assert set(result.finish_times_ms) == {0, 1, 2, 3}
+
+    def test_heuristic_not_worse_than_all_on_source(self, simple_network):
+        dag = diamond_workflow()
+        result = map_dag_earliest_finish(dag, simple_network, EndToEndRequest(0, 3))
+        all_on_edges = {0: 0, 1: 0, 2: 0, 3: 3}
+        naive_makespan, _ = dag_makespan(dag, simple_network, all_on_edges)
+        assert result.makespan_ms <= naive_makespan + 1e-9
+
+    def test_missing_assignment_rejected(self, simple_network):
+        dag = diamond_workflow()
+        with pytest.raises(SpecificationError):
+            dag_makespan(dag, simple_network, {0: 0, 1: 1})
+
+    def test_linear_pipeline_via_dag_close_to_elpc(self):
+        """On a well-connected network the DAG heuristic should land within a
+        reasonable factor of the linear-optimal delay for a chain workflow.
+        (The DAG evaluator allows multi-hop routing, so it may occasionally
+        land slightly below the direct-link-only linear optimum.)"""
+        pipeline = random_pipeline(6, seed=17)
+        network = random_network(12, 40, seed=17)
+        request = random_request(network, seed=17, min_hop_distance=2)
+        optimal = elpc_min_delay(pipeline, network, request)
+        dag = linearize_pipeline(pipeline)
+        result = map_dag_earliest_finish(dag, network, request)
+        assert result.makespan_ms >= optimal.delay_ms * 0.5
+        assert result.makespan_ms <= optimal.delay_ms * 3.0

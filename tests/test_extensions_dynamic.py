@@ -1,0 +1,121 @@
+"""Tests for the time-varying resources / adaptive re-mapping extension."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.extensions import (
+    ResourceProfile,
+    compare_static_vs_adaptive,
+    evaluate_adaptive,
+    evaluate_static,
+    network_at,
+)
+from repro.generators import random_network, random_pipeline, random_request
+from repro.model import end_to_end_delay_ms
+
+
+class TestResourceProfile:
+    def test_default_factor_is_one(self):
+        profile = ResourceProfile()
+        assert profile.node_factor(3, 10.0) == 1.0
+        assert profile.link_factor(0, 1, 10.0) == 1.0
+
+    def test_piecewise_constant_lookup(self):
+        profile = ResourceProfile()
+        profile.set_node_factor(2, time_s=10.0, factor=0.5)
+        profile.set_node_factor(2, time_s=30.0, factor=0.8)
+        assert profile.node_factor(2, 5.0) == 1.0
+        assert profile.node_factor(2, 10.0) == 0.5
+        assert profile.node_factor(2, 29.9) == 0.5
+        assert profile.node_factor(2, 30.0) == 0.8
+
+    def test_link_factor_symmetric_key(self):
+        profile = ResourceProfile()
+        profile.set_link_factor(4, 2, time_s=0.0, factor=0.25)
+        assert profile.link_factor(2, 4, 1.0) == 0.25
+        assert profile.link_factor(4, 2, 1.0) == 0.25
+
+    def test_invalid_factors_rejected(self):
+        profile = ResourceProfile()
+        with pytest.raises(SpecificationError):
+            profile.set_node_factor(0, 0.0, 0.0)
+        with pytest.raises(SpecificationError):
+            profile.set_link_factor(0, 1, 0.0, -1.0)
+
+    def test_change_times_collected(self):
+        profile = ResourceProfile()
+        profile.set_node_factor(0, 5.0, 0.5)
+        profile.set_link_factor(0, 1, 15.0, 0.5)
+        assert profile.change_times() == [5.0, 15.0]
+
+
+class TestNetworkAt:
+    def test_factors_applied(self, simple_network):
+        profile = ResourceProfile()
+        profile.set_node_factor(1, 10.0, 0.5)
+        profile.set_link_factor(0, 1, 10.0, 0.1)
+        before = network_at(simple_network, profile, 0.0)
+        after = network_at(simple_network, profile, 20.0)
+        assert before.processing_power(1) == simple_network.processing_power(1)
+        assert after.processing_power(1) == pytest.approx(
+            0.5 * simple_network.processing_power(1))
+        assert after.bandwidth(0, 1) == pytest.approx(0.1 * simple_network.bandwidth(0, 1))
+        # untouched resources keep their nominal values
+        assert after.processing_power(2) == simple_network.processing_power(2)
+        assert after.n_links == simple_network.n_links
+
+
+class TestStaticVsAdaptive:
+    @pytest.fixture
+    def scenario(self):
+        pipeline = random_pipeline(6, seed=55)
+        network = random_network(14, 40, seed=55)
+        request = random_request(network, seed=55, min_hop_distance=2)
+        return pipeline, network, request
+
+    def test_static_delays_track_profile(self, scenario):
+        pipeline, network, request = scenario
+        from repro.core import elpc_min_delay
+        mapping = elpc_min_delay(pipeline, network, request)
+        slowed_node = mapping.path[len(mapping.path) // 2]
+        profile = ResourceProfile()
+        profile.set_node_factor(slowed_node, 10.0, 0.25)
+        delays = evaluate_static(pipeline, network, request, profile,
+                                 epochs=[0.0, 5.0, 15.0])
+        assert delays[0] == pytest.approx(delays[1])
+        assert delays[2] >= delays[0] - 1e-9
+
+    def test_adaptive_never_worse_on_average(self, scenario):
+        pipeline, network, request = scenario
+        from repro.core import elpc_min_delay
+        mapping = elpc_min_delay(pipeline, network, request)
+        # slow down every node the static mapping computes on (except endpoints)
+        profile = ResourceProfile()
+        for node in set(mapping.path) - {request.source, request.destination}:
+            profile.set_node_factor(node, 10.0, 0.2)
+        comparison = compare_static_vs_adaptive(pipeline, network, request, profile,
+                                                horizon_s=40.0, step_s=5.0,
+                                                remap_interval=10.0)
+        assert comparison.mean_adaptive_ms <= comparison.mean_static_ms + 1e-6
+        assert comparison.improvement_ratio >= 1.0 - 1e-9
+        assert comparison.remap_count >= 1
+        assert len(comparison.epochs) == len(comparison.static_delay_ms)
+
+    def test_adaptive_equals_static_when_nothing_changes(self, scenario):
+        pipeline, network, request = scenario
+        profile = ResourceProfile()  # no events
+        comparison = compare_static_vs_adaptive(pipeline, network, request, profile,
+                                                horizon_s=20.0, step_s=5.0,
+                                                remap_interval=10.0)
+        assert comparison.mean_adaptive_ms == pytest.approx(comparison.mean_static_ms)
+        assert comparison.improvement_ratio == pytest.approx(1.0)
+
+    def test_parameter_validation(self, scenario):
+        pipeline, network, request = scenario
+        profile = ResourceProfile()
+        with pytest.raises(SpecificationError):
+            evaluate_adaptive(pipeline, network, request, profile, [0.0],
+                              remap_interval=0.0)
+        with pytest.raises(SpecificationError):
+            compare_static_vs_adaptive(pipeline, network, request, profile,
+                                       horizon_s=0.0)

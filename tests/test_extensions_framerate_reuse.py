@@ -1,0 +1,73 @@
+"""Tests for the frame-rate-with-node-reuse extension."""
+
+import pytest
+
+from repro.core import Objective, elpc_max_frame_rate
+from repro.exceptions import InfeasibleMappingError
+from repro.extensions import elpc_max_frame_rate_with_reuse
+from repro.generators import line_network, random_network, random_pipeline, random_request
+from repro.model import EndToEndRequest, bottleneck_time_ms
+
+
+class TestBasicBehaviour:
+    def test_valid_mapping(self, simple_pipeline, simple_network, simple_request):
+        mapping = elpc_max_frame_rate_with_reuse(simple_pipeline, simple_network,
+                                                 simple_request)
+        assert mapping.objective is Objective.MAX_FRAME_RATE
+        assert mapping.algorithm == "elpc-reuse"
+        assert mapping.allow_reuse
+        assert mapping.path[0] == simple_request.source
+        assert mapping.path[-1] == simple_request.destination
+
+    def test_dp_estimate_matches_shared_bottleneck(self, simple_pipeline, simple_network,
+                                                   simple_request):
+        mapping = elpc_max_frame_rate_with_reuse(simple_pipeline, simple_network,
+                                                 simple_request)
+        shared = bottleneck_time_ms(simple_pipeline, simple_network,
+                                    mapping.groups, mapping.path,
+                                    account_node_sharing=True)
+        assert mapping.extras["dp_bottleneck_ms"] == pytest.approx(shared)
+
+    def test_feasible_where_no_reuse_variant_is_not(self):
+        """On a short line, a long pipeline can only be placed with reuse."""
+        network = line_network(4, seed=3)
+        pipeline = random_pipeline(7, seed=3)
+        request = EndToEndRequest(0, 3)
+        with pytest.raises(InfeasibleMappingError):
+            elpc_max_frame_rate(pipeline, network, request)
+        mapping = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+        assert mapping.frame_rate_fps > 0
+
+    def test_infeasible_when_disconnected(self, simple_pipeline, simple_network):
+        from repro.model import ComputingNode
+        simple_network.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        with pytest.raises(InfeasibleMappingError):
+            elpc_max_frame_rate_with_reuse(simple_pipeline, simple_network,
+                                           EndToEndRequest(0, 9))
+
+
+class TestRelationToRestrictedVariant:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_reuse_never_hurts(self, seed):
+        """Allowing reuse can only enlarge the solution space, so the achieved
+        frame rate must be at least that of the no-reuse heuristic (both are
+        heuristics, so allow a tiny tolerance)."""
+        pipeline = random_pipeline(6, seed=seed)
+        network = random_network(12, 30, seed=seed + 300)
+        request = random_request(network, seed=seed, min_hop_distance=2)
+        try:
+            restricted = elpc_max_frame_rate(pipeline, network, request)
+        except InfeasibleMappingError:
+            restricted = None
+        with_reuse = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+        if restricted is not None:
+            assert with_reuse.frame_rate_fps >= restricted.frame_rate_fps * 0.999
+
+    def test_collapses_to_delay_feasibility(self):
+        """Any delay-feasible instance is feasible for the reuse variant."""
+        for seed in range(4):
+            pipeline = random_pipeline(8, seed=seed)
+            network = random_network(10, 20, seed=seed + 400)
+            request = random_request(network, seed=seed, min_hop_distance=1)
+            mapping = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+            assert mapping.frame_rate_fps > 0

@@ -1,0 +1,92 @@
+"""Tests for the fixed 20-case suite and the illustration instance."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.generators import (
+    PAPER_CASE_SPECS,
+    CaseSpec,
+    make_case,
+    paper_case_suite,
+    small_illustration_case,
+)
+from repro.model import check_delay_instance
+
+
+class TestCaseSpecs:
+    def test_twenty_cases(self):
+        assert len(PAPER_CASE_SPECS) == 20
+        assert [spec.case_number for spec in PAPER_CASE_SPECS] == list(range(1, 21))
+
+    def test_sizes_grow(self):
+        modules = [s.n_modules for s in PAPER_CASE_SPECS]
+        nodes = [s.n_nodes for s in PAPER_CASE_SPECS]
+        links = [s.n_links for s in PAPER_CASE_SPECS]
+        assert modules == sorted(modules)
+        assert nodes == sorted(nodes)
+        assert links == sorted(links)
+        assert nodes[0] <= 10 and nodes[-1] >= 300  # small to large span
+
+    def test_no_case_has_more_modules_than_nodes(self):
+        for spec in PAPER_CASE_SPECS:
+            assert spec.n_modules <= spec.n_nodes
+
+    def test_label_format(self):
+        assert PAPER_CASE_SPECS[0].label.startswith("m=")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(SpecificationError):
+            CaseSpec(case_number=1, n_modules=1, n_nodes=5, n_links=6, seed=0)
+        with pytest.raises(SpecificationError):
+            CaseSpec(case_number=1, n_modules=4, n_nodes=5, n_links=100, seed=0)
+        with pytest.raises(SpecificationError):
+            CaseSpec(case_number=1, n_modules=9, n_nodes=5, n_links=6, seed=0)
+
+
+class TestMakeCase:
+    def test_matches_spec_sizes(self):
+        for spec in PAPER_CASE_SPECS[:4]:
+            inst = make_case(spec)
+            assert inst.size_signature == (spec.n_modules, spec.n_nodes, spec.n_links)
+            assert inst.name == f"case-{spec.case_number:02d}"
+
+    def test_deterministic(self):
+        a = make_case(PAPER_CASE_SPECS[2])
+        b = make_case(PAPER_CASE_SPECS[2])
+        assert a.to_dict() == b.to_dict()
+
+    def test_delay_feasible_for_every_case(self):
+        for spec in PAPER_CASE_SPECS:
+            inst = make_case(spec)
+            report = check_delay_instance(inst.pipeline, inst.network, inst.request)
+            assert report.feasible, f"case {spec.case_number} infeasible: {report.reason}"
+
+    def test_requests_nontrivial(self):
+        for spec in PAPER_CASE_SPECS[:6]:
+            inst = make_case(spec)
+            assert inst.request.source != inst.request.destination
+
+
+class TestSuite:
+    def test_full_suite(self):
+        suite = paper_case_suite()
+        assert len(suite) == 20
+        assert [inst.name for inst in suite] == [f"case-{i:02d}" for i in range(1, 21)]
+
+    def test_truncation(self):
+        assert len(paper_case_suite(max_cases=5)) == 5
+        with pytest.raises(SpecificationError):
+            paper_case_suite(max_cases=0)
+
+
+class TestIllustrationCase:
+    def test_matches_paper_description(self):
+        inst = small_illustration_case()
+        assert inst.pipeline.n_modules == 5
+        assert inst.network.n_nodes == 6
+        assert inst.network.is_complete()
+        assert inst.request.source == 0
+        assert inst.request.destination == 5
+
+    def test_deterministic(self):
+        assert small_illustration_case().to_dict() == small_illustration_case().to_dict()

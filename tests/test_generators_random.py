@@ -1,0 +1,152 @@
+"""Tests for the random pipeline / network generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.generators import (
+    DEFAULT_RANGES,
+    ParameterRanges,
+    max_links,
+    min_links_for_connectivity,
+    pipeline_from_sizes,
+    random_connected_edge_set,
+    random_network,
+    random_pipeline,
+    random_pipeline_batch,
+    random_request,
+    rng_from_seed,
+)
+
+
+class TestRngHandling:
+    def test_int_seed_reproducible(self):
+        a = rng_from_seed(5).random(3)
+        b = rng_from_seed(5).random(3)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert hasattr(rng_from_seed(None), "random")
+
+
+class TestParameterRanges:
+    def test_default_ranges_positive(self):
+        r = DEFAULT_RANGES
+        assert r.module_complexity[0] > 0
+        assert r.data_size_bytes[0] > 0
+        assert r.node_power[0] > 0
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(SpecificationError):
+            ParameterRanges(node_power=(10.0, 5.0))
+        with pytest.raises(SpecificationError):
+            ParameterRanges(module_complexity=(0.0, 5.0))
+        with pytest.raises(SpecificationError):
+            ParameterRanges(link_delay_ms=(-1.0, 5.0))
+
+    def test_draws_within_bounds(self):
+        rng = rng_from_seed(3)
+        r = DEFAULT_RANGES
+        values = r.draw_data_size(rng, size=200)
+        assert np.all(values >= r.data_size_bytes[0])
+        assert np.all(values <= r.data_size_bytes[1])
+        bws = r.draw_bandwidth(rng, size=200)
+        assert np.all(bws >= r.link_bandwidth_mbps[0])
+        assert np.all(bws <= r.link_bandwidth_mbps[1])
+
+    def test_homogeneous_variant_degenerate(self):
+        homo = DEFAULT_RANGES.homogeneous()
+        assert homo.node_power[0] == homo.node_power[1]
+        assert homo.link_bandwidth_mbps[0] == homo.link_bandwidth_mbps[1]
+
+    def test_scaled_data(self):
+        scaled = DEFAULT_RANGES.scaled_data(2.0)
+        assert scaled.data_size_bytes[0] == pytest.approx(2 * DEFAULT_RANGES.data_size_bytes[0])
+
+
+class TestRandomPipeline:
+    def test_structure(self):
+        p = random_pipeline(8, seed=1)
+        assert p.n_modules == 8
+        assert p.source.is_forwarding
+        assert p.sink.output_bytes == 0.0
+
+    def test_reproducible(self):
+        assert random_pipeline(6, seed=2) == random_pipeline(6, seed=2)
+        assert random_pipeline(6, seed=2) != random_pipeline(6, seed=3)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(SpecificationError):
+            random_pipeline(1, seed=0)
+
+    def test_values_in_ranges(self):
+        p = random_pipeline(20, seed=4)
+        lo_c, hi_c = DEFAULT_RANGES.module_complexity
+        lo_d, hi_d = DEFAULT_RANGES.data_size_bytes
+        for mod in p.modules[1:]:
+            assert lo_c <= mod.complexity <= hi_c
+            assert lo_d <= mod.input_bytes <= hi_d
+
+    def test_batch(self):
+        batch = random_pipeline_batch(5, 6, seed=9)
+        assert len(batch) == 5
+        assert len({p.modules[1].complexity for p in batch}) > 1  # actually random
+        with pytest.raises(SpecificationError):
+            random_pipeline_batch(0, 6, seed=9)
+
+    def test_pipeline_from_sizes_validation(self):
+        with pytest.raises(SpecificationError):
+            pipeline_from_sizes([100.0], [1.0, 2.0])
+        with pytest.raises(SpecificationError):
+            pipeline_from_sizes([], [])
+
+
+class TestRandomNetwork:
+    def test_link_count_bounds(self):
+        assert min_links_for_connectivity(10) == 9
+        assert max_links(10) == 45
+
+    def test_edge_set_connected_and_exact_count(self):
+        rng = rng_from_seed(7)
+        for n, l in [(5, 4), (8, 12), (12, 40)]:
+            edges = random_connected_edge_set(n, l, rng)
+            assert len(edges) == l
+            import networkx as nx
+            g = nx.Graph(edges)
+            g.add_nodes_from(range(n))
+            assert nx.is_connected(g)
+
+    def test_edge_count_out_of_bounds_rejected(self):
+        rng = rng_from_seed(1)
+        with pytest.raises(SpecificationError):
+            random_connected_edge_set(5, 3, rng)
+        with pytest.raises(SpecificationError):
+            random_connected_edge_set(5, 11, rng)
+
+    def test_random_network_properties(self):
+        net = random_network(15, 40, seed=11)
+        assert net.n_nodes == 15
+        assert net.n_links == 40
+        assert net.is_connected()
+        lo, hi = DEFAULT_RANGES.node_power
+        assert all(lo <= node.processing_power <= hi for node in net.nodes())
+
+    def test_random_network_reproducible(self):
+        a = random_network(10, 20, seed=3)
+        b = random_network(10, 20, seed=3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_random_request_min_hop(self):
+        net = random_network(20, 40, seed=5)
+        request = random_request(net, seed=5, min_hop_distance=2)
+        assert net.hop_distance(request.source, request.destination) >= 2
+
+    def test_random_request_needs_two_nodes(self):
+        from repro.model import ComputingNode, TransportNetwork
+        net = TransportNetwork(nodes=[ComputingNode(0, 1.0)])
+        with pytest.raises(SpecificationError):
+            random_request(net, seed=1)

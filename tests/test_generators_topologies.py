@@ -1,0 +1,119 @@
+"""Tests for the structured topology families."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.generators import (
+    complete_network,
+    grid_network,
+    line_network,
+    ring_network,
+    star_network,
+    wan_cluster_network,
+)
+
+
+class TestCompleteNetwork:
+    def test_counts_and_completeness(self):
+        net = complete_network(7, seed=1)
+        assert net.n_nodes == 7
+        assert net.n_links == 21
+        assert net.is_complete()
+        assert net.is_connected()
+
+    def test_minimum_size(self):
+        with pytest.raises(SpecificationError):
+            complete_network(1, seed=1)
+
+
+class TestLineAndRing:
+    def test_line_structure(self):
+        net = line_network(6, seed=2)
+        assert net.n_links == 5
+        assert net.degree(0) == 1 and net.degree(5) == 1
+        assert all(net.degree(i) == 2 for i in range(1, 5))
+        assert net.hop_distance(0, 5) == 5
+
+    def test_ring_structure(self):
+        net = ring_network(6, seed=2)
+        assert net.n_links == 6
+        assert all(net.degree(i) == 2 for i in range(6))
+        assert net.hop_distance(0, 3) == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(SpecificationError):
+            ring_network(2, seed=0)
+
+
+class TestStarAndGrid:
+    def test_star_structure(self):
+        net = star_network(5, seed=3)
+        assert net.n_nodes == 6
+        assert net.degree(0) == 5
+        assert all(net.degree(i) == 1 for i in range(1, 6))
+
+    def test_star_minimum(self):
+        with pytest.raises(SpecificationError):
+            star_network(0, seed=3)
+
+    def test_grid_structure(self):
+        net = grid_network(3, 4, seed=4)
+        assert net.n_nodes == 12
+        # links: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+        assert net.n_links == 17
+        assert net.is_connected()
+        # corner has degree 2, centre node degree 4
+        assert net.degree(0) == 2
+        assert net.degree(5) == 4
+
+    def test_grid_minimum(self):
+        with pytest.raises(SpecificationError):
+            grid_network(1, 1, seed=0)
+
+
+class TestWanClusterNetwork:
+    def test_structure(self):
+        net = wan_cluster_network(3, 4, seed=5)
+        assert net.n_nodes == 12
+        assert net.is_connected()
+        # intra-cluster complete: 3 * C(4,2) = 18 links; WAN ring adds 3
+        assert net.n_links == 21
+
+    def test_wan_links_are_thin_and_slow(self):
+        net = wan_cluster_network(3, 4, seed=5, wan_bandwidth_factor=0.05,
+                                  wan_delay_ms=30.0)
+        wan_links = [l for l in net.links() if l.min_delay_ms == 30.0]
+        lan_links = [l for l in net.links() if l.min_delay_ms != 30.0]
+        assert len(wan_links) == 3
+        mean_wan = sum(l.bandwidth_mbps for l in wan_links) / len(wan_links)
+        mean_lan = sum(l.bandwidth_mbps for l in lan_links) / len(lan_links)
+        assert mean_wan < mean_lan
+
+    def test_two_clusters_single_wan_link(self):
+        net = wan_cluster_network(2, 3, seed=6)
+        # 2 * C(3,2) intra + 1 WAN = 7
+        assert net.n_links == 7
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            wan_cluster_network(1, 4, seed=0)
+        with pytest.raises(SpecificationError):
+            wan_cluster_network(3, 4, seed=0, wan_bandwidth_factor=0.0)
+
+
+class TestTopologiesUsableByAlgorithms:
+    @pytest.mark.parametrize("factory,kwargs,source,dest", [
+        (complete_network, {"n_nodes": 6}, 0, 5),
+        (ring_network, {"n_nodes": 8}, 0, 4),
+        (grid_network, {"rows": 3, "cols": 3}, 0, 8),
+        (wan_cluster_network, {"n_clusters": 2, "nodes_per_cluster": 3}, 0, 5),
+    ])
+    def test_elpc_runs_on_every_family(self, factory, kwargs, source, dest):
+        from repro.core import elpc_min_delay
+        from repro.generators import random_pipeline
+        from repro.model import EndToEndRequest
+
+        network = factory(seed=9, **kwargs)
+        pipeline = random_pipeline(6, seed=9)
+        mapping = elpc_min_delay(pipeline, network, EndToEndRequest(source, dest))
+        assert mapping.path[0] == source and mapping.path[-1] == dest

@@ -1,0 +1,87 @@
+"""Tests for the built-in domain workloads."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.generators import (
+    named_workloads,
+    remote_visualization_pipeline,
+    tsi_supernova_pipeline,
+    video_surveillance_pipeline,
+)
+
+
+class TestRemoteVisualizationPipeline:
+    def test_stage_names_match_paper_narrative(self):
+        p = remote_visualization_pipeline()
+        names = [m.name for m in p.modules[1:]]
+        assert names == ["data filtering", "isosurface extraction",
+                         "geometry rendering", "image compositing", "final display"]
+
+    def test_structure(self):
+        p = remote_visualization_pipeline(dataset_bytes=2_000_000)
+        assert p.n_modules == 6
+        assert p.source.output_bytes == 2_000_000
+        assert p.sink.output_bytes == 0.0
+
+    def test_data_scale(self):
+        base = remote_visualization_pipeline(dataset_bytes=1_000_000)
+        big = remote_visualization_pipeline(dataset_bytes=1_000_000, data_scale=4.0)
+        assert big.total_data_volume() == pytest.approx(4 * base.total_data_volume())
+
+    def test_filtering_shrinks_data(self):
+        p = remote_visualization_pipeline()
+        # every intermediate message is no larger than the raw dataset
+        sizes = [m.output_bytes for m in p.modules[:-1]]
+        assert max(sizes) == sizes[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            remote_visualization_pipeline(dataset_bytes=-1.0)
+        with pytest.raises(SpecificationError):
+            remote_visualization_pipeline(data_scale=0.0)
+
+
+class TestVideoSurveillancePipeline:
+    def test_stage_names(self):
+        p = video_surveillance_pipeline()
+        names = [m.name for m in p.modules[1:]]
+        assert names[0] == "feature extraction and detection"
+        assert names[-1] == "identity matching"
+
+    def test_structure(self):
+        p = video_surveillance_pipeline(frame_bytes=500_000)
+        assert p.n_modules == 6
+        assert p.source.output_bytes == 500_000
+
+    def test_chaining_valid(self):
+        p = video_surveillance_pipeline()
+        for prev, nxt in zip(p.modules, p.modules[1:]):
+            assert prev.output_bytes == nxt.input_bytes
+
+
+class TestTsiPipeline:
+    def test_has_retrieval_stage(self):
+        p = tsi_supernova_pipeline()
+        assert p.n_modules == 7
+        assert p.modules[1].name == "data retrieval"
+        assert p.source.output_bytes == 50_000_000
+
+    def test_bigger_than_default_visualization(self):
+        assert tsi_supernova_pipeline().total_workload() > \
+            remote_visualization_pipeline().total_workload()
+
+
+class TestNamedWorkloads:
+    def test_registry_contents(self):
+        workloads = named_workloads()
+        assert set(workloads) == {"visualization", "surveillance", "tsi"}
+        for pipeline in workloads.values():
+            assert pipeline.n_modules >= 6
+
+    def test_workloads_are_mappable(self, complete6):
+        from repro.core import elpc_min_delay
+        from repro.model import EndToEndRequest
+        for pipeline in named_workloads().values():
+            mapping = elpc_min_delay(pipeline, complete6, EndToEndRequest(0, 5))
+            assert mapping.delay_ms > 0

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a realistic multi-package flow: generate → solve →
+validate → simulate → report, mirroring how a downstream user would chain the
+library's pieces.
+"""
+
+import pytest
+
+from repro import (
+    EndToEndRequest,
+    Objective,
+    elpc_max_frame_rate,
+    elpc_min_delay,
+    solve,
+)
+from repro.analysis import fig2_table, mapping_walkthrough, run_comparison
+from repro.exceptions import InfeasibleMappingError
+from repro.extensions import ResourceProfile, compare_static_vs_adaptive
+from repro.generators import (
+    paper_case_suite,
+    remote_visualization_pipeline,
+    video_surveillance_pipeline,
+    wan_cluster_network,
+)
+from repro.measurement import calibrate_network
+from repro.model import end_to_end_delay_ms, load_instance, save_instance
+from repro.simulation import simulate_interactive, simulate_streaming
+
+
+class TestInteractiveWorkflow:
+    """Generate a WAN scenario, optimise it, simulate it, adapt it."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        network = wan_cluster_network(3, 4, seed=77)
+        pipeline = remote_visualization_pipeline(dataset_bytes=3_000_000)
+        request = EndToEndRequest(source=0, destination=network.n_nodes - 1)
+        return pipeline, network, request
+
+    def test_solve_simulate_and_report(self, scenario):
+        pipeline, network, request = scenario
+        mapping = elpc_min_delay(pipeline, network, request)
+        replay = simulate_interactive(mapping)
+        assert replay.delay_ms == pytest.approx(mapping.delay_ms, rel=1e-12)
+        report = mapping_walkthrough(mapping, title="integration")
+        assert "integration" in report and "bottleneck" in report
+
+    def test_every_delay_algorithm_agrees_with_simulator(self, scenario):
+        pipeline, network, request = scenario
+        for name in ("elpc", "streamline", "greedy", "source-only", "direct-path"):
+            mapping = solve(name, pipeline, network, request, Objective.MIN_DELAY)
+            replay = simulate_interactive(mapping)
+            assert replay.delay_ms == pytest.approx(mapping.delay_ms, rel=1e-12)
+
+    def test_adaptation_loop(self, scenario):
+        pipeline, network, request = scenario
+        mapping = elpc_min_delay(pipeline, network, request)
+        profile = ResourceProfile()
+        for node in set(mapping.path) - {request.source, request.destination}:
+            profile.set_node_factor(node, time_s=10.0, factor=0.25)
+        comparison = compare_static_vs_adaptive(pipeline, network, request, profile,
+                                                horizon_s=30.0, step_s=5.0,
+                                                remap_interval=10.0)
+        assert comparison.mean_adaptive_ms <= comparison.mean_static_ms + 1e-6
+
+
+class TestStreamingWorkflow:
+    def test_surveillance_pipeline_end_to_end(self):
+        from repro.generators import random_network, random_request
+        network = random_network(20, 60, seed=88)
+        request = random_request(network, seed=88, min_hop_distance=3)
+        pipeline = video_surveillance_pipeline(frame_bytes=400_000)
+        mapping = elpc_max_frame_rate(pipeline, network, request)
+        replay = simulate_streaming(mapping, n_frames=60)
+        assert replay.achieved_frame_rate_fps == pytest.approx(
+            mapping.frame_rate_fps, rel=1e-3)
+        # the empirical bottleneck matches the analytical one
+        assert replay.busiest_station in replay.station_utilisation
+        assert replay.station_utilisation[replay.busiest_station] > 0.9
+
+
+class TestMeasurementToMappingWorkflow:
+    def test_calibrate_then_map(self):
+        from repro.generators import random_network, random_request
+        truth = random_network(12, 30, seed=99)
+        request = random_request(truth, seed=99, min_hop_distance=2)
+        pipeline = remote_visualization_pipeline(dataset_bytes=2_000_000)
+        report = calibrate_network(truth, noise_fraction=0.05, seed=1)
+        est_mapping = elpc_min_delay(pipeline, report.estimated_network, request)
+        true_optimum = elpc_min_delay(pipeline, truth, request)
+        realised = end_to_end_delay_ms(pipeline, truth, est_mapping.groups,
+                                       est_mapping.path)
+        assert realised >= true_optimum.delay_ms - 1e-9
+        assert realised <= true_optimum.delay_ms * 1.5
+
+
+class TestSuitePersistenceWorkflow:
+    def test_save_solve_reload_consistency(self, tmp_path):
+        suite = paper_case_suite(max_cases=2)
+        for instance in suite:
+            path = save_instance(instance, tmp_path / f"{instance.name}.json")
+            reloaded = load_instance(path)
+            original = elpc_min_delay(instance.pipeline, instance.network,
+                                      instance.request)
+            again = elpc_min_delay(reloaded.pipeline, reloaded.network, reloaded.request)
+            assert again.delay_ms == pytest.approx(original.delay_ms, rel=1e-12)
+            assert again.path == original.path
+
+    def test_comparison_and_table_generation(self):
+        suite = paper_case_suite(max_cases=2)
+        delay_run = run_comparison(suite, Objective.MIN_DELAY)
+        rate_run = run_comparison(suite, Objective.MAX_FRAME_RATE)
+        table = fig2_table(delay_run, rate_run)
+        assert "case-01" in table and "case-02" in table
+        assert delay_run.win_count("elpc") == 2

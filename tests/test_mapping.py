@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.core.mapping` (PipelineMapping and helpers)."""
+
+import pytest
+
+from repro.core import Objective, PipelineMapping, mapping_from_assignment
+from repro.exceptions import SpecificationError
+from repro.model import bottleneck_time_ms, end_to_end_delay_ms, frame_rate_fps
+
+
+class TestMappingFromAssignment:
+    def test_groups_merge_consecutive_same_node(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network,
+                                          [0, 0, 1, 2], objective=Objective.MIN_DELAY)
+        assert mapping.groups == [[0, 1], [2], [3]]
+        assert mapping.path == [0, 1, 2]
+
+    def test_assignment_length_checked(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            mapping_from_assignment(simple_pipeline, simple_network, [0, 1],
+                                    objective=Objective.MIN_DELAY)
+
+    def test_non_adjacent_assignment_rejected(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            mapping_from_assignment(simple_pipeline, simple_network, [0, 3, 3, 3],
+                                    objective=Objective.MIN_DELAY)
+
+    def test_no_reuse_flag_enforced(self, simple_pipeline, simple_network):
+        # path 0 -> 1 -> 0 reuses node 0
+        with pytest.raises(SpecificationError):
+            mapping_from_assignment(simple_pipeline, simple_network, [0, 1, 0, 2],
+                                    objective=Objective.MAX_FRAME_RATE,
+                                    allow_reuse=False)
+
+    def test_reuse_allowed_for_delay(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 1, 0, 2],
+                                          objective=Objective.MIN_DELAY)
+        assert mapping.uses_node_reuse
+        assert mapping.path == [0, 1, 0, 2]
+
+
+class TestObjectiveValues:
+    def test_delay_matches_cost_model(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 1, 2],
+                                          objective=Objective.MIN_DELAY)
+        expected = end_to_end_delay_ms(simple_pipeline, simple_network,
+                                       mapping.groups, mapping.path)
+        assert mapping.delay_ms == pytest.approx(expected)
+        assert mapping.objective_value == pytest.approx(expected)
+
+    def test_frame_rate_matches_cost_model(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 1, 2, 3],
+                                          objective=Objective.MAX_FRAME_RATE,
+                                          allow_reuse=False)
+        assert mapping.bottleneck_ms == pytest.approx(
+            bottleneck_time_ms(simple_pipeline, simple_network, mapping.groups, mapping.path))
+        assert mapping.frame_rate_fps == pytest.approx(
+            frame_rate_fps(simple_pipeline, simple_network, mapping.groups, mapping.path))
+        assert mapping.objective_value == pytest.approx(mapping.frame_rate_fps)
+
+    def test_breakdown_consistent(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 1, 2, 3],
+                                          objective=Objective.MIN_DELAY)
+        bd = mapping.breakdown()
+        assert bd.total_delay_ms == pytest.approx(mapping.delay_ms)
+
+
+class TestStructureQueries:
+    def test_node_of_module_and_assignment(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 1, 2],
+                                          objective=Objective.MIN_DELAY)
+        assert mapping.node_of_module(0) == 0
+        assert mapping.node_of_module(2) == 1
+        assert mapping.assignment() == [0, 0, 1, 2]
+        with pytest.raises(SpecificationError):
+            mapping.node_of_module(17)
+
+    def test_modules_on_node(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 1, 0, 2],
+                                          objective=Objective.MIN_DELAY)
+        assert mapping.modules_on_node(0) == [0, 2]
+        assert mapping.modules_on_node(1) == [1]
+        assert mapping.modules_on_node(3) == []
+
+    def test_request_endpoints(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 1, 2],
+                                          objective=Objective.MIN_DELAY)
+        request = mapping.request()
+        assert request.source == 0
+        assert request.destination == 2
+
+    def test_n_groups(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 0, 0],
+                                          objective=Objective.MIN_DELAY)
+        assert mapping.n_groups == 1
+        assert not mapping.uses_node_reuse  # single visit is not "reuse"
+
+
+class TestPresentation:
+    def test_to_dict_fields(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 1, 2],
+                                          objective=Objective.MIN_DELAY,
+                                          algorithm="unit")
+        data = mapping.to_dict()
+        assert data["algorithm"] == "unit"
+        assert data["objective"] == "min_delay"
+        assert data["path"] == [0, 1, 2]
+        assert data["delay_ms"] == pytest.approx(mapping.delay_ms)
+
+    def test_describe_mentions_every_path_node(self, simple_pipeline, simple_network):
+        mapping = mapping_from_assignment(simple_pipeline, simple_network, [0, 0, 1, 2],
+                                          objective=Objective.MIN_DELAY)
+        text = mapping.describe()
+        for node in mapping.path:
+            assert f"node {node}" in text
+        assert "bottleneck" in text
+
+    def test_direct_constructor_validates(self, simple_pipeline, simple_network):
+        with pytest.raises(SpecificationError):
+            PipelineMapping(pipeline=simple_pipeline, network=simple_network,
+                            groups=[[0, 1], [2, 3]], path=[0, 3],
+                            objective=Objective.MIN_DELAY)

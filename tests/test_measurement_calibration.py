@@ -1,0 +1,65 @@
+"""Tests for the end-to-end calibration campaign."""
+
+import pytest
+
+from repro.core import elpc_min_delay
+from repro.exceptions import MeasurementError
+from repro.generators import random_network, random_pipeline, random_request
+from repro.measurement import calibrate_network
+from repro.model import end_to_end_delay_ms
+
+
+@pytest.fixture(scope="module")
+def true_network():
+    return random_network(10, 22, seed=90, name="truth")
+
+
+class TestCalibrationReport:
+    def test_structure_preserved(self, true_network):
+        report = calibrate_network(true_network, noise_fraction=0.02, seed=1)
+        est = report.estimated_network
+        assert est.n_nodes == true_network.n_nodes
+        assert est.n_links == true_network.n_links
+        assert est.node_ids() == true_network.node_ids()
+        for link in true_network.links():
+            assert est.has_link(link.start_node, link.end_node)
+
+    def test_error_statistics_bounded(self, true_network):
+        report = calibrate_network(true_network, noise_fraction=0.03,
+                                   repetitions=5, seed=2)
+        assert 0.0 <= report.mean_bandwidth_error < 0.15
+        assert 0.0 <= report.mean_power_error < 0.15
+        assert report.max_bandwidth_error >= report.mean_bandwidth_error
+        assert report.max_power_error >= report.mean_power_error
+        assert len(report.bandwidth_errors) == true_network.n_links
+        assert len(report.power_errors) == true_network.n_nodes
+
+    def test_noiseless_calibration_is_exact(self, true_network):
+        report = calibrate_network(true_network, noise_fraction=0.0, seed=3)
+        assert report.max_bandwidth_error < 1e-9
+        assert report.max_power_error < 1e-9
+
+    def test_more_noise_means_more_error(self, true_network):
+        low = calibrate_network(true_network, noise_fraction=0.01, seed=4)
+        high = calibrate_network(true_network, noise_fraction=0.25, seed=4)
+        assert high.mean_bandwidth_error > low.mean_bandwidth_error
+
+    def test_negative_noise_rejected(self, true_network):
+        with pytest.raises(MeasurementError):
+            calibrate_network(true_network, noise_fraction=-0.1)
+
+
+class TestCalibratedMappingQuality:
+    def test_mapping_from_estimates_close_to_true_optimum(self, true_network):
+        """A mapping chosen from mildly noisy estimates should cost at most a
+        few percent more than the true optimum when evaluated on the truth."""
+        pipeline = random_pipeline(6, seed=91)
+        request = random_request(true_network, seed=91, min_hop_distance=2)
+        truth_mapping = elpc_min_delay(pipeline, true_network, request)
+
+        report = calibrate_network(true_network, noise_fraction=0.03, seed=5)
+        est_mapping = elpc_min_delay(pipeline, report.estimated_network, request)
+        realised = end_to_end_delay_ms(pipeline, true_network,
+                                       est_mapping.groups, est_mapping.path)
+        assert realised >= truth_mapping.delay_ms - 1e-9
+        assert realised <= truth_mapping.delay_ms * 1.25

@@ -1,0 +1,136 @@
+"""Tests for probe generation and bandwidth / complexity / power estimation."""
+
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import (
+    ProbeObservation,
+    bandwidth_mbps_to_slope,
+    default_probe_sizes,
+    estimate_complexity,
+    estimate_link,
+    estimate_node_power,
+    probe_link,
+    probe_module_on_node,
+    slope_to_bandwidth_mbps,
+)
+
+
+class TestProbeGeneration:
+    def test_default_sizes_geometric_and_increasing(self):
+        sizes = default_probe_sizes(n_sizes=6)
+        assert len(sizes) == 6
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_default_sizes_validation(self):
+        with pytest.raises(MeasurementError):
+            default_probe_sizes(n_sizes=1)
+        with pytest.raises(MeasurementError):
+            default_probe_sizes(smallest_bytes=100.0, largest_bytes=10.0)
+
+    def test_probe_link_noiseless_matches_model(self):
+        obs = probe_link(100.0, 2.0, noise_fraction=0.0, repetitions=1, seed=0)
+        from repro.model import transfer_time_ms
+        for o in obs:
+            assert o.time_ms == pytest.approx(transfer_time_ms(o.size_bytes, 100.0, 2.0))
+
+    def test_probe_link_reproducible(self):
+        a = probe_link(50.0, 1.0, seed=3)
+        b = probe_link(50.0, 1.0, seed=3)
+        assert [(o.size_bytes, o.time_ms) for o in a] == \
+            [(o.size_bytes, o.time_ms) for o in b]
+
+    def test_probe_validation(self):
+        with pytest.raises(MeasurementError):
+            probe_link(10.0, 1.0, repetitions=0)
+        with pytest.raises(MeasurementError):
+            probe_module_on_node(10.0, 0.0)
+        with pytest.raises(MeasurementError):
+            ProbeObservation(size_bytes=-1.0, time_ms=1.0)
+
+
+class TestSlopeConversions:
+    def test_roundtrip(self):
+        slope = bandwidth_mbps_to_slope(80.0)
+        assert slope_to_bandwidth_mbps(slope) == pytest.approx(80.0)
+
+    def test_known_value(self):
+        # 1 Mbit/s moves 125 bytes per ms -> slope = 1/125 ms per byte = 0.008
+        assert bandwidth_mbps_to_slope(1.0) == pytest.approx(0.008)
+
+    def test_invalid(self):
+        with pytest.raises(MeasurementError):
+            slope_to_bandwidth_mbps(0.0)
+        with pytest.raises(MeasurementError):
+            bandwidth_mbps_to_slope(-3.0)
+
+
+class TestLinkEstimation:
+    def test_noiseless_recovery_exact(self):
+        obs = probe_link(200.0, 3.0, noise_fraction=0.0, repetitions=2, seed=1)
+        est = estimate_link(obs)
+        assert est.bandwidth_mbps == pytest.approx(200.0, rel=1e-9)
+        assert est.min_delay_ms == pytest.approx(3.0, rel=1e-6)
+        assert est.fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery_close(self):
+        obs = probe_link(120.0, 1.5, noise_fraction=0.05, repetitions=5, seed=2)
+        est = estimate_link(obs)
+        assert est.relative_bandwidth_error(120.0) < 0.15
+        assert est.min_delay_ms >= 0.0
+
+    def test_robust_option(self):
+        obs = probe_link(80.0, 2.0, noise_fraction=0.02, repetitions=4, seed=3)
+        est = estimate_link(obs, robust=True)
+        assert est.bandwidth_mbps == pytest.approx(80.0, rel=0.1)
+
+    def test_too_few_observations(self):
+        with pytest.raises(MeasurementError):
+            estimate_link([ProbeObservation(1000.0, 1.0)])
+
+
+class TestComplexityAndPowerEstimation:
+    def test_complexity_recovery(self):
+        obs = probe_module_on_node(true_complexity=40.0, true_power=200.0,
+                                   noise_fraction=0.0, seed=4)
+        est = estimate_complexity(obs, node_power=200.0)
+        assert est.complexity == pytest.approx(40.0, rel=1e-9)
+        assert est.overhead_ms == pytest.approx(0.0, abs=1e-9)
+
+    def test_complexity_with_overhead(self):
+        obs = probe_module_on_node(true_complexity=40.0, true_power=200.0,
+                                   overhead_ms=5.0, noise_fraction=0.0, seed=4)
+        est = estimate_complexity(obs, node_power=200.0)
+        assert est.complexity == pytest.approx(40.0, rel=1e-9)
+        assert est.overhead_ms == pytest.approx(5.0, rel=1e-6)
+
+    def test_complexity_relative_error_helper(self):
+        obs = probe_module_on_node(30.0, 100.0, noise_fraction=0.02, seed=5)
+        est = estimate_complexity(obs, node_power=100.0)
+        assert est.relative_error(30.0) < 0.15
+
+    def test_complexity_validation(self):
+        obs = probe_module_on_node(30.0, 100.0, seed=5)
+        with pytest.raises(MeasurementError):
+            estimate_complexity(obs, node_power=0.0)
+
+    def test_power_recovery(self):
+        obs = probe_module_on_node(true_complexity=50.0, true_power=333.0,
+                                   noise_fraction=0.0, seed=6)
+        est = estimate_node_power(obs, module_complexity=50.0)
+        assert est.processing_power == pytest.approx(333.0, rel=1e-9)
+        assert est.dispersion == pytest.approx(0.0, abs=1e-9)
+
+    def test_power_noisy_recovery(self):
+        obs = probe_module_on_node(true_complexity=50.0, true_power=150.0,
+                                   noise_fraction=0.08, repetitions=6, seed=7)
+        est = estimate_node_power(obs, module_complexity=50.0)
+        assert est.relative_error(150.0) < 0.15
+        assert est.dispersion > 0.0
+
+    def test_power_validation(self):
+        with pytest.raises(MeasurementError):
+            estimate_node_power([], module_complexity=10.0)
+        with pytest.raises(MeasurementError):
+            estimate_node_power([ProbeObservation(10.0, 1.0)], module_complexity=0.0)

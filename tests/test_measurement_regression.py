@@ -1,0 +1,75 @@
+"""Tests for the linear-regression primitives (:mod:`repro.measurement.regression`)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement import fit_line, fit_line_robust
+
+
+class TestFitLine:
+    def test_perfect_line_recovered(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0 * xi + 5.0 for xi in x]
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n_samples == 4
+        assert fit.predict(10.0) == pytest.approx(25.0)
+
+    def test_noisy_line_close(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(1, 100, 50)
+        y = 3.0 * x + 7.0 + rng.normal(0, 0.5, size=50)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(3.0, rel=0.05)
+        assert fit.intercept == pytest.approx(7.0, abs=2.0)
+        assert fit.r_squared > 0.99
+
+    def test_needs_two_points(self):
+        with pytest.raises(MeasurementError):
+            fit_line([1.0], [2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(MeasurementError):
+            fit_line([1.0, 2.0], [2.0])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(MeasurementError):
+            fit_line([3.0, 3.0, 3.0], [1.0, 2.0, 3.0])
+
+    def test_flat_line_r_squared_one(self):
+        fit = fit_line([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestFitLineRobust:
+    def test_perfect_line(self):
+        x = list(range(1, 11))
+        y = [4.0 * xi - 2.0 for xi in x]
+        fit = fit_line_robust(x, y)
+        assert fit.slope == pytest.approx(4.0)
+        assert fit.intercept == pytest.approx(-2.0)
+
+    def test_resists_outliers(self):
+        x = np.linspace(1, 50, 40)
+        y = 2.0 * x + 1.0
+        y_outliers = y.copy()
+        y_outliers[::10] += 500.0  # 10 % wild outliers
+        robust = fit_line_robust(x, y_outliers)
+        ols = fit_line(x, y_outliers)
+        assert abs(robust.slope - 2.0) < abs(ols.slope - 2.0)
+        assert robust.slope == pytest.approx(2.0, rel=0.05)
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(1, 10, 200)
+        y = 1.5 * x + rng.normal(0, 0.01, 200)
+        fit = fit_line_robust(x, y, max_pairs=500)
+        assert fit.slope == pytest.approx(1.5, rel=0.02)
+
+    def test_degenerate_input_rejected(self):
+        with pytest.raises(MeasurementError):
+            fit_line_robust([2.0, 2.0], [1.0, 5.0])

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.model.module`."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import ComputingModule, sink_module, source_module
+
+
+class TestComputingModuleConstruction:
+    def test_basic_fields(self):
+        mod = ComputingModule(module_id=3, complexity=12.5, input_bytes=1000.0,
+                              output_bytes=400.0, name="render")
+        assert mod.module_id == 3
+        assert mod.complexity == 12.5
+        assert mod.input_bytes == 1000.0
+        assert mod.output_bytes == 400.0
+        assert mod.name == "render"
+
+    def test_negative_complexity_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingModule(module_id=0, complexity=-1.0, input_bytes=10, output_bytes=5)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingModule(module_id=0, complexity=1.0, input_bytes=-10, output_bytes=5)
+
+    def test_negative_output_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingModule(module_id=0, complexity=1.0, input_bytes=10, output_bytes=-5)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingModule(module_id=-1, complexity=1.0, input_bytes=10, output_bytes=5)
+
+    def test_zero_values_allowed(self):
+        mod = ComputingModule(module_id=0, complexity=0.0, input_bytes=0.0, output_bytes=0.0)
+        assert mod.workload == 0.0
+        assert mod.is_forwarding
+
+
+class TestDerivedQuantities:
+    def test_workload_is_complexity_times_input(self):
+        mod = ComputingModule(module_id=1, complexity=7.0, input_bytes=300.0,
+                              output_bytes=100.0)
+        assert mod.workload == pytest.approx(2100.0)
+
+    def test_is_forwarding_true_only_for_zero_workload(self):
+        assert ComputingModule(0, 0.0, 100.0, 50.0).is_forwarding
+        assert not ComputingModule(0, 2.0, 100.0, 50.0).is_forwarding
+
+    def test_compression_ratio(self):
+        mod = ComputingModule(module_id=1, complexity=1.0, input_bytes=200.0,
+                              output_bytes=50.0)
+        assert mod.compression_ratio == pytest.approx(0.25)
+
+    def test_compression_ratio_zero_input(self):
+        assert ComputingModule(0, 0.0, 0.0, 10.0).compression_ratio == float("inf")
+        assert ComputingModule(0, 0.0, 0.0, 0.0).compression_ratio == 1.0
+
+
+class TestTransformers:
+    def test_renamed_keeps_other_fields(self):
+        mod = ComputingModule(1, 2.0, 10.0, 5.0, name="a")
+        renamed = mod.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.complexity == mod.complexity
+        assert mod.name == "a"  # original untouched (frozen dataclass)
+
+    def test_with_id(self):
+        mod = ComputingModule(1, 2.0, 10.0, 5.0)
+        assert mod.with_id(7).module_id == 7
+
+    def test_scaled_data_and_complexity(self):
+        mod = ComputingModule(1, 2.0, 10.0, 5.0)
+        scaled = mod.scaled(complexity=3.0, data=2.0)
+        assert scaled.complexity == pytest.approx(6.0)
+        assert scaled.input_bytes == pytest.approx(20.0)
+        assert scaled.output_bytes == pytest.approx(10.0)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(SpecificationError):
+            ComputingModule(1, 2.0, 10.0, 5.0).scaled(data=-1.0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        mod = ComputingModule(4, 3.5, 123.0, 45.0, name="x", metadata={"k": 1})
+        again = ComputingModule.from_dict(mod.to_dict())
+        assert again == mod
+        assert again.metadata == {"k": 1}
+
+    def test_from_dict_defaults(self):
+        again = ComputingModule.from_dict(
+            {"module_id": 1, "complexity": 2, "input_bytes": 3, "output_bytes": 4})
+        assert again.name is None
+        assert again.metadata == {}
+
+
+class TestConvenienceConstructors:
+    def test_source_module_shape(self):
+        src = source_module(5000.0)
+        assert src.module_id == 0
+        assert src.complexity == 0.0
+        assert src.input_bytes == 0.0
+        assert src.output_bytes == 5000.0
+        assert src.is_forwarding
+
+    def test_sink_module_shape(self):
+        sink = sink_module(25.0, 800.0, module_id=6)
+        assert sink.module_id == 6
+        assert sink.output_bytes == 0.0
+        assert sink.workload == pytest.approx(25.0 * 800.0)

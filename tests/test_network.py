@@ -1,0 +1,213 @@
+"""Unit tests for :mod:`repro.model.network`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import (
+    CommunicationLink,
+    ComputingNode,
+    EndToEndRequest,
+    TransportNetwork,
+)
+
+
+def build_net() -> TransportNetwork:
+    """Square 0-1-2-3-0 plus diagonal 0-2 with distinct bandwidths."""
+    nodes = [ComputingNode(node_id=i, processing_power=10.0 * (i + 1)) for i in range(4)]
+    links = [
+        CommunicationLink(0, 1, bandwidth_mbps=100.0, min_delay_ms=1.0),
+        CommunicationLink(1, 2, bandwidth_mbps=50.0, min_delay_ms=2.0),
+        CommunicationLink(2, 3, bandwidth_mbps=200.0, min_delay_ms=0.5),
+        CommunicationLink(3, 0, bandwidth_mbps=25.0, min_delay_ms=3.0),
+        CommunicationLink(0, 2, bandwidth_mbps=10.0, min_delay_ms=4.0),
+    ]
+    return TransportNetwork(nodes=nodes, links=links, name="square")
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = build_net()
+        assert net.n_nodes == 4
+        assert net.n_links == 5
+        assert len(net) == 4
+        assert list(net) == [0, 1, 2, 3]
+
+    def test_duplicate_node_rejected(self):
+        net = build_net()
+        with pytest.raises(SpecificationError):
+            net.add_node(ComputingNode(node_id=0, processing_power=1.0))
+
+    def test_duplicate_link_rejected(self):
+        net = build_net()
+        with pytest.raises(SpecificationError):
+            net.connect(0, 1, bandwidth_mbps=5.0)
+        with pytest.raises(SpecificationError):
+            net.connect(1, 0, bandwidth_mbps=5.0)  # reversed duplicate
+
+    def test_link_with_unknown_node_rejected(self):
+        net = build_net()
+        with pytest.raises(SpecificationError):
+            net.add_link(CommunicationLink(0, 9, bandwidth_mbps=1.0))
+
+    def test_link_ids_assigned(self):
+        net = build_net()
+        ids = [l.link_id for l in net.links()]
+        assert len(set(ids)) == len(ids)
+        assert all(i is not None for i in ids)
+
+
+class TestQueries:
+    def test_node_and_link_lookup(self):
+        net = build_net()
+        assert net.node(2).processing_power == 30.0
+        assert net.link(1, 2).bandwidth_mbps == 50.0
+        assert net.link(2, 1).bandwidth_mbps == 50.0  # symmetric lookup
+        assert net.bandwidth(0, 2) == 10.0
+        assert net.min_delay(3, 0) == 3.0
+
+    def test_unknown_lookups_raise(self):
+        net = build_net()
+        with pytest.raises(SpecificationError):
+            net.node(99)
+        with pytest.raises(SpecificationError):
+            net.link(1, 3)
+        with pytest.raises(SpecificationError):
+            net.neighbors(99)
+
+    def test_neighbors_sorted(self):
+        net = build_net()
+        assert net.neighbors(0) == [1, 2, 3]
+        assert net.neighbors(1) == [0, 2]
+        assert net.degree(0) == 3
+
+    def test_membership(self):
+        net = build_net()
+        assert 0 in net
+        assert 99 not in net
+        assert net.has_link(0, 1)
+        assert not net.has_link(1, 3)
+
+    def test_connected_and_complete(self):
+        net = build_net()
+        assert net.is_connected()
+        assert not net.is_complete()
+        k3 = TransportNetwork(
+            nodes=[ComputingNode(i, 1.0) for i in range(3)],
+            links=[CommunicationLink(0, 1, 1.0), CommunicationLink(1, 2, 1.0),
+                   CommunicationLink(0, 2, 1.0)])
+        assert k3.is_complete()
+
+    def test_statistics(self):
+        net = build_net()
+        assert net.total_processing_power() == pytest.approx(10 + 20 + 30 + 40)
+        assert net.mean_bandwidth() == pytest.approx(np.mean([100, 50, 200, 25, 10]))
+        assert net.node_communication_capacity(0) == pytest.approx(100 + 25 + 10)
+        assert 0.0 < net.density() < 1.0
+
+
+class TestPathQueries:
+    def test_is_walk_accepts_repeats(self):
+        net = build_net()
+        assert net.is_walk([0, 1, 2, 2, 3])
+        assert net.is_walk([0, 0, 0])
+        assert not net.is_walk([0, 3, 1])  # 3-1 not a link
+        assert not net.is_walk([])
+        assert not net.is_walk([0, 99])
+
+    def test_hop_distance(self):
+        net = build_net()
+        assert net.hop_distance(0, 0) == 0
+        assert net.hop_distance(1, 3) == 2
+        with pytest.raises(SpecificationError):
+            net.hop_distance(0, 99)
+
+    def test_hop_distance_disconnected(self):
+        net = build_net()
+        net.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        assert net.hop_distance(0, 9) == -1
+        assert not net.is_connected()
+
+    def test_shortest_transfer_path(self):
+        net = build_net()
+        path, time_ms = net.shortest_transfer_path(1, 3, 1000.0)
+        assert path[0] == 1 and path[-1] == 3
+        assert net.is_walk(path)
+        assert time_ms > 0
+        same, zero = net.shortest_transfer_path(2, 2, 1000.0)
+        assert same == [2] and zero == 0.0
+
+    def test_widest_path(self):
+        net = build_net()
+        path, capacity = net.widest_path(1, 3)
+        assert path[0] == 1 and path[-1] == 3
+        # widest 1->3 route is 1-2-3 with bottleneck min(50, 200) = 50
+        assert capacity == pytest.approx(50.0)
+        _p, inf_cap = net.widest_path(2, 2)
+        assert inf_cap == float("inf")
+
+    def test_longest_simple_path_at_least(self):
+        net = build_net()
+        assert net.longest_simple_path_at_least(0, 3, 4)   # 0-1-2-3 exists
+        assert not net.longest_simple_path_at_least(0, 3, 5)
+
+
+class TestMatrices:
+    def test_adjacency_matrix_symmetric(self):
+        net = build_net()
+        mat = net.adjacency_matrix()
+        assert mat.shape == (4, 4)
+        assert (mat == mat.T).all()
+        assert mat[0, 1] and not mat[1, 3]
+
+    def test_bandwidth_and_delay_matrices(self):
+        net = build_net()
+        bw = net.bandwidth_matrix()
+        dl = net.delay_matrix()
+        assert bw[1, 2] == 50.0 and bw[2, 1] == 50.0
+        assert dl[0, 2] == 4.0
+        assert bw[1, 3] == 0.0
+
+    def test_from_matrices_roundtrip(self):
+        net = build_net()
+        again = TransportNetwork.from_matrices(
+            [n.processing_power for n in net.nodes()],
+            net.bandwidth_matrix(), net.delay_matrix())
+        assert again.n_nodes == net.n_nodes
+        assert again.n_links == net.n_links
+        assert again.bandwidth(0, 2) == net.bandwidth(0, 2)
+        assert again.min_delay(3, 0) == net.min_delay(3, 0)
+
+    def test_from_matrices_validation(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])  # asymmetric
+        with pytest.raises(SpecificationError):
+            TransportNetwork.from_matrices([1.0, 1.0], bad)
+        with pytest.raises(SpecificationError):
+            TransportNetwork.from_matrices([1.0], np.zeros((2, 2)))
+
+
+class TestSerializationAndCopy:
+    def test_dict_roundtrip(self):
+        net = build_net()
+        again = TransportNetwork.from_dict(net.to_dict())
+        assert again.n_nodes == net.n_nodes
+        assert again.n_links == net.n_links
+        assert again.link(0, 2).bandwidth_mbps == 10.0
+        assert again.name == "square"
+
+    def test_copy_is_independent(self):
+        net = build_net()
+        clone = net.copy()
+        clone.add_node(ComputingNode(node_id=50, processing_power=1.0))
+        assert 50 in clone
+        assert 50 not in net
+
+
+class TestEndToEndRequest:
+    def test_validate(self):
+        net = build_net()
+        EndToEndRequest(source=0, destination=3).validate(net)
+        with pytest.raises(SpecificationError):
+            EndToEndRequest(source=0, destination=99).validate(net)
+        with pytest.raises(SpecificationError):
+            EndToEndRequest(source=77, destination=3).validate(net)

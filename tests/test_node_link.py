@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.model.node` and :mod:`repro.model.link`."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import (
+    BITS_PER_BYTE,
+    CommunicationLink,
+    ComputingNode,
+    synthetic_ip,
+    transfer_time_ms,
+)
+
+
+class TestComputingNode:
+    def test_basic_fields(self):
+        node = ComputingNode(node_id=2, processing_power=150.0, name="cluster")
+        assert node.node_id == 2
+        assert node.processing_power == 150.0
+        assert node.name == "cluster"
+
+    def test_synthetic_ip_assigned(self):
+        node = ComputingNode(node_id=5, processing_power=1.0)
+        assert node.ip_address == synthetic_ip(5) == "10.0.0.5"
+
+    def test_synthetic_ip_encodes_large_ids(self):
+        assert synthetic_ip(0x01_02_03) == "10.1.2.3"
+
+    def test_explicit_ip_preserved(self):
+        node = ComputingNode(node_id=5, processing_power=1.0, ip_address="192.168.1.9")
+        assert node.ip_address == "192.168.1.9"
+
+    def test_non_positive_power_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingNode(node_id=0, processing_power=0.0)
+        with pytest.raises(SpecificationError):
+            ComputingNode(node_id=0, processing_power=-5.0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(SpecificationError):
+            ComputingNode(node_id=-1, processing_power=1.0)
+
+    def test_computing_time_ms(self):
+        # power 100 Mops/s = 100e3 ops/ms; 1e6 ops -> 10 ms
+        node = ComputingNode(node_id=0, processing_power=100.0)
+        assert node.computing_time_ms(1_000_000) == pytest.approx(10.0)
+        assert node.computing_time_ms(0.0) == 0.0
+
+    def test_computing_time_rejects_negative_workload(self):
+        node = ComputingNode(node_id=0, processing_power=100.0)
+        with pytest.raises(SpecificationError):
+            node.computing_time_ms(-1.0)
+
+    def test_relative_speed(self):
+        fast = ComputingNode(node_id=0, processing_power=400.0)
+        slow = ComputingNode(node_id=1, processing_power=100.0)
+        assert fast.relative_speed(slow) == pytest.approx(4.0)
+
+    def test_with_power(self):
+        node = ComputingNode(node_id=0, processing_power=100.0)
+        assert node.with_power(250.0).processing_power == 250.0
+
+    def test_dict_roundtrip(self):
+        node = ComputingNode(node_id=3, processing_power=77.0, name="n")
+        assert ComputingNode.from_dict(node.to_dict()) == node
+
+
+class TestTransferTimeFunction:
+    def test_known_value(self):
+        # 1_000_000 bytes over 8 Mbit/s: 8e6 bits / 8e6 bit/s = 1 s = 1000 ms
+        assert transfer_time_ms(1_000_000, 8.0) == pytest.approx(1000.0)
+
+    def test_mld_added(self):
+        assert transfer_time_ms(1_000_000, 8.0, 5.0) == pytest.approx(1005.0)
+
+    def test_zero_message_costs_only_mld(self):
+        assert transfer_time_ms(0.0, 100.0, 2.5) == pytest.approx(2.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SpecificationError):
+            transfer_time_ms(-1.0, 10.0)
+        with pytest.raises(SpecificationError):
+            transfer_time_ms(1.0, 0.0)
+        with pytest.raises(SpecificationError):
+            transfer_time_ms(1.0, 10.0, -1.0)
+
+    def test_monotone_in_size_and_bandwidth(self):
+        assert transfer_time_ms(2000, 10.0) > transfer_time_ms(1000, 10.0)
+        assert transfer_time_ms(1000, 10.0) > transfer_time_ms(1000, 100.0)
+
+
+class TestCommunicationLink:
+    def test_basic_fields(self):
+        link = CommunicationLink(1, 2, bandwidth_mbps=100.0, min_delay_ms=3.0, link_id=7)
+        assert link.endpoints == (1, 2)
+        assert link.link_id == 7
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecificationError):
+            CommunicationLink(3, 3, bandwidth_mbps=10.0)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(SpecificationError):
+            CommunicationLink(0, 1, bandwidth_mbps=0.0)
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(SpecificationError):
+            CommunicationLink(0, 1, bandwidth_mbps=1.0, min_delay_ms=-0.1)
+
+    def test_transport_time_matches_function(self):
+        link = CommunicationLink(0, 1, bandwidth_mbps=80.0, min_delay_ms=1.5)
+        assert link.transport_time_ms(500_000) == pytest.approx(
+            transfer_time_ms(500_000, 80.0, 1.5))
+
+    def test_bandwidth_bytes_per_ms(self):
+        link = CommunicationLink(0, 1, bandwidth_mbps=8.0)
+        # 8 Mbit/s = 1e6 bytes/s = 1000 bytes/ms
+        assert link.bandwidth_bytes_per_ms() == pytest.approx(1000.0)
+
+    def test_connects_either_direction(self):
+        link = CommunicationLink(4, 9, bandwidth_mbps=1.0)
+        assert link.connects(4, 9)
+        assert link.connects(9, 4)
+        assert not link.connects(4, 5)
+
+    def test_reversed(self):
+        link = CommunicationLink(4, 9, bandwidth_mbps=1.0, min_delay_ms=2.0)
+        rev = link.reversed()
+        assert rev.start_node == 9 and rev.end_node == 4
+        assert rev.bandwidth_mbps == link.bandwidth_mbps
+
+    def test_with_bandwidth(self):
+        link = CommunicationLink(0, 1, bandwidth_mbps=10.0)
+        assert link.with_bandwidth(50.0).bandwidth_mbps == 50.0
+
+    def test_dict_roundtrip(self):
+        link = CommunicationLink(2, 5, bandwidth_mbps=33.0, min_delay_ms=0.5, link_id=4)
+        assert CommunicationLink.from_dict(link.to_dict()) == link
+
+    def test_bits_per_byte_constant(self):
+        assert BITS_PER_BYTE == 8.0

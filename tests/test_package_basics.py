@@ -1,0 +1,74 @@
+"""Tests for package-level basics: version metadata, exceptions, shared helpers."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AlgorithmError,
+    InfeasibleMappingError,
+    MeasurementError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+)
+from repro.types import ensure_non_negative, ensure_positive, pairwise
+
+
+class TestVersionAndMetadata:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_paper_citation_present(self):
+        assert "IPDPS" in repro.PAPER
+        assert "2008" in repro.PAPER
+
+    def test_public_api_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing attribute {name}"
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (SpecificationError, InfeasibleMappingError,
+                         AlgorithmError, SimulationError, MeasurementError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_specification_error_is_value_error(self):
+        assert issubclass(SpecificationError, ValueError)
+        assert issubclass(MeasurementError, ValueError)
+
+    def test_algorithm_and_simulation_errors_are_runtime_errors(self):
+        assert issubclass(AlgorithmError, RuntimeError)
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_infeasible_error_carries_context(self):
+        exc = InfeasibleMappingError("nope", source=1, destination=5, n_modules=7)
+        assert exc.source == 1
+        assert exc.destination == 5
+        assert exc.n_modules == 7
+        assert "nope" in str(exc)
+
+    def test_catching_family_with_base_class(self):
+        with pytest.raises(ReproError):
+            raise SpecificationError("bad input")
+
+
+class TestSharedHelpers:
+    def test_ensure_positive(self):
+        assert ensure_positive(3, "x") == 3.0
+        with pytest.raises(ValueError):
+            ensure_positive(0, "x")
+        with pytest.raises(ValueError):
+            ensure_positive(-2.5, "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0, "x") == 0.0
+        assert ensure_non_negative(4.5, "x") == 4.5
+        with pytest.raises(ValueError):
+            ensure_non_negative(-0.1, "x")
+
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3, 4])) == [(1, 2), (2, 3), (3, 4)]
+        assert list(pairwise([7])) == []
+        assert list(pairwise([])) == []

@@ -1,0 +1,181 @@
+"""Unit tests for :mod:`repro.model.pipeline`."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import ComputingModule, Pipeline, source_module
+
+
+def make_modules():
+    return (
+        source_module(1000.0),
+        ComputingModule(1, 2.0, 1000.0, 600.0),
+        ComputingModule(2, 3.0, 600.0, 200.0),
+        ComputingModule(3, 5.0, 200.0, 0.0),
+    )
+
+
+class TestPipelineConstruction:
+    def test_valid_pipeline(self):
+        p = Pipeline(modules=make_modules(), name="t")
+        assert p.n_modules == 4
+        assert len(p) == 4
+        assert p.source.module_id == 0
+        assert p.sink.module_id == 3
+        assert [m.module_id for m in p] == [0, 1, 2, 3]
+
+    def test_too_few_modules_rejected(self):
+        with pytest.raises(SpecificationError):
+            Pipeline(modules=(source_module(10.0),))
+
+    def test_non_consecutive_ids_rejected(self):
+        mods = list(make_modules())
+        mods[2] = mods[2].with_id(5)
+        with pytest.raises(SpecificationError):
+            Pipeline(modules=tuple(mods))
+
+    def test_data_size_mismatch_rejected(self):
+        mods = list(make_modules())
+        mods[2] = ComputingModule(2, 3.0, 999.0, 200.0)  # input != predecessor output
+        with pytest.raises(SpecificationError):
+            Pipeline(modules=tuple(mods))
+
+    def test_first_module_must_be_source(self):
+        mods = list(make_modules())
+        mods[0] = ComputingModule(0, 1.0, 0.0, 1000.0)  # computes => not a pure source
+        with pytest.raises(SpecificationError):
+            Pipeline(modules=tuple(mods))
+
+    def test_last_module_must_be_terminal(self):
+        mods = list(make_modules())
+        mods[3] = ComputingModule(3, 5.0, 200.0, 10.0)  # emits data
+        with pytest.raises(SpecificationError):
+            Pipeline(modules=tuple(mods))
+
+    def test_client_server_degenerate_pipeline(self):
+        p = Pipeline.client_server(data_bytes=500.0, sink_complexity=3.0)
+        assert p.n_modules == 2
+        assert p.source.output_bytes == 500.0
+        assert p.sink.workload == pytest.approx(1500.0)
+
+
+class TestDataFlowQuantities:
+    def test_message_size(self):
+        p = Pipeline(modules=make_modules())
+        assert p.message_size(0) == 1000.0
+        assert p.message_size(1) == 600.0
+        assert p.message_size(3) == 0.0
+
+    def test_message_size_out_of_range(self):
+        p = Pipeline(modules=make_modules())
+        with pytest.raises(SpecificationError):
+            p.message_size(9)
+
+    def test_total_workload(self):
+        p = Pipeline(modules=make_modules())
+        expected = 2.0 * 1000 + 3.0 * 600 + 5.0 * 200
+        assert p.total_workload() == pytest.approx(expected)
+
+    def test_total_data_volume(self):
+        p = Pipeline(modules=make_modules())
+        assert p.total_data_volume() == pytest.approx(1000 + 600 + 200)
+
+    def test_workloads_aligned_with_modules(self):
+        p = Pipeline(modules=make_modules())
+        assert p.workloads() == [0.0, 2000.0, 1800.0, 1000.0]
+
+
+class TestGrouping:
+    def test_group_workload_and_output(self):
+        p = Pipeline(modules=make_modules())
+        assert p.group_workload([1, 2]) == pytest.approx(2000 + 1800)
+        assert p.group_output_bytes([1, 2]) == 200.0
+
+    def test_group_output_of_empty_group_rejected(self):
+        p = Pipeline(modules=make_modules())
+        with pytest.raises(SpecificationError):
+            p.group_output_bytes([])
+
+    def test_group_workload_unknown_module(self):
+        p = Pipeline(modules=make_modules())
+        with pytest.raises(SpecificationError):
+            p.group_workload([99])
+
+    def test_contiguous_groupings_count(self):
+        p = Pipeline(modules=make_modules())  # n = 4
+        # number of ways to split 4 items into q contiguous groups is C(3, q-1)
+        assert len(list(p.contiguous_groupings(1))) == 1
+        assert len(list(p.contiguous_groupings(2))) == 3
+        assert len(list(p.contiguous_groupings(3))) == 3
+        assert len(list(p.contiguous_groupings(4))) == 1
+
+    def test_contiguous_groupings_cover_all_modules(self):
+        p = Pipeline(modules=make_modules())
+        for q in range(1, 5):
+            for grouping in p.contiguous_groupings(q):
+                flat = [m for g in grouping for m in g]
+                assert flat == [0, 1, 2, 3]
+                assert all(g for g in grouping)
+
+    def test_contiguous_groupings_bad_q(self):
+        p = Pipeline(modules=make_modules())
+        with pytest.raises(SpecificationError):
+            list(p.contiguous_groupings(0))
+        with pytest.raises(SpecificationError):
+            list(p.contiguous_groupings(5))
+
+    def test_split_after(self):
+        p = Pipeline(modules=make_modules())
+        assert p.split_after([0, 2]) == [[0], [1, 2], [3]]
+        assert p.split_after([]) == [[0, 1, 2, 3]]
+
+    def test_split_after_bad_cut(self):
+        p = Pipeline(modules=make_modules())
+        with pytest.raises(SpecificationError):
+            p.split_after([3])  # cannot cut after the last module
+
+
+class TestFromStageSpecs:
+    def test_chaining(self):
+        p = Pipeline.from_stage_specs(1000.0, [(2.0, 400.0), (5.0, 100.0), (1.0, 0.0)])
+        assert p.n_modules == 4
+        assert p.modules[1].input_bytes == 1000.0
+        assert p.modules[2].input_bytes == 400.0
+        assert p.modules[3].input_bytes == 100.0
+        assert p.sink.output_bytes == 0.0
+
+    def test_last_stage_output_forced_to_zero(self):
+        p = Pipeline.from_stage_specs(1000.0, [(2.0, 400.0), (5.0, 12345.0)])
+        assert p.sink.output_bytes == 0.0
+
+    def test_stage_names_applied(self):
+        p = Pipeline.from_stage_specs(10.0, [(1.0, 5.0), (1.0, 0.0)],
+                                      stage_names=["a", "b"])
+        assert p.modules[1].name == "a"
+        assert p.modules[2].name == "b"
+
+    def test_stage_names_length_mismatch(self):
+        with pytest.raises(SpecificationError):
+            Pipeline.from_stage_specs(10.0, [(1.0, 5.0)], stage_names=["a", "b"])
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(SpecificationError):
+            Pipeline.from_stage_specs(10.0, [])
+
+
+class TestTransformAndSerialize:
+    def test_scaled(self):
+        p = Pipeline(modules=make_modules())
+        doubled = p.scaled(data=2.0)
+        assert doubled.total_data_volume() == pytest.approx(2 * p.total_data_volume())
+        assert doubled.total_workload() == pytest.approx(2 * p.total_workload())
+
+    def test_renamed(self):
+        p = Pipeline(modules=make_modules(), name="x")
+        assert p.renamed("y").name == "y"
+
+    def test_dict_roundtrip(self):
+        p = Pipeline(modules=make_modules(), name="rt")
+        again = Pipeline.from_dict(p.to_dict())
+        assert again == p
+        assert again.name == "rt"

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These complement the example-based tests with randomly generated instances:
+
+* the ELPC delay DP always matches the exhaustive optimum (optimality),
+* every solver returns structurally valid mappings (walk, endpoints, grouping),
+* Eq. 1 / Eq. 2 evaluation invariants (delay ≥ bottleneck, monotonicity under
+  data scaling, MLD toggling),
+* serialization round-trips,
+* the bandwidth estimator inverts the transport cost model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Objective,
+    elpc_max_frame_rate,
+    elpc_min_delay,
+    exhaustive_min_delay,
+    mapping_from_assignment,
+)
+from repro.exceptions import InfeasibleMappingError
+from repro.generators import (
+    ParameterRanges,
+    random_network,
+    random_pipeline,
+    random_request,
+)
+from repro.measurement import estimate_link, probe_link
+from repro.model import (
+    Pipeline,
+    ProblemInstance,
+    bottleneck_time_ms,
+    end_to_end_delay_ms,
+    instance_from_json,
+    instance_to_json,
+)
+
+# A moderate profile: property tests stay fast but still explore many instances.
+PROFILE = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def tiny_instances(draw):
+    """Random small instances suitable for exhaustive verification."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_modules = draw(st.integers(min_value=3, max_value=6))
+    n_nodes = draw(st.integers(min_value=4, max_value=8))
+    max_links = n_nodes * (n_nodes - 1) // 2
+    n_links = draw(st.integers(min_value=n_nodes - 1, max_value=max_links))
+    pipeline = random_pipeline(n_modules, seed=seed)
+    network = random_network(n_nodes, n_links, seed=seed + 1)
+    request = random_request(network, seed=seed + 2, min_hop_distance=1)
+    # Only keep instances on which the mapping problem is structurally feasible
+    # (the pipeline must be at least as long as the shortest end-to-end path).
+    assume(network.hop_distance(request.source, request.destination) <= n_modules - 1)
+    return pipeline, network, request
+
+
+@st.composite
+def medium_instances(draw):
+    """Random medium instances (no exhaustive verification)."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n_modules = draw(st.integers(min_value=4, max_value=10))
+    n_nodes = draw(st.integers(min_value=10, max_value=25))
+    n_links = draw(st.integers(min_value=2 * n_nodes, max_value=3 * n_nodes))
+    pipeline = random_pipeline(n_modules, seed=seed)
+    network = random_network(n_nodes, n_links, seed=seed + 1)
+    request = random_request(network, seed=seed + 2, min_hop_distance=2)
+    assume(network.hop_distance(request.source, request.destination) <= n_modules - 1)
+    return pipeline, network, request
+
+
+# --------------------------------------------------------------------------- #
+# ELPC optimality and structural invariants
+# --------------------------------------------------------------------------- #
+class TestElpcDelayProperties:
+    @PROFILE
+    @given(tiny_instances())
+    def test_dp_matches_exhaustive_optimum(self, instance):
+        pipeline, network, request = instance
+        dp = elpc_min_delay(pipeline, network, request)
+        brute = exhaustive_min_delay(pipeline, network, request)
+        assert dp.delay_ms == pytest.approx(brute.delay_ms, rel=1e-9, abs=1e-9)
+
+    @PROFILE
+    @given(medium_instances())
+    def test_mapping_structure_always_valid(self, instance):
+        pipeline, network, request = instance
+        mapping = elpc_min_delay(pipeline, network, request)
+        assert mapping.path[0] == request.source
+        assert mapping.path[-1] == request.destination
+        assert network.is_walk(mapping.path)
+        flat = [m for g in mapping.groups for m in g]
+        assert flat == list(range(pipeline.n_modules))
+        assert mapping.delay_ms >= mapping.bottleneck_ms - 1e-9
+
+    @PROFILE
+    @given(medium_instances())
+    def test_elpc_beats_or_ties_every_baseline(self, instance):
+        from repro.baselines import greedy_min_delay, streamline_min_delay
+        pipeline, network, request = instance
+        optimal = elpc_min_delay(pipeline, network, request).delay_ms
+        for baseline in (greedy_min_delay, streamline_min_delay):
+            try:
+                value = baseline(pipeline, network, request).delay_ms
+            except InfeasibleMappingError:
+                continue
+            assert value >= optimal - 1e-6
+
+    @PROFILE
+    @given(medium_instances(), st.floats(min_value=1.2, max_value=4.0))
+    def test_delay_monotone_in_data_scale(self, instance, factor):
+        """Scaling every message and workload up cannot reduce the optimal delay."""
+        pipeline, network, request = instance
+        base = elpc_min_delay(pipeline, network, request).delay_ms
+        scaled = elpc_min_delay(pipeline.scaled(data=factor), network, request).delay_ms
+        assert scaled >= base - 1e-6
+
+
+class TestElpcFrameRateProperties:
+    @PROFILE
+    @given(medium_instances())
+    def test_no_reuse_and_bounds(self, instance):
+        pipeline, network, request = instance
+        assume(pipeline.n_modules <= network.n_nodes)
+        try:
+            mapping = elpc_max_frame_rate(pipeline, network, request)
+        except InfeasibleMappingError:
+            assume(False)
+            return
+        assert len(mapping.path) == pipeline.n_modules
+        assert len(set(mapping.path)) == len(mapping.path)
+        # frame period can never beat the heaviest single component lower bound:
+        # any mapping must execute the heaviest module somewhere.
+        best_power = max(network.processing_power(v) for v in network.node_ids())
+        heaviest = max(m.workload for m in pipeline.modules)
+        assert mapping.bottleneck_ms >= heaviest / (best_power * 1e3) - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Cost-model invariants
+# --------------------------------------------------------------------------- #
+class TestCostModelProperties:
+    @PROFILE
+    @given(medium_instances())
+    def test_delay_at_least_bottleneck_and_mld_monotone(self, instance):
+        pipeline, network, request = instance
+        mapping = elpc_min_delay(pipeline, network, request)
+        groups, path = mapping.groups, mapping.path
+        delay = end_to_end_delay_ms(pipeline, network, groups, path)
+        bottleneck = bottleneck_time_ms(pipeline, network, groups, path)
+        assert delay >= bottleneck - 1e-9
+        without_mld = end_to_end_delay_ms(pipeline, network, groups, path,
+                                          include_link_delay=False)
+        assert without_mld <= delay + 1e-12
+
+    @PROFILE
+    @given(tiny_instances(), st.integers(min_value=0, max_value=10_000))
+    def test_any_feasible_assignment_evaluates_consistently(self, instance, seed):
+        """mapping_from_assignment + Eq.1 equals summing the per-module costs."""
+        from repro.baselines import random_min_delay
+        pipeline, network, request = instance
+        mapping = random_min_delay(pipeline, network, request, seed=seed)
+        manual = 0.0
+        assignment = mapping.assignment()
+        for j in range(1, pipeline.n_modules):
+            module = pipeline.modules[j]
+            node = assignment[j]
+            manual += module.workload / (network.processing_power(node) * 1e3)
+            if assignment[j - 1] != node:
+                link = network.link(assignment[j - 1], node)
+                manual += link.transport_time_ms(module.input_bytes)
+        assert mapping.delay_ms == pytest.approx(manual, rel=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Serialization and estimation round-trips
+# --------------------------------------------------------------------------- #
+class TestRoundTripProperties:
+    @PROFILE
+    @given(medium_instances())
+    def test_instance_json_roundtrip(self, instance):
+        pipeline, network, request = instance
+        inst = ProblemInstance(pipeline=pipeline, network=network, request=request,
+                               name="prop")
+        again = instance_from_json(instance_to_json(inst))
+        assert again.size_signature == inst.size_signature
+        assert again.pipeline.total_workload() == pytest.approx(pipeline.total_workload())
+        # evaluating the same mapping on the round-tripped instance gives the same delay
+        mapping = elpc_min_delay(pipeline, network, request)
+        delay_again = end_to_end_delay_ms(again.pipeline, again.network,
+                                          mapping.groups, mapping.path)
+        assert delay_again == pytest.approx(mapping.delay_ms, rel=1e-9)
+
+    @PROFILE
+    @given(st.floats(min_value=1.0, max_value=900.0),
+           st.floats(min_value=0.0, max_value=20.0))
+    def test_bandwidth_estimator_inverts_cost_model(self, bandwidth, mld):
+        observations = probe_link(bandwidth, mld, noise_fraction=0.0,
+                                  repetitions=1, seed=0)
+        estimate = estimate_link(observations)
+        assert estimate.bandwidth_mbps == pytest.approx(bandwidth, rel=1e-6)
+        assert estimate.min_delay_ms == pytest.approx(mld, abs=1e-6)
+
+    @PROFILE
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=1_000))
+    def test_random_pipeline_always_valid(self, n_modules, seed):
+        pipeline = random_pipeline(n_modules, seed=seed)
+        # construction enforces chaining; re-validate core invariants explicitly
+        assert pipeline.n_modules == n_modules
+        assert pipeline.source.is_forwarding
+        assert pipeline.sink.output_bytes == 0.0
+        for prev, nxt in zip(pipeline.modules, pipeline.modules[1:]):
+            assert prev.output_bytes == nxt.input_bytes

@@ -1,0 +1,106 @@
+"""Tests for the Hamiltonian-Path → ENSP reduction (:mod:`repro.core.reduction`)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    hamiltonian_path_to_ensp,
+    has_hamiltonian_path,
+    solve_ensp_exact,
+    verify_ensp_certificate,
+)
+from repro.exceptions import SpecificationError
+
+
+def path_graph(n):
+    return nx.path_graph(n)
+
+
+def star_graph(leaves):
+    return nx.star_graph(leaves)  # node 0 is the hub
+
+
+class TestTransformation:
+    def test_instance_shape(self):
+        g = path_graph(5)
+        inst = hamiltonian_path_to_ensp(g, 0, 4)
+        assert inst.hops == 4
+        assert inst.bound == 4.0
+        assert inst.graph.number_of_nodes() == 5
+        assert inst.graph.number_of_edges() == g.number_of_edges()
+        assert all(d["weight"] == 1.0 for _u, _v, d in inst.graph.edges(data=True))
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(SpecificationError):
+            hamiltonian_path_to_ensp(path_graph(3), 1, 1)
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(SpecificationError):
+            hamiltonian_path_to_ensp(path_graph(3), 0, 9)
+
+
+class TestCertificateVerifier:
+    def test_valid_certificate(self):
+        inst = hamiltonian_path_to_ensp(path_graph(4), 0, 3)
+        assert verify_ensp_certificate(inst, [0, 1, 2, 3])
+
+    def test_wrong_length_rejected(self):
+        inst = hamiltonian_path_to_ensp(path_graph(4), 0, 3)
+        assert not verify_ensp_certificate(inst, [0, 1, 3])
+
+    def test_wrong_endpoints_rejected(self):
+        inst = hamiltonian_path_to_ensp(path_graph(4), 0, 3)
+        assert not verify_ensp_certificate(inst, [1, 2, 3, 0])
+
+    def test_revisiting_rejected(self):
+        inst = hamiltonian_path_to_ensp(nx.complete_graph(4), 0, 3)
+        assert not verify_ensp_certificate(inst, [0, 1, 0, 3])
+
+    def test_non_edges_rejected(self):
+        inst = hamiltonian_path_to_ensp(path_graph(4), 0, 3)
+        assert not verify_ensp_certificate(inst, [0, 2, 1, 3])
+
+    def test_over_budget_rejected(self):
+        g = nx.complete_graph(4)
+        inst = hamiltonian_path_to_ensp(g, 0, 3)
+        # Inflate one edge weight beyond the bound.
+        inst.graph[0][1]["weight"] = 10.0
+        assert not verify_ensp_certificate(inst, [0, 1, 2, 3])
+
+
+class TestEndToEndReduction:
+    def test_yes_instances(self):
+        # A path graph trivially has a Hamiltonian path between its ends.
+        assert has_hamiltonian_path(path_graph(6), 0, 5)
+        # A complete graph has one between any two vertices.
+        assert has_hamiltonian_path(nx.complete_graph(6), 2, 4)
+        # A cycle has one between adjacent vertices.
+        assert has_hamiltonian_path(nx.cycle_graph(5), 0, 4)
+
+    def test_no_instances(self):
+        # A star with 3+ leaves has no Hamiltonian path between two leaves.
+        assert not has_hamiltonian_path(star_graph(4), 1, 2)
+        # A path graph has none between interior vertices.
+        assert not has_hamiltonian_path(path_graph(5), 1, 3)
+
+    def test_witness_is_verified(self):
+        inst = hamiltonian_path_to_ensp(nx.complete_graph(5), 0, 4)
+        witness = solve_ensp_exact(inst)
+        assert witness is not None
+        assert verify_ensp_certificate(inst, witness)
+
+    def test_solver_returns_none_when_infeasible(self):
+        inst = hamiltonian_path_to_ensp(star_graph(3), 1, 2)
+        assert solve_ensp_exact(inst) is None
+
+    def test_reduction_agrees_with_networkx_bruteforce(self):
+        """Cross-check the reduction-based decision against direct enumeration."""
+        rng_graphs = [
+            nx.gnp_random_graph(6, 0.4, seed=s) for s in range(6)
+        ]
+        for g in rng_graphs:
+            if 0 not in g or 5 not in g:
+                continue
+            direct = any(len(p) == g.number_of_nodes()
+                         for p in nx.all_simple_paths(g, 0, 5))
+            assert has_hamiltonian_path(g, 0, 5) == direct

@@ -1,0 +1,83 @@
+"""Tests for the solver registry (:mod:`repro.core.registry`)."""
+
+import pytest
+
+from repro.core import (
+    Objective,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solve,
+)
+from repro.core.registry import _REGISTRY
+from repro.exceptions import SpecificationError
+
+
+class TestBuiltinRegistrations:
+    def test_paper_algorithms_present_for_both_objectives(self):
+        for objective in (Objective.MIN_DELAY, Objective.MAX_FRAME_RATE):
+            names = available_solvers(objective)
+            for expected in ("elpc", "streamline", "greedy", "exhaustive", "random"):
+                assert expected in names
+
+    def test_delay_only_solvers(self):
+        assert "source-only" in available_solvers(Objective.MIN_DELAY)
+        assert "source-only" not in available_solvers(Objective.MAX_FRAME_RATE)
+
+    def test_framerate_extension_registered(self):
+        assert "elpc-reuse" in available_solvers(Objective.MAX_FRAME_RATE)
+
+    def test_available_solvers_all(self):
+        assert set(available_solvers()) >= {"elpc", "streamline", "greedy"}
+
+
+class TestLookupAndInvocation:
+    def test_get_solver_returns_callable(self):
+        solver = get_solver("elpc", Objective.MIN_DELAY)
+        assert callable(solver)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_solver("ELPC", Objective.MIN_DELAY) is get_solver(
+            "elpc", Objective.MIN_DELAY)
+
+    def test_unknown_solver_raises_with_suggestions(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            get_solver("does-not-exist", Objective.MIN_DELAY)
+        assert "elpc" in str(excinfo.value)
+
+    def test_solve_wrapper(self, simple_pipeline, simple_network, simple_request):
+        mapping = solve("greedy", simple_pipeline, simple_network, simple_request,
+                        Objective.MIN_DELAY)
+        assert mapping.algorithm == "greedy"
+        assert mapping.path[0] == simple_request.source
+
+
+class TestCustomRegistration:
+    def test_register_and_overwrite_semantics(self, simple_pipeline, simple_network,
+                                              simple_request):
+        def fake_solver(pipeline, network, request, **kwargs):
+            return solve("elpc", pipeline, network, request, Objective.MIN_DELAY)
+
+        register_solver("unit-test-solver", Objective.MIN_DELAY, fake_solver)
+        try:
+            assert "unit-test-solver" in available_solvers(Objective.MIN_DELAY)
+            with pytest.raises(SpecificationError):
+                register_solver("unit-test-solver", Objective.MIN_DELAY, fake_solver)
+            register_solver("unit-test-solver", Objective.MIN_DELAY, fake_solver,
+                            overwrite=True)
+            mapping = solve("unit-test-solver", simple_pipeline, simple_network,
+                            simple_request, Objective.MIN_DELAY)
+            assert mapping.algorithm == "elpc"
+        finally:
+            _REGISTRY.pop(("unit-test-solver", Objective.MIN_DELAY), None)
+
+    def test_registration_is_objective_scoped(self):
+        def fake_solver(*args, **kwargs):  # pragma: no cover - never called
+            raise AssertionError
+
+        register_solver("delay-only-solver", Objective.MIN_DELAY, fake_solver)
+        try:
+            with pytest.raises(SpecificationError):
+                get_solver("delay-only-solver", Objective.MAX_FRAME_RATE)
+        finally:
+            _REGISTRY.pop(("delay-only-solver", Objective.MIN_DELAY), None)

@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.model.serialization`."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.model import (
+    EndToEndRequest,
+    ProblemInstance,
+    instance_from_json,
+    instance_from_table_text,
+    instance_to_json,
+    instance_to_table_text,
+    load_instance,
+    save_instance,
+)
+
+
+@pytest.fixture
+def instance(simple_pipeline, simple_network, simple_request):
+    return ProblemInstance(pipeline=simple_pipeline, network=simple_network,
+                           request=simple_request, name="unit-case")
+
+
+class TestProblemInstance:
+    def test_size_signature(self, instance):
+        assert instance.size_signature == (4, 4, 4)
+
+    def test_dict_roundtrip(self, instance):
+        again = ProblemInstance.from_dict(instance.to_dict())
+        assert again.name == "unit-case"
+        assert again.pipeline == instance.pipeline
+        assert again.request == instance.request
+        assert again.network.n_links == instance.network.n_links
+
+
+class TestJsonRoundtrip:
+    def test_json_roundtrip(self, instance):
+        text = instance_to_json(instance)
+        again = instance_from_json(text)
+        assert again.pipeline == instance.pipeline
+        assert again.request == instance.request
+        assert again.network.bandwidth(0, 2) == instance.network.bandwidth(0, 2)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SpecificationError):
+            instance_from_json("{not json")
+
+    def test_file_roundtrip(self, instance, tmp_path):
+        path = save_instance(instance, tmp_path / "case.json")
+        assert path.exists()
+        again = load_instance(path)
+        assert again.name == instance.name
+        assert again.size_signature == instance.size_signature
+
+
+class TestTableTextFormat:
+    def test_contains_paper_parameter_names(self, instance):
+        text = instance_to_table_text(instance)
+        for token in ("ModuleID", "ModuleComplexity", "InputDataInBytes",
+                      "OutputDataInBytes", "NodeID", "NodeIP", "ProcessingPower",
+                      "startNodeID", "endNodeID", "LinkID", "LinkBWInMbps",
+                      "LinkDelayInMilliseconds"):
+            assert token in text
+
+    def test_table_roundtrip(self, instance):
+        text = instance_to_table_text(instance)
+        again = instance_from_table_text(text)
+        assert again.name == instance.name
+        assert again.size_signature == instance.size_signature
+        assert again.request == instance.request
+        assert again.pipeline.total_workload() == pytest.approx(
+            instance.pipeline.total_workload())
+        assert again.network.bandwidth(0, 2) == pytest.approx(
+            instance.network.bandwidth(0, 2))
+
+    def test_roundtrip_preserves_module_names(self, instance):
+        again = instance_from_table_text(instance_to_table_text(instance))
+        assert again.pipeline.modules[1].name == instance.pipeline.modules[1].name
+
+    def test_missing_request_rejected(self, instance):
+        text = instance_to_table_text(instance)
+        stripped = "\n".join(line for line in text.splitlines()
+                             if not line.startswith(("source", "destination")))
+        with pytest.raises(SpecificationError):
+            instance_from_table_text(stripped)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(SpecificationError):
+            instance_from_table_text("[nodes]\n1 2\n")
+
+    def test_record_outside_section_rejected(self):
+        with pytest.raises(SpecificationError):
+            instance_from_table_text("0 1 2 3\n")
+
+    def test_generated_case_roundtrips(self):
+        from repro.generators import make_case, PAPER_CASE_SPECS
+        inst = make_case(PAPER_CASE_SPECS[0])
+        again = instance_from_table_text(instance_to_table_text(inst))
+        assert again.size_signature == inst.size_signature
+        json_again = instance_from_json(instance_to_json(inst))
+        assert json_again.size_signature == inst.size_signature

@@ -1,0 +1,111 @@
+"""Tests for the discrete-event engine and event queue."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import Event, EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(5.0, lambda e: fired.append("b"))
+        queue.push(1.0, lambda e: fired.append("a"))
+        queue.push(9.0, lambda e: fired.append("c"))
+        while not queue.is_empty():
+            event = queue.pop()
+            event.callback(event)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda e: order.append(1))
+        queue.push(2.0, lambda e: order.append(2))
+        queue.push(2.0, lambda e: order.append(3))
+        while not queue.is_empty():
+            event = queue.pop()
+            event.callback(event)
+        assert order == [1, 2, 3]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda e: None)
+        queue.push(2.0, lambda e: None)
+        event.cancel()
+        assert queue.peek_time() == 2.0
+        assert len(queue) >= 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda e: None)
+
+
+class TestSimulationEngine:
+    def test_clock_advances_monotonically(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(3.0, lambda e: times.append(engine.now_ms))
+        engine.schedule(1.0, lambda e: times.append(engine.now_ms))
+        engine.run()
+        assert times == [1.0, 3.0]
+        assert engine.now_ms == 3.0
+        assert engine.processed_events == 2
+
+    def test_schedule_in_relative_delay(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first(_event):
+            engine.schedule_in(5.0, lambda e: seen.append(engine.now_ms))
+
+        engine.schedule(2.0, first)
+        engine.run()
+        assert seen == [7.0]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = SimulationEngine()
+
+        def callback(_event):
+            with pytest.raises(SimulationError):
+                engine.schedule(engine.now_ms - 10.0, lambda e: None)
+
+        engine.schedule(5.0, callback)
+        engine.run()
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda e: None)
+
+    def test_run_until_stops_early(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda e: fired.append(1))
+        engine.schedule(100.0, lambda e: fired.append(2))
+        engine.run(until_ms=10.0)
+        assert fired == [1]
+        assert engine.now_ms == 10.0
+
+    def test_event_budget_guards_against_loops(self):
+        engine = SimulationEngine(max_events=50)
+
+        def reschedule(_event):
+            engine.schedule_in(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_carry_payload(self):
+        engine = SimulationEngine()
+        captured = []
+        engine.schedule(1.0, lambda e: captured.append(e.payload["x"]),
+                        kind="custom", payload={"x": 42})
+        engine.run()
+        assert captured == [42]

@@ -1,0 +1,110 @@
+"""Validation tests: the simulator must agree with the analytical cost model."""
+
+import pytest
+
+from repro.core import elpc_max_frame_rate, elpc_min_delay, solve, Objective
+from repro.exceptions import InfeasibleMappingError, SimulationError
+from repro.generators import random_network, random_pipeline, random_request
+from repro.simulation import simulate_interactive, simulate_streaming
+
+
+class TestInteractiveReplay:
+    def test_matches_eq1_exactly(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_min_delay(inst.pipeline, inst.network, inst.request)
+        result = simulate_interactive(mapping)
+        assert result.delay_ms == pytest.approx(result.predicted_delay_ms, rel=1e-12)
+        assert result.prediction_error_relative < 1e-12
+        assert result.events_processed > 0
+        assert len(result.trace) > 0
+
+    @pytest.mark.parametrize("algorithm", ["elpc", "streamline", "greedy", "source-only"])
+    def test_matches_eq1_for_every_algorithm(self, medium_instance, algorithm):
+        pipeline, network, request = medium_instance
+        mapping = solve(algorithm, pipeline, network, request, Objective.MIN_DELAY)
+        result = simulate_interactive(mapping)
+        assert result.delay_ms == pytest.approx(mapping.delay_ms, rel=1e-12)
+
+    def test_trace_has_one_record_per_stage(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_min_delay(inst.pipeline, inst.network, inst.request)
+        result = simulate_interactive(mapping)
+        expected_records = len(mapping.groups) + (len(mapping.path) - 1)
+        assert len(result.trace) == expected_records
+
+
+class TestStreamingReplay:
+    def test_saturated_rate_matches_eq2(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        result = simulate_streaming(mapping, n_frames=80)
+        assert result.achieved_frame_rate_fps == pytest.approx(
+            result.predicted_frame_rate_fps, rel=1e-6)
+        assert result.prediction_error_relative < 1e-6
+
+    def test_paced_source_caps_the_rate(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        bottleneck_rate = mapping.frame_rate_fps
+        slow_interval = 4.0 * 1e3 / bottleneck_rate  # source 4x slower than bottleneck
+        result = simulate_streaming(mapping, n_frames=40, interval_ms=slow_interval)
+        assert result.achieved_frame_rate_fps == pytest.approx(1e3 / slow_interval, rel=0.05)
+        assert result.achieved_frame_rate_fps < bottleneck_rate
+
+    def test_bottleneck_station_is_busiest(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        result = simulate_streaming(mapping, n_frames=60)
+        breakdown = mapping.breakdown()
+        if breakdown.bottleneck_kind == "node":
+            expected = f"node:{mapping.path[breakdown.bottleneck_index]}"
+        else:
+            u = mapping.path[breakdown.bottleneck_index]
+            v = mapping.path[breakdown.bottleneck_index + 1]
+            expected = f"link:{min(u, v)}-{max(u, v)}"
+        assert result.busiest_station == expected
+        assert result.station_utilisation[expected] >= max(
+            result.station_utilisation.values()) - 1e-9
+
+    def test_latency_grows_under_saturation(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        result = simulate_streaming(mapping, n_frames=50, interval_ms=0.0)
+        assert result.max_latency_ms > result.mean_latency_ms > 0
+
+    def test_too_few_frames_rejected(self, illustration_instance):
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        with pytest.raises(SimulationError):
+            simulate_streaming(mapping, n_frames=1)
+
+    def test_node_reuse_mapping_respects_sharing(self):
+        """A mapping that reuses a node must not stream faster than the shared
+        bottleneck predicts."""
+        from repro.extensions import elpc_max_frame_rate_with_reuse
+
+        pipeline = random_pipeline(6, seed=71)
+        network = random_network(10, 24, seed=71)
+        request = random_request(network, seed=71, min_hop_distance=2)
+        mapping = elpc_max_frame_rate_with_reuse(pipeline, network, request)
+        result = simulate_streaming(mapping, n_frames=80)
+        assert result.achieved_frame_rate_fps <= result.predicted_frame_rate_fps * 1.02
+        assert result.achieved_frame_rate_fps == pytest.approx(
+            result.predicted_frame_rate_fps, rel=0.05)
+
+
+class TestCrossAlgorithmStreaming:
+    @pytest.mark.parametrize("seed", [3, 5, 8])
+    def test_predictions_hold_for_all_streaming_algorithms(self, seed):
+        pipeline = random_pipeline(6, seed=seed)
+        network = random_network(12, 30, seed=seed)
+        request = random_request(network, seed=seed, min_hop_distance=2)
+        for algorithm in ("elpc", "greedy", "streamline", "direct-path"):
+            try:
+                mapping = solve(algorithm, pipeline, network, request,
+                                Objective.MAX_FRAME_RATE)
+            except InfeasibleMappingError:
+                continue
+            result = simulate_streaming(mapping, n_frames=60)
+            assert result.achieved_frame_rate_fps == pytest.approx(
+                result.predicted_frame_rate_fps, rel=1e-3)

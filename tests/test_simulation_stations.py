@@ -1,0 +1,119 @@
+"""Tests for FIFO stations, the trace collector and the pipeline replay process."""
+
+import pytest
+
+from repro.core import Objective, mapping_from_assignment
+from repro.exceptions import SimulationError
+from repro.simulation import FifoStation, MappedPipelineProcess, SimulationEngine, Trace
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        trace = Trace()
+        trace.record(0, "node:1", "compute", 0.0, 10.0)
+        trace.record(0, "link:1-2", "transfer", 10.0, 15.0)
+        trace.record(1, "node:1", "compute", 10.0, 20.0)
+        assert len(trace) == 3
+        assert trace.frames() == [0, 1]
+        assert trace.stations() == ["link:1-2", "node:1"]
+        assert trace.frame_completion_ms(0) == 15.0
+        assert trace.frame_latency_ms(0) == 15.0
+        assert trace.station_busy_ms("node:1") == 20.0
+        assert trace.busiest_station() == ("node:1", 20.0)
+        assert trace.makespan_ms() == 20.0
+        assert 0.0 < trace.utilisation("link:1-2") < 1.0
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace().record(0, "x", "compute", 5.0, 1.0)
+
+    def test_unknown_frame_raises(self):
+        with pytest.raises(SimulationError):
+            Trace().frame_completion_ms(3)
+
+    def test_empty_trace_busiest_raises(self):
+        with pytest.raises(SimulationError):
+            Trace().busiest_station()
+
+    def test_summary_fields(self):
+        trace = Trace()
+        trace.record(0, "node:1", "compute", 0.0, 4.0)
+        summary = trace.summary()
+        assert summary["frames"] == 1.0
+        assert summary["mean_latency_ms"] == pytest.approx(4.0)
+
+
+class TestFifoStation:
+    def test_fifo_serialisation(self):
+        engine = SimulationEngine()
+        station = FifoStation(engine, "node:0", "compute")
+        completions = []
+        station.submit(0, 10.0, lambda fid, t: completions.append((fid, t)))
+        station.submit(1, 5.0, lambda fid, t: completions.append((fid, t)))
+        engine.run()
+        assert completions == [(0, 10.0), (1, 15.0)]
+        assert station.busy_ms == pytest.approx(15.0)
+        assert station.completed == 2
+
+    def test_negative_service_rejected(self):
+        engine = SimulationEngine()
+        station = FifoStation(engine, "node:0", "compute")
+        with pytest.raises(SimulationError):
+            station.submit(0, -1.0, lambda fid, t: None)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoStation(SimulationEngine(), "x", "teleport")
+
+    def test_trace_recording(self):
+        engine = SimulationEngine()
+        trace = Trace()
+        station = FifoStation(engine, "node:0", "compute", trace)
+        station.submit(0, 3.0, lambda fid, t: None)
+        engine.run()
+        assert len(trace) == 1
+        assert trace.records()[0].duration_ms == pytest.approx(3.0)
+
+
+class TestMappedPipelineProcess:
+    def make_process(self, pipeline, network, assignment, engine=None, trace=None):
+        mapping = mapping_from_assignment(pipeline, network, assignment,
+                                          objective=Objective.MIN_DELAY)
+        engine = engine or SimulationEngine()
+        process = MappedPipelineProcess(engine, mapping, trace=trace)
+        return engine, process, mapping
+
+    def test_stations_shared_per_node(self, simple_pipeline, simple_network):
+        # walk 0 -> 1 -> 0 -> 2 revisits node 0: its compute station must be shared
+        engine, process, _m = self.make_process(simple_pipeline, simple_network,
+                                                [0, 1, 0, 2])
+        labels = [s.label for s in process.stations()]
+        assert labels.count("node:0") == 1
+        assert any(l.startswith("link:") for l in labels)
+
+    def test_release_validation(self, simple_pipeline, simple_network):
+        engine, process, _m = self.make_process(simple_pipeline, simple_network,
+                                                [0, 0, 1, 2])
+        with pytest.raises(SimulationError):
+            process.release_frames(0)
+        with pytest.raises(SimulationError):
+            process.release_frames(2, interval_ms=-1.0)
+
+    def test_frame_completion_and_latency(self, simple_pipeline, simple_network):
+        engine, process, mapping = self.make_process(simple_pipeline, simple_network,
+                                                     [0, 0, 1, 2])
+        process.release_frames(1)
+        engine.run()
+        assert process.completion_ms[0] == pytest.approx(mapping.delay_ms)
+        assert process.frame_latency_ms(0) == pytest.approx(mapping.delay_ms)
+        with pytest.raises(SimulationError):
+            process.frame_latency_ms(5)
+
+    def test_on_frame_done_callback(self, simple_pipeline, simple_network):
+        engine, process, _m = self.make_process(simple_pipeline, simple_network,
+                                                [0, 0, 1, 2])
+        done = []
+        process.release_frames(3, interval_ms=0.0,
+                               on_frame_done=lambda fid, t: done.append(fid))
+        engine.run()
+        assert done == [0, 1, 2]
