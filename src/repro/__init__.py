@@ -7,6 +7,10 @@ Public API highlights
   :class:`repro.EndToEndRequest` — problem entities,
 * :func:`repro.elpc_min_delay`, :func:`repro.elpc_max_frame_rate` — the ELPC
   algorithms (the paper's contribution),
+* :func:`repro.elpc_min_delay_vec`, :func:`repro.elpc_max_frame_rate_vec` —
+  vectorized NumPy engines returning identical results (``"elpc-vec"``),
+* :func:`repro.solve_many` — batch API to run one solver over many instances,
+  optionally across worker processes,
 * :func:`repro.solve` / :func:`repro.available_solvers` — name-based access to
   every algorithm including the Streamline and Greedy baselines,
 * :mod:`repro.generators` — random pipelines/networks, the 20-case suite, and
@@ -20,17 +24,22 @@ Public API highlights
 
 from ._version import PAPER, __version__
 from .core import (
+    BatchItemResult,
+    BatchRunResult,
     Objective,
     PipelineMapping,
     available_solvers,
     elpc_max_frame_rate,
+    elpc_max_frame_rate_vec,
     elpc_min_delay,
+    elpc_min_delay_vec,
     exhaustive_max_frame_rate,
     exhaustive_min_delay,
     get_solver,
     mapping_from_assignment,
     register_solver,
     solve,
+    solve_many,
 )
 from .exceptions import (
     AlgorithmError,
@@ -65,9 +74,12 @@ __all__ = [
     "end_to_end_delay_ms", "bottleneck_time_ms", "frame_rate_fps",
     # algorithms
     "elpc_min_delay", "elpc_max_frame_rate",
+    "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
     "exhaustive_min_delay", "exhaustive_max_frame_rate",
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "solve", "get_solver", "register_solver", "available_solvers",
+    # batch engine
+    "solve_many", "BatchItemResult", "BatchRunResult",
     # exceptions
     "ReproError", "SpecificationError", "InfeasibleMappingError",
     "AlgorithmError", "SimulationError", "MeasurementError",

@@ -15,12 +15,14 @@ from .experiments import (
     FigureSeriesResult,
     PathIllustrationResult,
     RuntimeScalingResult,
+    VectorizedSpeedupResult,
     reproduce_fig2,
     reproduce_fig3,
     reproduce_fig4,
     reproduce_fig5,
     reproduce_fig6,
     runtime_scaling,
+    vectorized_speedup,
     write_all_outputs,
 )
 from .metrics import AlgorithmResult, CaseResult, improvement_ratio
@@ -39,8 +41,9 @@ __all__ = [
     "comparison_table", "fig2_table", "format_value", "mapping_walkthrough",
     "ascii_line_chart", "series_to_csv", "write_csv",
     "Fig2Result", "FigureSeriesResult", "PathIllustrationResult", "RuntimeScalingResult",
+    "VectorizedSpeedupResult",
     "reproduce_fig2", "reproduce_fig3", "reproduce_fig4", "reproduce_fig5",
-    "reproduce_fig6", "runtime_scaling", "write_all_outputs",
+    "reproduce_fig6", "runtime_scaling", "vectorized_speedup", "write_all_outputs",
     "SummaryStatistics", "ReplicatedCaseResult", "replicate_case",
     "summarize_improvements",
     "network_to_dot", "mapping_to_dot", "write_dot",

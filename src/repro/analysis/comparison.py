@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.batch import solve_many
 from ..core.mapping import Objective
 from ..core.registry import get_solver
 from ..exceptions import InfeasibleMappingError, ReproError
@@ -102,9 +103,26 @@ def run_case(instance: ProblemInstance, objective: Objective,
 
 def run_comparison(instances: Iterable[ProblemInstance], objective: Objective,
                    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   *, workers: Optional[int] = None,
                    **solver_kwargs) -> ComparisonRun:
-    """Run every requested algorithm on every instance of a suite."""
+    """Run every requested algorithm on every instance of a suite.
+
+    The campaign is executed through the batch engine
+    (:func:`repro.core.batch.solve_many`), one batch per algorithm; pass
+    ``workers=N`` to fan each batch out over ``N`` worker processes (results
+    are identical, just collected faster for slow solver/instance mixes).
+    """
+    suite = list(instances)
     run = ComparisonRun(objective=objective, algorithms=tuple(algorithms))
-    for instance in instances:
-        run.cases.append(run_case(instance, objective, algorithms, **solver_kwargs))
+    run.cases = [CaseResult(case_name=inst.name or "unnamed", objective=objective,
+                            size_signature=inst.size_signature)
+                 for inst in suite]
+    for name in algorithms:
+        batch = solve_many(suite, solver=name, objective=objective,
+                           workers=workers, **solver_kwargs)
+        for case, item in zip(run.cases, batch):
+            case.add(AlgorithmResult(
+                case_name=case.case_name, algorithm=name, objective=objective,
+                value=item.objective_value(objective), runtime_s=item.runtime_s,
+                mapping=item.mapping, error=item.error))
     return run

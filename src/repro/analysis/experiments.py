@@ -21,11 +21,11 @@ Fig. 6    frame-rate curves across the 20 cases         :func:`reproduce_fig6`
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.batch import solve_many
 from ..core.elpc_delay import elpc_min_delay
 from ..core.elpc_framerate import elpc_max_frame_rate
 from ..core.mapping import Objective, PipelineMapping
@@ -40,8 +40,9 @@ from .reporting import comparison_table, fig2_table, mapping_walkthrough
 
 __all__ = [
     "Fig2Result", "FigureSeriesResult", "PathIllustrationResult", "RuntimeScalingResult",
+    "VectorizedSpeedupResult",
     "reproduce_fig2", "reproduce_fig3", "reproduce_fig4",
-    "reproduce_fig5", "reproduce_fig6", "runtime_scaling",
+    "reproduce_fig5", "reproduce_fig6", "runtime_scaling", "vectorized_speedup",
     "write_all_outputs",
 ]
 
@@ -94,6 +95,7 @@ class RuntimeScalingResult:
     sizes: List[Tuple[int, int, int]]          # (modules, nodes, links)
     delay_runtimes_s: List[float]
     framerate_runtimes_s: List[float]
+    solver: str = "elpc"
 
     def work_units(self) -> List[float]:
         """The theoretical work n·|E| for each measured size."""
@@ -102,6 +104,49 @@ class RuntimeScalingResult:
     def delay_runtime_per_unit(self) -> List[float]:
         """Measured delay-DP runtime divided by n·|E| (should stay roughly flat)."""
         return [t / w for t, w in zip(self.delay_runtimes_s, self.work_units())]
+
+
+@dataclass
+class VectorizedSpeedupResult:
+    """Scalar-vs-vectorized ELPC runtime comparison across problem sizes.
+
+    ``speedup = scalar_runtime / vectorized_runtime`` per size, for the
+    min-delay DP and the max-frame-rate DP separately.  Produced by
+    :func:`vectorized_speedup`; asserted on by
+    ``benchmarks/test_bench_vectorized_speedup.py`` and printed by
+    ``repro bench-scaling``.
+    """
+
+    sizes: List[Tuple[int, int, int]]          # (modules, nodes, links)
+    scalar: RuntimeScalingResult
+    vectorized: RuntimeScalingResult
+
+    def delay_speedups(self) -> List[float]:
+        """Per-size scalar/vectorized runtime ratio of the min-delay DP."""
+        return [s / v for s, v in zip(self.scalar.delay_runtimes_s,
+                                      self.vectorized.delay_runtimes_s)]
+
+    def framerate_speedups(self) -> List[float]:
+        """Per-size scalar/vectorized runtime ratio of the frame-rate DP."""
+        return [s / v for s, v in zip(self.scalar.framerate_runtimes_s,
+                                      self.vectorized.framerate_runtimes_s)]
+
+    def table_text(self) -> str:
+        """Human-readable per-size runtime/speedup table."""
+        header = (f"{'modules':>8} {'nodes':>6} {'links':>6} "
+                  f"{'delay elpc':>12} {'delay vec':>12} {'x':>6} "
+                  f"{'rate elpc':>12} {'rate vec':>12} {'x':>6}")
+        lines = ["Vectorized ELPC engine speedup (best-of-run seconds)",
+                 header, "-" * len(header)]
+        for (m, n, l), sd, vd, xd, sf, vf, xf in zip(
+                self.sizes, self.scalar.delay_runtimes_s,
+                self.vectorized.delay_runtimes_s, self.delay_speedups(),
+                self.scalar.framerate_runtimes_s,
+                self.vectorized.framerate_runtimes_s, self.framerate_speedups()):
+            lines.append(f"{m:>8} {n:>6} {l:>6} "
+                         f"{sd:>12.6f} {vd:>12.6f} {xd:>6.1f} "
+                         f"{sf:>12.6f} {vf:>12.6f} {xf:>6.1f}")
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- #
@@ -176,44 +221,82 @@ def reproduce_fig6(*, max_cases: Optional[int] = None,
                           "Fig. 6 — maximum frame rate per case")
 
 
+def _scaling_instances(sizes: Sequence[Tuple[int, int, int]],
+                       seed: int) -> List[ProblemInstance]:
+    """Draw one random instance per (modules, nodes, links) size triple."""
+    rng = rng_from_seed(seed)
+    from ..generators.network_gen import random_request
+
+    instances: List[ProblemInstance] = []
+    for (m, n, l) in sizes:
+        pipeline = random_pipeline(m, seed=rng)
+        network = random_network(n, l, seed=rng)
+        request = random_request(network, seed=rng, min_hop_distance=2)
+        instances.append(ProblemInstance(pipeline=pipeline, network=network,
+                                         request=request,
+                                         name=f"scaling-{m}x{n}x{l}"))
+    return instances
+
+
 def runtime_scaling(*, sizes: Optional[Sequence[Tuple[int, int, int]]] = None,
-                    seed: int = 7, repetitions: int = 1) -> RuntimeScalingResult:
+                    seed: int = 7, repetitions: int = 1,
+                    solver: str = "elpc",
+                    workers: Optional[int] = None) -> RuntimeScalingResult:
     """Measure ELPC runtimes across problem sizes (the §4.3 "milliseconds to seconds" claim).
 
     ``sizes`` is a sequence of (modules, nodes, links) triples; the default
-    sweep spans two orders of magnitude of n·|E| work.
+    sweep spans two orders of magnitude of n·|E| work.  The sweep runs through
+    the batch engine (:func:`repro.core.batch.solve_many`): ``solver`` picks
+    any registered algorithm pair by name (``"elpc"`` measures the scalar
+    reference, ``"elpc-vec"`` the vectorized engine) and ``workers`` optionally
+    spreads each pass over worker processes.  Per-size runtime is the best of
+    ``repetitions`` passes.  Infeasible frame-rate instances still contribute
+    their (failed) solve time, as the paper's scaling study counts algorithm
+    work, not solution quality.
     """
     if sizes is None:
         sizes = [(5, 10, 20), (10, 30, 90), (20, 60, 240),
                  (30, 120, 600), (40, 250, 1200), (60, 500, 3000)]
-    rng = rng_from_seed(seed)
-    delay_times: List[float] = []
-    framerate_times: List[float] = []
-    measured_sizes: List[Tuple[int, int, int]] = []
-    for (m, n, l) in sizes:
-        pipeline = random_pipeline(m, seed=rng)
-        network = random_network(n, l, seed=rng)
-        from ..generators.network_gen import random_request
-
-        request = random_request(network, seed=rng, min_hop_distance=2)
-        best_delay = float("inf")
-        best_rate = float("inf")
-        for _ in range(max(repetitions, 1)):
-            t0 = time.perf_counter()
-            elpc_min_delay(pipeline, network, request)
-            best_delay = min(best_delay, time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            try:
-                elpc_max_frame_rate(pipeline, network, request)
-                best_rate = min(best_rate, time.perf_counter() - t0)
-            except Exception:
-                best_rate = min(best_rate, time.perf_counter() - t0)
-        measured_sizes.append((m, n, l))
-        delay_times.append(best_delay)
-        framerate_times.append(best_rate)
-    return RuntimeScalingResult(sizes=measured_sizes,
+    instances = _scaling_instances(sizes, seed)
+    delay_times = [float("inf")] * len(instances)
+    framerate_times = [float("inf")] * len(instances)
+    for _ in range(max(repetitions, 1)):
+        delay_batch = solve_many(instances, solver=solver,
+                                 objective=Objective.MIN_DELAY, workers=workers)
+        framerate_batch = solve_many(instances, solver=solver,
+                                     objective=Objective.MAX_FRAME_RATE,
+                                     workers=workers)
+        delay_times = [min(b, item.runtime_s)
+                       for b, item in zip(delay_times, delay_batch)]
+        framerate_times = [min(b, item.runtime_s)
+                           for b, item in zip(framerate_times, framerate_batch)]
+    return RuntimeScalingResult(sizes=[tuple(s) for s in sizes],
                                 delay_runtimes_s=delay_times,
-                                framerate_runtimes_s=framerate_times)
+                                framerate_runtimes_s=framerate_times,
+                                solver=solver)
+
+
+def vectorized_speedup(*, sizes: Optional[Sequence[Tuple[int, int, int]]] = None,
+                       seed: int = 7, repetitions: int = 1,
+                       scalar_solver: str = "elpc",
+                       vectorized_solver: str = "elpc-vec") -> VectorizedSpeedupResult:
+    """Measure the vectorized engine's speedup over the scalar reference DP.
+
+    Runs :func:`runtime_scaling` twice over the *same* instances (same seed)
+    — once with the scalar solver, once with the vectorized one — and pairs
+    the runtimes up.  The vectorized pass is warmed by the scalar pass's dense
+    view only through the per-network cache, so the first vectorized solve
+    still pays the one-off O(k²) view construction, exactly what a cold
+    production solve would.
+    """
+    if sizes is None:
+        sizes = [(10, 30, 90), (20, 60, 240), (30, 120, 600), (40, 250, 1200)]
+    scalar = runtime_scaling(sizes=sizes, seed=seed, repetitions=repetitions,
+                             solver=scalar_solver)
+    vectorized = runtime_scaling(sizes=sizes, seed=seed, repetitions=repetitions,
+                                 solver=vectorized_solver)
+    return VectorizedSpeedupResult(sizes=[tuple(s) for s in sizes],
+                                   scalar=scalar, vectorized=vectorized)
 
 
 # --------------------------------------------------------------------------- #

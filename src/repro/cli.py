@@ -1,16 +1,17 @@
 """Command-line interface.
 
-Two entry points are installed with the package:
+Three entry points are installed with the package:
 
-* ``repro-map`` — map a pipeline (a built-in workload or a saved instance
-  file) onto a network with any registered algorithm and print the resulting
-  placement.
-* ``repro-bench`` — regenerate the paper's evaluation artifacts (Fig. 2 table,
-  Fig. 5 / Fig. 6 curves, runtime scaling) and write them under an output
-  directory.
+* ``repro`` — umbrella command with subcommands: ``repro solve`` (map one
+  instance or a batch with any registered algorithm, e.g.
+  ``repro solve --solver elpc-vec --case 3``), ``repro bench`` (regenerate the
+  paper's evaluation artifacts) and ``repro bench-scaling`` (scalar-vs-
+  vectorized runtime scaling table).
+* ``repro-map`` — legacy alias of ``repro solve``.
+* ``repro-bench`` — legacy alias of ``repro bench``.
 
-Both are thin wrappers over the library API so everything they do is also
-available programmatically.
+All of them are thin wrappers over the library API so everything they do is
+also available programmatically.
 """
 
 from __future__ import annotations
@@ -18,9 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from .analysis.experiments import reproduce_fig2, write_all_outputs
+from .analysis.experiments import reproduce_fig2, vectorized_speedup, write_all_outputs
+from .core.batch import solve_many
 from .core.mapping import Objective
 from .core.registry import available_solvers, get_solver
 from .exceptions import ReproError
@@ -29,15 +31,16 @@ from .generators.network_gen import random_network, random_request
 from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
-__all__ = ["main_map", "main_bench"]
+__all__ = ["main", "main_map", "main_bench", "main_bench_scaling"]
 
 
-def _build_map_parser() -> argparse.ArgumentParser:
+def _build_map_parser(prog: str = "repro-map") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-map",
+        prog=prog,
         description="Map a computing pipeline onto a network (Wu et al., IPDPS 2008).")
-    parser.add_argument("--algorithm", "-a", default="elpc",
-                        help="mapping algorithm (see --list-algorithms)")
+    parser.add_argument("--algorithm", "--solver", "-a", "-s", dest="algorithm",
+                        default="elpc",
+                        help="mapping algorithm / solver name (see --list-algorithms)")
     parser.add_argument("--objective", "-o", choices=["delay", "framerate"],
                         default="delay", help="optimisation objective")
     parser.add_argument("--instance", type=Path, default=None,
@@ -52,6 +55,12 @@ def _build_map_parser() -> argparse.ArgumentParser:
                         help="random network link count when --workload is used")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the random network when --workload is used")
+    parser.add_argument("--batch-seeds", type=int, default=None, metavar="N",
+                        help="with --workload: solve a batch of N instances "
+                             "(random networks seeded seed..seed+N-1) through "
+                             "repro.solve_many and print a summary table")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --batch-seeds (default: in-process)")
     parser.add_argument("--list-algorithms", action="store_true",
                         help="list registered algorithms and exit")
     return parser
@@ -75,9 +84,48 @@ def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
                            name=f"{args.workload}-on-random-{args.nodes}")
 
 
-def main_map(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of ``repro-map``; returns a process exit code."""
-    parser = _build_map_parser()
+def _batch_instances(args: argparse.Namespace) -> List[ProblemInstance]:
+    """Build the ``--batch-seeds`` instance sweep (workload on seeded networks)."""
+    if args.workload is None:
+        raise ReproError("--batch-seeds needs --workload (a pipeline to sweep)")
+    if args.batch_seeds < 1:
+        raise ReproError("--batch-seeds must be >= 1")
+    pipeline = named_workloads()[args.workload]
+    instances: List[ProblemInstance] = []
+    for offset in range(args.batch_seeds):
+        seed = args.seed + offset
+        network = random_network(args.nodes, args.links, seed=seed)
+        request = random_request(network, seed=seed, min_hop_distance=2)
+        instances.append(ProblemInstance(
+            pipeline=pipeline, network=network, request=request,
+            name=f"{args.workload}-seed{seed}"))
+    return instances
+
+
+def _run_batch(args: argparse.Namespace, objective: Objective) -> int:
+    instances = _batch_instances(args)
+    result = solve_many(instances, solver=args.algorithm, objective=objective,
+                        workers=args.workers)
+    unit = "ms delay" if objective is Objective.MIN_DELAY else "fps"
+    print(f"batch: {len(result)} instances, solver={result.solver}, "
+          f"objective={objective.value}, workers={result.workers}")
+    for item in result:
+        if item.ok:
+            value = item.objective_value(objective)
+            print(f"{item.name:>24}: {value:12.3f} {unit}  "
+                  f"({item.runtime_s * 1e3:.2f} ms solve)")
+        else:
+            print(f"{item.name:>24}: infeasible — {item.error}")
+    print(f"solved {result.n_solved}/{len(result)} "
+          f"in {result.wall_time_s:.3f} s wall "
+          f"({result.total_solver_time_s():.3f} s solver time)")
+    return 0
+
+
+def main_map(argv: Optional[Sequence[str]] = None, *,
+             prog: str = "repro-map") -> int:
+    """Entry point of ``repro-map`` / ``repro solve``; returns a process exit code."""
+    parser = _build_map_parser(prog)
     args = parser.parse_args(argv)
     objective = (Objective.MIN_DELAY if args.objective == "delay"
                  else Objective.MAX_FRAME_RATE)
@@ -86,8 +134,10 @@ def main_map(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
     try:
-        instance = _resolve_instance(args)
         solver = get_solver(args.algorithm, objective)
+        if args.batch_seeds is not None:
+            return _run_batch(args, objective)
+        instance = _resolve_instance(args)
         mapping = solver(instance.pipeline, instance.network, instance.request)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -130,5 +180,88 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _parse_sizes(spec: str) -> List[Tuple[int, int, int]]:
+    """Parse ``"m:n:l,m:n:l,..."`` into (modules, nodes, links) triples."""
+    sizes: List[Tuple[int, int, int]] = []
+    for chunk in spec.split(","):
+        parts = chunk.strip().split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"bad --sizes entry {chunk!r}; expected modules:nodes:links")
+        try:
+            m, n, l = (int(p) for p in parts)
+        except ValueError:
+            raise ReproError(f"bad --sizes entry {chunk!r}; values must be "
+                             "integers") from None
+        sizes.append((m, n, l))
+    return sizes
+
+
+def _build_bench_scaling_parser(prog: str = "repro bench-scaling"
+                                ) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Compare scalar vs vectorized ELPC runtimes across problem sizes.")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated modules:nodes:links triples "
+                             "(default: a sweep up to 250 nodes)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed of the random instance per size")
+    parser.add_argument("--repetitions", "-r", type=int, default=1,
+                        help="measure best-of-N passes per solver")
+    parser.add_argument("--scalar", default="elpc",
+                        help="reference solver name (default: elpc)")
+    parser.add_argument("--vectorized", default="elpc-vec",
+                        help="vectorized solver name (default: elpc-vec)")
+    return parser
+
+
+def main_bench_scaling(argv: Optional[Sequence[str]] = None, *,
+                       prog: str = "repro bench-scaling") -> int:
+    """Entry point of ``repro bench-scaling``; returns a process exit code."""
+    parser = _build_bench_scaling_parser(prog)
+    args = parser.parse_args(argv)
+    try:
+        sizes = _parse_sizes(args.sizes) if args.sizes else None
+        result = vectorized_speedup(sizes=sizes, seed=args.seed,
+                                    repetitions=args.repetitions,
+                                    scalar_solver=args.scalar,
+                                    vectorized_solver=args.vectorized)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.table_text())
+    return 0
+
+
+_SUBCOMMANDS = {
+    "solve": "map a pipeline onto a network (alias: map)",
+    "map": "alias of solve",
+    "bench": "regenerate the paper's evaluation artifacts",
+    "bench-scaling": "scalar vs vectorized runtime scaling table",
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the umbrella ``repro`` command; returns an exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: repro <command> [options]\n\ncommands:")
+        for name, help_text in _SUBCOMMANDS.items():
+            print(f"  {name:<14} {help_text}")
+        print("\nrun `repro <command> --help` for command options")
+        return 0
+    command, rest = args[0], args[1:]
+    if command in ("solve", "map"):
+        return main_map(rest, prog=f"repro {command}")
+    if command == "bench":
+        return main_bench(rest)
+    if command == "bench-scaling":
+        return main_bench_scaling(rest)
+    print(f"error: unknown command {command!r}; "
+          f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
+    return 2
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main_map())
+    sys.exit(main())

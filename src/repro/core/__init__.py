@@ -4,6 +4,11 @@
   delay with node reuse (interactive applications).
 * :func:`elpc_max_frame_rate` — dynamic-programming heuristic for maximum
   frame rate without node reuse (streaming applications).
+* :mod:`repro.core.vectorized` — dense NumPy engines for both DPs
+  (:func:`elpc_min_delay_vec` / :func:`elpc_max_frame_rate_vec`, registered as
+  ``"elpc-vec"``), differentially tested against the scalar references.
+* :mod:`repro.core.batch` — :func:`solve_many`, the batch API behind the
+  experiment sweeps and the CLI.
 * :mod:`repro.core.exact` — exponential optimality oracles used by the tests
   and the ablation benchmarks.
 * :mod:`repro.core.reduction` — the Hamiltonian-Path → ENSP reduction behind
@@ -36,11 +41,15 @@ from .reduction import (
     solve_ensp_exact,
     verify_ensp_certificate,
 )
+from .batch import BatchItemResult, BatchRunResult, solve_many
 from .registry import available_solvers, get_solver, register_solver, solve
+from .vectorized import elpc_max_frame_rate_vec, elpc_min_delay_vec
 
 __all__ = [
     "DPCell", "DPTable",
     "elpc_min_delay", "elpc_max_frame_rate",
+    "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
+    "BatchItemResult", "BatchRunResult", "solve_many",
     "exhaustive_min_delay", "exhaustive_max_frame_rate", "enumerate_exact_hop_paths",
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "ENSPInstance", "hamiltonian_path_to_ensp", "verify_ensp_certificate",

@@ -1,0 +1,217 @@
+"""Batch solving API: run one solver over many problem instances.
+
+Experiment sweeps (the Fig. 2 / Fig. 5 / Fig. 6 campaigns, the runtime-scaling
+study, parameter sensitivity scans) all share the same shape: *solve every
+instance of a suite with one algorithm and collect objective values, runtimes
+and failures*.  :func:`solve_many` is that loop as a first-class API —
+sequential by default, optionally fanned out over a process pool — and the
+comparison harness (:func:`repro.analysis.comparison.run_comparison`) and the
+CLI (``repro solve --batch-seeds``, ``repro bench-scaling``) are built on it.
+
+Infeasible instances are recorded per item instead of aborting the batch, the
+same policy the comparison harness has always used: one pathological case must
+not kill a whole campaign.
+
+Multiprocessing notes
+---------------------
+With ``workers > 1`` every instance is pickled to a worker process, so the
+solver must be given *by registry name* (a callable may not survive pickling —
+:class:`~repro.exceptions.SpecificationError` is raised up front).  Worker
+dispatch costs one fork + pickle round-trip per chunk; it only pays off when
+individual solves are slow (large scalar DPs, exhaustive oracles).  For large
+batches of small instances prefer ``workers=None`` with the ``"elpc-vec"``
+solvers, which are usually faster than any amount of process parallelism over
+the scalar DP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ReproError, SpecificationError
+from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.serialization import ProblemInstance
+from .mapping import Objective, PipelineMapping
+from .registry import get_solver
+
+__all__ = ["BatchItemResult", "BatchRunResult", "solve_many"]
+
+#: Anything solve_many accepts as one problem instance.
+InstanceLike = Union[ProblemInstance,
+                     Tuple[Pipeline, TransportNetwork, EndToEndRequest]]
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """Outcome of solving one instance of a batch.
+
+    Attributes
+    ----------
+    index:
+        Position of the instance in the input sequence.
+    name:
+        The instance's label (``ProblemInstance.name``) when it has one.
+    mapping:
+        The produced mapping, or ``None`` when the solve failed.
+    error:
+        Failure description when ``mapping`` is ``None`` (infeasibility or a
+        solver error), ``None`` otherwise.
+    runtime_s:
+        Wall-clock time of this solve (including the failure path).
+    """
+
+    index: int
+    name: Optional[str]
+    mapping: Optional[PipelineMapping]
+    error: Optional[str]
+    runtime_s: float
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the solve produced a mapping."""
+        return self.mapping is not None
+
+    def objective_value(self, objective: Objective) -> Optional[float]:
+        """The mapping's objective value (delay or frame rate), ``None`` on failure."""
+        if self.mapping is None:
+            return None
+        return (self.mapping.delay_ms if objective is Objective.MIN_DELAY
+                else self.mapping.frame_rate_fps)
+
+
+@dataclass
+class BatchRunResult:
+    """All outcomes of one :func:`solve_many` call, in input order."""
+
+    solver: str
+    objective: Objective
+    items: List[BatchItemResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def n_solved(self) -> int:
+        """Number of instances that produced a mapping."""
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of instances that failed (infeasible or errored)."""
+        return len(self.items) - self.n_solved
+
+    def mappings(self) -> List[Optional[PipelineMapping]]:
+        """Per-instance mappings (``None`` where the solve failed), input order."""
+        return [item.mapping for item in self.items]
+
+    def values(self) -> List[Optional[float]]:
+        """Per-instance objective values (``None`` where the solve failed)."""
+        return [item.objective_value(self.objective) for item in self.items]
+
+    def total_solver_time_s(self) -> float:
+        """Sum of per-item solve times (≥ ``wall_time_s`` under parallelism)."""
+        return sum(item.runtime_s for item in self.items)
+
+
+def _coerce_instance(index: int, item: InstanceLike) -> ProblemInstance:
+    if isinstance(item, ProblemInstance):
+        return item
+    try:
+        pipeline, network, request = item
+    except (TypeError, ValueError):
+        raise SpecificationError(
+            f"batch item {index} is neither a ProblemInstance nor a "
+            "(pipeline, network, request) triple") from None
+    return ProblemInstance(pipeline=pipeline, network=network, request=request)
+
+
+def _solve_one(payload: Tuple[int, ProblemInstance,
+                              Union[str, Callable[..., PipelineMapping]],
+                              Objective, dict]) -> BatchItemResult:
+    """Solve one instance; module-level so process pools can pickle it.
+
+    ``solver`` may be a registry name (the only form that crosses process
+    boundaries) or an already-resolved callable (in-process batches).
+    """
+    index, instance, solver, objective, solver_kwargs = payload
+    if isinstance(solver, str):
+        solver = get_solver(solver, objective)
+    start = time.perf_counter()
+    try:
+        mapping = solver(instance.pipeline, instance.network, instance.request,
+                         **solver_kwargs)
+        return BatchItemResult(index=index, name=instance.name, mapping=mapping,
+                               error=None, runtime_s=time.perf_counter() - start)
+    except ReproError as exc:
+        return BatchItemResult(index=index, name=instance.name, mapping=None,
+                               error=str(exc), runtime_s=time.perf_counter() - start)
+
+
+def solve_many(instances: Iterable[InstanceLike], *,
+               solver: Union[str, Callable[..., PipelineMapping]] = "elpc-vec",
+               objective: Objective = Objective.MIN_DELAY,
+               workers: Optional[int] = None,
+               **solver_kwargs) -> BatchRunResult:
+    """Solve every instance of a batch with one solver.
+
+    Parameters
+    ----------
+    instances:
+        :class:`ProblemInstance` objects or ``(pipeline, network, request)``
+        triples.
+    solver:
+        Registry name (``"elpc"``, ``"elpc-vec"``, ``"greedy"``, ...) or a
+        solver callable.  Multiprocessing requires a registry name.
+    objective:
+        Which objective's solver to look up and which value
+        :meth:`BatchRunResult.values` reports.
+    workers:
+        ``None``, 0 or 1 solves sequentially in-process; ``N > 1`` fans the
+        batch out over a pool of ``N`` worker processes.
+    solver_kwargs:
+        Forwarded to every solve (e.g. ``include_link_delay=False``).
+
+    Returns
+    -------
+    BatchRunResult
+        Per-instance outcomes in input order; failures (infeasible instances,
+        solver errors) are recorded as items with ``mapping=None`` rather than
+        raised.
+    """
+    normalized = [_coerce_instance(i, item) for i, item in enumerate(instances)]
+    n_workers = int(workers or 1)
+    if n_workers < 0:
+        raise SpecificationError(f"workers must be >= 0, got {workers!r}")
+
+    if isinstance(solver, str):
+        get_solver(solver, objective)  # fail fast on unknown names
+        solver_name = solver
+    else:
+        if n_workers > 1:
+            raise SpecificationError(
+                "multiprocessing batches need the solver by registry name "
+                "(callables cannot be shipped to worker processes)")
+        solver_name = getattr(solver, "__name__", str(solver))
+
+    payloads = [(i, inst, solver, objective, dict(solver_kwargs))
+                for i, inst in enumerate(normalized)]
+    start = time.perf_counter()
+    if n_workers > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            items = list(pool.map(_solve_one, payloads))
+    else:
+        n_workers = 1
+        items = [_solve_one(p) for p in payloads]
+    return BatchRunResult(solver=solver_name, objective=objective, items=items,
+                          wall_time_s=time.perf_counter() - start,
+                          workers=n_workers)

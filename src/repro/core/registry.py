@@ -69,10 +69,13 @@ def _load_builtins() -> None:
     from .elpc_delay import elpc_min_delay
     from .elpc_framerate import elpc_max_frame_rate
     from .exact import exhaustive_max_frame_rate, exhaustive_min_delay
+    from .vectorized import elpc_max_frame_rate_vec, elpc_min_delay_vec
 
     pairs = [
         ("elpc", Objective.MIN_DELAY, elpc_min_delay),
         ("elpc", Objective.MAX_FRAME_RATE, elpc_max_frame_rate),
+        ("elpc-vec", Objective.MIN_DELAY, elpc_min_delay_vec),
+        ("elpc-vec", Objective.MAX_FRAME_RATE, elpc_max_frame_rate_vec),
         ("elpc-reuse", Objective.MAX_FRAME_RATE, elpc_max_frame_rate_with_reuse),
         ("streamline", Objective.MIN_DELAY, streamline_min_delay),
         ("streamline", Objective.MAX_FRAME_RATE, streamline_max_frame_rate),

@@ -24,7 +24,7 @@ from .cost import (
 )
 from .link import BITS_PER_BYTE, CommunicationLink, transfer_time_ms
 from .module import ComputingModule, sink_module, source_module
-from .network import EndToEndRequest, TransportNetwork
+from .network import DenseNetworkView, EndToEndRequest, TransportNetwork
 from .node import ComputingNode, synthetic_ip
 from .pipeline import Pipeline
 from .serialization import (
@@ -49,7 +49,7 @@ __all__ = [
     "ComputingModule", "Pipeline", "source_module", "sink_module",
     # network
     "ComputingNode", "CommunicationLink", "TransportNetwork", "EndToEndRequest",
-    "synthetic_ip", "transfer_time_ms", "BITS_PER_BYTE",
+    "DenseNetworkView", "synthetic_ip", "transfer_time_ms", "BITS_PER_BYTE",
     # cost model
     "computing_time_ms", "transport_time_ms", "group_computing_time_ms",
     "end_to_end_delay_ms", "bottleneck_time_ms", "frame_rate_fps",

@@ -25,8 +25,73 @@ import numpy as np
 
 from ..exceptions import SpecificationError
 from ..types import NodeId, NodePath
-from .link import CommunicationLink, transfer_time_ms
+from .link import BITS_PER_BYTE, MEGABIT, CommunicationLink, transfer_time_ms
 from .node import ComputingNode
+
+
+@dataclass(frozen=True)
+class DenseNetworkView:
+    """Read-only dense array snapshot of a :class:`TransportNetwork`.
+
+    Rows/columns are ordered by ascending node id (the same order as
+    :meth:`TransportNetwork.node_ids`).  The view is what the vectorized ELPC
+    engine (:mod:`repro.core.vectorized`) iterates over instead of per-node
+    ``neighbors`` / ``link`` lookups; it is built once per topology and cached
+    on the network until the next mutation.
+
+    Attributes
+    ----------
+    node_ids:
+        Node ids in row order.
+    index_of:
+        Inverse map ``node_id -> row index``.
+    power:
+        ``(k,)`` vector of node processing powers :math:`p_i`.
+    adjacency:
+        ``(k, k)`` boolean adjacency matrix (symmetric, zero diagonal).
+    bandwidth:
+        ``(k, k)`` link bandwidths in Mbit/s; 0 where no link exists.
+    link_delay:
+        ``(k, k)`` minimum link delays in ms; 0 where no link exists.
+    bandwidth_bits_per_s:
+        ``(k, k)`` bandwidths converted to bits/second (0 where no link);
+        precomputed so transport matrices replicate the scalar cost model's
+        floating-point operations exactly.
+    """
+
+    node_ids: Tuple[NodeId, ...]
+    index_of: Dict[NodeId, int]
+    power: np.ndarray
+    adjacency: np.ndarray
+    bandwidth: np.ndarray
+    link_delay: np.ndarray
+    bandwidth_bits_per_s: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``k`` (matrix dimension)."""
+        return len(self.node_ids)
+
+    def transport_matrix_ms(self, message_bytes: float, *,
+                            include_link_delay: bool = True) -> np.ndarray:
+        """``(k, k)`` matrix of link transport times for one message size.
+
+        Entry ``[i, j]`` is :math:`m/b_{i,j} + d_{i,j}` in milliseconds where a
+        link exists and ``inf`` elsewhere (including the diagonal — intra-node
+        transfers are handled by the solvers' same-node sub-case).  The
+        element-wise operations mirror
+        :func:`repro.model.link.transfer_time_ms` term for term so the dense
+        engine reproduces the scalar DP bit for bit.
+        """
+        if message_bytes < 0:
+            raise SpecificationError(
+                f"message size must be >= 0, got {message_bytes!r}")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            seconds = message_bytes * BITS_PER_BYTE / self.bandwidth_bits_per_s
+            times = seconds * 1e3
+            if include_link_delay:
+                times = times + self.link_delay
+        return np.where(self.adjacency, times, np.inf)
 
 
 class TransportNetwork:
@@ -48,6 +113,7 @@ class TransportNetwork:
         self._nodes: Dict[NodeId, ComputingNode] = {}
         self._links: Dict[Tuple[NodeId, NodeId], CommunicationLink] = {}
         self._next_link_id = 0
+        self._dense_view: Optional[DenseNetworkView] = None
         self.name = name
         for node in nodes:
             self.add_node(node)
@@ -63,6 +129,7 @@ class TransportNetwork:
             raise SpecificationError(f"duplicate node_id {node.node_id}")
         self._nodes[node.node_id] = node
         self._graph.add_node(node.node_id)
+        self._dense_view = None
 
     def add_link(self, link: CommunicationLink) -> None:
         """Register a communication link.  Both endpoints must already exist."""
@@ -89,6 +156,7 @@ class TransportNetwork:
                              bandwidth_mbps=link.bandwidth_mbps,
                              min_delay_ms=link.min_delay_ms,
                              link_id=link.link_id)
+        self._dense_view = None
 
     def connect(self, u: NodeId, v: NodeId, bandwidth_mbps: float,
                 min_delay_ms: float = 0.0) -> CommunicationLink:
@@ -340,6 +408,54 @@ class TransportNetwork:
         if k < 2:
             return 0.0
         return self.n_links / (k * (k - 1) / 2)
+
+    # ------------------------------------------------------------------ #
+    # Dense array views (vectorized solver engine)
+    # ------------------------------------------------------------------ #
+    def dense_view(self) -> DenseNetworkView:
+        """Cached dense array snapshot of the topology and its attributes.
+
+        The first call after a mutation materialises the node-index map, the
+        processing-power vector and the adjacency / bandwidth / link-delay
+        matrices; subsequent calls return the same
+        :class:`DenseNetworkView` instance until :meth:`add_node` or
+        :meth:`add_link` invalidates it.  The vectorized ELPC solvers
+        (:mod:`repro.core.vectorized`) and the batch engine rely on this so
+        repeated solves over one topology pay the O(k²) construction only once.
+        """
+        if self._dense_view is not None:
+            return self._dense_view
+        if not self._nodes:
+            raise SpecificationError("cannot build a dense view of an empty network")
+        ids = tuple(self.node_ids())
+        index = {nid: i for i, nid in enumerate(ids)}
+        k = len(ids)
+        power = np.array([self._nodes[nid].processing_power for nid in ids],
+                         dtype=float)
+        adjacency = np.zeros((k, k), dtype=bool)
+        bandwidth = np.zeros((k, k), dtype=float)
+        link_delay = np.zeros((k, k), dtype=float)
+        for (u, v), link in self._links.items():
+            i, j = index[u], index[v]
+            adjacency[i, j] = adjacency[j, i] = True
+            bandwidth[i, j] = bandwidth[j, i] = link.bandwidth_mbps
+            link_delay[i, j] = link_delay[j, i] = link.min_delay_ms
+        bits_per_s = bandwidth * MEGABIT
+        # The view is shared by every solve until the next mutation; freeze the
+        # arrays so a caller mutating them gets an error instead of silently
+        # corrupting all later vectorized solves on this network.
+        for arr in (power, adjacency, bandwidth, link_delay, bits_per_s):
+            arr.setflags(write=False)
+        self._dense_view = DenseNetworkView(
+            node_ids=ids,
+            index_of=index,
+            power=power,
+            adjacency=adjacency,
+            bandwidth=bandwidth,
+            link_delay=link_delay,
+            bandwidth_bits_per_s=bits_per_s,
+        )
+        return self._dense_view
 
     # ------------------------------------------------------------------ #
     # Adjacency-matrix import/export (paper Section 4.1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main_bench, main_map
+from repro.cli import main, main_bench, main_bench_scaling, main_map
 
 
 class TestReproMap:
@@ -67,3 +67,72 @@ class TestReproBench:
                            "--print-table"]) == 0
         out = capsys.readouterr().out
         assert "Mapping performance comparison" in out
+
+
+class TestReproUmbrella:
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "solve" in out and "bench-scaling" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_solve_with_vectorized_solver(self, capsys):
+        assert main(["solve", "--solver", "elpc-vec", "--case", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "elpc-vec" in out
+        assert "selected path" in out
+
+    def test_solve_lists_vectorized_solver(self, capsys):
+        assert main(["solve", "--list-algorithms"]) == 0
+        assert "elpc-vec" in capsys.readouterr().out
+
+    def test_map_alias(self, capsys):
+        assert main(["map", "--case", "1"]) == 0
+        assert "selected path" in capsys.readouterr().out
+
+    def test_bench_subcommand(self, tmp_path, capsys):
+        assert main(["bench", "--output", str(tmp_path / "out"),
+                     "--max-cases", "1"]) == 0
+        assert (tmp_path / "out" / "fig2_table.txt").exists()
+
+
+class TestBatchSolve:
+    def test_batch_seeds_summary(self, capsys):
+        assert main(["solve", "--solver", "elpc-vec", "--workload",
+                     "surveillance", "--nodes", "10", "--links", "24",
+                     "--batch-seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 3 instances" in out
+        assert "solved 3/3" in out
+        assert "surveillance-seed2" in out
+
+    def test_batch_seeds_requires_workload(self, capsys):
+        assert main_map(["--case", "1", "--batch-seeds", "2"]) == 1
+        assert "needs --workload" in capsys.readouterr().err
+
+    def test_batch_seeds_must_be_positive(self, capsys):
+        assert main_map(["--workload", "surveillance", "--batch-seeds", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchScaling:
+    def test_prints_speedup_table(self, capsys):
+        assert main_bench_scaling(["--sizes", "4:8:14,5:10:20",
+                                   "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "delay elpc" in out and "delay vec" in out
+        assert out.count("\n") >= 4  # header + rule + one row per size
+
+    def test_rejects_malformed_sizes(self, capsys):
+        assert main_bench_scaling(["--sizes", "4x8x14"]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main_bench_scaling(["--sizes", "a:b:c"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_via_umbrella(self, capsys):
+        assert main(["bench-scaling", "--sizes", "4:8:14"]) == 0
+        assert "Vectorized ELPC engine speedup" in capsys.readouterr().out

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core import DPTable, Objective, elpc_min_delay, exhaustive_min_delay
+from repro.core import (
+    DPTable,
+    Objective,
+    elpc_min_delay,
+    elpc_min_delay_vec,
+    exhaustive_min_delay,
+)
 from repro.exceptions import InfeasibleMappingError
 from repro.generators import (
     complete_network,
@@ -12,6 +18,10 @@ from repro.generators import (
     random_request,
 )
 from repro.model import EndToEndRequest, end_to_end_delay_ms
+
+#: Both engines must pass every edge-case test below identically.
+DELAY_SOLVERS = [pytest.param(elpc_min_delay, id="scalar"),
+                 pytest.param(elpc_min_delay_vec, id="vectorized")]
 
 
 class TestBasicBehaviour:
@@ -124,3 +134,84 @@ class TestStructuralProperties:
         mapping = elpc_min_delay(pipeline, network, request)
         assert mapping.runtime_s < 5.0
         assert mapping.extras["dp_relaxations"] > 0
+
+
+class TestEdgeCasesBothEngines:
+    """Edge-case coverage shared by the scalar and vectorized solvers."""
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_without_link_delay_drops_mld_terms(self, solver, simple_pipeline,
+                                                simple_network, simple_request):
+        with_mld = solver(simple_pipeline, simple_network, simple_request)
+        without = solver(simple_pipeline, simple_network, simple_request,
+                         include_link_delay=False)
+        assert without.extras["include_link_delay"] is False
+        assert without.extras["dp_value_ms"] <= with_mld.extras["dp_value_ms"] + 1e-9
+        # Recomputing the stripped-down mapping's cost without MLD must
+        # reproduce the DP value (the solver optimised the right model).
+        recomputed = end_to_end_delay_ms(simple_pipeline, simple_network,
+                                         without.groups, without.path,
+                                         include_link_delay=False)
+        assert recomputed == pytest.approx(without.extras["dp_value_ms"])
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_keep_table_final_cell_matches(self, solver, simple_pipeline,
+                                           simple_network, simple_request):
+        mapping = solver(simple_pipeline, simple_network, simple_request,
+                         keep_table=True)
+        table = mapping.extras["dp_table"]
+        assert isinstance(table, DPTable)
+        assert table.value(simple_pipeline.n_modules - 1,
+                           simple_request.destination) == pytest.approx(mapping.delay_ms)
+        # Backtracking the kept table reproduces the mapping's walk.
+        assert table.backtrack_path(simple_request.destination) == mapping.path
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_keep_table_off_by_default(self, solver, simple_pipeline,
+                                       simple_network, simple_request):
+        mapping = solver(simple_pipeline, simple_network, simple_request)
+        assert "dp_table" not in mapping.extras
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_disconnected_destination_raises(self, solver, simple_pipeline,
+                                             simple_network):
+        from repro.model import ComputingNode
+        simple_network.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        with pytest.raises(InfeasibleMappingError):
+            solver(simple_pipeline, simple_network, EndToEndRequest(0, 9))
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_disconnected_source_raises(self, solver, simple_pipeline,
+                                        simple_network):
+        from repro.model import ComputingNode
+        simple_network.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        with pytest.raises(InfeasibleMappingError):
+            solver(simple_pipeline, simple_network, EndToEndRequest(9, 3))
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_minimal_client_server_pipeline(self, solver, simple_network):
+        """The smallest legal pipeline: one source + one computing sink."""
+        from repro.model import Pipeline
+        pipeline = Pipeline.client_server(data_bytes=400_000, sink_complexity=10.0)
+        mapping = solver(pipeline, simple_network, EndToEndRequest(0, 1))
+        assert mapping.path == [0, 1]
+        expected = end_to_end_delay_ms(pipeline, simple_network, [[0], [1]], [0, 1])
+        assert mapping.delay_ms == pytest.approx(expected)
+
+    @pytest.mark.parametrize("solver", DELAY_SOLVERS)
+    def test_minimal_pipeline_same_endpoint(self, solver, simple_network):
+        """Source == destination with the minimal pipeline stays on one node."""
+        from repro.model import Pipeline
+        pipeline = Pipeline.client_server(data_bytes=400_000, sink_complexity=10.0)
+        mapping = solver(pipeline, simple_network, EndToEndRequest(2, 2))
+        assert mapping.path[0] == 2 and mapping.path[-1] == 2
+
+    def test_vectorized_survives_network_mutation(self, simple_pipeline,
+                                                  simple_network, simple_request):
+        """The dense view cache is invalidated when the topology changes."""
+        before = elpc_min_delay_vec(simple_pipeline, simple_network, simple_request)
+        simple_network.connect(0, 3, bandwidth_mbps=1000.0, min_delay_ms=0.01)
+        after = elpc_min_delay_vec(simple_pipeline, simple_network, simple_request)
+        reference = elpc_min_delay(simple_pipeline, simple_network, simple_request)
+        assert after.delay_ms == pytest.approx(reference.delay_ms, rel=1e-12)
+        assert after.delay_ms <= before.delay_ms + 1e-9

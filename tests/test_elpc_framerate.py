@@ -5,6 +5,7 @@ import pytest
 from repro.core import (
     Objective,
     elpc_max_frame_rate,
+    elpc_max_frame_rate_vec,
     exhaustive_max_frame_rate,
 )
 from repro.exceptions import InfeasibleMappingError
@@ -16,6 +17,10 @@ from repro.generators import (
     random_request,
 )
 from repro.model import EndToEndRequest, assert_no_reuse, bottleneck_time_ms
+
+#: Both engines must pass every edge-case test below identically.
+FRAMERATE_SOLVERS = [pytest.param(elpc_max_frame_rate, id="scalar"),
+                     pytest.param(elpc_max_frame_rate_vec, id="vectorized")]
 
 
 class TestBasicBehaviour:
@@ -126,3 +131,83 @@ class TestFeasibilityHandling:
         mapping = elpc_max_frame_rate(pipeline, network, EndToEndRequest(0, 6))
         assert len(mapping.path) == 6
         assert_no_reuse(mapping.path)
+
+
+class TestEdgeCasesBothEngines:
+    """Edge-case coverage shared by the scalar and vectorized solvers."""
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_without_link_delay_never_slower(self, solver, simple_pipeline,
+                                             simple_network, simple_request):
+        with_mld = solver(simple_pipeline, simple_network, simple_request)
+        without = solver(simple_pipeline, simple_network, simple_request,
+                         include_link_delay=False)
+        assert without.extras["include_link_delay"] is False
+        # Dropping the additive MLD term can only shrink link times, so the
+        # optimised bottleneck cannot get worse.
+        assert (without.extras["dp_bottleneck_ms"]
+                <= with_mld.extras["dp_bottleneck_ms"] + 1e-9)
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_keep_table_final_cell_matches(self, solver, simple_pipeline,
+                                           simple_network, simple_request):
+        mapping = solver(simple_pipeline, simple_network, simple_request,
+                         keep_table=True)
+        table = mapping.extras["dp_table"]
+        assert table.value(simple_pipeline.n_modules - 1,
+                           simple_request.destination) == pytest.approx(
+            mapping.bottleneck_ms)
+        assert table.backtrack_path(simple_request.destination) == mapping.path
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_keep_table_off_by_default(self, solver, simple_pipeline,
+                                       simple_network, simple_request):
+        mapping = solver(simple_pipeline, simple_network, simple_request)
+        assert "dp_table" not in mapping.extras
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_disconnected_destination_raises(self, solver, simple_pipeline,
+                                             simple_network):
+        from repro.model import ComputingNode
+        simple_network.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        with pytest.raises(InfeasibleMappingError):
+            solver(simple_pipeline, simple_network, EndToEndRequest(0, 9))
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_disconnected_source_raises(self, solver, simple_pipeline,
+                                        simple_network):
+        from repro.model import ComputingNode
+        simple_network.add_node(ComputingNode(node_id=9, processing_power=1.0))
+        with pytest.raises(InfeasibleMappingError):
+            solver(simple_pipeline, simple_network, EndToEndRequest(9, 3))
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_minimal_client_server_pipeline(self, solver, simple_network):
+        """The smallest legal pipeline maps onto a single link without reuse."""
+        from repro.model import Pipeline
+        pipeline = Pipeline.client_server(data_bytes=400_000, sink_complexity=10.0)
+        mapping = solver(pipeline, simple_network, EndToEndRequest(0, 1))
+        assert mapping.path == [0, 1]
+        assert_no_reuse(mapping.path)
+        expected = bottleneck_time_ms(pipeline, simple_network, [[0], [1]], [0, 1])
+        assert mapping.bottleneck_ms == pytest.approx(expected)
+
+    @pytest.mark.parametrize("solver", FRAMERATE_SOLVERS)
+    def test_minimal_pipeline_same_endpoint_infeasible(self, solver, simple_network):
+        """Without reuse a 2-module pipeline cannot start and end on one node."""
+        from repro.model import Pipeline
+        pipeline = Pipeline.client_server(data_bytes=400_000, sink_complexity=10.0)
+        with pytest.raises(InfeasibleMappingError):
+            solver(pipeline, simple_network, EndToEndRequest(2, 2))
+
+    def test_vectorized_survives_network_mutation(self, simple_pipeline,
+                                                  simple_network, simple_request):
+        """The dense view cache is invalidated when the topology changes."""
+        elpc_max_frame_rate_vec(simple_pipeline, simple_network, simple_request)
+        simple_network.connect(1, 3, bandwidth_mbps=1000.0, min_delay_ms=0.01)
+        after = elpc_max_frame_rate_vec(simple_pipeline, simple_network,
+                                        simple_request)
+        reference = elpc_max_frame_rate(simple_pipeline, simple_network,
+                                        simple_request)
+        assert after.bottleneck_ms == pytest.approx(reference.bottleneck_ms,
+                                                    rel=1e-12)

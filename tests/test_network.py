@@ -211,3 +211,71 @@ class TestEndToEndRequest:
             EndToEndRequest(source=0, destination=99).validate(net)
         with pytest.raises(SpecificationError):
             EndToEndRequest(source=77, destination=3).validate(net)
+
+
+class TestDenseView:
+    def test_matrices_match_scalar_queries(self):
+        net = build_net()
+        view = net.dense_view()
+        assert view.n_nodes == 4
+        assert view.node_ids == (0, 1, 2, 3)
+        assert view.index_of == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert np.array_equal(view.power, [10.0, 20.0, 30.0, 40.0])
+        assert np.array_equal(view.adjacency, net.adjacency_matrix())
+        assert np.array_equal(view.bandwidth, net.bandwidth_matrix())
+        assert np.array_equal(view.link_delay, net.delay_matrix())
+
+    def test_view_is_cached_until_mutation(self):
+        net = build_net()
+        first = net.dense_view()
+        assert net.dense_view() is first
+        net.add_node(ComputingNode(node_id=9, processing_power=5.0))
+        second = net.dense_view()
+        assert second is not first
+        assert second.n_nodes == 5
+        assert net.dense_view() is second
+        net.connect(9, 0, bandwidth_mbps=80.0)
+        third = net.dense_view()
+        assert third is not second
+        assert third.adjacency[third.index_of[9], third.index_of[0]]
+
+    def test_transport_matrix_matches_link_model(self):
+        from repro.model import transport_time_ms
+
+        net = build_net()
+        view = net.dense_view()
+        mat = view.transport_matrix_ms(500_000.0)
+        bare = view.transport_matrix_ms(500_000.0, include_link_delay=False)
+        for u in net.node_ids():
+            for v in net.node_ids():
+                i, j = view.index_of[u], view.index_of[v]
+                if net.has_link(u, v):
+                    assert mat[i, j] == transport_time_ms(net, u, v, 500_000.0)
+                    assert bare[i, j] == transport_time_ms(
+                        net, u, v, 500_000.0, include_link_delay=False)
+                else:
+                    assert np.isinf(mat[i, j]) and np.isinf(bare[i, j])
+
+    def test_transport_matrix_zero_message_has_no_nan(self):
+        net = build_net()
+        mat = net.dense_view().transport_matrix_ms(0.0)
+        assert not np.isnan(mat).any()
+        # Zero bytes over a link costs exactly the minimum link delay.
+        view = net.dense_view()
+        assert mat[view.index_of[0], view.index_of[1]] == 1.0
+
+    def test_view_arrays_are_read_only(self):
+        """The cached view is shared; mutating it must fail loudly, not
+        silently corrupt later vectorized solves."""
+        view = build_net().dense_view()
+        for arr in (view.power, view.adjacency, view.bandwidth,
+                    view.link_delay, view.bandwidth_bits_per_s):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_rejects_negative_message_and_empty_network(self):
+        net = build_net()
+        with pytest.raises(SpecificationError):
+            net.dense_view().transport_matrix_ms(-1.0)
+        with pytest.raises(SpecificationError):
+            TransportNetwork().dense_view()
