@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Normalize benchmark output and gate CI on performance regressions.
+
+The CI ``bench`` job runs the perf-critical benchmark files with
+``pytest --benchmark-json=raw.json`` and pipes the result through this script,
+which
+
+1. normalizes the pytest-benchmark payload into the compact ``repro-bench/1``
+   schema (the same one ``repro bench --emit-json`` produces)::
+
+       {
+         "schema": "repro-bench/1",
+         "source": "pytest-benchmark",
+         "sha": "<commit>",
+         "metrics": {"<benchmark name>": {"mean_s": ..., "stddev_s": ...,
+                                          "rounds": ...}}
+       }
+
+2. writes it to ``--output`` (CI names the file ``BENCH_<sha>.json`` and
+   uploads it as a build artifact, so every commit's numbers are archived),
+3. compares every metric present in both files against ``--baseline`` and
+   **exits 1** when any mean regresses by more than ``--threshold`` (default
+   30 %; the benchmarks' own assertions still enforce the absolute speedup
+   floors).
+
+Absolute wall times are hardware-specific, so a baseline is only meaningful
+on the machine class that recorded it: CI seeds and gates against a
+runner-local baseline kept in the actions cache (see the ``bench`` job),
+while the checked-in ``benchmarks/bench_baseline.json`` is the
+development-machine reference used by local runs and
+``tests/test_check_regression.py``.
+
+Metrics only present on one side are reported but never fail the gate —
+adding a benchmark must not break CI until a baseline refresh
+(``--write-baseline``) records it.
+
+Usage::
+
+    python benchmarks/check_regression.py --input raw.json \
+        --baseline benchmarks/bench_baseline.json --output BENCH_abc123.json
+    python benchmarks/check_regression.py --input raw.json \
+        --write-baseline benchmarks/bench_baseline.json     # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+SCHEMA = "repro-bench/1"
+
+
+def normalize(raw: dict, *, sha: Optional[str] = None) -> dict:
+    """Convert a pytest-benchmark JSON payload to the repro-bench/1 schema.
+
+    A payload that already carries ``schema: repro-bench/1`` (e.g. produced by
+    ``repro bench --emit-json``) passes through untouched apart from the
+    ``sha`` stamp.
+    """
+    if raw.get("schema") == SCHEMA:
+        normalized = dict(raw)
+    else:
+        metrics: Dict[str, Dict[str, float]] = {}
+        for bench in raw.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            name = bench.get("fullname") or bench.get("name")
+            if not name or "mean" not in stats:
+                continue
+            metrics[name] = {
+                "mean_s": stats["mean"],
+                "stddev_s": stats.get("stddev", 0.0),
+                "rounds": stats.get("rounds", 0),
+            }
+            # The speedup benches attach their measured ratios; archive them
+            # so the committed BENCH_<sha>.json files tell the whole story.
+            extra = bench.get("extra_info") or {}
+            for key, value in sorted(extra.items()):
+                if isinstance(value, (int, float)):
+                    metrics[name][f"extra:{key}"] = value
+        normalized = {"schema": SCHEMA, "source": "pytest-benchmark",
+                      "metrics": metrics}
+    if sha:
+        normalized["sha"] = sha
+    return normalized
+
+
+def compare(current: dict, baseline: dict, *, threshold: float) -> list:
+    """Return a list of regression description strings (empty when clean)."""
+    regressions = []
+    current_metrics = current.get("metrics", {})
+    baseline_metrics = baseline.get("metrics", {})
+    for name in sorted(set(current_metrics) & set(baseline_metrics)):
+        new = current_metrics[name].get("mean_s")
+        old = baseline_metrics[name].get("mean_s")
+        if new is None or old is None or old <= 0:
+            continue
+        ratio = new / old
+        marker = "REGRESSION" if ratio > 1.0 + threshold else "ok"
+        line = (f"{name}: {old:.6f}s -> {new:.6f}s "
+                f"({(ratio - 1.0) * 100.0:+.1f}%) [{marker}]")
+        print(line)
+        if marker == "REGRESSION":
+            regressions.append(line)
+    for name in sorted(set(current_metrics) - set(baseline_metrics)):
+        print(f"{name}: not in baseline (informational)")
+    for name in sorted(set(baseline_metrics) - set(current_metrics)):
+        print(f"{name}: missing from current run (informational)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--input", type=Path, required=True,
+                        help="pytest-benchmark JSON (or an existing "
+                             "repro-bench/1 file) to normalize")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("benchmarks/bench_baseline.json"),
+                        help="checked-in baseline to compare against")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the normalized BENCH_<sha>.json")
+    parser.add_argument("--sha", default=None,
+                        help="commit sha recorded in the normalized output")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed relative mean increase before failing "
+                             "(default 0.30 = 30%%)")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the normalized metrics as the new "
+                             "baseline and skip the comparison")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="fail (exit 2) when the baseline file is missing "
+                             "instead of passing informationally")
+    args = parser.parse_args(argv)
+
+    try:
+        raw = json.loads(args.input.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    current = normalize(raw, sha=args.sha)
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(current, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+
+    if args.write_baseline is not None:
+        args.write_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.write_baseline.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote baseline {args.write_baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        message = (f"baseline {args.baseline} not found; "
+                   "run with --write-baseline to create it")
+        if args.require_baseline:
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print(message)
+        return 0
+    try:
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    regressions = compare(current, baseline, threshold=args.threshold)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("benchmark means within threshold of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

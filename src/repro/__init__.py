@@ -9,8 +9,12 @@ Public API highlights
   algorithms (the paper's contribution),
 * :func:`repro.elpc_min_delay_vec`, :func:`repro.elpc_max_frame_rate_vec` —
   vectorized NumPy engines returning identical results (``"elpc-vec"``),
+* :func:`repro.elpc_min_delay_many`, :func:`repro.elpc_max_frame_rate_many` —
+  tensor batch engines solving many pipelines over one network in stacked
+  array passes (``"elpc-tensor"``), again bit-identical,
 * :func:`repro.solve_many` — batch API to run one solver over many instances,
-  optionally across worker processes,
+  optionally across worker processes; ``solver="elpc-tensor"`` groups the
+  batch by network and solves each group in one tensor call,
 * :func:`repro.solve` / :func:`repro.available_solvers` — name-based access to
   every algorithm including the Streamline and Greedy baselines,
 * :mod:`repro.generators` — random pipelines/networks, the 20-case suite, and
@@ -30,8 +34,12 @@ from .core import (
     PipelineMapping,
     available_solvers,
     elpc_max_frame_rate,
+    elpc_max_frame_rate_many,
+    elpc_max_frame_rate_tensor,
     elpc_max_frame_rate_vec,
     elpc_min_delay,
+    elpc_min_delay_many,
+    elpc_min_delay_tensor,
     elpc_min_delay_vec,
     exhaustive_max_frame_rate,
     exhaustive_min_delay,
@@ -75,6 +83,8 @@ __all__ = [
     # algorithms
     "elpc_min_delay", "elpc_max_frame_rate",
     "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
+    "elpc_min_delay_many", "elpc_max_frame_rate_many",
+    "elpc_min_delay_tensor", "elpc_max_frame_rate_tensor",
     "exhaustive_min_delay", "exhaustive_max_frame_rate",
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "solve", "get_solver", "register_solver", "available_solvers",

@@ -8,13 +8,23 @@
 * :mod:`repro.analysis.experiments` — one driver per paper table/figure.
 """
 
-from .comparison import DEFAULT_ALGORITHMS, ComparisonRun, run_case, run_comparison
+from .comparison import (
+    DEFAULT_ALGORITHMS,
+    ELPC_ENGINES,
+    AgreementReport,
+    ComparisonRun,
+    SolverDisagreement,
+    check_solver_agreement,
+    run_case,
+    run_comparison,
+)
 from .export import mapping_to_dot, network_to_dot, write_dot
 from .experiments import (
     Fig2Result,
     FigureSeriesResult,
     PathIllustrationResult,
     RuntimeScalingResult,
+    TensorBatchSpeedupResult,
     VectorizedSpeedupResult,
     reproduce_fig2,
     reproduce_fig3,
@@ -22,6 +32,7 @@ from .experiments import (
     reproduce_fig5,
     reproduce_fig6,
     runtime_scaling,
+    tensor_batch_speedup,
     vectorized_speedup,
     write_all_outputs,
 )
@@ -36,14 +47,16 @@ from .statistics import (
 )
 
 __all__ = [
-    "DEFAULT_ALGORITHMS", "ComparisonRun", "run_case", "run_comparison",
+    "DEFAULT_ALGORITHMS", "ELPC_ENGINES", "ComparisonRun", "run_case", "run_comparison",
+    "AgreementReport", "SolverDisagreement", "check_solver_agreement",
     "AlgorithmResult", "CaseResult", "improvement_ratio",
     "comparison_table", "fig2_table", "format_value", "mapping_walkthrough",
     "ascii_line_chart", "series_to_csv", "write_csv",
     "Fig2Result", "FigureSeriesResult", "PathIllustrationResult", "RuntimeScalingResult",
-    "VectorizedSpeedupResult",
+    "VectorizedSpeedupResult", "TensorBatchSpeedupResult",
     "reproduce_fig2", "reproduce_fig3", "reproduce_fig4", "reproduce_fig5",
-    "reproduce_fig6", "runtime_scaling", "vectorized_speedup", "write_all_outputs",
+    "reproduce_fig6", "runtime_scaling", "vectorized_speedup",
+    "tensor_batch_speedup", "write_all_outputs",
     "SummaryStatistics", "ReplicatedCaseResult", "replicate_case",
     "summarize_improvements",
     "network_to_dot", "mapping_to_dot", "write_dot",

@@ -21,10 +21,17 @@ from ..exceptions import InfeasibleMappingError, ReproError
 from ..model.serialization import ProblemInstance
 from .metrics import AlgorithmResult, CaseResult
 
-__all__ = ["ComparisonRun", "run_case", "run_comparison", "DEFAULT_ALGORITHMS"]
+__all__ = ["ComparisonRun", "run_case", "run_comparison", "DEFAULT_ALGORITHMS",
+           "ELPC_ENGINES", "SolverDisagreement", "AgreementReport",
+           "check_solver_agreement"]
 
 #: The three algorithms the paper compares (order matters for the table columns).
 DEFAULT_ALGORITHMS: Tuple[str, ...] = ("elpc", "streamline", "greedy")
+
+#: The three interchangeable ELPC engines (scalar reference first); they must
+#: agree bit for bit on every instance, which ``repro bench`` and the CI gate
+#: verify through :func:`check_solver_agreement`.
+ELPC_ENGINES: Tuple[str, ...] = ("elpc", "elpc-vec", "elpc-tensor")
 
 
 @dataclass
@@ -68,6 +75,111 @@ class ComparisonRun:
                   for case in self.cases]
         usable = [r for r in ratios if r == r]  # drop NaNs
         return sum(usable) / len(usable) if usable else float("nan")
+
+
+@dataclass(frozen=True)
+class SolverDisagreement:
+    """One instance on which two solvers that must agree did not.
+
+    ``kind`` is ``"feasibility"`` when one solver mapped the instance and the
+    other reported it infeasible, ``"value"`` when both mapped it but the
+    objective values differ beyond the tolerance.
+    """
+
+    case_name: str
+    objective: Objective
+    solver: str
+    reference: str
+    value: Optional[float]
+    reference_value: Optional[float]
+    kind: str
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (f"{self.case_name} [{self.objective.value}] {self.solver} "
+                f"{self.value!r} vs {self.reference} {self.reference_value!r} "
+                f"({self.kind})")
+
+
+@dataclass
+class AgreementReport:
+    """Result of cross-checking equivalent solvers over a suite.
+
+    Produced by :func:`check_solver_agreement`; consumed by ``repro bench``
+    (which exits non-zero when :attr:`ok` is false) and serialised into the
+    benchmark JSON the CI regression gate archives.
+    """
+
+    solvers: Tuple[str, ...]
+    objectives: Tuple[Objective, ...]
+    n_cases: int
+    disagreements: List[SolverDisagreement] = field(default_factory=list)
+    solver_time_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when every solver agreed on every instance."""
+        return not self.disagreements
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible summary (schema shared with the CI bench artifact)."""
+        return {
+            "solvers": list(self.solvers),
+            "objectives": [objective.value for objective in self.objectives],
+            "cases": self.n_cases,
+            "ok": self.ok,
+            "disagreements": [d.describe() for d in self.disagreements],
+            "solver_time_s": {name: round(t, 6)
+                              for name, t in self.solver_time_s.items()},
+        }
+
+
+def check_solver_agreement(instances: Iterable[ProblemInstance], *,
+                           solvers: Sequence[str] = ELPC_ENGINES,
+                           objectives: Sequence[Objective] = (
+                               Objective.MIN_DELAY, Objective.MAX_FRAME_RATE),
+                           rel_tol: float = 1e-12,
+                           workers: Optional[int] = None) -> AgreementReport:
+    """Cross-check that interchangeable solvers produce identical results.
+
+    The first entry of ``solvers`` is the reference; every other solver is
+    compared against it on every instance and objective: both must agree on
+    feasibility, and on feasible instances the objective values must match
+    within ``rel_tol`` (the ELPC engines are bit-identical by construction, so
+    the default tolerance only forgives float printing round-trips).  Batches
+    run through :func:`repro.core.batch.solve_many`, so the tensor engine's
+    group dispatch is exercised by the check itself.
+    """
+    suite = list(instances)
+    report = AgreementReport(solvers=tuple(solvers), objectives=tuple(objectives),
+                             n_cases=len(suite))
+    for objective in objectives:
+        batches = {}
+        for name in solvers:
+            batch = solve_many(suite, solver=name, objective=objective,
+                               workers=workers)
+            batches[name] = batch
+            report.solver_time_s[name] = (report.solver_time_s.get(name, 0.0)
+                                          + batch.wall_time_s)
+        reference = solvers[0]
+        ref_values = batches[reference].values()
+        for name in solvers[1:]:
+            for instance, value, ref_value in zip(suite, batches[name].values(),
+                                                  ref_values):
+                case_name = instance.name or "unnamed"
+                if (value is None) != (ref_value is None):
+                    report.disagreements.append(SolverDisagreement(
+                        case_name=case_name, objective=objective, solver=name,
+                        reference=reference, value=value,
+                        reference_value=ref_value, kind="feasibility"))
+                elif value is not None and ref_value is not None:
+                    scale = max(abs(ref_value), 1.0)
+                    if abs(value - ref_value) > rel_tol * scale:
+                        report.disagreements.append(SolverDisagreement(
+                            case_name=case_name, objective=objective,
+                            solver=name, reference=reference, value=value,
+                            reference_value=ref_value, kind="value"))
+    return report
 
 
 def run_case(instance: ProblemInstance, objective: Objective,

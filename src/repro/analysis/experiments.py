@@ -40,10 +40,10 @@ from .reporting import comparison_table, fig2_table, mapping_walkthrough
 
 __all__ = [
     "Fig2Result", "FigureSeriesResult", "PathIllustrationResult", "RuntimeScalingResult",
-    "VectorizedSpeedupResult",
+    "VectorizedSpeedupResult", "TensorBatchSpeedupResult",
     "reproduce_fig2", "reproduce_fig3", "reproduce_fig4",
     "reproduce_fig5", "reproduce_fig6", "runtime_scaling", "vectorized_speedup",
-    "write_all_outputs",
+    "tensor_batch_speedup", "write_all_outputs",
 ]
 
 
@@ -147,6 +147,111 @@ class VectorizedSpeedupResult:
                          f"{sd:>12.6f} {vd:>12.6f} {xd:>6.1f} "
                          f"{sf:>12.6f} {vf:>12.6f} {xf:>6.1f}")
         return "\n".join(lines)
+
+
+@dataclass
+class TensorBatchSpeedupResult:
+    """Looped-vs-tensor throughput of solving many pipelines over one network.
+
+    For each batch size ``B`` the same ``B`` instances (random pipelines and
+    requests over a single shared network) are solved twice through
+    :func:`repro.core.batch.solve_many` — once looping the vectorized
+    per-instance engine, once through the tensor engine's grouped dispatch —
+    and the wall times are paired up.  ``value_mismatches`` counts instances
+    on which the two paths disagreed (always 0: the engines are bit-identical,
+    and ``benchmarks/test_bench_tensor_batch.py`` asserts it).
+    """
+
+    batch_sizes: List[int]
+    n_modules: int
+    k_nodes: int
+    n_links: int
+    looped_s: List[float]
+    tensor_s: List[float]
+    looped_solver: str = "elpc-vec"
+    tensor_solver: str = "elpc-tensor"
+    value_mismatches: int = 0
+
+    def speedups(self) -> List[float]:
+        """Per-batch-size looped/tensor wall-time ratio."""
+        return [l / t for l, t in zip(self.looped_s, self.tensor_s)]
+
+    def table_text(self) -> str:
+        """Human-readable per-batch-size throughput table."""
+        header = (f"{'batch':>6} {'modules':>8} {'nodes':>6} {'links':>6} "
+                  f"{'looped vec':>12} {'tensor':>12} {'x':>6}")
+        lines = [("Tensor batch engine speedup over looped "
+                  f"{self.looped_solver} (best-of-run seconds)"),
+                 header, "-" * len(header)]
+        for B, looped, tensor, ratio in zip(self.batch_sizes, self.looped_s,
+                                            self.tensor_s, self.speedups()):
+            lines.append(f"{B:>6} {self.n_modules:>8} {self.k_nodes:>6} "
+                         f"{self.n_links:>6} {looped:>12.6f} {tensor:>12.6f} "
+                         f"{ratio:>6.1f}")
+        return "\n".join(lines)
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Flat metric dict in the shared ``repro-bench/1`` JSON schema."""
+        out: Dict[str, Dict[str, float]] = {}
+        for B, looped, tensor in zip(self.batch_sizes, self.looped_s,
+                                     self.tensor_s):
+            out[f"tensor_batch/looped_B{B}"] = {"mean_s": looped}
+            out[f"tensor_batch/tensor_B{B}"] = {"mean_s": tensor}
+        return out
+
+
+def tensor_batch_speedup(*, batch_sizes: Sequence[int] = (8, 32, 64),
+                         n_modules: int = 40, k_nodes: int = 48,
+                         n_links: int = 96, seed: int = 11,
+                         repetitions: int = 1,
+                         objective: Objective = Objective.MIN_DELAY,
+                         looped_solver: str = "elpc-vec",
+                         tensor_solver: str = "elpc-tensor"
+                         ) -> TensorBatchSpeedupResult:
+    """Measure the tensor engine's batched-throughput win over a per-item loop.
+
+    One network of ``k_nodes`` / ``n_links`` is shared by ``max(batch_sizes)``
+    random pipeline/request instances; for each requested batch size the first
+    ``B`` instances are solved through both engines (best wall time of
+    ``repetitions`` passes each).  Both passes run warm — the dense view and
+    its CSR edge layout are built once, exactly as in a sweep campaign — and
+    every produced objective value is cross-checked so the timing claim can
+    never drift away from the equivalence claim.
+    """
+    batch_sizes = sorted(int(b) for b in batch_sizes)
+    network = random_network(k_nodes, n_links, seed=seed)
+    from ..generators.network_gen import random_request
+
+    instances = [
+        ProblemInstance(pipeline=random_pipeline(n_modules, seed=seed + 100 + b),
+                        network=network,
+                        request=random_request(network, seed=seed + 200 + b,
+                                               min_hop_distance=2),
+                        name=f"tensor-batch-{b}")
+        for b in range(max(batch_sizes))
+    ]
+    network.dense_view()  # warm the shared view outside the timed region
+    looped_s: List[float] = []
+    tensor_s: List[float] = []
+    mismatches = 0
+    for B in batch_sizes:
+        sub = instances[:B]
+        best_looped = best_tensor = float("inf")
+        for _ in range(max(repetitions, 1)):
+            looped = solve_many(sub, solver=looped_solver, objective=objective)
+            tensor = solve_many(sub, solver=tensor_solver, objective=objective)
+            best_looped = min(best_looped, looped.wall_time_s)
+            best_tensor = min(best_tensor, tensor.wall_time_s)
+            for a, b in zip(looped.values(), tensor.values()):
+                if a != b:
+                    mismatches += 1
+        looped_s.append(best_looped)
+        tensor_s.append(best_tensor)
+    return TensorBatchSpeedupResult(
+        batch_sizes=list(batch_sizes), n_modules=n_modules, k_nodes=k_nodes,
+        n_links=n_links, looped_s=looped_s, tensor_s=tensor_s,
+        looped_solver=looped_solver, tensor_solver=tensor_solver,
+        value_mismatches=mismatches)
 
 
 # --------------------------------------------------------------------------- #

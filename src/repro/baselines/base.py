@@ -1,19 +1,31 @@
 """Shared helpers for the baseline mapping algorithms.
 
-The baselines (Greedy, Streamline, Random, naive reference mappers) all build
-per-module node assignments step by step under the same structural rules as
-ELPC: the first module is pinned to the source, the last to the destination,
-consecutive modules must sit on identical or adjacent nodes, and — for the
-streaming variant — no node may be used twice.  The helpers here implement the
-common feasibility filtering ("can I still reach the destination with the
-modules I have left?") so each baseline only encodes its own selection rule.
+The baselines (Greedy, Streamline, DCP, Random, naive reference mappers) all
+build per-module node assignments step by step under the same structural rules
+as ELPC: the first module is pinned to the source, the last to the
+destination, consecutive modules must sit on identical or adjacent nodes, and
+— for the streaming variant — no node may be used twice.  The helpers here
+implement the common feasibility filtering ("can I still reach the destination
+with the modules I have left?") so each baseline only encodes its own
+selection rule.
+
+Everything runs over the network's cached dense view
+(:meth:`TransportNetwork.dense_view`): hop distances come from one batched
+boolean-matrix BFS instead of a ``networkx`` traversal, neighbour candidates
+come from the view's precomputed neighbour lists, and the per-candidate step
+costs are evaluated as one vector operation per step
+(:func:`incremental_delay_vector_ms` / :func:`step_bottleneck_vector_ms`)
+instead of a Python loop over ``network.link`` lookups.  The vector helpers
+replicate the scalar cost model's floating-point operations element-wise, so
+every baseline returns exactly the mapping it returned before the rewiring —
+only faster.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
-import networkx as nx
+import numpy as np
 
 from ..exceptions import InfeasibleMappingError
 from ..model.cost import computing_time_ms, transport_time_ms
@@ -27,6 +39,8 @@ __all__ = [
     "candidate_nodes_no_reuse",
     "incremental_delay_ms",
     "step_bottleneck_ms",
+    "incremental_delay_vector_ms",
+    "step_bottleneck_vector_ms",
     "normalise",
 ]
 
@@ -34,9 +48,13 @@ __all__ = [
 def hop_distances_to(network: TransportNetwork, destination: NodeId) -> Dict[NodeId, int]:
     """Shortest hop distance from every node to ``destination``.
 
-    Unreachable nodes are absent from the returned dictionary.
+    Unreachable nodes are absent from the returned dictionary.  Computed as a
+    boolean-matrix BFS over the dense view (the network is undirected, so
+    distances *to* the destination equal distances *from* it).
     """
-    return dict(nx.single_source_shortest_path_length(network.graph, destination))
+    view = network.dense_view()
+    levels = view.hop_levels([view.index_of[destination]])[0]
+    return {view.node_ids[i]: int(levels[i]) for i in np.flatnonzero(levels >= 0)}
 
 
 def candidate_nodes_delay(network: TransportNetwork, current: NodeId,
@@ -50,7 +68,8 @@ def candidate_nodes_delay(network: TransportNetwork, current: NodeId,
     can cross at most one link).  When no modules remain after this one, only
     the destination itself qualifies.
     """
-    raw = [current] + network.neighbors(current)
+    view = network.dense_view()
+    raw = (current, *view.neighbor_lists[view.index_of[current]])
     feasible: List[NodeId] = []
     for cand in raw:
         d = dist_to_dest.get(cand)
@@ -73,8 +92,9 @@ def candidate_nodes_no_reuse(network: TransportNetwork, current: NodeId,
     is a necessary — not sufficient — condition; a baseline can still paint
     itself into a corner, in which case it reports infeasibility.
     """
+    view = network.dense_view()
     feasible: List[NodeId] = []
-    for cand in network.neighbors(current):
+    for cand in view.neighbor_lists[view.index_of[current]]:
         if cand in visited:
             continue
         d = dist_to_dest.get(cand)
@@ -96,7 +116,8 @@ def incremental_delay_ms(pipeline: Pipeline, network: TransportNetwork,
 
     The increment is the module's computing time on the candidate plus — when
     the candidate differs from the previous module's node — the transfer time
-    of the module's input message over the connecting link.
+    of the module's input message over the connecting link.  Scalar reference
+    of :func:`incremental_delay_vector_ms`.
     """
     module = pipeline.modules[module_index]
     cost = computing_time_ms(network, candidate, module.complexity, module.input_bytes)
@@ -115,7 +136,8 @@ def step_bottleneck_ms(pipeline: Pipeline, network: TransportNetwork,
 
     The contribution is the larger of the module's computing time on the
     candidate and the transfer time of its input message over the link from
-    the previous module's node (zero when the nodes coincide).
+    the previous module's node (zero when the nodes coincide).  Scalar
+    reference of :func:`step_bottleneck_vector_ms`.
     """
     module = pipeline.modules[module_index]
     compute = computing_time_ms(network, candidate, module.complexity, module.input_bytes)
@@ -125,6 +147,57 @@ def step_bottleneck_ms(pipeline: Pipeline, network: TransportNetwork,
                                  module.input_bytes,
                                  include_link_delay=include_link_delay)
     return max(compute, link)
+
+
+def _step_cost_vectors(pipeline: Pipeline, network: TransportNetwork,
+                       module_index: int, previous_node: NodeId,
+                       candidates: Sequence[NodeId], *,
+                       include_link_delay: bool) -> tuple:
+    """(compute, transport) cost vectors over ``candidates``, dense-view based.
+
+    Element-wise identical to :func:`computing_time_ms` /
+    :func:`transport_time_ms` on each candidate: computing is
+    ``workload / (power · 10³)`` and transport is the previous node's
+    transport row (``(m·8/b)·10³ + d``) with 0 at the previous node itself.
+    """
+    view = network.dense_view()
+    module = pipeline.modules[module_index]
+    idx = np.array([view.index_of[c] for c in candidates], dtype=np.int64)
+    workload = module.complexity * module.input_bytes
+    compute = workload / (view.power[idx] * 1e3)
+    row = view.transport_vector_ms(view.index_of[previous_node],
+                                   module.input_bytes,
+                                   include_link_delay=include_link_delay)
+    transport = np.where(idx == view.index_of[previous_node], 0.0, row[idx])
+    return compute, transport
+
+
+def incremental_delay_vector_ms(pipeline: Pipeline, network: TransportNetwork,
+                                module_index: int, previous_node: NodeId,
+                                candidates: Sequence[NodeId], *,
+                                include_link_delay: bool = True) -> np.ndarray:
+    """Vector of :func:`incremental_delay_ms` over all ``candidates`` at once.
+
+    One dense-view pass instead of per-candidate ``link`` lookups; entries are
+    bit-identical to the scalar helper, so ``candidates[np.argmin(...)]``
+    selects exactly the node ``min(candidates, key=...)`` would (first minimum
+    on ties).
+    """
+    compute, transport = _step_cost_vectors(
+        pipeline, network, module_index, previous_node, candidates,
+        include_link_delay=include_link_delay)
+    return compute + transport
+
+
+def step_bottleneck_vector_ms(pipeline: Pipeline, network: TransportNetwork,
+                              module_index: int, previous_node: NodeId,
+                              candidates: Sequence[NodeId], *,
+                              include_link_delay: bool = True) -> np.ndarray:
+    """Vector of :func:`step_bottleneck_ms` over all ``candidates`` at once."""
+    compute, transport = _step_cost_vectors(
+        pipeline, network, module_index, previous_node, candidates,
+        include_link_delay=include_link_delay)
+    return np.maximum(compute, transport)
 
 
 def normalise(values: Sequence[float]) -> List[float]:

@@ -32,13 +32,19 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+import numpy as np
+
 from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
-from ..model.cost import computing_time_ms, transport_time_ms
 from ..model.network import EndToEndRequest, TransportNetwork
 from ..model.pipeline import Pipeline
 from ..model.validation import check_delay_instance
 from ..types import NodeId
-from .base import candidate_nodes_delay, hop_distances_to, raise_stuck
+from .base import (
+    candidate_nodes_delay,
+    hop_distances_to,
+    incremental_delay_vector_ms,
+    raise_stuck,
+)
 
 __all__ = ["dcp_min_delay"]
 
@@ -54,18 +60,21 @@ def _remaining_critical_path_ms(pipeline: Pipeline, network: TransportNetwork,
     Uses the network's fastest node for computation and its fastest link for
     the transfers that are unavoidable (at least ``hops_to_destination`` of
     them).  Being optimistic keeps the look-ahead admissible: it never
-    penalises a candidate for work that might turn out cheaper.
+    penalises a candidate for work that might turn out cheaper.  The extrema
+    are read off the dense view (a matrix ``max`` matches the maximum over the
+    link list because bandwidths are strictly positive).
     """
-    best_power = max(node.processing_power for node in network.nodes())
-    best_bandwidth = max(link.bandwidth_mbps for link in network.links())
+    view = network.dense_view()
+    best_power = float(view.power.max())
     compute = sum(pipeline.modules[j].workload for j in range(next_module, pipeline.n_modules))
     compute_ms = compute / (best_power * 1e3)
-    transfer_bytes = 0.0
-    if hops_to_destination > 0:
-        # the cheapest messages that could still need to cross links
-        sizes = sorted(pipeline.modules[j - 1].output_bytes
-                       for j in range(next_module, pipeline.n_modules))
-        transfer_bytes = sum(sizes[:hops_to_destination])
+    if hops_to_destination <= 0:
+        return compute_ms
+    best_bandwidth = float(view.bandwidth.max())
+    # the cheapest messages that could still need to cross links
+    sizes = sorted(pipeline.modules[j - 1].output_bytes
+                   for j in range(next_module, pipeline.n_modules))
+    transfer_bytes = sum(sizes[:hops_to_destination])
     transfer_ms = transfer_bytes * 8.0 / (best_bandwidth * 1e3)
     return compute_ms + transfer_ms
 
@@ -101,26 +110,25 @@ def dcp_min_delay(pipeline: Pipeline, network: TransportNetwork,
         if not candidates:
             raise_stuck("dcp (min delay)", j, current, request, pipeline)
 
-        module = pipeline.modules[j]
+        # step[i] = compute + (transport if moving), one dense-view pass.
+        step = incremental_delay_vector_ms(
+            pipeline, network, j, current, candidates,
+            include_link_delay=include_link_delay)
+        # The look-ahead only depends on the candidate's hop distance, which
+        # takes a handful of distinct values; memoise per distance.
+        lookahead_by_hops: Dict[int, float] = {}
 
-        def score(candidate: NodeId) -> float:
-            step = computing_time_ms(network, candidate, module.complexity,
-                                     module.input_bytes)
-            if candidate != current:
-                step += transport_time_ms(network, current, candidate,
-                                          module.input_bytes,
-                                          include_link_delay=include_link_delay)
-            lookahead = _remaining_critical_path_ms(
-                pipeline, network, j + 1,
-                hops_to_destination=dist_to_dest.get(candidate, 0))
-            return elapsed + step + lookahead
+        def lookahead_for(candidate: NodeId) -> float:
+            hops = dist_to_dest.get(candidate, 0)
+            if hops not in lookahead_by_hops:
+                lookahead_by_hops[hops] = _remaining_critical_path_ms(
+                    pipeline, network, j + 1, hops_to_destination=hops)
+            return lookahead_by_hops[hops]
 
-        best = min(candidates, key=score)
-        step_cost = computing_time_ms(network, best, module.complexity, module.input_bytes)
-        if best != current:
-            step_cost += transport_time_ms(network, current, best, module.input_bytes,
-                                           include_link_delay=include_link_delay)
-        elapsed += step_cost
+        score = elapsed + step + np.array([lookahead_for(c) for c in candidates])
+        best_index = int(np.argmin(score))
+        best = candidates[best_index]
+        elapsed += float(step[best_index])
         assignment.append(best)
 
     runtime = time.perf_counter() - start

@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import List, Set
 
+import numpy as np
+
 from ..core.mapping import Objective, PipelineMapping, mapping_from_assignment
 from ..model.network import EndToEndRequest, TransportNetwork
 from ..model.pipeline import Pipeline
@@ -31,9 +33,9 @@ from .base import (
     candidate_nodes_delay,
     candidate_nodes_no_reuse,
     hop_distances_to,
-    incremental_delay_ms,
+    incremental_delay_vector_ms,
     raise_stuck,
-    step_bottleneck_ms,
+    step_bottleneck_vector_ms,
 )
 
 __all__ = ["greedy_min_delay", "greedy_max_frame_rate"]
@@ -68,10 +70,12 @@ def greedy_min_delay(pipeline: Pipeline, network: TransportNetwork,
                                                remaining, dist_to_dest)
         if not candidates:
             raise_stuck("greedy (min delay)", j, current, request, pipeline)
-        best = min(candidates,
-                   key=lambda cand: incremental_delay_ms(
-                       pipeline, network, j, current, cand,
-                       include_link_delay=include_link_delay))
+        # One dense-view vector pass scores every candidate; argmin keeps the
+        # first minimum, the same node min(candidates, key=...) chose before.
+        costs = incremental_delay_vector_ms(
+            pipeline, network, j, current, candidates,
+            include_link_delay=include_link_delay)
+        best = candidates[int(np.argmin(costs))]
         assignment.append(best)
 
     runtime = time.perf_counter() - start
@@ -116,10 +120,10 @@ def greedy_max_frame_rate(pipeline: Pipeline, network: TransportNetwork,
             candidates = [c for c in candidates if c == request.destination]
         if not candidates:
             raise_stuck("greedy (max frame rate)", j, current, request, pipeline)
-        best = min(candidates,
-                   key=lambda cand: step_bottleneck_ms(
-                       pipeline, network, j, current, cand,
-                       include_link_delay=include_link_delay))
+        costs = step_bottleneck_vector_ms(
+            pipeline, network, j, current, candidates,
+            include_link_delay=include_link_delay)
+        best = candidates[int(np.argmin(costs))]
         assignment.append(best)
         visited.add(best)
 

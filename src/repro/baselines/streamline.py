@@ -70,13 +70,21 @@ def stage_needs(pipeline: Pipeline) -> List[float]:
 
 
 def resource_ranks(network: TransportNetwork) -> Dict[NodeId, float]:
-    """Combined (normalised computation + communication) capability of every node."""
-    ids = network.node_ids()
-    power = [network.processing_power(nid) for nid in ids]
-    capacity = [network.node_communication_capacity(nid) for nid in ids]
+    """Combined (normalised computation + communication) capability of every node.
+
+    Read off the dense view in one pass: the power vector directly, and each
+    node's communication capacity as the sum of its bandwidth row over its
+    neighbours (summed left to right, matching the ascending-neighbour
+    iteration of :meth:`TransportNetwork.node_communication_capacity` so the
+    ranks — and therefore every tie-break downstream — are unchanged).
+    """
+    view = network.dense_view()
+    power = [float(p) for p in view.power]
+    capacity = [float(sum(view.bandwidth[i, view.adjacency[i]]))
+                for i in range(view.n_nodes)]
     power_n = normalise(power)
     capacity_n = normalise(capacity)
-    return {nid: p + c for nid, p, c in zip(ids, power_n, capacity_n)}
+    return {nid: p + c for nid, p, c in zip(view.node_ids, power_n, capacity_n)}
 
 
 def _streamline_tentative_assignment(pipeline: Pipeline, network: TransportNetwork,
@@ -101,7 +109,8 @@ def _streamline_tentative_assignment(pipeline: Pipeline, network: TransportNetwo
     # most needy unpinned stage first
     order = sorted(range(1, n - 1), key=lambda j: needs[j], reverse=True)
     # best resources first
-    ranked_nodes = sorted(network.node_ids(), key=lambda nid: ranks[nid], reverse=True)
+    ranked_nodes = sorted(network.dense_view().node_ids,
+                          key=lambda nid: ranks[nid], reverse=True)
 
     for stage in order:
         chosen: Optional[NodeId] = None

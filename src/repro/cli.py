@@ -4,34 +4,53 @@ Three entry points are installed with the package:
 
 * ``repro`` — umbrella command with subcommands: ``repro solve`` (map one
   instance or a batch with any registered algorithm, e.g.
-  ``repro solve --solver elpc-vec --case 3``), ``repro bench`` (regenerate the
-  paper's evaluation artifacts) and ``repro bench-scaling`` (scalar-vs-
-  vectorized runtime scaling table).
+  ``repro solve --solver elpc-tensor --case 3``), ``repro bench`` (regenerate
+  the paper's evaluation artifacts, cross-check the ELPC engines and
+  optionally ``--emit-json`` a machine-readable summary), ``repro
+  bench-scaling`` (scalar-vs-vectorized runtime scaling table) and ``repro
+  bench-batch`` (looped-vs-tensor batched throughput table).
 * ``repro-map`` — legacy alias of ``repro solve``.
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
 All of them are thin wrappers over the library API so everything they do is
-also available programmatically.
+also available programmatically.  ``repro bench`` exits with status 3 when
+the interchangeable ELPC engines (``elpc`` / ``elpc-vec`` / ``elpc-tensor``)
+disagree on any suite case — the same verdict the CI benchmark gate archives
+— so scripted pipelines cannot silently publish numbers from diverging
+solvers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from .analysis.experiments import reproduce_fig2, vectorized_speedup, write_all_outputs
+from .analysis.comparison import check_solver_agreement
+from .analysis.experiments import (
+    reproduce_fig2,
+    tensor_batch_speedup,
+    vectorized_speedup,
+    write_all_outputs,
+)
 from .core.batch import solve_many
 from .core.mapping import Objective
 from .core.registry import available_solvers, get_solver
 from .exceptions import ReproError
-from .generators.cases import make_case, PAPER_CASE_SPECS
+from .generators.cases import make_case, paper_case_suite, PAPER_CASE_SPECS
 from .generators.network_gen import random_network, random_request
 from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
-__all__ = ["main", "main_map", "main_bench", "main_bench_scaling"]
+__all__ = ["main", "main_map", "main_bench", "main_bench_scaling",
+           "main_bench_batch"]
+
+#: Schema tag of the JSON written by ``repro bench --emit-json`` and by
+#: ``benchmarks/check_regression.py`` — one format for both producers so the
+#: CI regression gate can compare any two of their files.
+BENCH_JSON_SCHEMA = "repro-bench/1"
 
 
 def _build_map_parser(prog: str = "repro-map") -> argparse.ArgumentParser:
@@ -153,30 +172,74 @@ def main_map(argv: Optional[Sequence[str]] = None, *,
 def _build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Regenerate the paper's evaluation artifacts (tables and figures).")
+        description="Regenerate the paper's evaluation artifacts (tables and "
+                    "figures), cross-checking the ELPC engines.")
     parser.add_argument("--output", "-o", type=Path, default=Path("experiment_outputs"),
                         help="directory to write tables/curves into")
     parser.add_argument("--max-cases", type=int, default=None,
                         help="restrict the suite to the first N cases (faster)")
     parser.add_argument("--print-table", action="store_true",
                         help="also print the Fig. 2 table to stdout")
+    parser.add_argument("--emit-json", type=Path, default=None, metavar="PATH",
+                        help="write a machine-readable summary (engine "
+                             "agreement + timings) in the repro-bench/1 "
+                             "schema shared with benchmarks/check_regression.py")
+    parser.add_argument("--skip-agreement", action="store_true",
+                        help="skip the elpc / elpc-vec / elpc-tensor "
+                             "cross-check (agreement failures exit 3)")
     return parser
 
 
 def main_bench(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of ``repro-bench``; returns a process exit code."""
+    """Entry point of ``repro-bench``; returns a process exit code.
+
+    Exit codes: 0 on success, 1 on a library error, 3 when the ELPC engines
+    disagreed on at least one suite case (the artifacts and the JSON summary
+    are still written so the disagreement can be inspected).
+    """
     parser = _build_bench_parser()
     args = parser.parse_args(argv)
+    agreement = None
     try:
         if args.print_table:
             fig2 = reproduce_fig2(max_cases=args.max_cases)
             print(fig2.table_text)
         written = write_all_outputs(args.output, max_cases=args.max_cases)
+        if not args.skip_agreement:
+            agreement = check_solver_agreement(
+                paper_case_suite(max_cases=args.max_cases))
     except ReproError as exc:  # pragma: no cover - defensive
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.emit_json is not None:
+        payload = {
+            "schema": BENCH_JSON_SCHEMA,
+            "source": "repro-bench",
+            "metrics": {},
+        }
+        if agreement is not None:
+            payload["agreement"] = agreement.to_dict()
+            payload["metrics"] = {
+                f"bench/solver:{name}": {"mean_s": seconds}
+                for name, seconds in agreement.solver_time_s.items()
+            }
+        args.emit_json.parent.mkdir(parents=True, exist_ok=True)
+        args.emit_json.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                                  + "\n", encoding="utf-8")
+        print(f"{'bench-json':>16}: {args.emit_json}")
     for name, path in sorted(written.items()):
         print(f"{name:>16}: {path}")
+    if agreement is not None:
+        if agreement.ok:
+            print(f"engine agreement: {', '.join(agreement.solvers)} agree on "
+                  f"{agreement.n_cases} cases x "
+                  f"{len(agreement.objectives)} objectives")
+        else:
+            print("error: ELPC engines disagree on "
+                  f"{len(agreement.disagreements)} result(s):", file=sys.stderr)
+            for disagreement in agreement.disagreements:
+                print(f"  {disagreement.describe()}", file=sys.stderr)
+            return 3
     return 0
 
 
@@ -234,11 +297,61 @@ def main_bench_scaling(argv: Optional[Sequence[str]] = None, *,
     return 0
 
 
+def _build_bench_batch_parser(prog: str = "repro bench-batch"
+                              ) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Compare looped elpc-vec vs the elpc-tensor batch engine "
+                    "for many pipelines over one shared network.")
+    parser.add_argument("--batch-sizes", type=str, default="8,32,64",
+                        help="comma-separated batch sizes (default: 8,32,64)")
+    parser.add_argument("--modules", type=int, default=40,
+                        help="pipeline length of every batched instance")
+    parser.add_argument("--nodes", type=int, default=48,
+                        help="shared network size")
+    parser.add_argument("--links", type=int, default=96,
+                        help="shared network link count")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="seed of the shared network and the instances")
+    parser.add_argument("--repetitions", "-r", type=int, default=1,
+                        help="measure best-of-N passes per engine")
+    return parser
+
+
+def main_bench_batch(argv: Optional[Sequence[str]] = None, *,
+                     prog: str = "repro bench-batch") -> int:
+    """Entry point of ``repro bench-batch``; returns a process exit code."""
+    parser = _build_bench_batch_parser(prog)
+    args = parser.parse_args(argv)
+    try:
+        sizes = [int(chunk) for chunk in args.batch_sizes.split(",") if chunk.strip()]
+        if not sizes or any(size < 1 for size in sizes):
+            raise ReproError(f"bad --batch-sizes {args.batch_sizes!r}; expected "
+                             "positive integers")
+        result = tensor_batch_speedup(
+            batch_sizes=sizes, n_modules=args.modules, k_nodes=args.nodes,
+            n_links=args.links, seed=args.seed, repetitions=args.repetitions)
+    except ValueError:
+        print(f"error: bad --batch-sizes {args.batch_sizes!r}; values must be "
+              "integers", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.table_text())
+    if result.value_mismatches:
+        print(f"error: looped and tensor engines disagreed on "
+              f"{result.value_mismatches} solve(s)", file=sys.stderr)
+        return 3
+    return 0
+
+
 _SUBCOMMANDS = {
     "solve": "map a pipeline onto a network (alias: map)",
     "map": "alias of solve",
-    "bench": "regenerate the paper's evaluation artifacts",
+    "bench": "regenerate the paper's evaluation artifacts (+engine agreement)",
     "bench-scaling": "scalar vs vectorized runtime scaling table",
+    "bench-batch": "looped vs tensor batched-throughput table",
 }
 
 
@@ -258,6 +371,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return main_bench(rest)
     if command == "bench-scaling":
         return main_bench_scaling(rest)
+    if command == "bench-batch":
+        return main_bench_batch(rest)
     print(f"error: unknown command {command!r}; "
           f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
     return 2

@@ -7,8 +7,13 @@
 * :mod:`repro.core.vectorized` — dense NumPy engines for both DPs
   (:func:`elpc_min_delay_vec` / :func:`elpc_max_frame_rate_vec`, registered as
   ``"elpc-vec"``), differentially tested against the scalar references.
+* :mod:`repro.core.tensor` — the batched engines
+  (:func:`elpc_min_delay_many` / :func:`elpc_max_frame_rate_many`, registered
+  as ``"elpc-tensor"``) that advance many pipelines' DPs over one network in
+  stacked array passes, bit-identical to the scalar and vectorized solvers.
 * :mod:`repro.core.batch` — :func:`solve_many`, the batch API behind the
-  experiment sweeps and the CLI.
+  experiment sweeps and the CLI; same-network groups of an ``"elpc-tensor"``
+  batch run through the tensor engine in one call per group.
 * :mod:`repro.core.exact` — exponential optimality oracles used by the tests
   and the ablation benchmarks.
 * :mod:`repro.core.reduction` — the Hamiltonian-Path → ENSP reduction behind
@@ -43,12 +48,20 @@ from .reduction import (
 )
 from .batch import BatchItemResult, BatchRunResult, solve_many
 from .registry import available_solvers, get_solver, register_solver, solve
+from .tensor import (
+    elpc_max_frame_rate_many,
+    elpc_max_frame_rate_tensor,
+    elpc_min_delay_many,
+    elpc_min_delay_tensor,
+)
 from .vectorized import elpc_max_frame_rate_vec, elpc_min_delay_vec
 
 __all__ = [
     "DPCell", "DPTable",
     "elpc_min_delay", "elpc_max_frame_rate",
     "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
+    "elpc_min_delay_many", "elpc_max_frame_rate_many",
+    "elpc_min_delay_tensor", "elpc_max_frame_rate_tensor",
     "BatchItemResult", "BatchRunResult", "solve_many",
     "exhaustive_min_delay", "exhaustive_max_frame_rate", "enumerate_exact_hop_paths",
     "Objective", "PipelineMapping", "mapping_from_assignment",

@@ -12,6 +12,17 @@ Infeasible instances are recorded per item instead of aborting the batch, the
 same policy the comparison harness has always used: one pathological case must
 not kill a whole campaign.
 
+Tensor dispatch
+---------------
+When the batch is solved with ``solver="elpc-tensor"`` (and no process pool),
+:func:`solve_many` groups consecutive-by-network instances and hands each
+group of instances sharing one :class:`TransportNetwork` *object* to the
+batched tensor engine (:mod:`repro.core.tensor`) in a single call, which
+advances all of the group's DP columns together.  Heterogeneous batches —
+every instance on its own network — degenerate to per-instance solves through
+the same code path, so results are always identical to a per-item loop; only
+the throughput changes.
+
 Multiprocessing notes
 ---------------------
 With ``workers > 1`` every instance is pickled to a worker process, so the
@@ -38,6 +49,10 @@ from .mapping import Objective, PipelineMapping
 from .registry import get_solver
 
 __all__ = ["BatchItemResult", "BatchRunResult", "solve_many"]
+
+#: Solver names whose batches are grouped by network and dispatched through
+#: the tensor engine (one batched call per group) instead of per-item solves.
+TENSOR_SOLVERS = frozenset({"elpc-tensor"})
 
 #: Anything solve_many accepts as one problem instance.
 InstanceLike = Union[ProblemInstance,
@@ -155,6 +170,53 @@ def _solve_one(payload: Tuple[int, ProblemInstance,
                                error=str(exc), runtime_s=time.perf_counter() - start)
 
 
+def _solve_tensor_groups(instances: List[ProblemInstance], objective: Objective,
+                         solver_kwargs: dict) -> List[BatchItemResult]:
+    """Solve a batch through the tensor engine, one call per same-network group.
+
+    Instances are grouped by the *identity* of their network object (the
+    tensor engine stacks DP columns over one shared dense view); groups keep
+    their first-seen order and results are re-scattered into input order.  A
+    group of one degenerates to a single-instance tensor solve, which is how
+    heterogeneous batches fall back to per-solve behaviour.
+    """
+    from .tensor import elpc_max_frame_rate_many, elpc_min_delay_many
+
+    many = (elpc_min_delay_many if objective is Objective.MIN_DELAY
+            else elpc_max_frame_rate_many)
+    groups: dict = {}
+    for index, instance in enumerate(instances):
+        groups.setdefault(id(instance.network), []).append(index)
+    items: List[Optional[BatchItemResult]] = [None] * len(instances)
+    for indices in groups.values():
+        network = instances[indices[0]].network
+        pipelines = [instances[i].pipeline for i in indices]
+        requests = [instances[i].request for i in indices]
+        start = time.perf_counter()
+        try:
+            entries = many(pipelines, network, requests, **solver_kwargs)
+        except ReproError as exc:
+            # A group-wide failure (e.g. an empty network) is recorded per
+            # item, the same policy _solve_one applies to per-instance errors.
+            per_item = (time.perf_counter() - start) / len(indices)
+            for i in indices:
+                items[i] = BatchItemResult(
+                    index=i, name=instances[i].name, mapping=None,
+                    error=str(exc), runtime_s=per_item)
+            continue
+        per_item = (time.perf_counter() - start) / len(indices)
+        for i, entry in zip(indices, entries):
+            if isinstance(entry, PipelineMapping):
+                items[i] = BatchItemResult(
+                    index=i, name=instances[i].name, mapping=entry,
+                    error=None, runtime_s=per_item)
+            else:
+                items[i] = BatchItemResult(
+                    index=i, name=instances[i].name, mapping=None,
+                    error=str(entry), runtime_s=per_item)
+    return items  # type: ignore[return-value]
+
+
 def solve_many(instances: Iterable[InstanceLike], *,
                solver: Union[str, Callable[..., PipelineMapping]] = "elpc-vec",
                objective: Objective = Objective.MIN_DELAY,
@@ -168,8 +230,11 @@ def solve_many(instances: Iterable[InstanceLike], *,
         :class:`ProblemInstance` objects or ``(pipeline, network, request)``
         triples.
     solver:
-        Registry name (``"elpc"``, ``"elpc-vec"``, ``"greedy"``, ...) or a
-        solver callable.  Multiprocessing requires a registry name.
+        Registry name (``"elpc"``, ``"elpc-vec"``, ``"elpc-tensor"``,
+        ``"greedy"``, ...) or a solver callable.  Multiprocessing requires a
+        registry name.  ``"elpc-tensor"`` batches are grouped by network and
+        each group is solved by one call of the tensor engine (see the module
+        notes); every other solver is looped per instance.
     objective:
         Which objective's solver to look up and which value
         :meth:`BatchRunResult.values` reports.
@@ -209,6 +274,10 @@ def solve_many(instances: Iterable[InstanceLike], *,
 
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             items = list(pool.map(_solve_one, payloads))
+    elif (isinstance(solver, str) and solver.lower() in TENSOR_SOLVERS
+          and normalized):
+        n_workers = 1
+        items = _solve_tensor_groups(normalized, objective, dict(solver_kwargs))
     else:
         n_workers = 1
         items = [_solve_one(p) for p in payloads]

@@ -69,6 +69,7 @@ def _load_builtins() -> None:
     from .elpc_delay import elpc_min_delay
     from .elpc_framerate import elpc_max_frame_rate
     from .exact import exhaustive_max_frame_rate, exhaustive_min_delay
+    from .tensor import elpc_max_frame_rate_tensor, elpc_min_delay_tensor
     from .vectorized import elpc_max_frame_rate_vec, elpc_min_delay_vec
 
     pairs = [
@@ -76,6 +77,8 @@ def _load_builtins() -> None:
         ("elpc", Objective.MAX_FRAME_RATE, elpc_max_frame_rate),
         ("elpc-vec", Objective.MIN_DELAY, elpc_min_delay_vec),
         ("elpc-vec", Objective.MAX_FRAME_RATE, elpc_max_frame_rate_vec),
+        ("elpc-tensor", Objective.MIN_DELAY, elpc_min_delay_tensor),
+        ("elpc-tensor", Objective.MAX_FRAME_RATE, elpc_max_frame_rate_tensor),
         ("elpc-reuse", Objective.MAX_FRAME_RATE, elpc_max_frame_rate_with_reuse),
         ("streamline", Objective.MIN_DELAY, streamline_min_delay),
         ("streamline", Objective.MAX_FRAME_RATE, streamline_max_frame_rate),

@@ -1,0 +1,563 @@
+"""Tensor batch engine: the ELPC dynamic programs for *many* pipelines over
+one shared network, solved in a single pass of stacked array operations.
+
+The paper's experiment campaigns (delay / frame-rate curves versus pipeline
+length and network size, the Fig. 5 / Fig. 6 sweeps) repeatedly solve many
+pipelines against one topology.  After PR 1 each of those solves still ran its
+DP column-by-column per pipeline through :mod:`repro.core.vectorized`.  The
+functions here stack the DP columns of ``B`` pipelines sharing one
+:meth:`TransportNetwork.dense_view` into ``(B, k)`` state arrays and advance
+every pipeline's DP one module stage at a time:
+
+* :func:`elpc_min_delay_many` — exact batched min-delay recurrence,
+* :func:`elpc_max_frame_rate_many` — the batched min-max frame-rate heuristic
+  with the per-pipeline visited-path guard kept as a ``(B, k, k)`` mask.
+
+Conceptually each stage is the ``(B, k, k)`` candidate tensor
+``cand[b, u, v] = T_b^{j-1}(u) ⊕ cost_b(u, v)`` reduced over ``u``.
+Materialising that tensor, however, is memory-bound and only ~2× faster than
+the loop; the implementation instead evaluates the candidates on the view's
+CSR edge layout (:attr:`DenseNetworkView.edge_u` et al.) — :math:`O(B |E|)`
+entries per stage, reduced per destination node with
+``np.minimum.reduceat`` — which is what delivers the ≥5× batched-throughput
+win asserted in ``benchmarks/test_bench_tensor_batch.py``.  The best
+predecessor (lowest node index on ties, exactly like ``np.argmin`` in the
+vectorized engine) is recovered by a second segment reduction over the edge
+source indices of the entries equal to the segment minimum.
+
+Every floating-point operation is performed element-wise in the same order as
+the scalar and vectorized solvers (``(T_prev + compute) + trans`` for the
+delay DP, ``max(max(T_prev, compute), trans)`` for the frame-rate DP, with
+the transport term ``(m · 8 / b) · 10³ + d``), so the produced values, DP
+tables and backtracked assignments are **bit-identical** to both — the
+differential suite in ``tests/test_tensor_equivalence.py`` extends the PR-1
+harness verbatim.
+
+Batch semantics: infeasible items do not abort the batch.  The ``*_many``
+functions return one entry per input — a :class:`PipelineMapping` or the
+:class:`InfeasibleMappingError` that a scalar solve of the same instance
+would have raised — and :func:`repro.core.batch.solve_many` dispatches
+same-network groups of a batch through this path when the ``"elpc-tensor"``
+solver is requested.  The single-instance wrappers
+:func:`elpc_min_delay_tensor` / :func:`elpc_max_frame_rate_tensor` (what the
+registry serves under ``"elpc-tensor"``) run a batch of one and raise the
+error entry, giving the uniform solver signature.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InfeasibleMappingError, ReproError
+from ..model.link import BITS_PER_BYTE
+from ..model.network import DenseNetworkView, EndToEndRequest, TransportNetwork
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance, check_framerate_instance
+from .mapping import Objective, PipelineMapping, mapping_from_assignment
+from .vectorized import _as_dp_table, _backtrack
+
+__all__ = [
+    "elpc_min_delay_many",
+    "elpc_max_frame_rate_many",
+    "elpc_min_delay_tensor",
+    "elpc_max_frame_rate_tensor",
+]
+
+#: One entry of a batched solve: the mapping, or the error a scalar solve of
+#: the same instance would have raised (infeasibility, or a specification
+#: error such as an unknown endpoint node).
+BatchEntry = Union[PipelineMapping, ReproError]
+
+
+def _broadcast_requests(requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
+                        count: int) -> List[EndToEndRequest]:
+    if isinstance(requests, EndToEndRequest):
+        return [requests] * count
+    requests = list(requests)
+    if len(requests) != count:
+        from ..exceptions import SpecificationError
+
+        raise SpecificationError(
+            f"{count} pipelines but {len(requests)} requests; pass one request "
+            "per pipeline or a single shared request")
+    return requests
+
+
+def _batched_feasibility(pipelines: Sequence[Pipeline],
+                         network: TransportNetwork,
+                         requests: Sequence[EndToEndRequest],
+                         results: List[Optional[BatchEntry]],
+                         *, framerate: bool) -> List[int]:
+    """Run the per-instance feasibility checks with one batched BFS.
+
+    Fills ``results`` with per-item error entries for the failing items —
+    :class:`InfeasibleMappingError` for infeasible instances,
+    :class:`~repro.exceptions.SpecificationError` for malformed ones (unknown
+    endpoint nodes) — and returns the indices of the surviving ones: one
+    pathological item must not abort the batch, the same policy as the looped
+    ``solve_many`` path.  The verdicts and messages are produced by the same
+    :func:`check_delay_instance` / :func:`check_framerate_instance` functions
+    the scalar solvers call — only the hop distances are precomputed, one BFS
+    level per array pass for all distinct sources at once (items with unknown
+    endpoints fall back to the checks' own lookups, which raise the scalar
+    solvers' exact errors).
+    """
+    view = network.dense_view()
+    sources = sorted({r.source for r in requests
+                      if r.source in view.index_of
+                      and r.destination in view.index_of})
+    levels = view.hop_levels([view.index_of[s] for s in sources])
+    level_of = {s: levels[i] for i, s in enumerate(sources)}
+    check = check_framerate_instance if framerate else check_delay_instance
+    alive: List[int] = []
+    for i, (pipeline, request) in enumerate(zip(pipelines, requests)):
+        hop_row = level_of.get(request.source)
+        hops = None
+        if hop_row is not None and request.destination in view.index_of:
+            hops = int(hop_row[view.index_of[request.destination]])
+        try:
+            check(pipeline, network, request, hops=hops).raise_if_infeasible(
+                source=request.source, destination=request.destination)
+        except ReproError as exc:
+            results[i] = exc
+        else:
+            alive.append(i)
+    return alive
+
+
+def _stage_arrays(pipelines: Sequence[Pipeline], alive: Sequence[int],
+                  n_max: int) -> tuple:
+    """(n_max, A) workload and message-size arrays, zero-padded past each end."""
+    A = len(alive)
+    workload = np.zeros((n_max, A))
+    message = np.zeros((n_max, A))
+    for a, i in enumerate(alive):
+        for j, module in enumerate(pipelines[i].modules):
+            workload[j, a] = module.complexity * module.input_bytes
+            message[j, a] = module.input_bytes
+    return workload, message
+
+
+def _segment_min(values: np.ndarray, view: DenseNetworkView,
+                 nonempty_starts: np.ndarray, nonempty_nodes: np.ndarray,
+                 k: int) -> tuple:
+    """Per-destination-node minimum and lowest-u argmin over edge values.
+
+    ``values`` is ``(A, 2|E|)`` of candidate costs in CSR order; returns
+    ``(best, best_u)`` of shape ``(A, k)`` where ``best`` is ``inf`` (and
+    ``best_u`` is 0, matching ``np.argmin`` over an all-``inf`` column) for
+    nodes with no incoming edge or no finite candidate.
+    """
+    A = values.shape[0]
+    best = np.full((A, k), np.inf)
+    best[:, nonempty_nodes] = np.minimum.reduceat(values, nonempty_starts, axis=1)
+    # Lowest edge-source index attaining the minimum: replace non-minimal
+    # entries by the sentinel k and take the segment minimum of the indices.
+    is_min = values == np.take(best, view.edge_v, axis=1)
+    u_or_k = np.where(is_min, view.edge_u[None, :], k)
+    best_u = np.zeros((A, k), dtype=np.int64)
+    best_u[:, nonempty_nodes] = np.minimum.reduceat(u_or_k, nonempty_starts, axis=1)
+    # All-inf segments compare inf == inf and pick the lowest edge u; the
+    # vectorized engine's argmin over a full all-inf column yields 0 instead.
+    # The value is inf either way, so the index never reaches a mapping, but
+    # normalise for bit-identical predecessor arrays.
+    best_u[~np.isfinite(best)] = 0
+    return best, best_u
+
+
+def _edge_transport_ms(view: DenseNetworkView, message_bytes: np.ndarray, *,
+                       include_link_delay: bool) -> np.ndarray:
+    """``(A, 2|E|)`` per-directed-edge transport times for per-item messages.
+
+    Mirrors :meth:`DenseNetworkView.transport_matrix_ms` (and therefore
+    :func:`repro.model.link.transfer_time_ms`) element-wise: the gathered
+    edge entries go through exactly the operations the dense matrix entries
+    would, so the values are bit-identical.
+    """
+    seconds = (message_bytes[:, None] * BITS_PER_BYTE
+               / view.edge_bandwidth_bits_per_s[None, :])
+    times = seconds * 1e3
+    if include_link_delay:
+        times = times + view.edge_link_delay[None, :]
+    return times
+
+
+def elpc_min_delay_many(pipelines: Sequence[Pipeline],
+                        network: TransportNetwork,
+                        requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
+                        *, include_link_delay: bool = True,
+                        keep_table: bool = False) -> List[BatchEntry]:
+    """Batched exact minimum-delay mappings of many pipelines over one network.
+
+    Solves the same problem as ``B`` calls of
+    :func:`repro.core.vectorized.elpc_min_delay_vec` — same optima, same
+    feasibility verdicts, same tie-breaking, bit-identical DP tables — but
+    advances all ``B`` dynamic programs together, one module stage per pass of
+    CSR edge-array operations.  Pipelines of different lengths are supported;
+    an item stops participating once its last column is filled.
+
+    Parameters
+    ----------
+    pipelines:
+        The pipelines to map.
+    network:
+        The shared transport network.
+    requests:
+        One :class:`EndToEndRequest` per pipeline, or a single request shared
+        by all of them.
+    include_link_delay, keep_table:
+        As in the scalar and vectorized solvers; ``keep_table`` attaches each
+        item's :class:`~repro.core.dp_table.DPTable` under
+        ``mapping.extras["dp_table"]``.
+
+    Returns
+    -------
+    list
+        One entry per pipeline, in input order: the
+        :class:`~repro.core.mapping.PipelineMapping`, or the
+        :class:`~repro.exceptions.ReproError` a scalar solve of that instance
+        would have raised (:class:`InfeasibleMappingError` for infeasible
+        items, ``SpecificationError`` for malformed ones such as unknown
+        endpoint nodes).  Nothing is raised per item — one pathological
+        instance must not abort the batch.
+    """
+    start = time.perf_counter()
+    pipelines = list(pipelines)
+    B = len(pipelines)
+    requests = _broadcast_requests(requests, B)
+    results: List[Optional[BatchEntry]] = [None] * B
+    if B == 0:
+        return []
+    alive = _batched_feasibility(pipelines, network, requests, results,
+                                 framerate=False)
+    if not alive:
+        return results  # type: ignore[return-value]
+
+    view = network.dense_view()
+    k = view.n_nodes
+    A = len(alive)
+    n_arr = np.array([pipelines[i].n_modules for i in alive])
+    n_max = int(n_arr.max())
+    src = np.array([view.index_of[requests[i].source] for i in alive])
+    dst = np.array([view.index_of[requests[i].destination] for i in alive])
+    workload, message = _stage_arrays(pipelines, alive, n_max)
+    power_ms = view.power * 1e3
+    rows = np.arange(k)
+
+    values = np.full((A, n_max, k), np.inf)
+    pred = np.full((A, n_max, k), -1, dtype=np.int64)
+    same = np.zeros((A, n_max, k), dtype=bool)
+    values[np.arange(A), 0, src] = 0.0
+
+    # Scratch buffers reused across stages: one stage is ~12 array passes over
+    # (A, 2|E|) / (A, k) operands, so recycling the storage (and taking the
+    # slice fast path while every pipeline is still running) removes a third
+    # of the batched DP's wall time without touching any arithmetic.
+    #
+    # The per-node minimum runs over a padded dense layout instead of CSR
+    # segment reductions: edge costs scatter into an (A, k, max_deg) tensor
+    # (inf-padded, slots ordered by ascending u inside each node), whose
+    # contiguous min/argmin over the last axis is both faster than
+    # np.minimum.reduceat on small segments and preserves the lowest-u
+    # tie-break (np.argmin keeps the first minimal slot).
+    E2 = view.n_directed_edges
+    counts = np.diff(view.edge_indptr)
+    max_deg = int(counts.max()) if E2 else 0
+    slot_within = np.arange(E2) - np.repeat(view.edge_indptr[:-1], counts)
+    flat_slot = view.edge_v * max_deg + slot_within
+    slot_to_u_flat = np.zeros(k * max(max_deg, 1), dtype=np.intp)
+    slot_to_u_flat[flat_slot] = view.edge_u
+    row_base = (rows * max_deg).astype(np.intp)
+    buf_cost = np.empty((A, E2))
+    buf_gather = np.empty((A, E2))
+    # Padding slots are written once and never touched again: every stage's
+    # scatter overwrites exactly the real-edge slots, so the inf padding (and
+    # therefore the min/argmin semantics) persists across stages for free.
+    buf_pad = np.full((A, k * max(max_deg, 1)), np.inf)
+    buf_compute = np.empty((A, k))
+    buf_best = np.empty((A, k))
+    buf_arg = np.empty((A, k), dtype=np.intp)
+    buf_best_u = np.empty((A, k), dtype=np.intp)
+    buf_take_cross = np.empty((A, k), dtype=bool)
+    edge_u_i = view.edge_u
+    edge_v_i = view.edge_v
+    bw_bits_e = view.edge_bandwidth_bits_per_s
+    delay_e = view.edge_link_delay
+    n_min = int(n_arr.min())
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(1, n_max):
+            if j < n_min:  # every pipeline still running: pure slice paths
+                act = None
+                A_j = A
+                prev = values[:, j - 1]
+                stage_workload = workload[j]
+                stage_message = message[j]
+            else:
+                act = np.flatnonzero(n_arr > j)
+                A_j = act.size
+                if A_j == 0:
+                    break
+                prev = values[act, j - 1]
+                stage_workload = workload[j][act]
+                stage_message = message[j][act]
+            cost = buf_cost[:A_j]
+            gather = buf_gather[:A_j]
+            pad = buf_pad[:A_j]
+            compute = buf_compute[:A_j]
+            cross_best = buf_best[:A_j]
+            arg = buf_arg[:A_j]
+            best_u = buf_best_u[:A_j]
+            take_cross = buf_take_cross[:A_j]
+            np.divide(stage_workload[:, None], power_ms[None, :], out=compute)
+            # Transport term (m·8/b)·10³ + d on the directed-edge list, the
+            # exact operation chain of transport_matrix_ms / transfer_time_ms.
+            msg8 = stage_message * BITS_PER_BYTE
+            np.divide(msg8[:, None], bw_bits_e[None, :], out=cost)
+            np.multiply(cost, 1e3, out=cost)
+            if include_link_delay:
+                np.add(cost, delay_e[None, :], out=cost)
+            # Sub-case (ii) on edges: (T_prev(u) + compute(v)) + trans(u, v),
+            # summed in the scalar solver's order so values match bit for bit.
+            prev.take(edge_u_i, axis=1, out=gather)
+            np.add(gather, compute.take(edge_v_i, axis=1), out=gather)
+            np.add(gather, cost, out=cost)
+            if max_deg:
+                pad[:, flat_slot] = cost
+                pad3 = pad.reshape(A_j, k, max_deg)
+                # Slots are ordered by ascending u inside each node, so the
+                # first minimal slot is the lowest predecessor index —
+                # np.argmin's tie-break in the vectorized engine.  The minimum
+                # itself is gathered back from the winning slot (cheaper than
+                # a second 9-element-axis reduction).
+                np.argmin(pad3, axis=2, out=arg)
+                np.add(arg, row_base[None, :], out=arg)
+                slot_to_u_flat.take(arg, out=best_u)
+                cross_best = np.take_along_axis(pad, arg, axis=1)
+            else:  # edgeless network: only same-node transitions exist
+                cross_best.fill(np.inf)
+                best_u.fill(0)
+            # Sub-case (i): stay on the node running module j-1.  Strict "<"
+            # mirrors DPTable.relax, so ties keep the same-node transition.
+            # The column is written in place: same-node result first, then the
+            # cross-link result where it strictly won (the selection
+            # np.where(take_cross, cross_best, same_cand) would make).
+            col = values[:, j] if act is None else np.empty((A_j, k))
+            np.add(prev, compute, out=col)
+            np.less(cross_best, col, out=take_cross)
+            np.copyto(col, cross_best, where=take_cross)
+            pcol = pred[:, j] if act is None else np.empty((A_j, k),
+                                                           dtype=np.int64)
+            pcol[:] = rows[None, :]
+            np.copyto(pcol, best_u, where=take_cross)
+            scol = same[:, j] if act is None else np.empty((A_j, k),
+                                                           dtype=bool)
+            np.invert(take_cross, out=scol)
+            if act is not None:
+                values[act, j] = col
+                pred[act, j] = pcol
+                same[act, j] = scol
+
+    # Unreachable cells (inf value) carry pred = -1 / same = False in the
+    # scalar and vectorized tables; normalising once after the sweep replaces
+    # an isfinite pass per stage.  Cells beyond an item's own length are
+    # untouched inf/-1/False padding, so the same mask covers them too.
+    reachable = np.isfinite(values)
+    pred[~reachable] = -1
+    same[~reachable] = False
+    finite_cells = reachable.sum(axis=(1, 2))
+
+    dp_elapsed = time.perf_counter() - start
+    per_item_runtime = dp_elapsed / A
+    for a, i in enumerate(alive):
+        n = int(n_arr[a])
+        best = float(values[a, n - 1, dst[a]])
+        if not np.isfinite(best):
+            results[i] = InfeasibleMappingError(
+                "ELPC-tensor (min delay) found no feasible mapping reaching "
+                "the destination",
+                source=requests[i].source, destination=requests[i].destination,
+                n_modules=n)
+            continue
+        assignment = _backtrack(view, pred[a, :n], int(dst[a]))
+        mapping = mapping_from_assignment(
+            pipelines[i], network, assignment,
+            objective=Objective.MIN_DELAY, algorithm="elpc-tensor",
+            runtime_s=per_item_runtime, allow_reuse=True)
+        extras = {
+            "dp_value_ms": best,
+            "dp_finite_cells": int(finite_cells[a]),
+            "include_link_delay": include_link_delay,
+            "vectorized": True,
+            "tensor_batch": B,
+        }
+        if keep_table:
+            extras["dp_table"] = _as_dp_table(view, values[a, :n], pred[a, :n],
+                                              same[a, :n])
+        mapping.extras.update(extras)
+        results[i] = mapping
+    return results  # type: ignore[return-value]
+
+
+def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
+                             network: TransportNetwork,
+                             requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
+                             *, include_link_delay: bool = True,
+                             keep_table: bool = False) -> List[BatchEntry]:
+    """Batched maximum-frame-rate heuristic for many pipelines over one network.
+
+    The batched counterpart of
+    :func:`repro.core.vectorized.elpc_max_frame_rate_vec`: the min-max column
+    update runs on the CSR edge layout, the per-pipeline visited-path guard is
+    a ``(B, k, k)`` boolean tensor gathered along each stage's chosen
+    predecessors, and the destination-as-intermediate exclusion is applied per
+    item (pipelines of different lengths reach their last column at different
+    stages).  Values, feasibility outcomes and backtracked assignments are
+    bit-identical to the scalar and vectorized heuristics.
+
+    See :func:`elpc_min_delay_many` for parameters and batch semantics.
+    """
+    start = time.perf_counter()
+    pipelines = list(pipelines)
+    B = len(pipelines)
+    requests = _broadcast_requests(requests, B)
+    results: List[Optional[BatchEntry]] = [None] * B
+    if B == 0:
+        return []
+    alive = _batched_feasibility(pipelines, network, requests, results,
+                                 framerate=True)
+    if not alive:
+        return results  # type: ignore[return-value]
+
+    view = network.dense_view()
+    k = view.n_nodes
+    A = len(alive)
+    n_arr = np.array([pipelines[i].n_modules for i in alive])
+    n_max = int(n_arr.max())
+    src = np.array([view.index_of[requests[i].source] for i in alive])
+    dst = np.array([view.index_of[requests[i].destination] for i in alive])
+    workload, message = _stage_arrays(pipelines, alive, n_max)
+    power_ms = view.power * 1e3
+    rows = np.arange(k)
+    counts = np.diff(view.edge_indptr)
+    nonempty_nodes = np.flatnonzero(counts > 0)
+    nonempty_starts = view.edge_indptr[:-1][nonempty_nodes]
+    arange_A = np.arange(A)
+
+    values = np.full((A, n_max, k), np.inf)
+    pred = np.full((A, n_max, k), -1, dtype=np.int64)
+    values[arange_A, 0, src] = 0.0
+    # visited[a, u, w]: node w lies on the partial path realising T^{j-1}(u).
+    visited = np.zeros((A, k, k), dtype=bool)
+    visited[arange_A, src, src] = True
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(1, n_max):
+            act = np.flatnonzero(n_arr > j)
+            if act.size == 0:
+                break
+            compute = workload[j][act, None] / power_ms[None, :]
+            trans_e = _edge_transport_ms(view, message[j][act],
+                                         include_link_delay=include_link_delay)
+            prev = values[act, j - 1]
+            # Min-max update on edges: max(T_prev(u), compute(v), trans(u, v)),
+            # nested exactly like the vectorized engine's np.maximum calls.
+            cand_e = np.maximum(
+                np.maximum(np.take(prev, view.edge_u, axis=1),
+                           np.take(compute, view.edge_v, axis=1)), trans_e)
+            # Visited-path guard: u -> v is forbidden when v already lies on
+            # u's partial path (node reuse is not allowed in this variant).
+            cand_e[visited[act][:, view.edge_u, view.edge_v]] = np.inf
+            # Intermediate modules never sit on the destination; pipelines of
+            # different lengths hit their last stage at different j.
+            last = n_arr[act] - 1 == j
+            notlast = ~last
+            if notlast.any():
+                mask = notlast[:, None] & (view.edge_v[None, :]
+                                           == dst[act][:, None])
+                cand_e[mask] = np.inf
+            col, best_u = _segment_min(cand_e, view, nonempty_starts,
+                                       nonempty_nodes, k)
+            if last.any():
+                # Only the destination cell of an item's last column matters.
+                li = np.flatnonzero(last)
+                dst_vals = col[li, dst[act][li]]
+                col[li] = np.inf
+                col[li, dst[act][li]] = dst_vals
+            values[act, j] = col
+            reachable = np.isfinite(col)
+            pcol = np.full((act.size, k), -1, dtype=np.int64)
+            pcol[reachable] = best_u[reachable]
+            pred[act, j] = pcol
+            new_visited = np.take_along_axis(visited[act], best_u[:, :, None],
+                                             axis=1)
+            new_visited[:, rows, rows] = True
+            visited[act] = new_visited
+
+    dp_elapsed = time.perf_counter() - start
+    per_item_runtime = dp_elapsed / A
+    for a, i in enumerate(alive):
+        n = int(n_arr[a])
+        best = float(values[a, n - 1, dst[a]])
+        if not np.isfinite(best):
+            results[i] = InfeasibleMappingError(
+                "ELPC-tensor (max frame rate) found no simple path with "
+                f"exactly {n} nodes from {requests[i].source} to "
+                f"{requests[i].destination}",
+                source=requests[i].source, destination=requests[i].destination,
+                n_modules=n)
+            continue
+        assignment = _backtrack(view, pred[a, :n], int(dst[a]))
+        mapping = mapping_from_assignment(
+            pipelines[i], network, assignment,
+            objective=Objective.MAX_FRAME_RATE, algorithm="elpc-tensor",
+            runtime_s=per_item_runtime, allow_reuse=False)
+        extras = {
+            "dp_bottleneck_ms": best,
+            "dp_finite_cells": int(np.isfinite(values[a, :n]).sum()),
+            "include_link_delay": include_link_delay,
+            "vectorized": True,
+            "tensor_batch": B,
+        }
+        if keep_table:
+            extras["dp_table"] = _as_dp_table(
+                view, values[a, :n], pred[a, :n],
+                np.zeros((n, k), dtype=bool))
+        mapping.extras.update(extras)
+        results[i] = mapping
+    return results  # type: ignore[return-value]
+
+
+def elpc_min_delay_tensor(pipeline: Pipeline, network: TransportNetwork,
+                          request: EndToEndRequest, *,
+                          include_link_delay: bool = True,
+                          keep_table: bool = False) -> PipelineMapping:
+    """Single-instance front of :func:`elpc_min_delay_many` (``"elpc-tensor"``).
+
+    Runs a batch of one so the tensor engine satisfies the registry's uniform
+    solver signature; for real batches use
+    :func:`repro.core.batch.solve_many`, which groups a batch by network and
+    hands each group to the batched function in one call.
+    """
+    [entry] = elpc_min_delay_many([pipeline], network, [request],
+                                  include_link_delay=include_link_delay,
+                                  keep_table=keep_table)
+    if isinstance(entry, ReproError):
+        raise entry
+    return entry
+
+
+def elpc_max_frame_rate_tensor(pipeline: Pipeline, network: TransportNetwork,
+                               request: EndToEndRequest, *,
+                               include_link_delay: bool = True,
+                               keep_table: bool = False) -> PipelineMapping:
+    """Single-instance front of :func:`elpc_max_frame_rate_many` (``"elpc-tensor"``)."""
+    [entry] = elpc_max_frame_rate_many([pipeline], network, [request],
+                                       include_link_delay=include_link_delay,
+                                       keep_table=keep_table)
+    if isinstance(entry, ReproError):
+        raise entry
+    return entry

@@ -17,6 +17,7 @@ from .dynamic import (
     AdaptiveComparison,
     ResourceProfile,
     compare_static_vs_adaptive,
+    delay_at_ms,
     evaluate_adaptive,
     evaluate_static,
     network_at,
@@ -27,6 +28,6 @@ __all__ = [
     "elpc_max_frame_rate_with_reuse",
     "DagTask", "DagWorkflow", "DagMappingResult",
     "linearize_pipeline", "map_dag_earliest_finish", "dag_makespan",
-    "ResourceProfile", "network_at", "AdaptiveComparison",
+    "ResourceProfile", "network_at", "delay_at_ms", "AdaptiveComparison",
     "evaluate_static", "evaluate_adaptive", "compare_static_vs_adaptive",
 ]

@@ -8,11 +8,21 @@ environment".  This module provides a small framework to study that setting:
 * :class:`ResourceProfile` — piecewise-constant multipliers on node powers and
   link bandwidths over time (e.g. a node drops to 40 % capacity between
   t = 10 s and t = 30 s because a competing job arrives),
-* :func:`network_at` — materialise the network as it looks at a given time,
+* :meth:`ResourceProfile.scaled_view` — the network's cached
+  :class:`~repro.model.network.DenseNetworkView` with the multipliers of a
+  given instant applied in place (no network rebuild); views are cached per
+  timestamp and invalidated when the profile or the base network mutates,
+* :func:`network_at` — materialise a full :class:`TransportNetwork` as it
+  looks at a given time (needed when a *solver* must run on the scaled
+  network, e.g. at re-optimisation epochs),
 * :func:`evaluate_static` / :func:`evaluate_adaptive` — compare a mapping
   computed once at t = 0 against a policy that re-runs a solver every
   ``remap_interval`` to track resource drift, reporting the per-epoch
-  end-to-end delay (interactive) of each strategy.
+  end-to-end delay (interactive) of each strategy.  Per-epoch delays are
+  evaluated on scaled dense views, so an evaluation sweep no longer rebuilds
+  the transport network (nodes, links and a ``networkx`` graph) at every
+  epoch — ``network_at`` is only invoked when the adaptive policy actually
+  re-optimises.
 
 The adaptive policy is intentionally simple (periodic full re-optimisation);
 it is an ablation harness, not a contribution claim.
@@ -24,24 +34,30 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.elpc_delay import elpc_min_delay
 from ..core.mapping import PipelineMapping
 from ..exceptions import SpecificationError
-from ..model.cost import end_to_end_delay_ms
-from ..model.link import CommunicationLink
-from ..model.network import EndToEndRequest, TransportNetwork
+from ..model.link import BITS_PER_BYTE, CommunicationLink
+from ..model.network import DenseNetworkView, EndToEndRequest, TransportNetwork
 from ..model.node import ComputingNode
 from ..model.pipeline import Pipeline
-from ..types import NodeId
+from ..types import Grouping, NodeId
 
 __all__ = [
     "ResourceProfile",
     "network_at",
+    "delay_at_ms",
     "AdaptiveComparison",
     "evaluate_static",
     "evaluate_adaptive",
     "compare_static_vs_adaptive",
 ]
+
+#: Cached scaled views per profile are bounded; a sweep rarely visits more
+#: distinct timestamps than this, and one entry is only a few matrices.
+_SCALED_CACHE_LIMIT = 512
 
 
 @dataclass
@@ -58,10 +74,20 @@ class ResourceProfile:
     _node_events: Dict[NodeId, List[Tuple[float, float]]] = field(default_factory=dict)
     _link_events: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = field(
         default_factory=dict)
+    # Scaled dense views keyed by (id(base_view), time); the base view object
+    # is kept alive inside each entry so its id cannot be recycled.  Cleared
+    # whenever the profile mutates; a base-network mutation produces a new
+    # base view (and so a new key) via TransportNetwork's own invalidation.
+    _scaled_views: Dict[Tuple[int, float], Tuple[DenseNetworkView, DenseNetworkView]] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @staticmethod
     def _key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
         return (u, v) if u <= v else (v, u)
+
+    def _invalidate(self) -> None:
+        """Drop cached scaled views after a profile mutation."""
+        self._scaled_views.clear()
 
     def set_node_factor(self, node_id: NodeId, time_s: float, factor: float) -> None:
         """From ``time_s`` on, node ``node_id`` runs at ``factor`` × nominal power."""
@@ -70,6 +96,7 @@ class ResourceProfile:
         events = self._node_events.setdefault(node_id, [])
         events.append((float(time_s), float(factor)))
         events.sort()
+        self._invalidate()
 
     def set_link_factor(self, u: NodeId, v: NodeId, time_s: float, factor: float) -> None:
         """From ``time_s`` on, link ``u``–``v`` delivers ``factor`` × nominal bandwidth."""
@@ -78,6 +105,7 @@ class ResourceProfile:
         events = self._link_events.setdefault(self._key(u, v), [])
         events.append((float(time_s), float(factor)))
         events.sort()
+        self._invalidate()
 
     @staticmethod
     def _factor_at(events: List[Tuple[float, float]], time_s: float) -> float:
@@ -101,10 +129,59 @@ class ResourceProfile:
         times |= {t for events in self._link_events.values() for t, _ in events}
         return sorted(times)
 
+    def scaled_view(self, base: TransportNetwork, time_s: float) -> DenseNetworkView:
+        """Dense view of ``base`` with this profile's factors applied at ``time_s``.
+
+        The in-place counterpart of :func:`network_at`: instead of rebuilding
+        nodes, links and a ``networkx`` graph per epoch, the base network's
+        cached dense view is re-scaled — the power vector by the node factors,
+        the bandwidth matrix (and its bits/s twin) by the link factors — and
+        packaged as a fresh read-only :class:`DenseNetworkView`.  The scaled
+        powers and bandwidths are bit-identical to those of
+        ``network_at(base, profile, time_s).dense_view()``: both compute
+        ``nominal × factor`` once per resource.
+
+        Views are cached per timestamp.  The cache is invalidated by
+        :meth:`set_node_factor` / :meth:`set_link_factor` (profile mutation)
+        and keys on the base network's *current* dense-view object, so a base
+        mutation (which makes ``base.dense_view()`` rebuild) also misses —
+        a stale view can never be returned.
+        """
+        base_view = base.dense_view()
+        key = (id(base_view), float(time_s))
+        cached = self._scaled_views.get(key)
+        if cached is not None and cached[0] is base_view:
+            return cached[1]
+        node_factors = np.array([self.node_factor(nid, time_s)
+                                 for nid in base_view.node_ids])
+        power = base_view.power * node_factors
+        bandwidth = np.array(base_view.bandwidth)
+        index = base_view.index_of
+        for (u, v), events in self._link_events.items():
+            if u not in index or v not in index:
+                continue
+            factor = self._factor_at(events, time_s)
+            i, j = index[u], index[v]
+            bandwidth[i, j] *= factor
+            bandwidth[j, i] *= factor
+        view = DenseNetworkView.build(base_view.node_ids, power,
+                                      base_view.adjacency, bandwidth,
+                                      base_view.link_delay)
+        if len(self._scaled_views) >= _SCALED_CACHE_LIMIT:
+            self._scaled_views.clear()
+        self._scaled_views[key] = (base_view, view)
+        return view
+
 
 def network_at(base: TransportNetwork, profile: ResourceProfile,
                time_s: float) -> TransportNetwork:
-    """The network as it effectively looks at ``time_s`` under ``profile``."""
+    """The network as it effectively looks at ``time_s`` under ``profile``.
+
+    Builds a full :class:`TransportNetwork`, which a *solver* needs (the
+    adaptive policy re-optimises on it).  For per-epoch cost evaluation use
+    :meth:`ResourceProfile.scaled_view` / :func:`delay_at_ms`, which skip the
+    rebuild.
+    """
     nodes = [ComputingNode(node_id=n.node_id,
                            processing_power=n.processing_power
                            * profile.node_factor(n.node_id, time_s),
@@ -116,6 +193,46 @@ def network_at(base: TransportNetwork, profile: ResourceProfile,
                                min_delay_ms=l.min_delay_ms, link_id=l.link_id)
              for l in base.links()]
     return TransportNetwork(nodes=nodes, links=links, name=base.name)
+
+
+def _delay_from_view(pipeline: Pipeline, view: DenseNetworkView,
+                     groups: Grouping, path: Sequence[NodeId]) -> float:
+    """Eq. 1 end-to-end delay of a mapping evaluated on a dense view.
+
+    Mirrors :func:`repro.model.cost.end_to_end_delay_ms` operation for
+    operation (group computing terms first, then the link transfer terms
+    ``(m·8/b)·10³ + d``), so the per-epoch delays of the evaluation sweeps are
+    bit-identical to the network-rebuild formulation they replace.  Structure
+    validation is skipped: mappings are validated at construction and the
+    scaled view shares the base topology.
+    """
+    index = view.index_of
+    total = 0.0
+    for group, node_id in zip(groups, path):
+        total += (pipeline.group_workload(group)
+                  / (view.power[index[node_id]] * 1e3))
+    for i in range(len(path) - 1):
+        u, v = path[i], path[i + 1]
+        if u == v:
+            continue
+        iu, iv = index[u], index[v]
+        message = pipeline.group_output_bytes(groups[i])
+        seconds = message * BITS_PER_BYTE / view.bandwidth_bits_per_s[iu, iv]
+        total += seconds * 1e3 + view.link_delay[iu, iv]
+    return float(total)
+
+
+def delay_at_ms(pipeline: Pipeline, base: TransportNetwork,
+                profile: ResourceProfile, time_s: float,
+                mapping: PipelineMapping) -> float:
+    """End-to-end delay of ``mapping`` at ``time_s`` under ``profile``.
+
+    Convenience front of the scaled-dense-view evaluation path: equivalent to
+    ``end_to_end_delay_ms(pipeline, network_at(base, profile, time_s),
+    mapping.groups, mapping.path)`` without rebuilding the network.
+    """
+    view = profile.scaled_view(base, time_s)
+    return _delay_from_view(pipeline, view, mapping.groups, mapping.path)
 
 
 @dataclass(frozen=True)
@@ -154,11 +271,9 @@ def evaluate_static(pipeline: Pipeline, base: TransportNetwork,
                     solver: Callable[..., PipelineMapping] = elpc_min_delay) -> List[float]:
     """Delay at every epoch of a mapping computed once on the nominal network."""
     mapping = solver(pipeline, base, request)
-    delays: List[float] = []
-    for t in epochs:
-        current = network_at(base, profile, t)
-        delays.append(end_to_end_delay_ms(pipeline, current, mapping.groups, mapping.path))
-    return delays
+    return [_delay_from_view(pipeline, profile.scaled_view(base, t),
+                             mapping.groups, mapping.path)
+            for t in epochs]
 
 
 def evaluate_adaptive(pipeline: Pipeline, base: TransportNetwork,
@@ -182,12 +297,14 @@ def evaluate_adaptive(pipeline: Pipeline, base: TransportNetwork,
     remaps = -1  # the first solve is not counted as a re-map
     for t in epochs:
         if mapping is None or t - last_remap >= remap_interval:
+            # Solvers need a real network, so the rebuild is paid only at
+            # re-optimisation epochs; evaluation uses the scaled view.
             current = network_at(base, profile, t)
             mapping = solver(pipeline, current, request)
             last_remap = t
             remaps += 1
-        current = network_at(base, profile, t)
-        delays.append(end_to_end_delay_ms(pipeline, current, mapping.groups, mapping.path))
+        delays.append(_delay_from_view(pipeline, profile.scaled_view(base, t),
+                                       mapping.groups, mapping.path))
     return delays, max(remaps, 0)
 
 

@@ -34,10 +34,11 @@ class DenseNetworkView:
     """Read-only dense array snapshot of a :class:`TransportNetwork`.
 
     Rows/columns are ordered by ascending node id (the same order as
-    :meth:`TransportNetwork.node_ids`).  The view is what the vectorized ELPC
-    engine (:mod:`repro.core.vectorized`) iterates over instead of per-node
-    ``neighbors`` / ``link`` lookups; it is built once per topology and cached
-    on the network until the next mutation.
+    :meth:`TransportNetwork.node_ids`).  The view is what the vectorized and
+    tensor ELPC engines (:mod:`repro.core.vectorized`,
+    :mod:`repro.core.tensor`) and the dense-view baselines iterate over
+    instead of per-node ``neighbors`` / ``link`` lookups; it is built once per
+    topology and cached on the network until the next mutation.
 
     Attributes
     ----------
@@ -57,6 +58,26 @@ class DenseNetworkView:
         ``(k, k)`` bandwidths converted to bits/second (0 where no link);
         precomputed so transport matrices replicate the scalar cost model's
         floating-point operations exactly.
+    edge_u, edge_v:
+        ``(2|E|,)`` directed edge endpoint indices (both orientations of every
+        undirected link), sorted lexicographically by ``(v, u)``.  Together
+        with :attr:`edge_indptr` they form a CSR layout over *incoming* edges:
+        the edges entering node index ``v`` occupy
+        ``edge_indptr[v]:edge_indptr[v + 1]``, with ``u`` ascending inside the
+        segment.  This is what lets the tensor engine run a DP column as
+        segment reductions over :math:`O(|E|)` entries instead of a dense
+        :math:`k \\times k` scan.
+    edge_indptr:
+        ``(k + 1,)`` CSR segment boundaries over :attr:`edge_u` /
+        :attr:`edge_v`.
+    edge_bandwidth_bits_per_s:
+        ``(2|E|,)`` per-directed-edge bandwidths in bits/second, aligned with
+        :attr:`edge_u`.
+    edge_link_delay:
+        ``(2|E|,)`` per-directed-edge minimum link delays in ms.
+    neighbor_lists:
+        Per-row tuples of neighbour *node ids*, ascending — the dense
+        equivalent of :meth:`TransportNetwork.neighbors`.
     """
 
     node_ids: Tuple[NodeId, ...]
@@ -66,11 +87,111 @@ class DenseNetworkView:
     bandwidth: np.ndarray
     link_delay: np.ndarray
     bandwidth_bits_per_s: np.ndarray
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    edge_indptr: np.ndarray
+    edge_bandwidth_bits_per_s: np.ndarray
+    edge_link_delay: np.ndarray
+    neighbor_lists: Tuple[Tuple[NodeId, ...], ...]
+
+    @classmethod
+    def build(cls, node_ids: Sequence[NodeId], power: np.ndarray,
+              adjacency: np.ndarray, bandwidth: np.ndarray,
+              link_delay: np.ndarray) -> "DenseNetworkView":
+        """Assemble a view (derived arrays included) from its base matrices.
+
+        Shared by :meth:`TransportNetwork.dense_view` and by
+        :meth:`repro.extensions.dynamic.ResourceProfile.scaled_view`, which
+        re-scales the base matrices in place of rebuilding a network.  All
+        arrays are frozen (``writeable=False``) because the view is shared by
+        every solve until the next mutation.
+        """
+        ids = tuple(node_ids)
+        index = {nid: i for i, nid in enumerate(ids)}
+        power = np.asarray(power, dtype=float)
+        adjacency = np.asarray(adjacency, dtype=bool)
+        bandwidth = np.asarray(bandwidth, dtype=float)
+        link_delay = np.asarray(link_delay, dtype=float)
+        bits_per_s = bandwidth * MEGABIT
+        # CSR edge layout over incoming edges, sorted by (v, u).
+        e_u, e_v = np.nonzero(adjacency)          # row-major: sorted by u, then v
+        order = np.lexsort((e_u, e_v))            # re-sort by v, then u
+        edge_u = np.ascontiguousarray(e_u[order])
+        edge_v = np.ascontiguousarray(e_v[order])
+        counts = np.bincount(edge_v, minlength=len(ids))
+        edge_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        edge_bits = np.ascontiguousarray(bits_per_s[edge_u, edge_v])
+        edge_delay = np.ascontiguousarray(link_delay[edge_u, edge_v])
+        neighbor_lists = tuple(
+            tuple(ids[j] for j in np.flatnonzero(adjacency[i]))
+            for i in range(len(ids)))
+        arrays = (power, adjacency, bandwidth, link_delay, bits_per_s,
+                  edge_u, edge_v, edge_indptr, edge_bits, edge_delay)
+        for arr in arrays:
+            arr.setflags(write=False)
+        return cls(node_ids=ids, index_of=index, power=power,
+                   adjacency=adjacency, bandwidth=bandwidth,
+                   link_delay=link_delay, bandwidth_bits_per_s=bits_per_s,
+                   edge_u=edge_u, edge_v=edge_v, edge_indptr=edge_indptr,
+                   edge_bandwidth_bits_per_s=edge_bits,
+                   edge_link_delay=edge_delay, neighbor_lists=neighbor_lists)
 
     @property
     def n_nodes(self) -> int:
         """Number of nodes ``k`` (matrix dimension)."""
         return len(self.node_ids)
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Number of directed edges ``2|E|`` in the CSR layout."""
+        return len(self.edge_u)
+
+    def hop_levels(self, starts: Sequence[int]) -> np.ndarray:
+        """BFS hop distances from each start *index* to every node.
+
+        Returns an ``(S, k)`` integer array with ``-1`` for unreachable nodes;
+        all ``S`` sources advance one BFS level per pass of boolean matrix
+        work, so batching the feasibility checks of a whole tensor batch costs
+        a handful of array operations instead of one graph traversal per
+        instance.  Distances agree with
+        :meth:`TransportNetwork.hop_distance` (both are plain BFS).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        k = self.n_nodes
+        dist = np.full((len(starts), k), -1, dtype=np.int64)
+        frontier = np.zeros((len(starts), k), dtype=bool)
+        frontier[np.arange(len(starts)), starts] = True
+        dist[np.arange(len(starts)), starts] = 0
+        reached = frontier.copy()
+        level = 0
+        while frontier.any():
+            level += 1
+            # (S, k) @ (k, k) boolean product: nodes adjacent to the frontier.
+            nxt = (frontier @ self.adjacency) & ~reached
+            dist[nxt] = level
+            reached |= nxt
+            frontier = nxt
+        return dist
+
+    def transport_vector_ms(self, u_index: int, message_bytes: float, *,
+                            include_link_delay: bool = True) -> np.ndarray:
+        """``(k,)`` vector of transport times from node index ``u_index``.
+
+        Entry ``v`` is :math:`m/b_{u,v} + d_{u,v}` in ms where a link exists
+        and ``inf`` elsewhere (including ``v == u``); the element-wise
+        operations mirror :func:`repro.model.link.transfer_time_ms` term for
+        term, like :meth:`transport_matrix_ms` does for the full matrix.
+        """
+        if message_bytes < 0:
+            raise SpecificationError(
+                f"message size must be >= 0, got {message_bytes!r}")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            seconds = (message_bytes * BITS_PER_BYTE
+                       / self.bandwidth_bits_per_s[u_index])
+            times = seconds * 1e3
+            if include_link_delay:
+                times = times + self.link_delay[u_index]
+        return np.where(self.adjacency[u_index], times, np.inf)
 
     def transport_matrix_ms(self, message_bytes: float, *,
                             include_link_delay: bool = True) -> np.ndarray:
@@ -440,21 +561,12 @@ class TransportNetwork:
             adjacency[i, j] = adjacency[j, i] = True
             bandwidth[i, j] = bandwidth[j, i] = link.bandwidth_mbps
             link_delay[i, j] = link_delay[j, i] = link.min_delay_ms
-        bits_per_s = bandwidth * MEGABIT
-        # The view is shared by every solve until the next mutation; freeze the
-        # arrays so a caller mutating them gets an error instead of silently
-        # corrupting all later vectorized solves on this network.
-        for arr in (power, adjacency, bandwidth, link_delay, bits_per_s):
-            arr.setflags(write=False)
-        self._dense_view = DenseNetworkView(
-            node_ids=ids,
-            index_of=index,
-            power=power,
-            adjacency=adjacency,
-            bandwidth=bandwidth,
-            link_delay=link_delay,
-            bandwidth_bits_per_s=bits_per_s,
-        )
+        # DenseNetworkView.build derives the bits/s matrix, the CSR edge
+        # layout and the neighbour lists, and freezes every array so a caller
+        # mutating them gets an error instead of silently corrupting all later
+        # vectorized solves on this network.
+        self._dense_view = DenseNetworkView.build(
+            ids, power, adjacency, bandwidth, link_delay)
         return self._dense_view
 
     # ------------------------------------------------------------------ #

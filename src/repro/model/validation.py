@@ -59,7 +59,8 @@ class FeasibilityReport:
 
 
 def check_delay_instance(pipeline: Pipeline, network: TransportNetwork,
-                         request: EndToEndRequest) -> FeasibilityReport:
+                         request: EndToEndRequest, *,
+                         hops: Optional[int] = None) -> FeasibilityReport:
     """Feasibility of the minimum-delay problem (node reuse allowed).
 
     With node reuse the only structural requirements are that the source and
@@ -68,10 +69,16 @@ def check_delay_instance(pipeline: Pipeline, network: TransportNetwork,
     ``q - 1`` links and each module group occupies one node, so the pipeline
     must have at least ``hop_distance + 1`` modules (each hop needs at least
     one module group on each side).
+
+    ``hops`` optionally supplies a precomputed source→destination hop
+    distance (``-1`` when disconnected); the tensor batch engine passes it so
+    one batched BFS replaces a per-instance graph traversal while this
+    function stays the single source of the feasibility verdicts.
     """
     request.validate(network)
     n = pipeline.n_modules
-    hops = network.hop_distance(request.source, request.destination)
+    if hops is None:
+        hops = network.hop_distance(request.source, request.destination)
     if hops < 0:
         return FeasibilityReport(False,
                                  f"source {request.source} and destination "
@@ -88,7 +95,8 @@ def check_delay_instance(pipeline: Pipeline, network: TransportNetwork,
 
 def check_framerate_instance(pipeline: Pipeline, network: TransportNetwork,
                              request: EndToEndRequest, *,
-                             exhaustive_node_limit: int = 32) -> FeasibilityReport:
+                             exhaustive_node_limit: int = 32,
+                             hops: Optional[int] = None) -> FeasibilityReport:
     """Feasibility of the restricted maximum-frame-rate problem (no node reuse).
 
     Without reuse the mapping is a *simple* path with exactly ``n`` nodes from
@@ -100,11 +108,14 @@ def check_framerate_instance(pipeline: Pipeline, network: TransportNetwork,
 
     The second check is exact only on small networks (≤ ``exhaustive_node_limit``
     nodes); larger networks are optimistically reported feasible and the
-    solver signals infeasibility if no exact-n-hop path is found.
+    solver signals infeasibility if no exact-n-hop path is found.  ``hops``
+    optionally supplies a precomputed source→destination hop distance (``-1``
+    when disconnected), as in :func:`check_delay_instance`.
     """
     request.validate(network)
     n = pipeline.n_modules
-    hops = network.hop_distance(request.source, request.destination)
+    if hops is None:
+        hops = network.hop_distance(request.source, request.destination)
     if hops < 0:
         return FeasibilityReport(False,
                                  f"source {request.source} and destination "

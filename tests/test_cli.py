@@ -1,8 +1,16 @@
 """Tests for the command-line entry points."""
 
+import json
+
 import pytest
 
-from repro.cli import main, main_bench, main_bench_scaling, main_map
+from repro.cli import (
+    main,
+    main_bench,
+    main_bench_batch,
+    main_bench_scaling,
+    main_map,
+)
 
 
 class TestReproMap:
@@ -68,6 +76,75 @@ class TestReproBench:
         out = capsys.readouterr().out
         assert "Mapping performance comparison" in out
 
+    def test_engine_agreement_reported(self, tmp_path, capsys):
+        assert main_bench(["--output", str(tmp_path), "--max-cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "engine agreement" in out
+        assert "elpc-tensor" in out
+
+    def test_emit_json_schema(self, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        assert main_bench(["--output", str(tmp_path / "out"), "--max-cases",
+                           "2", "--emit-json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["agreement"]["ok"] is True
+        assert payload["agreement"]["cases"] == 2
+        assert any(name.startswith("bench/solver:")
+                   for name in payload["metrics"])
+
+    def test_skip_agreement(self, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        assert main_bench(["--output", str(tmp_path / "out"), "--max-cases",
+                           "1", "--skip-agreement",
+                           "--emit-json", str(json_path)]) == 0
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert "agreement" not in payload
+        assert "engine agreement" not in capsys.readouterr().out
+
+    def test_disagreement_exits_nonzero(self, tmp_path, capsys):
+        """A diverging solver registered under an engine name must fail bench."""
+        from repro.core import Objective, get_solver, register_solver
+
+        original = get_solver("elpc-vec", Objective.MIN_DELAY)
+        greedy = get_solver("greedy", Objective.MIN_DELAY)
+        register_solver("elpc-vec", Objective.MIN_DELAY, greedy,
+                        overwrite=True)
+        try:
+            json_path = tmp_path / "bench.json"
+            code = main_bench(["--output", str(tmp_path / "out"),
+                               "--max-cases", "3",
+                               "--emit-json", str(json_path)])
+            assert code == 3
+            err = capsys.readouterr().err
+            assert "disagree" in err
+            payload = json.loads(json_path.read_text(encoding="utf-8"))
+            assert payload["agreement"]["ok"] is False
+            assert payload["agreement"]["disagreements"]
+        finally:
+            register_solver("elpc-vec", Objective.MIN_DELAY, original,
+                            overwrite=True)
+
+
+class TestBenchBatch:
+    def test_prints_speedup_table(self, capsys):
+        assert main_bench_batch(["--batch-sizes", "2,4", "--modules", "6",
+                                 "--nodes", "10", "--links", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Tensor batch engine speedup" in out
+        assert out.count("\n") >= 5  # title + header + rule + one row per size
+
+    def test_rejects_bad_batch_sizes(self, capsys):
+        assert main_bench_batch(["--batch-sizes", "a,b"]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main_bench_batch(["--batch-sizes", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_via_umbrella(self, capsys):
+        assert main(["bench-batch", "--batch-sizes", "2", "--modules", "5",
+                     "--nodes", "8", "--links", "16"]) == 0
+        assert "tensor" in capsys.readouterr().out
+
 
 class TestReproUmbrella:
     def test_no_args_prints_usage(self, capsys):
@@ -85,9 +162,17 @@ class TestReproUmbrella:
         assert "elpc-vec" in out
         assert "selected path" in out
 
-    def test_solve_lists_vectorized_solver(self, capsys):
+    def test_solve_with_tensor_solver(self, capsys):
+        assert main(["solve", "--solver", "elpc-tensor", "--case", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "elpc-tensor" in out
+        assert "selected path" in out
+
+    def test_solve_lists_vectorized_and_tensor_solvers(self, capsys):
         assert main(["solve", "--list-algorithms"]) == 0
-        assert "elpc-vec" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "elpc-vec" in out
+        assert "elpc-tensor" in out
 
     def test_map_alias(self, capsys):
         assert main(["map", "--case", "1"]) == 0

@@ -6,6 +6,7 @@ from repro.exceptions import SpecificationError
 from repro.extensions import (
     ResourceProfile,
     compare_static_vs_adaptive,
+    delay_at_ms,
     evaluate_adaptive,
     evaluate_static,
     network_at,
@@ -63,6 +64,79 @@ class TestNetworkAt:
         # untouched resources keep their nominal values
         assert after.processing_power(2) == simple_network.processing_power(2)
         assert after.n_links == simple_network.n_links
+
+
+class TestScaledDenseViews:
+    @pytest.fixture
+    def base(self):
+        return random_network(12, 30, seed=21)
+
+    def test_scaled_view_matches_network_rebuild(self, base):
+        profile = ResourceProfile()
+        profile.set_node_factor(3, 10.0, 0.5)
+        profile.set_link_factor(*base.links()[0].endpoints, time_s=10.0,
+                                factor=0.25)
+        for t in (0.0, 10.0, 25.0):
+            scaled = profile.scaled_view(base, t)
+            rebuilt = network_at(base, profile, t).dense_view()
+            assert (scaled.power == rebuilt.power).all()
+            assert (scaled.bandwidth == rebuilt.bandwidth).all()
+            assert (scaled.bandwidth_bits_per_s
+                    == rebuilt.bandwidth_bits_per_s).all()
+            assert (scaled.link_delay == rebuilt.link_delay).all()
+            assert (scaled.adjacency == rebuilt.adjacency).all()
+
+    def test_scaled_view_cached_per_timestamp(self, base):
+        profile = ResourceProfile()
+        profile.set_node_factor(1, 5.0, 0.5)
+        assert profile.scaled_view(base, 7.0) is profile.scaled_view(base, 7.0)
+        assert profile.scaled_view(base, 7.0) is not profile.scaled_view(base, 2.0)
+
+    def test_stale_view_invalidated_on_set_node_factor(self, base):
+        """Regression: a cached scaled view must not survive profile mutation."""
+        profile = ResourceProfile()
+        before = profile.scaled_view(base, 20.0)
+        idx = before.index_of[4]
+        assert before.power[idx] == base.processing_power(4)
+        profile.set_node_factor(4, 10.0, 0.5)
+        after = profile.scaled_view(base, 20.0)
+        assert after is not before
+        assert after.power[idx] == pytest.approx(0.5 * base.processing_power(4))
+
+    def test_stale_view_invalidated_on_set_link_factor(self, base):
+        profile = ResourceProfile()
+        u, v = base.links()[0].endpoints
+        before = profile.scaled_view(base, 20.0)
+        profile.set_link_factor(u, v, 10.0, 0.125)
+        after = profile.scaled_view(base, 20.0)
+        i, j = after.index_of[u], after.index_of[v]
+        assert after.bandwidth[i, j] == pytest.approx(
+            0.125 * base.bandwidth(u, v))
+        assert before.bandwidth[i, j] == pytest.approx(base.bandwidth(u, v))
+
+    def test_base_network_mutation_misses_cache(self, base):
+        from repro.model import ComputingNode
+
+        profile = ResourceProfile()
+        before = profile.scaled_view(base, 0.0)
+        base.add_node(ComputingNode(node_id=99, processing_power=3.0))
+        after = profile.scaled_view(base, 0.0)
+        assert after.n_nodes == before.n_nodes + 1
+
+    def test_delay_at_ms_matches_rebuild_evaluation(self, base):
+        from repro.core import elpc_min_delay
+
+        pipeline = random_pipeline(5, seed=21)
+        request = random_request(base, seed=21, min_hop_distance=2)
+        mapping = elpc_min_delay(pipeline, base, request)
+        profile = ResourceProfile()
+        for node in mapping.path:
+            profile.set_node_factor(node, 8.0, 0.4)
+        for t in (0.0, 8.0, 30.0):
+            fast = delay_at_ms(pipeline, base, profile, t, mapping)
+            oracle = end_to_end_delay_ms(pipeline, network_at(base, profile, t),
+                                         mapping.groups, mapping.path)
+            assert fast == oracle
 
 
 class TestStaticVsAdaptive:
