@@ -48,6 +48,7 @@ from .core import (
     register_solver,
     solve,
     solve_many,
+    ParallelBatchRunner,
 )
 from .exceptions import (
     AlgorithmError,
@@ -89,7 +90,7 @@ __all__ = [
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "solve", "get_solver", "register_solver", "available_solvers",
     # batch engine
-    "solve_many", "BatchItemResult", "BatchRunResult",
+    "solve_many", "BatchItemResult", "BatchRunResult", "ParallelBatchRunner",
     # exceptions
     "ReproError", "SpecificationError", "InfeasibleMappingError",
     "AlgorithmError", "SimulationError", "MeasurementError",

@@ -187,6 +187,10 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-agreement", action="store_true",
                         help="skip the elpc / elpc-vec / elpc-tensor "
                              "cross-check (agreement failures exit 3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run the engine cross-check over N worker "
+                             "processes (shared-memory pool; results must "
+                             "stay identical to the in-process run)")
     return parser
 
 
@@ -207,7 +211,8 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         written = write_all_outputs(args.output, max_cases=args.max_cases)
         if not args.skip_agreement:
             agreement = check_solver_agreement(
-                paper_case_suite(max_cases=args.max_cases))
+                paper_case_suite(max_cases=args.max_cases),
+                workers=args.workers)
     except ReproError as exc:  # pragma: no cover - defensive
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -276,6 +281,9 @@ def _build_bench_scaling_parser(prog: str = "repro bench-scaling"
                         help="reference solver name (default: elpc)")
     parser.add_argument("--vectorized", default="elpc-vec",
                         help="vectorized solver name (default: elpc-vec)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan both passes out over N worker processes "
+                             "(shared-memory pool; default: in-process)")
     return parser
 
 
@@ -289,7 +297,8 @@ def main_bench_scaling(argv: Optional[Sequence[str]] = None, *,
         result = vectorized_speedup(sizes=sizes, seed=args.seed,
                                     repetitions=args.repetitions,
                                     scalar_solver=args.scalar,
-                                    vectorized_solver=args.vectorized)
+                                    vectorized_solver=args.vectorized,
+                                    workers=args.workers)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -315,6 +324,9 @@ def _build_bench_batch_parser(prog: str = "repro bench-batch"
                         help="seed of the shared network and the instances")
     parser.add_argument("--repetitions", "-r", type=int, default=1,
                         help="measure best-of-N passes per engine")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run both engines on a persistent N-worker "
+                             "shared-memory pool (default: in-process)")
     return parser
 
 
@@ -330,7 +342,8 @@ def main_bench_batch(argv: Optional[Sequence[str]] = None, *,
                              "positive integers")
         result = tensor_batch_speedup(
             batch_sizes=sizes, n_modules=args.modules, k_nodes=args.nodes,
-            n_links=args.links, seed=args.seed, repetitions=args.repetitions)
+            n_links=args.links, seed=args.seed, repetitions=args.repetitions,
+            workers=args.workers)
     except ValueError:
         print(f"error: bad --batch-sizes {args.batch_sizes!r}; values must be "
               "integers", file=sys.stderr)

@@ -8,38 +8,64 @@ sequential by default, optionally fanned out over a process pool — and the
 comparison harness (:func:`repro.analysis.comparison.run_comparison`) and the
 CLI (``repro solve --batch-seeds``, ``repro bench-scaling``) are built on it.
 
-Infeasible instances are recorded per item instead of aborting the batch, the
-same policy the comparison harness has always used: one pathological case must
-not kill a whole campaign.
+Failures are recorded per item instead of aborting the batch, the same policy
+the comparison harness has always used: one pathological case must not kill a
+whole campaign.  That covers *unexpected* exceptions too (say, a NumPy error
+out of a malformed network): the item records the exception's class name,
+message and formatted traceback (:attr:`BatchItemResult.traceback`) and the
+rest of the batch proceeds — in pool mode this also keeps unpicklable
+exception objects from tearing down the whole pool, since only strings cross
+the process boundary.
 
 Tensor dispatch
 ---------------
-When the batch is solved with ``solver="elpc-tensor"`` (and no process pool),
-:func:`solve_many` groups consecutive-by-network instances and hands each
-group of instances sharing one :class:`TransportNetwork` *object* to the
-batched tensor engine (:mod:`repro.core.tensor`) in a single call, which
-advances all of the group's DP columns together.  Heterogeneous batches —
-every instance on its own network — degenerate to per-instance solves through
-the same code path, so results are always identical to a per-item loop; only
-the throughput changes.
+When the batch is solved with ``solver="elpc-tensor"``, :func:`solve_many`
+groups instances sharing one :class:`TransportNetwork` *object* and hands
+each group to the batched tensor engine (:mod:`repro.core.tensor`) in a
+single call, which advances all of the group's DP columns together.
+Heterogeneous batches — every instance on its own network — degenerate to
+per-instance solves through the same code path, so results are always
+identical to a per-item loop; only the throughput changes.  The grouping
+composes with ``workers > 1``: each worker chunk is dispatched through the
+same group solver, so a parallel tensor batch runs ``workers`` tensor engines
+side by side instead of silently falling back to per-item scalar solves.
+Items solved in a batched group share a ``group_id`` and report the group's
+wall time (:attr:`BatchItemResult.group_wall_s`) next to the uniformly
+averaged ``runtime_s``.
 
 Multiprocessing notes
 ---------------------
-With ``workers > 1`` every instance is pickled to a worker process, so the
-solver must be given *by registry name* (a callable may not survive pickling —
-:class:`~repro.exceptions.SpecificationError` is raised up front).  Worker
-dispatch costs one fork + pickle round-trip per chunk; it only pays off when
-individual solves are slow (large scalar DPs, exhaustive oracles).  For large
-batches of small instances prefer ``workers=None`` with the ``"elpc-vec"``
-solvers, which are usually faster than any amount of process parallelism over
-the scalar DP.
+With ``workers > 1`` the batch runs on the shared-memory runtime of
+:mod:`repro.core.parallel`: every distinct network is exported **once** into
+a :mod:`multiprocessing.shared_memory` block (workers re-wrap the dense-view
+arrays zero-copy), and instances travel as lightweight pipeline specs in
+chunks rather than one network pickle per solve.  This makes ``workers=N``
+pay off even for large batches of *small* instances — the regime the old
+per-item-pickling pool lost to its own serialisation costs — while results
+stay bit-identical to ``workers=1`` for every solver.  The solver must still
+be given *by registry name* (a callable may not survive pickling —
+:class:`~repro.exceptions.SpecificationError` is raised up front).  For
+repeated batches, keep one :class:`repro.core.parallel.ParallelBatchRunner`
+open and pass it as ``runner=``: the worker pool and the exported networks
+persist across calls.
 """
 
 from __future__ import annotations
 
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import ReproError, SpecificationError
 from ..model.network import EndToEndRequest, TransportNetwork
@@ -47,6 +73,9 @@ from ..model.pipeline import Pipeline
 from ..model.serialization import ProblemInstance
 from .mapping import Objective, PipelineMapping
 from .registry import get_solver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .parallel import ParallelBatchRunner
 
 __all__ = ["BatchItemResult", "BatchRunResult", "solve_many"]
 
@@ -73,9 +102,29 @@ class BatchItemResult:
         The produced mapping, or ``None`` when the solve failed.
     error:
         Failure description when ``mapping`` is ``None`` (infeasibility or a
-        solver error), ``None`` otherwise.
+        solver error), ``None`` otherwise.  Unexpected (non-``ReproError``)
+        exceptions are recorded as ``"ClassName: message"``.
     runtime_s:
-        Wall-clock time of this solve (including the failure path).
+        Wall-clock time of this solve (including the failure path).  Items
+        solved inside a *tensor* same-network group share one engine call, so
+        for them this is the group's wall time divided by the group size;
+        items of a parallel worker chunk are timed individually and
+        ``runtime_s`` is their own solve time.  ``group_wall_s`` carries the
+        undivided group/chunk wall time in both cases.
+    traceback:
+        Formatted traceback string when an *unexpected* exception was
+        recorded (``None`` for clean solves and for ordinary
+        infeasibility/specification failures).
+    group_id:
+        Identifier of the batched group (tensor same-network group, or a
+        parallel worker chunk) this item was solved in; ``None`` for plain
+        per-item solves.  Unique within one :class:`BatchRunResult`.
+    group_size:
+        Number of items solved together in this item's group (1 for per-item
+        solves).
+    group_wall_s:
+        Wall-clock time of the whole group's solve, ``None`` for per-item
+        solves (where ``runtime_s`` already is the undivided wall time).
     """
 
     index: int
@@ -83,6 +132,10 @@ class BatchItemResult:
     mapping: Optional[PipelineMapping]
     error: Optional[str]
     runtime_s: float
+    traceback: Optional[str] = None
+    group_id: Optional[int] = None
+    group_size: int = 1
+    group_wall_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -135,6 +188,21 @@ class BatchRunResult:
         """Sum of per-item solve times (≥ ``wall_time_s`` under parallelism)."""
         return sum(item.runtime_s for item in self.items)
 
+    def group_times(self) -> Dict[int, Tuple[int, float]]:
+        """Per-group wall times: ``group_id -> (group_size, wall_s)``.
+
+        Covers items solved in batched groups — tensor same-network groups
+        (where ``runtime_s`` is ``wall_s / group_size``) and parallel worker
+        chunks (where items are individually timed and ``wall_s`` is the
+        chunk's total).  Sequential per-item solves carry no group and are
+        not listed — their undivided wall time is their own ``runtime_s``.
+        """
+        groups: Dict[int, Tuple[int, float]] = {}
+        for item in self.items:
+            if item.group_id is not None and item.group_wall_s is not None:
+                groups[item.group_id] = (item.group_size, item.group_wall_s)
+        return groups
+
 
 def _coerce_instance(index: int, item: InstanceLike) -> ProblemInstance:
     if isinstance(item, ProblemInstance):
@@ -148,6 +216,37 @@ def _coerce_instance(index: int, item: InstanceLike) -> ProblemInstance:
     return ProblemInstance(pipeline=pipeline, network=network, request=request)
 
 
+def _use_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
+                         objective: Objective) -> bool:
+    """``True`` when ``solver`` names the *builtin* tensor engine.
+
+    Group dispatch hands whole batches to :mod:`repro.core.tensor` directly,
+    so it must only engage while the registry still serves the builtin under
+    that name — a user override of ``"elpc-tensor"`` (which the registry
+    guarantees always wins) falls back to ordinary per-item solves through
+    the override, sequentially and in worker chunks alike.
+    """
+    if not isinstance(solver, str) or solver.lower() not in TENSOR_SOLVERS:
+        return False
+    from .tensor import elpc_max_frame_rate_tensor, elpc_min_delay_tensor
+
+    builtin = (elpc_min_delay_tensor if objective is Objective.MIN_DELAY
+               else elpc_max_frame_rate_tensor)
+    try:
+        return get_solver(solver, objective) is builtin
+    except ReproError:  # pragma: no cover - unknown names fail fast earlier
+        return False
+
+
+def _describe_unexpected(exc: BaseException) -> Tuple[str, str]:
+    """``(error, traceback)`` strings for a non-``ReproError`` exception.
+
+    Only strings are recorded so the description survives any process
+    boundary — exception *objects* (which may be unpicklable) never travel.
+    """
+    return (f"{type(exc).__name__}: {exc}", _traceback.format_exc())
+
+
 def _solve_one(payload: Tuple[int, ProblemInstance,
                               Union[str, Callable[..., PipelineMapping]],
                               Objective, dict]) -> BatchItemResult:
@@ -155,6 +254,10 @@ def _solve_one(payload: Tuple[int, ProblemInstance,
 
     ``solver`` may be a registry name (the only form that crosses process
     boundaries) or an already-resolved callable (in-process batches).
+    Failures never propagate: expected :class:`ReproError` outcomes
+    (infeasibility, bad specs) record their message, and unexpected
+    exceptions record class name + message + traceback — one pathological
+    item must not kill a whole campaign, sequential or pooled.
     """
     index, instance, solver, objective, solver_kwargs = payload
     if isinstance(solver, str):
@@ -168,17 +271,26 @@ def _solve_one(payload: Tuple[int, ProblemInstance,
     except ReproError as exc:
         return BatchItemResult(index=index, name=instance.name, mapping=None,
                                error=str(exc), runtime_s=time.perf_counter() - start)
+    except Exception as exc:
+        error, tb = _describe_unexpected(exc)
+        return BatchItemResult(index=index, name=instance.name, mapping=None,
+                               error=error, runtime_s=time.perf_counter() - start,
+                               traceback=tb)
 
 
 def _solve_tensor_groups(instances: List[ProblemInstance], objective: Objective,
-                         solver_kwargs: dict) -> List[BatchItemResult]:
+                         solver_kwargs: dict, *,
+                         first_group_id: int = 0) -> List[BatchItemResult]:
     """Solve a batch through the tensor engine, one call per same-network group.
 
     Instances are grouped by the *identity* of their network object (the
     tensor engine stacks DP columns over one shared dense view); groups keep
     their first-seen order and results are re-scattered into input order.  A
     group of one degenerates to a single-instance tensor solve, which is how
-    heterogeneous batches fall back to per-solve behaviour.
+    heterogeneous batches fall back to per-solve behaviour.  Each group's
+    items carry the group's id (numbered from ``first_group_id``; the
+    parallel runtime offsets it per chunk to keep ids unique across workers),
+    size and undivided wall time next to the averaged ``runtime_s``.
     """
     from .tensor import elpc_max_frame_rate_many, elpc_min_delay_many
 
@@ -188,32 +300,37 @@ def _solve_tensor_groups(instances: List[ProblemInstance], objective: Objective,
     for index, instance in enumerate(instances):
         groups.setdefault(id(instance.network), []).append(index)
     items: List[Optional[BatchItemResult]] = [None] * len(instances)
-    for indices in groups.values():
+    for group_id, indices in enumerate(groups.values(), start=first_group_id):
         network = instances[indices[0]].network
         pipelines = [instances[i].pipeline for i in indices]
         requests = [instances[i].request for i in indices]
         start = time.perf_counter()
+        error = tb = None
+        entries: Sequence = ()
         try:
             entries = many(pipelines, network, requests, **solver_kwargs)
         except ReproError as exc:
             # A group-wide failure (e.g. an empty network) is recorded per
             # item, the same policy _solve_one applies to per-instance errors.
-            per_item = (time.perf_counter() - start) / len(indices)
-            for i in indices:
-                items[i] = BatchItemResult(
-                    index=i, name=instances[i].name, mapping=None,
-                    error=str(exc), runtime_s=per_item)
-            continue
-        per_item = (time.perf_counter() - start) / len(indices)
+            error = str(exc)
+        except Exception as exc:
+            error, tb = _describe_unexpected(exc)
+        wall = time.perf_counter() - start
+        per_item = wall / len(indices)
+        if error is not None:
+            entries = [None] * len(indices)
         for i, entry in zip(indices, entries):
             if isinstance(entry, PipelineMapping):
                 items[i] = BatchItemResult(
                     index=i, name=instances[i].name, mapping=entry,
-                    error=None, runtime_s=per_item)
+                    error=None, runtime_s=per_item, group_id=group_id,
+                    group_size=len(indices), group_wall_s=wall)
             else:
                 items[i] = BatchItemResult(
                     index=i, name=instances[i].name, mapping=None,
-                    error=str(entry), runtime_s=per_item)
+                    error=error if entry is None else str(entry),
+                    runtime_s=per_item, traceback=tb, group_id=group_id,
+                    group_size=len(indices), group_wall_s=wall)
     return items  # type: ignore[return-value]
 
 
@@ -221,6 +338,8 @@ def solve_many(instances: Iterable[InstanceLike], *,
                solver: Union[str, Callable[..., PipelineMapping]] = "elpc-vec",
                objective: Objective = Objective.MIN_DELAY,
                workers: Optional[int] = None,
+               runner: Optional["ParallelBatchRunner"] = None,
+               chunk_size: Optional[int] = None,
                **solver_kwargs) -> BatchRunResult:
     """Solve every instance of a batch with one solver.
 
@@ -234,13 +353,24 @@ def solve_many(instances: Iterable[InstanceLike], *,
         ``"greedy"``, ...) or a solver callable.  Multiprocessing requires a
         registry name.  ``"elpc-tensor"`` batches are grouped by network and
         each group is solved by one call of the tensor engine (see the module
-        notes); every other solver is looped per instance.
+        notes) — sequentially and inside every worker chunk alike; every
+        other solver is looped per instance.
     objective:
         Which objective's solver to look up and which value
         :meth:`BatchRunResult.values` reports.
     workers:
         ``None``, 0 or 1 solves sequentially in-process; ``N > 1`` fans the
-        batch out over a pool of ``N`` worker processes.
+        batch out over the shared-memory worker runtime of
+        :mod:`repro.core.parallel` (transient pool, torn down after the
+        batch).  Results are bit-identical either way.
+    runner:
+        An open :class:`repro.core.parallel.ParallelBatchRunner` to run the
+        batch on instead of spinning up a transient pool — the persistent
+        form of ``workers=N`` (exported networks and worker processes are
+        reused across calls).  Overrides ``workers``.
+    chunk_size:
+        Instances per worker chunk under parallelism (default: batch size /
+        (2·workers), so every worker gets about two chunks).
     solver_kwargs:
         Forwarded to every solve (e.g. ``include_link_delay=False``).
 
@@ -248,13 +378,15 @@ def solve_many(instances: Iterable[InstanceLike], *,
     -------
     BatchRunResult
         Per-instance outcomes in input order; failures (infeasible instances,
-        solver errors) are recorded as items with ``mapping=None`` rather than
-        raised.
+        solver errors, unexpected exceptions) are recorded as items with
+        ``mapping=None`` rather than raised.
     """
     normalized = [_coerce_instance(i, item) for i, item in enumerate(instances)]
     n_workers = int(workers or 1)
     if n_workers < 0:
         raise SpecificationError(f"workers must be >= 0, got {workers!r}")
+    if runner is not None:
+        n_workers = runner.workers
 
     if isinstance(solver, str):
         get_solver(solver, objective)  # fail fast on unknown names
@@ -266,20 +398,26 @@ def solve_many(instances: Iterable[InstanceLike], *,
                 "(callables cannot be shipped to worker processes)")
         solver_name = getattr(solver, "__name__", str(solver))
 
-    payloads = [(i, inst, solver, objective, dict(solver_kwargs))
-                for i, inst in enumerate(normalized)]
     start = time.perf_counter()
-    if n_workers > 1 and len(payloads) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    if n_workers > 1 and len(normalized) > 1:
+        if runner is not None:
+            items = runner.solve(normalized, solver=solver_name,
+                                 objective=objective, chunk_size=chunk_size,
+                                 **solver_kwargs)
+        else:
+            from .parallel import ParallelBatchRunner
 
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            items = list(pool.map(_solve_one, payloads))
-    elif (isinstance(solver, str) and solver.lower() in TENSOR_SOLVERS
-          and normalized):
+            with ParallelBatchRunner(workers=n_workers) as transient:
+                items = transient.solve(normalized, solver=solver_name,
+                                        objective=objective,
+                                        chunk_size=chunk_size, **solver_kwargs)
+    elif _use_tensor_dispatch(solver, objective) and normalized:
         n_workers = 1
         items = _solve_tensor_groups(normalized, objective, dict(solver_kwargs))
     else:
         n_workers = 1
+        payloads = [(i, inst, solver, objective, dict(solver_kwargs))
+                    for i, inst in enumerate(normalized)]
         items = [_solve_one(p) for p in payloads]
     return BatchRunResult(solver=solver_name, objective=objective, items=items,
                           wall_time_s=time.perf_counter() - start,

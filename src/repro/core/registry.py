@@ -41,8 +41,13 @@ def register_solver(name: str, objective: Objective, solver: Solver, *,
     """Register ``solver`` under ``(name, objective)``.
 
     Raises :class:`SpecificationError` on duplicate registration unless
-    ``overwrite`` is given.
+    ``overwrite`` is given.  The library's built-in algorithms are loaded
+    *first*, so the behaviour does not depend on whether a lookup already
+    happened: overriding a builtin (say ``"greedy"``) always requires
+    ``overwrite=True`` and the override always wins — it can never be
+    silently clobbered by a later builtin load.
     """
+    _load_builtins()
     key = (name.lower(), objective)
     if key in _REGISTRY and not overwrite:
         raise SpecificationError(
@@ -51,10 +56,24 @@ def register_solver(name: str, objective: Objective, solver: Solver, *,
 
 
 def _load_builtins() -> None:
-    """Populate the registry with the library's own algorithms (idempotent)."""
+    """Populate the registry with the library's own algorithms (idempotent).
+
+    Registration uses *setdefault* semantics — a ``(name, objective)`` key
+    already present (a user registration that beat the builtin load, however
+    it got there) is left untouched, so user solvers are never clobbered.
+    """
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
+    _BUILTINS_LOADED = True  # set first: register_solver() re-enters this
+    try:
+        _import_and_register_builtins()
+    except BaseException:
+        _BUILTINS_LOADED = False
+        raise
+
+
+def _import_and_register_builtins() -> None:
     # Imported lazily to avoid import cycles between core and baselines.
     from ..baselines.dcp import dcp_min_delay
     from ..baselines.greedy import greedy_max_frame_rate, greedy_min_delay
@@ -94,8 +113,7 @@ def _load_builtins() -> None:
         ("exhaustive", Objective.MAX_FRAME_RATE, exhaustive_max_frame_rate),
     ]
     for name, objective, solver in pairs:
-        register_solver(name, objective, solver, overwrite=True)
-    _BUILTINS_LOADED = True
+        _REGISTRY.setdefault((name.lower(), objective), solver)
 
 
 def get_solver(name: str, objective: Objective) -> Solver:

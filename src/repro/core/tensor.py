@@ -90,7 +90,8 @@ def _batched_feasibility(pipelines: Sequence[Pipeline],
                          network: TransportNetwork,
                          requests: Sequence[EndToEndRequest],
                          results: List[Optional[BatchEntry]],
-                         *, framerate: bool) -> List[int]:
+                         *, framerate: bool,
+                         view: Optional[DenseNetworkView] = None) -> List[int]:
     """Run the per-instance feasibility checks with one batched BFS.
 
     Fills ``results`` with per-item error entries for the failing items —
@@ -105,7 +106,8 @@ def _batched_feasibility(pipelines: Sequence[Pipeline],
     endpoints fall back to the checks' own lookups, which raise the scalar
     solvers' exact errors).
     """
-    view = network.dense_view()
+    if view is None:
+        view = network.dense_view()
     sources = sorted({r.source for r in requests
                       if r.source in view.index_of
                       and r.destination in view.index_of})
@@ -189,7 +191,8 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
                         network: TransportNetwork,
                         requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
                         *, include_link_delay: bool = True,
-                        keep_table: bool = False) -> List[BatchEntry]:
+                        keep_table: bool = False,
+                        view: Optional[DenseNetworkView] = None) -> List[BatchEntry]:
     """Batched exact minimum-delay mappings of many pipelines over one network.
 
     Solves the same problem as ``B`` calls of
@@ -212,6 +215,17 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
         As in the scalar and vectorized solvers; ``keep_table`` attaches each
         item's :class:`~repro.core.dp_table.DPTable` under
         ``mapping.extras["dp_table"]``.
+    view:
+        Optional dense view to advance the DP over in place of
+        ``network.dense_view()`` — the solve-from-attached-view entry point
+        for callers holding a view re-wrapped from a shared-memory block
+        (:func:`repro.model.network.attach_shared_view`): the solve is
+        zero-copy, and since the arrays are byte-identical to the exporting
+        process's view, so are the results.  (The parallel runtime itself
+        reaches the same effect by installing the attached view on a rebuilt
+        network via :meth:`TransportNetwork.from_dense_view`, so plain
+        ``solve_many`` batches need no extra argument.)  ``view`` must
+        describe ``network``'s topology.
 
     Returns
     -------
@@ -232,11 +246,12 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
     if B == 0:
         return []
     alive = _batched_feasibility(pipelines, network, requests, results,
-                                 framerate=False)
+                                 framerate=False, view=view)
     if not alive:
         return results  # type: ignore[return-value]
 
-    view = network.dense_view()
+    if view is None:
+        view = network.dense_view()
     k = view.n_nodes
     A = len(alive)
     n_arr = np.array([pipelines[i].n_modules for i in alive])
@@ -406,7 +421,8 @@ def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
                              network: TransportNetwork,
                              requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
                              *, include_link_delay: bool = True,
-                             keep_table: bool = False) -> List[BatchEntry]:
+                             keep_table: bool = False,
+                             view: Optional[DenseNetworkView] = None) -> List[BatchEntry]:
     """Batched maximum-frame-rate heuristic for many pipelines over one network.
 
     The batched counterpart of
@@ -428,11 +444,12 @@ def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
     if B == 0:
         return []
     alive = _batched_feasibility(pipelines, network, requests, results,
-                                 framerate=True)
+                                 framerate=True, view=view)
     if not alive:
         return results  # type: ignore[return-value]
 
-    view = network.dense_view()
+    if view is None:
+        view = network.dense_view()
     k = view.n_nodes
     A = len(alive)
     n_arr = np.array([pipelines[i].n_modules for i in alive])

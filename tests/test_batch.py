@@ -76,6 +76,32 @@ class TestSequentialBatches:
         with pytest.raises(SpecificationError):
             solve_many(_suite(2), solver="nope", objective=Objective.MIN_DELAY)
 
+    def test_unexpected_exception_recorded_per_item(self):
+        def brittle(pipeline, network, request, **kwargs):
+            if pipeline.n_modules > 5:
+                raise ZeroDivisionError("synthetic numeric blow-up")
+            from repro.core import elpc_min_delay
+            return elpc_min_delay(pipeline, network, request, **kwargs)
+
+        instances = _suite(2) + _suite(2, n_modules=7)
+        result = solve_many(instances, solver=brittle,
+                            objective=Objective.MIN_DELAY)
+        assert result.n_solved == 2 and result.n_failed == 2
+        for item in result:
+            if item.ok:
+                assert item.error is None and item.traceback is None
+            else:
+                assert item.error == ("ZeroDivisionError: synthetic numeric "
+                                      "blow-up")
+                assert "Traceback" in item.traceback
+
+    def test_per_item_solves_carry_no_group(self):
+        result = solve_many(_suite(3), solver="elpc-vec",
+                            objective=Objective.MIN_DELAY)
+        assert all(item.group_id is None for item in result)
+        assert all(item.group_size == 1 for item in result)
+        assert result.group_times() == {}
+
     def test_bad_item_rejected(self):
         with pytest.raises(SpecificationError):
             solve_many([42], solver="elpc", objective=Objective.MIN_DELAY)

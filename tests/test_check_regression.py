@@ -146,3 +146,31 @@ class TestGate:
         current = _write(tmp_path, "cur.json", payload)
         assert check_regression.main(["--input", str(current),
                                       "--baseline", str(baseline)]) == 0
+
+
+class TestCheckedInBaselineCoverage:
+    """The committed development-machine baseline must cover every
+    perf-critical benchmark the CI ``bench`` job runs, so a fresh runner
+    baseline seeded from it gates the same metric set."""
+
+    def test_baseline_covers_all_gated_benchmark_files(self):
+        baseline_path = _SCRIPT.parent / "bench_baseline.json"
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        assert baseline["schema"] == check_regression.SCHEMA
+        metrics = set(baseline["metrics"])
+        for prefix in ("benchmarks/test_bench_vectorized_speedup.py",
+                       "benchmarks/test_bench_tensor_batch.py",
+                       "benchmarks/test_bench_parallel_batch.py"):
+            assert any(name.startswith(prefix) for name in metrics), (
+                f"no baseline metric recorded for {prefix}")
+
+    def test_baseline_includes_parallel_runtime_metrics(self):
+        baseline_path = _SCRIPT.parent / "bench_baseline.json"
+        metrics = json.loads(baseline_path.read_text(encoding="utf-8"))["metrics"]
+        parallel = ("benchmarks/test_bench_parallel_batch.py::"
+                    "test_parallel_batch_solve")
+        sequential = ("benchmarks/test_bench_parallel_batch.py::"
+                      "test_sequential_reference_baseline")
+        for name in (parallel, sequential):
+            assert name in metrics
+            assert metrics[name]["mean_s"] > 0

@@ -81,3 +81,59 @@ class TestCustomRegistration:
                 get_solver("delay-only-solver", Objective.MAX_FRAME_RATE)
         finally:
             _REGISTRY.pop(("delay-only-solver", Objective.MIN_DELAY), None)
+
+
+class TestBuiltinOverrideNotClobbered:
+    """Regression: registering over a builtin before the first lookup used to
+    be silently clobbered, because ``_load_builtins`` registered with
+    ``overwrite=True`` on the first ``get_solver`` call."""
+
+    def test_builtin_override_survives_lookups(self):
+        original = get_solver("greedy", Objective.MIN_DELAY)
+
+        def my_greedy(pipeline, network, request, **kwargs):
+            raise AssertionError  # pragma: no cover - identity is the test
+
+        register_solver("greedy", Objective.MIN_DELAY, my_greedy,
+                        overwrite=True)
+        try:
+            assert get_solver("greedy", Objective.MIN_DELAY) is my_greedy
+            # A later lookup of any other solver must not reload builtins
+            # over the override.
+            get_solver("elpc", Objective.MIN_DELAY)
+            assert get_solver("greedy", Objective.MIN_DELAY) is my_greedy
+        finally:
+            register_solver("greedy", Objective.MIN_DELAY, original,
+                            overwrite=True)
+
+    def test_override_before_first_lookup_in_fresh_interpreter(self):
+        """The original failure mode needs a registry nobody has touched yet,
+        so it runs in a subprocess."""
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.core import Objective, register_solver, get_solver\n"
+            "from repro.exceptions import SpecificationError\n"
+            "def mine(pipeline, network, request, **kw):\n"
+            "    raise RuntimeError('mine')\n"
+            "# builtins load first, so behaviour is lookup-order independent:\n"
+            "try:\n"
+            "    register_solver('greedy', Objective.MIN_DELAY, mine)\n"
+            "except SpecificationError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('duplicate builtin not detected')\n"
+            "register_solver('greedy', Objective.MIN_DELAY, mine, overwrite=True)\n"
+            "assert get_solver('greedy', Objective.MIN_DELAY) is mine, 'clobbered'\n"
+            "print('override-survived')\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", program], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "override-survived" in proc.stdout
