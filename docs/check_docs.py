@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Docs health checks: markdown link integrity + core docstring presence.
+
+Run by the CI ``docs`` job (and importable by ``tests/test_docs.py``):
+
+1. **Link check** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must resolve to an existing file, and ``#anchor`` fragments
+   pointing into a markdown file must match one of its headings
+   (GitHub-style slugs).  External ``http(s)://`` / ``mailto:`` links are
+   not fetched — this check needs no network.
+2. **Docstring check** — every public module, class, function and method
+   defined in ``repro.core.*`` must carry a docstring.  The architecture
+   docs lean on the API reference being readable straight from the source;
+   this keeps that promise enforceable.
+
+Usage::
+
+    python docs/check_docs.py [--repo-root PATH]
+
+Exits 0 when clean, 1 with one line per finding otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+#: Markdown inline links: [text](target) — images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)          # inline formatting
+    slug = re.sub(r"[^\w\- ]", "", slug)        # punctuation
+    return slug.replace(" ", "-")
+
+
+def _anchors_of(markdown_path: Path) -> set:
+    text = markdown_path.read_text(encoding="utf-8")
+    return {_slugify(match) for match in _HEADING_RE.findall(text)}
+
+
+def check_links(markdown_files: List[Path], repo_root: Path) -> List[str]:
+    """Relative-link findings (missing files / unknown anchors) for the docs.
+
+    Returns one message per broken link; an empty list means every relative
+    target exists and every in-repo anchor matches a heading.
+    """
+    findings: List[str] = []
+    for md in markdown_files:
+        text = md.read_text(encoding="utf-8")
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            base = md if not path_part else (md.parent / path_part)
+            if path_part:
+                resolved = base.resolve()
+                if not resolved.exists():
+                    findings.append(
+                        f"{md.relative_to(repo_root)}: broken link target "
+                        f"{target!r} (no such file)")
+                    continue
+            if anchor and base.suffix == ".md" and base.exists():
+                if _slugify(anchor) not in _anchors_of(base):
+                    findings.append(
+                        f"{md.relative_to(repo_root)}: anchor {target!r} "
+                        f"matches no heading in {base.name}")
+    return findings
+
+
+def _public_members(module) -> List[tuple]:
+    """(qualified name, object) pairs that must carry docstrings."""
+    members = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented where they are defined
+        members.append((f"{module.__name__}.{name}", obj))
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                func = attr.fget if isinstance(attr, property) else attr
+                if inspect.isfunction(func):
+                    members.append(
+                        (f"{module.__name__}.{name}.{attr_name}", func))
+    return members
+
+
+def check_docstrings(package_name: str = "repro.core") -> List[str]:
+    """Docstring findings for every public definition under ``package_name``."""
+    findings: List[str] = []
+    package = importlib.import_module(package_name)
+    module_names = [package_name] + [
+        f"{package_name}.{info.name}"
+        for info in pkgutil.iter_modules(package.__path__)
+    ]
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        if not (module.__doc__ or "").strip():
+            findings.append(f"{module_name}: missing module docstring")
+        for qualname, obj in _public_members(module):
+            doc = inspect.getdoc(obj)
+            if not (doc or "").strip():
+                findings.append(f"{qualname}: missing docstring")
+    return findings
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo-root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the parent of docs/)")
+    args = parser.parse_args(argv)
+    repo_root = args.repo_root.resolve()
+
+    sys.path.insert(0, str(repo_root / "src"))
+    markdown_files = sorted((repo_root / "docs").glob("*.md"))
+    readme = repo_root / "README.md"
+    if readme.exists():
+        markdown_files.append(readme)
+
+    findings = check_links(markdown_files, repo_root) + check_docstrings()
+    for finding in findings:
+        print(f"docs-check: {finding}", file=sys.stderr)
+    if findings:
+        print(f"docs-check: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check: {len(markdown_files)} markdown files and the "
+          f"repro.core API are clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,10 +28,12 @@ Public API highlights
 
 from ._version import PAPER, __version__
 from .core import (
+    ArrayBackend,
     BatchItemResult,
     BatchRunResult,
     Objective,
     PipelineMapping,
+    available_backends,
     available_solvers,
     elpc_max_frame_rate,
     elpc_max_frame_rate_many,
@@ -43,6 +45,7 @@ from .core import (
     elpc_min_delay_vec,
     exhaustive_max_frame_rate,
     exhaustive_min_delay,
+    get_backend,
     get_solver,
     mapping_from_assignment,
     register_solver,
@@ -52,11 +55,13 @@ from .core import (
 )
 from .exceptions import (
     AlgorithmError,
+    BackendUnavailableError,
     InfeasibleMappingError,
     MeasurementError,
     ReproError,
     SimulationError,
     SpecificationError,
+    UnsupportedStartMethodError,
 )
 from .model import (
     CommunicationLink,
@@ -91,7 +96,10 @@ __all__ = [
     "solve", "get_solver", "register_solver", "available_solvers",
     # batch engine
     "solve_many", "BatchItemResult", "BatchRunResult", "ParallelBatchRunner",
+    # array backends
+    "ArrayBackend", "get_backend", "available_backends",
     # exceptions
     "ReproError", "SpecificationError", "InfeasibleMappingError",
     "AlgorithmError", "SimulationError", "MeasurementError",
+    "BackendUnavailableError", "UnsupportedStartMethodError",
 ]

@@ -116,6 +116,7 @@ class AgreementReport:
     disagreements: List[SolverDisagreement] = field(default_factory=list)
     solver_time_s: Dict[str, float] = field(default_factory=dict)
     workers: int = 1
+    backend: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -130,6 +131,7 @@ class AgreementReport:
             "cases": self.n_cases,
             "ok": self.ok,
             "workers": self.workers,
+            "backend": self.backend,
             "disagreements": [d.describe() for d in self.disagreements],
             "solver_time_s": {name: round(t, 6)
                               for name, t in self.solver_time_s.items()},
@@ -141,7 +143,8 @@ def check_solver_agreement(instances: Iterable[ProblemInstance], *,
                            objectives: Sequence[Objective] = (
                                Objective.MIN_DELAY, Objective.MAX_FRAME_RATE),
                            rel_tol: float = 1e-12,
-                           workers: Optional[int] = None) -> AgreementReport:
+                           workers: Optional[int] = None,
+                           backend: Optional[str] = None) -> AgreementReport:
     """Cross-check that interchangeable solvers produce identical results.
 
     The first entry of ``solvers`` is the reference; every other solver is
@@ -154,28 +157,52 @@ def check_solver_agreement(instances: Iterable[ProblemInstance], *,
     (sequential and inside worker chunks) through the check itself; the
     worker count is recorded in the report so archived CI artifacts say which
     path produced the numbers.
+
+    ``backend`` names an array backend (:mod:`repro.core.backend`) for the
+    *tensor* batches of the check — the scalar and vectorized references
+    always compute in NumPy, which is exactly what makes this the
+    cross-device agreement gate: ``backend="cupy"`` compares GPU tensor
+    results against the CPU references case by case.  The resolved backend
+    name is recorded in the report (``None`` means the default was used);
+    an unusable backend raises
+    :class:`~repro.exceptions.BackendUnavailableError` up front.
     """
+    from ..core.backend import validate_backend_name
+    from ..core.batch import TENSOR_SOLVERS
     from ..core.parallel import maybe_runner
 
     suite = list(instances)
+    # Light name validation only: constructing a GPU backend here would
+    # initialise CUDA before the (fork-only) worker pool starts.
+    if backend is None:
+        backend_name = None
+    elif isinstance(backend, str):
+        backend_name = validate_backend_name(backend)
+    else:
+        backend_name = backend.name
     report = AgreementReport(solvers=tuple(solvers), objectives=tuple(objectives),
-                             n_cases=len(suite), workers=int(workers or 1))
+                             n_cases=len(suite), workers=int(workers or 1),
+                             backend=backend_name)
     # One pool + one shared-memory export serve the whole cross-check, not a
     # transient pool per (solver, objective) batch.
     with maybe_runner(workers) as runner:
         _check_agreement_batches(suite, solvers, objectives, report, runner,
-                                 rel_tol)
+                                 rel_tol, backend=backend,
+                                 tensor_solvers=TENSOR_SOLVERS)
     return report
 
 
 def _check_agreement_batches(suite, solvers, objectives,
                              report: AgreementReport, runner,
-                             rel_tol: float) -> None:
+                             rel_tol: float, *, backend=None,
+                             tensor_solvers=frozenset()) -> None:
     for objective in objectives:
         batches = {}
         for name in solvers:
             batch = solve_many(suite, solver=name, objective=objective,
-                               workers=report.workers, runner=runner)
+                               workers=report.workers, runner=runner,
+                               backend=(backend if name.lower() in tensor_solvers
+                                        else None))
             batches[name] = batch
             report.solver_time_s[name] = (report.solver_time_s.get(name, 0.0)
                                           + batch.wall_time_s)

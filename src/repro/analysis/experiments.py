@@ -208,7 +208,8 @@ def tensor_batch_speedup(*, batch_sizes: Sequence[int] = (8, 32, 64),
                          objective: Objective = Objective.MIN_DELAY,
                          looped_solver: str = "elpc-vec",
                          tensor_solver: str = "elpc-tensor",
-                         workers: Optional[int] = None
+                         workers: Optional[int] = None,
+                         backend: Optional[str] = None
                          ) -> TensorBatchSpeedupResult:
     """Measure the tensor engine's batched-throughput win over a per-item loop.
 
@@ -222,7 +223,10 @@ def tensor_batch_speedup(*, batch_sizes: Sequence[int] = (8, 32, 64),
     engines on a persistent :class:`~repro.core.parallel.ParallelBatchRunner`
     (the pool and the shared-memory network export are set up outside the
     timed region); the tensor path then runs one grouped solve per worker
-    chunk.
+    chunk.  ``backend`` names an array backend (:mod:`repro.core.backend`)
+    for the *tensor* passes — the looped reference stays on NumPy, so the
+    reported speedup is device-vs-CPU-loop and the value cross-check doubles
+    as a device-parity check.
     """
     batch_sizes = sorted(int(b) for b in batch_sizes)
     network = random_network(k_nodes, n_links, seed=seed)
@@ -255,7 +259,8 @@ def tensor_batch_speedup(*, batch_sizes: Sequence[int] = (8, 32, 64),
                 looped = solve_many(sub, solver=looped_solver,
                                     objective=objective, runner=runner)
                 tensor = solve_many(sub, solver=tensor_solver,
-                                    objective=objective, runner=runner)
+                                    objective=objective, runner=runner,
+                                    backend=backend)
                 best_looped = min(best_looped, looped.wall_time_s)
                 best_tensor = min(best_tensor, tensor.wall_time_s)
                 for a, b in zip(looped.values(), tensor.values()):

@@ -13,7 +13,11 @@ Three entry points are installed with the package:
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
 All of them are thin wrappers over the library API so everything they do is
-also available programmatically.  ``repro bench`` exits with status 3 when
+also available programmatically.  ``repro solve``, ``repro bench`` and
+``repro bench-batch`` take ``--backend`` (default ``$REPRO_BACKEND``) to run
+the tensor engine on an alternative array backend
+(:mod:`repro.core.backend`); an unavailable backend exits 1 with the
+installed ones listed.  ``repro bench`` exits with status 3 when
 the interchangeable ELPC engines (``elpc`` / ``elpc-vec`` / ``elpc-tensor``)
 disagree on any suite case — the same verdict the CI benchmark gate archives
 — so scripted pipelines cannot silently publish numbers from diverging
@@ -80,9 +84,32 @@ def _build_map_parser(prog: str = "repro-map") -> argparse.ArgumentParser:
                              "repro.solve_many and print a summary table")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --batch-seeds (default: in-process)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="array backend for the elpc-tensor engine "
+                             "(numpy/cupy/jax; default: $REPRO_BACKEND or "
+                             "numpy; unavailable backends fail with the "
+                             "installed ones listed)")
     parser.add_argument("--list-algorithms", action="store_true",
                         help="list registered algorithms and exit")
     return parser
+
+
+def _backend_solver_kwargs(algorithm: str, objective: Objective,
+                           backend: Optional[str]) -> dict:
+    """Solver kwargs carrying a validated ``--backend`` choice.
+
+    Delegates to :func:`repro.core.batch.resolve_solver_backend` so single
+    CLI solves and ``solve_many`` batches enforce one policy: unknown or
+    uninstalled backends fail up front with the actionable
+    :class:`~repro.exceptions.BackendUnavailableError` (listing the
+    installed backends), only the builtin tensor engine receives a
+    ``backend=`` kwarg, ``numpy`` is a no-op for every other solver, and
+    anything else is rejected rather than silently ignored.
+    """
+    from .core.batch import resolve_solver_backend
+
+    value = resolve_solver_backend(algorithm, objective, backend)
+    return {} if value is None else {"backend": value}
 
 
 def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
@@ -124,7 +151,7 @@ def _batch_instances(args: argparse.Namespace) -> List[ProblemInstance]:
 def _run_batch(args: argparse.Namespace, objective: Objective) -> int:
     instances = _batch_instances(args)
     result = solve_many(instances, solver=args.algorithm, objective=objective,
-                        workers=args.workers)
+                        workers=args.workers, backend=args.backend)
     unit = "ms delay" if objective is Objective.MIN_DELAY else "fps"
     print(f"batch: {len(result)} instances, solver={result.solver}, "
           f"objective={objective.value}, workers={result.workers}")
@@ -156,8 +183,11 @@ def main_map(argv: Optional[Sequence[str]] = None, *,
         solver = get_solver(args.algorithm, objective)
         if args.batch_seeds is not None:
             return _run_batch(args, objective)
+        solver_kwargs = _backend_solver_kwargs(args.algorithm, objective,
+                                               args.backend)
         instance = _resolve_instance(args)
-        mapping = solver(instance.pipeline, instance.network, instance.request)
+        mapping = solver(instance.pipeline, instance.network, instance.request,
+                         **solver_kwargs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -191,6 +221,11 @@ def _build_bench_parser() -> argparse.ArgumentParser:
                         help="run the engine cross-check over N worker "
                              "processes (shared-memory pool; results must "
                              "stay identical to the in-process run)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="array backend for the elpc-tensor side of the "
+                             "cross-check (numpy/cupy/jax; the scalar and "
+                             "vectorized references always run NumPy, so "
+                             "this doubles as a device-parity gate)")
     return parser
 
 
@@ -212,7 +247,7 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         if not args.skip_agreement:
             agreement = check_solver_agreement(
                 paper_case_suite(max_cases=args.max_cases),
-                workers=args.workers)
+                workers=args.workers, backend=args.backend)
     except ReproError as exc:  # pragma: no cover - defensive
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -236,9 +271,11 @@ def main_bench(argv: Optional[Sequence[str]] = None) -> int:
         print(f"{name:>16}: {path}")
     if agreement is not None:
         if agreement.ok:
+            backend_note = (f" (tensor backend: {agreement.backend})"
+                            if agreement.backend else "")
             print(f"engine agreement: {', '.join(agreement.solvers)} agree on "
                   f"{agreement.n_cases} cases x "
-                  f"{len(agreement.objectives)} objectives")
+                  f"{len(agreement.objectives)} objectives{backend_note}")
         else:
             print("error: ELPC engines disagree on "
                   f"{len(agreement.disagreements)} result(s):", file=sys.stderr)
@@ -327,6 +364,10 @@ def _build_bench_batch_parser(prog: str = "repro bench-batch"
     parser.add_argument("--workers", type=int, default=None,
                         help="run both engines on a persistent N-worker "
                              "shared-memory pool (default: in-process)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="array backend for the tensor passes "
+                             "(numpy/cupy/jax; the looped reference stays on "
+                             "NumPy, so the table reads device vs CPU loop)")
     return parser
 
 
@@ -343,7 +384,7 @@ def main_bench_batch(argv: Optional[Sequence[str]] = None, *,
         result = tensor_batch_speedup(
             batch_sizes=sizes, n_modules=args.modules, k_nodes=args.nodes,
             n_links=args.links, seed=args.seed, repetitions=args.repetitions,
-            workers=args.workers)
+            workers=args.workers, backend=args.backend)
     except ValueError:
         print(f"error: bad --batch-sizes {args.batch_sizes!r}; values must be "
               "integers", file=sys.stderr)

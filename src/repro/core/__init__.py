@@ -11,6 +11,10 @@
   (:func:`elpc_min_delay_many` / :func:`elpc_max_frame_rate_many`, registered
   as ``"elpc-tensor"``) that advance many pipelines' DPs over one network in
   stacked array passes, bit-identical to the scalar and vectorized solvers.
+* :mod:`repro.core.backend` — the pluggable array-API backends the tensor
+  engine runs on (:func:`get_backend` / :class:`ArrayBackend`: NumPy
+  reference, optional CuPy and JAX), selected per solve via ``backend=``,
+  the ``--backend`` CLI flag, or the ``REPRO_BACKEND`` environment variable.
 * :mod:`repro.core.batch` — :func:`solve_many`, the batch API behind the
   experiment sweeps and the CLI; same-network groups of an ``"elpc-tensor"``
   batch run through the tensor engine in one call per group, sequentially and
@@ -27,6 +31,15 @@
   every solver, and :mod:`repro.core.registry` to look solvers up by name.
 """
 
+from .backend import (
+    ArrayBackend,
+    CupyBackend,
+    JaxBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .alternatives import (
     FailureImpact,
     FaultTolerancePlan,
@@ -69,6 +82,8 @@ __all__ = [
     "elpc_min_delay_many", "elpc_max_frame_rate_many",
     "elpc_min_delay_tensor", "elpc_max_frame_rate_tensor",
     "BatchItemResult", "BatchRunResult", "solve_many", "ParallelBatchRunner",
+    "ArrayBackend", "NumpyBackend", "CupyBackend", "JaxBackend",
+    "get_backend", "available_backends", "register_backend",
     "exhaustive_min_delay", "exhaustive_max_frame_rate", "enumerate_exact_hop_paths",
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "ENSPInstance", "hamiltonian_path_to_ensp", "verify_ensp_certificate",

@@ -17,8 +17,8 @@ rest of the batch proceeds — in pool mode this also keeps unpicklable
 exception objects from tearing down the whole pool, since only strings cross
 the process boundary.
 
-Tensor dispatch
----------------
+Tensor dispatch and array backends
+----------------------------------
 When the batch is solved with ``solver="elpc-tensor"``, :func:`solve_many`
 groups instances sharing one :class:`TransportNetwork` *object* and hands
 each group to the batched tensor engine (:mod:`repro.core.tensor`) in a
@@ -32,6 +32,14 @@ side by side instead of silently falling back to per-item scalar solves.
 Items solved in a batched group share a ``group_id`` and report the group's
 wall time (:attr:`BatchItemResult.group_wall_s`) next to the uniformly
 averaged ``runtime_s``.
+
+``backend=`` selects the array backend the tensor engine runs its DP stages
+on (:mod:`repro.core.backend`: NumPy reference, optional CuPy/JAX), validated
+up front so an unusable backend fails the whole call with an actionable
+:class:`~repro.exceptions.BackendUnavailableError` instead of per-item
+failures; only the builtin tensor engine is backend-aware, every other
+solver computes in NumPy.  See ``docs/ARCHITECTURE.md`` for the engine layer
+map, the backend seam, and the engine/backend selection guide.
 
 Multiprocessing notes
 ---------------------
@@ -52,6 +60,7 @@ persist across calls.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback as _traceback
 from dataclasses import dataclass, field
@@ -75,9 +84,11 @@ from .mapping import Objective, PipelineMapping
 from .registry import get_solver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backend import BackendLike
     from .parallel import ParallelBatchRunner
 
-__all__ = ["BatchItemResult", "BatchRunResult", "solve_many"]
+__all__ = ["BatchItemResult", "BatchRunResult", "solve_many",
+           "resolve_solver_backend"]
 
 #: Solver names whose batches are grouped by network and dispatched through
 #: the tensor engine (one batched call per group) instead of per-item solves.
@@ -238,6 +249,67 @@ def _use_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
         return False
 
 
+def resolve_solver_backend(solver: Union[str, Callable[..., PipelineMapping]],
+                           objective: Objective,
+                           backend: "BackendLike", *,
+                           workers: int = 1):
+    """The one backend-selection policy shared by the CLI and ``solve_many``.
+
+    Returns the value to forward as the tensor engine's ``backend=`` kwarg,
+    or ``None`` when nothing should be injected.  The rules:
+
+    * An **explicit** selection is validated up front — an unknown or
+      uninstalled backend raises
+      :class:`~repro.exceptions.BackendUnavailableError` (listing the
+      installed ones) before any solving, and a non-NumPy backend combined
+      with a solver that is not the builtin tensor engine raises
+      :class:`SpecificationError` rather than being silently ignored.
+    * ``None`` falls back to the ``REPRO_BACKEND`` environment variable,
+      which gets the **same fail-fast validation** when the solver is the
+      backend-aware tensor engine (``REPRO_BACKEND=cupy`` without CuPy must
+      fail the call, not degrade into per-item failures).  For every other
+      solver the environment default is simply not applicable — it names the
+      tensor engine's backend, and those solvers never read it — so it is
+      ignored instead of failing unrelated batches.
+    * Under ``workers > 1`` the backend must be a *name* and is validated
+      with the light :func:`~repro.core.backend.validate_backend_name` check
+      only: constructing a GPU backend here would initialise CUDA in a
+      parent that is about to ``fork`` (which CUDA forbids) — each worker
+      constructs its own instance from the shipped name.
+    """
+    explicit = backend is not None
+    if not explicit:
+        from .backend import BACKEND_ENV_VAR
+
+        backend = os.environ.get(BACKEND_ENV_VAR) or None
+        if backend is None:
+            return None
+    from .backend import get_backend, validate_backend_name
+
+    tensor = _use_tensor_dispatch(solver, objective)
+    if not tensor and not explicit:
+        return None
+    if workers > 1:
+        if not isinstance(backend, str):
+            raise SpecificationError(
+                "multiprocessing batches need the backend by name "
+                "(ArrayBackend instances cannot be shipped to worker "
+                "processes)")
+        name = validate_backend_name(backend)
+    else:
+        name = get_backend(backend).name
+    if tensor:
+        return backend
+    if name != "numpy":
+        solver_label = solver if isinstance(solver, str) else getattr(
+            solver, "__name__", str(solver))
+        raise SpecificationError(
+            f"solver {solver_label!r} is not backend-aware; only the builtin "
+            f"tensor engine ({sorted(TENSOR_SOLVERS)}) runs on backend "
+            f"{name!r} — every other solver computes in NumPy")
+    return None
+
+
 def _describe_unexpected(exc: BaseException) -> Tuple[str, str]:
     """``(error, traceback)`` strings for a non-``ReproError`` exception.
 
@@ -340,6 +412,7 @@ def solve_many(instances: Iterable[InstanceLike], *,
                workers: Optional[int] = None,
                runner: Optional["ParallelBatchRunner"] = None,
                chunk_size: Optional[int] = None,
+               backend: "BackendLike" = None,
                **solver_kwargs) -> BatchRunResult:
     """Solve every instance of a batch with one solver.
 
@@ -371,6 +444,20 @@ def solve_many(instances: Iterable[InstanceLike], *,
     chunk_size:
         Instances per worker chunk under parallelism (default: batch size /
         (2·workers), so every worker gets about two chunks).
+    backend:
+        Array backend for the tensor engine's DP stages — a
+        :mod:`repro.core.backend` name (``"numpy"``, ``"cupy"``, ``"jax"``),
+        an :class:`~repro.core.backend.ArrayBackend` instance (in-process
+        batches only), or ``None`` for the ``REPRO_BACKEND``/NumPy default
+        (an unusable ``REPRO_BACKEND`` value fails tensor batches exactly
+        like an explicit one; see :func:`resolve_solver_backend`).
+        Validated before any solve: an unusable backend raises
+        :class:`~repro.exceptions.BackendUnavailableError` listing the
+        installed ones, and a non-NumPy backend combined with a solver that
+        is not the builtin tensor engine raises
+        :class:`SpecificationError` (those solvers always compute in NumPy,
+        so silently accepting e.g. ``backend="cupy"`` would misreport where
+        the numbers came from).
     solver_kwargs:
         Forwarded to every solve (e.g. ``include_link_delay=False``).
 
@@ -397,6 +484,11 @@ def solve_many(instances: Iterable[InstanceLike], *,
                 "multiprocessing batches need the solver by registry name "
                 "(callables cannot be shipped to worker processes)")
         solver_name = getattr(solver, "__name__", str(solver))
+
+    backend_value = resolve_solver_backend(solver, objective, backend,
+                                           workers=n_workers)
+    if backend_value is not None:
+        solver_kwargs["backend"] = backend_value
 
     start = time.perf_counter()
     if n_workers > 1 and len(normalized) > 1:

@@ -39,20 +39,29 @@ startup and network exports over many batches::
         for campaign in campaigns:
             result = solve_many(campaign, solver="elpc-tensor", runner=runner)
 
-The runtime prefers the ``fork`` start method (instant workers, and parent
-and children share one shared-memory resource tracker); on platforms without
-``fork`` it falls back to the default start method.
+The runtime *requires* the ``fork`` start method (instant workers, parent
+and children share one solver registry snapshot and one shared-memory
+resource tracker).  Platforms whose default is ``spawn`` or ``forkserver``
+(macOS, Windows) fail fast with
+:class:`~repro.exceptions.UnsupportedStartMethodError` instead of silently
+running an untested path — see :func:`_pool_context` and the "Parallel
+runtime" section of ``docs/ARCHITECTURE.md``; sequential solves
+(``workers=1``) work everywhere.  Backend selection for ``"elpc-tensor"``
+batches crosses the process boundary as a plain backend *name* inside the
+solver kwargs (:mod:`repro.core.backend` resolves it per worker), so the
+shared-memory runtime needed no changes for the backend seam.
 """
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import replace
 from math import ceil
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..exceptions import SpecificationError
+from ..exceptions import SpecificationError, UnsupportedStartMethodError
 from ..model.network import (
     SharedViewSpec,
     TransportNetwork,
@@ -190,6 +199,45 @@ def _solve_chunk(payload: _ChunkPayload
 # ----------------------------------------------------------------------- #
 # Parent side
 # ----------------------------------------------------------------------- #
+def _pool_context(platform: Optional[str] = None,
+                  default_method: Optional[str] = None):
+    """The multiprocessing context the worker pool runs on (``fork`` only).
+
+    On Linux this is always the ``fork`` context.  Everywhere else the
+    platform default is inspected, and anything other than ``fork`` —
+    ``spawn`` (macOS, Windows) or ``forkserver`` — raises
+    :class:`~repro.exceptions.UnsupportedStartMethodError` *before* a pool
+    starts: under those start methods workers re-import the package (parent
+    solver registrations are invisible) and shared-memory attachment /
+    resource-tracker lifetimes follow different rules, none of which this
+    runtime is tested against.  Failing fast with a pointer to
+    ``workers=1`` beats silently producing results from an unexercised
+    code path.
+
+    ``platform`` and ``default_method`` default to the live
+    ``sys.platform`` / ``multiprocessing.get_start_method()`` and exist so
+    the non-POSIX verdicts are testable from any platform
+    (``tests/test_parallel_batch.py``).
+    """
+    import multiprocessing as mp
+
+    platform = sys.platform if platform is None else platform
+    if platform.startswith("linux"):
+        # Instant workers that inherit the parent's registry and share its
+        # shared-memory resource tracker.
+        return mp.get_context("fork")
+    method = default_method or mp.get_start_method()
+    if method != "fork":
+        raise UnsupportedStartMethodError(
+            f"the shared-memory parallel runtime requires the 'fork' start "
+            f"method, but this platform ({platform}) defaults to "
+            f"{method!r}, which is untested here (worker registry snapshots "
+            "and shared-memory lifetimes differ); solve with workers=1, or "
+            "run on a platform with fork (see docs/ARCHITECTURE.md, "
+            "'Parallel runtime')", start_method=method)
+    return mp.get_context(method)
+
+
 class ParallelBatchRunner:
     """Persistent worker pool + shared-memory network cache for batch solves.
 
@@ -231,20 +279,10 @@ class ParallelBatchRunner:
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
         if self._pool is None:
-            import multiprocessing as mp
-            import sys
             from concurrent.futures import ProcessPoolExecutor
 
-            # fork only on Linux: instant workers that inherit the parent's
-            # registry and resource tracker.  Everywhere else (macOS defaults
-            # to spawn because fork is unsafe under its system frameworks;
-            # Windows has no fork) keep the platform default.
-            if sys.platform.startswith("linux"):
-                context = mp.get_context("fork")
-            else:  # pragma: no cover - exercised on non-Linux platforms only
-                context = mp.get_context()
             self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                             mp_context=context)
+                                             mp_context=_pool_context())
         return self._pool
 
     def close(self) -> None:

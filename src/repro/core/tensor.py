@@ -1,44 +1,35 @@
 """Tensor batch engine: the ELPC dynamic programs for *many* pipelines over
 one shared network, solved in a single pass of stacked array operations.
 
-The paper's experiment campaigns (delay / frame-rate curves versus pipeline
-length and network size, the Fig. 5 / Fig. 6 sweeps) repeatedly solve many
-pipelines against one topology.  After PR 1 each of those solves still ran its
-DP column-by-column per pipeline through :mod:`repro.core.vectorized`.  The
-functions here stack the DP columns of ``B`` pipelines sharing one
-:meth:`TransportNetwork.dense_view` into ``(B, k)`` state arrays and advance
-every pipeline's DP one module stage at a time:
+:func:`elpc_min_delay_many` and :func:`elpc_max_frame_rate_many` stack the DP
+columns of ``B`` pipelines sharing one
+:meth:`~repro.model.network.TransportNetwork.dense_view` into ``(B, k)``
+state arrays and advance every pipeline's DP one module stage per pass over
+the view's CSR edge layout — :math:`O(B\\,|E|)` entries per stage, reduced
+per destination node with the padded-slot segment minimum of
+:meth:`repro.core.backend.ArrayBackend.segment_min`.  Every floating-point
+operation runs element-wise in the same order as the scalar and vectorized
+solvers, so values, DP tables and backtracked assignments are
+**bit-identical** to both (``tests/test_tensor_equivalence.py``).
 
-* :func:`elpc_min_delay_many` — exact batched min-delay recurrence,
-* :func:`elpc_max_frame_rate_many` — the batched min-max frame-rate heuristic
-  with the per-pipeline visited-path guard kept as a ``(B, k, k)`` mask.
+Every DP-stage operand and operation is routed through a pluggable
+:class:`~repro.core.backend.ArrayBackend` (``backend=`` parameter, default
+resolved from ``REPRO_BACKEND``/NumPy): the network's arrays are staged on
+the backend's device once per view, the stages run in its array namespace,
+and only the finished state arrays cross back to the host.  The native NumPy
+backend additionally takes an in-place scratch-buffer fast path for the
+min-delay stages; all other backends — CuPy, JAX, or a NumPy backend forced
+onto the generic path in tests — run the functional equivalent with the same
+operation order (``tests/test_backend_equivalence.py`` pins the bit-identity
+of that seam).  See ``docs/ARCHITECTURE.md`` for the engine layer map, the
+batch semantics shared with :func:`repro.core.batch.solve_many`, and the
+guide to choosing an engine/backend combination.
 
-Conceptually each stage is the ``(B, k, k)`` candidate tensor
-``cand[b, u, v] = T_b^{j-1}(u) ⊕ cost_b(u, v)`` reduced over ``u``.
-Materialising that tensor, however, is memory-bound and only ~2× faster than
-the loop; the implementation instead evaluates the candidates on the view's
-CSR edge layout (:attr:`DenseNetworkView.edge_u` et al.) — :math:`O(B |E|)`
-entries per stage, reduced per destination node with
-``np.minimum.reduceat`` — which is what delivers the ≥5× batched-throughput
-win asserted in ``benchmarks/test_bench_tensor_batch.py``.  The best
-predecessor (lowest node index on ties, exactly like ``np.argmin`` in the
-vectorized engine) is recovered by a second segment reduction over the edge
-source indices of the entries equal to the segment minimum.
-
-Every floating-point operation is performed element-wise in the same order as
-the scalar and vectorized solvers (``(T_prev + compute) + trans`` for the
-delay DP, ``max(max(T_prev, compute), trans)`` for the frame-rate DP, with
-the transport term ``(m · 8 / b) · 10³ + d``), so the produced values, DP
-tables and backtracked assignments are **bit-identical** to both — the
-differential suite in ``tests/test_tensor_equivalence.py`` extends the PR-1
-harness verbatim.
-
-Batch semantics: infeasible items do not abort the batch.  The ``*_many``
-functions return one entry per input — a :class:`PipelineMapping` or the
-:class:`InfeasibleMappingError` that a scalar solve of the same instance
-would have raised — and :func:`repro.core.batch.solve_many` dispatches
-same-network groups of a batch through this path when the ``"elpc-tensor"``
-solver is requested.  The single-instance wrappers
+Batch semantics in one line: infeasible or malformed items never abort a
+batch — each input slot gets either a
+:class:`~repro.core.mapping.PipelineMapping` or the
+:class:`~repro.exceptions.ReproError` a scalar solve of the same instance
+would have raised.  The single-instance wrappers
 :func:`elpc_min_delay_tensor` / :func:`elpc_max_frame_rate_tensor` (what the
 registry serves under ``"elpc-tensor"``) run a batch of one and raise the
 error entry, giving the uniform solver signature.
@@ -47,7 +38,7 @@ error entry, giving the uniform solver signature.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +47,7 @@ from ..model.link import BITS_PER_BYTE
 from ..model.network import DenseNetworkView, EndToEndRequest, TransportNetwork
 from ..model.pipeline import Pipeline
 from ..model.validation import check_delay_instance, check_framerate_instance
+from .backend import ArrayBackend, BackendLike, StagedView, get_backend
 from .mapping import Objective, PipelineMapping, mapping_from_assignment
 from .vectorized import _as_dp_table, _backtrack
 
@@ -143,123 +135,29 @@ def _stage_arrays(pipelines: Sequence[Pipeline], alive: Sequence[int],
     return workload, message
 
 
-def _segment_min(values: np.ndarray, view: DenseNetworkView,
-                 nonempty_starts: np.ndarray, nonempty_nodes: np.ndarray,
-                 k: int) -> tuple:
-    """Per-destination-node minimum and lowest-u argmin over edge values.
+# --------------------------------------------------------------------------- #
+# Min-delay DP stage sweeps
+# --------------------------------------------------------------------------- #
+def _min_delay_stages_inplace(staged: StagedView, A: int, n_arr: np.ndarray,
+                              src: np.ndarray, workload: np.ndarray,
+                              message: np.ndarray, *,
+                              include_link_delay: bool) -> Tuple[np.ndarray,
+                                                                 np.ndarray,
+                                                                 np.ndarray]:
+    """The native-NumPy min-delay sweep: in-place kernels on scratch buffers.
 
-    ``values`` is ``(A, 2|E|)`` of candidate costs in CSR order; returns
-    ``(best, best_u)`` of shape ``(A, k)`` where ``best`` is ``inf`` (and
-    ``best_u`` is 0, matching ``np.argmin`` over an all-``inf`` column) for
-    nodes with no incoming edge or no finite candidate.
+    One stage is ~12 array passes over ``(A, 2|E|)`` / ``(A, k)`` operands,
+    so recycling the storage (and taking the slice fast path while every
+    pipeline is still running) removes a third of the batched DP's wall time
+    without touching any arithmetic — which is why this path stays alongside
+    :func:`_min_delay_stages_generic`: ``out=`` / ``np.copyto`` kernels are
+    not expressible in the portable array API.  Only selected when the
+    backend reports ``supports_inplace`` (native NumPy); the generic sweep
+    performs the same operations in the same order, so both produce
+    bit-identical ``(values, pred, same)`` state arrays.
     """
-    A = values.shape[0]
-    best = np.full((A, k), np.inf)
-    best[:, nonempty_nodes] = np.minimum.reduceat(values, nonempty_starts, axis=1)
-    # Lowest edge-source index attaining the minimum: replace non-minimal
-    # entries by the sentinel k and take the segment minimum of the indices.
-    is_min = values == np.take(best, view.edge_v, axis=1)
-    u_or_k = np.where(is_min, view.edge_u[None, :], k)
-    best_u = np.zeros((A, k), dtype=np.int64)
-    best_u[:, nonempty_nodes] = np.minimum.reduceat(u_or_k, nonempty_starts, axis=1)
-    # All-inf segments compare inf == inf and pick the lowest edge u; the
-    # vectorized engine's argmin over a full all-inf column yields 0 instead.
-    # The value is inf either way, so the index never reaches a mapping, but
-    # normalise for bit-identical predecessor arrays.
-    best_u[~np.isfinite(best)] = 0
-    return best, best_u
-
-
-def _edge_transport_ms(view: DenseNetworkView, message_bytes: np.ndarray, *,
-                       include_link_delay: bool) -> np.ndarray:
-    """``(A, 2|E|)`` per-directed-edge transport times for per-item messages.
-
-    Mirrors :meth:`DenseNetworkView.transport_matrix_ms` (and therefore
-    :func:`repro.model.link.transfer_time_ms`) element-wise: the gathered
-    edge entries go through exactly the operations the dense matrix entries
-    would, so the values are bit-identical.
-    """
-    seconds = (message_bytes[:, None] * BITS_PER_BYTE
-               / view.edge_bandwidth_bits_per_s[None, :])
-    times = seconds * 1e3
-    if include_link_delay:
-        times = times + view.edge_link_delay[None, :]
-    return times
-
-
-def elpc_min_delay_many(pipelines: Sequence[Pipeline],
-                        network: TransportNetwork,
-                        requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
-                        *, include_link_delay: bool = True,
-                        keep_table: bool = False,
-                        view: Optional[DenseNetworkView] = None) -> List[BatchEntry]:
-    """Batched exact minimum-delay mappings of many pipelines over one network.
-
-    Solves the same problem as ``B`` calls of
-    :func:`repro.core.vectorized.elpc_min_delay_vec` — same optima, same
-    feasibility verdicts, same tie-breaking, bit-identical DP tables — but
-    advances all ``B`` dynamic programs together, one module stage per pass of
-    CSR edge-array operations.  Pipelines of different lengths are supported;
-    an item stops participating once its last column is filled.
-
-    Parameters
-    ----------
-    pipelines:
-        The pipelines to map.
-    network:
-        The shared transport network.
-    requests:
-        One :class:`EndToEndRequest` per pipeline, or a single request shared
-        by all of them.
-    include_link_delay, keep_table:
-        As in the scalar and vectorized solvers; ``keep_table`` attaches each
-        item's :class:`~repro.core.dp_table.DPTable` under
-        ``mapping.extras["dp_table"]``.
-    view:
-        Optional dense view to advance the DP over in place of
-        ``network.dense_view()`` — the solve-from-attached-view entry point
-        for callers holding a view re-wrapped from a shared-memory block
-        (:func:`repro.model.network.attach_shared_view`): the solve is
-        zero-copy, and since the arrays are byte-identical to the exporting
-        process's view, so are the results.  (The parallel runtime itself
-        reaches the same effect by installing the attached view on a rebuilt
-        network via :meth:`TransportNetwork.from_dense_view`, so plain
-        ``solve_many`` batches need no extra argument.)  ``view`` must
-        describe ``network``'s topology.
-
-    Returns
-    -------
-    list
-        One entry per pipeline, in input order: the
-        :class:`~repro.core.mapping.PipelineMapping`, or the
-        :class:`~repro.exceptions.ReproError` a scalar solve of that instance
-        would have raised (:class:`InfeasibleMappingError` for infeasible
-        items, ``SpecificationError`` for malformed ones such as unknown
-        endpoint nodes).  Nothing is raised per item — one pathological
-        instance must not abort the batch.
-    """
-    start = time.perf_counter()
-    pipelines = list(pipelines)
-    B = len(pipelines)
-    requests = _broadcast_requests(requests, B)
-    results: List[Optional[BatchEntry]] = [None] * B
-    if B == 0:
-        return []
-    alive = _batched_feasibility(pipelines, network, requests, results,
-                                 framerate=False, view=view)
-    if not alive:
-        return results  # type: ignore[return-value]
-
-    if view is None:
-        view = network.dense_view()
-    k = view.n_nodes
-    A = len(alive)
-    n_arr = np.array([pipelines[i].n_modules for i in alive])
+    k = staged.k
     n_max = int(n_arr.max())
-    src = np.array([view.index_of[requests[i].source] for i in alive])
-    dst = np.array([view.index_of[requests[i].destination] for i in alive])
-    workload, message = _stage_arrays(pipelines, alive, n_max)
-    power_ms = view.power * 1e3
     rows = np.arange(k)
 
     values = np.full((A, n_max, k), np.inf)
@@ -267,25 +165,18 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
     same = np.zeros((A, n_max, k), dtype=bool)
     values[np.arange(A), 0, src] = 0.0
 
-    # Scratch buffers reused across stages: one stage is ~12 array passes over
-    # (A, 2|E|) / (A, k) operands, so recycling the storage (and taking the
-    # slice fast path while every pipeline is still running) removes a third
-    # of the batched DP's wall time without touching any arithmetic.
-    #
-    # The per-node minimum runs over a padded dense layout instead of CSR
-    # segment reductions: edge costs scatter into an (A, k, max_deg) tensor
-    # (inf-padded, slots ordered by ascending u inside each node), whose
-    # contiguous min/argmin over the last axis is both faster than
+    # The per-node minimum runs over the staged padded-slot layout (see
+    # ArrayBackend.segment_min): edge costs scatter into an (A, k, max_deg)
+    # tensor (inf-padded, slots ordered by ascending u inside each node),
+    # whose contiguous min/argmin over the last axis is both faster than
     # np.minimum.reduceat on small segments and preserves the lowest-u
     # tie-break (np.argmin keeps the first minimal slot).
-    E2 = view.n_directed_edges
-    counts = np.diff(view.edge_indptr)
-    max_deg = int(counts.max()) if E2 else 0
-    slot_within = np.arange(E2) - np.repeat(view.edge_indptr[:-1], counts)
-    flat_slot = view.edge_v * max_deg + slot_within
-    slot_to_u_flat = np.zeros(k * max(max_deg, 1), dtype=np.intp)
-    slot_to_u_flat[flat_slot] = view.edge_u
-    row_base = (rows * max_deg).astype(np.intp)
+    E2 = staged.n_directed_edges
+    max_deg = staged.max_deg
+    flat_slot = staged.flat_slot
+    slot_to_u_flat = staged.slot_to_u_flat
+    row_base = staged.row_base
+    power_ms = staged.power_ms
     buf_cost = np.empty((A, E2))
     buf_gather = np.empty((A, E2))
     # Padding slots are written once and never touched again: every stage's
@@ -297,10 +188,10 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
     buf_arg = np.empty((A, k), dtype=np.intp)
     buf_best_u = np.empty((A, k), dtype=np.intp)
     buf_take_cross = np.empty((A, k), dtype=bool)
-    edge_u_i = view.edge_u
-    edge_v_i = view.edge_v
-    bw_bits_e = view.edge_bandwidth_bits_per_s
-    delay_e = view.edge_link_delay
+    edge_u_i = staged.edge_u
+    edge_v_i = staged.edge_v
+    bw_bits_e = staged.edge_bandwidth_bits_per_s
+    delay_e = staged.edge_link_delay
     n_min = int(n_arr.min())
 
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -375,6 +266,166 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
                 values[act, j] = col
                 pred[act, j] = pcol
                 same[act, j] = scol
+    return values, pred, same
+
+
+def _min_delay_stages_generic(backend: ArrayBackend, staged: StagedView,
+                              A: int, n_arr: np.ndarray, src: np.ndarray,
+                              workload: np.ndarray, message: np.ndarray, *,
+                              include_link_delay: bool) -> Tuple[np.ndarray,
+                                                                 np.ndarray,
+                                                                 np.ndarray]:
+    """The backend-portable min-delay sweep: functional ops in ``backend.xp``.
+
+    Performs exactly the operations of :func:`_min_delay_stages_inplace`, in
+    the same order, expressed through the array-API subset every backend
+    offers (no ``out=`` buffers, scatters via
+    :meth:`~repro.core.backend.ArrayBackend.scatter_set` for JAX's immutable
+    arrays).  Host arrays cross to the device per stage; the finished state
+    arrays cross back once.  Bit-identity against the in-place sweep is
+    pinned by ``tests/test_backend_equivalence.py`` with a NumPy backend
+    forced onto this path.
+    """
+    xp = backend.xp
+    k = staged.k
+    n_max = int(n_arr.max())
+    int64 = xp.int64
+
+    values = xp.full((A, n_max, k), float("inf"))
+    pred = xp.full((A, n_max, k), -1, dtype=int64)
+    same = xp.zeros((A, n_max, k), dtype=bool)
+    values = backend.scatter_set(
+        values, (xp.arange(A), 0, backend.asarray(src)), 0.0)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(1, n_max):
+            act_host = np.flatnonzero(n_arr > j)
+            if act_host.size == 0:
+                break
+            full = act_host.size == A
+            if full:
+                prev = values[:, j - 1]
+                stage_workload = workload[j]
+                stage_message = message[j]
+            else:
+                act = backend.asarray(act_host)
+                prev = values[act, j - 1]
+                stage_workload = workload[j][act_host]
+                stage_message = message[j][act_host]
+            w = backend.asarray(stage_workload)
+            m = backend.asarray(stage_message)
+            compute = w[:, None] / staged.power_ms[None, :]
+            # Transport term (m·8/b)·10³ + d, the exact operation chain of
+            # transport_matrix_ms / transfer_time_ms.
+            cost = ((m * BITS_PER_BYTE)[:, None]
+                    / staged.edge_bandwidth_bits_per_s[None, :])
+            cost = cost * 1e3
+            if include_link_delay:
+                cost = cost + staged.edge_link_delay[None, :]
+            # Sub-case (ii) on edges: (T_prev(u) + compute(v)) + trans(u, v).
+            gather = xp.take(prev, staged.edge_u, axis=1)
+            cand = (gather + xp.take(compute, staged.edge_v, axis=1)) + cost
+            cross_best, best_u = backend.segment_min(cand, staged)
+            # Sub-case (i): same-node transition wins ties (strict "<").
+            same_cand = prev + compute
+            take_cross = cross_best < same_cand
+            col = xp.where(take_cross, cross_best, same_cand)
+            pcol = xp.where(take_cross, best_u, staged.rows[None, :])
+            scol = ~take_cross
+            index = (slice(None), j) if full else (act, j)
+            values = backend.scatter_set(values, index, col)
+            pred = backend.scatter_set(pred, index, pcol)
+            same = backend.scatter_set(same, index, scol)
+    return (backend.to_numpy(values), backend.to_numpy(pred),
+            backend.to_numpy(same))
+
+
+def elpc_min_delay_many(pipelines: Sequence[Pipeline],
+                        network: TransportNetwork,
+                        requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
+                        *, include_link_delay: bool = True,
+                        keep_table: bool = False,
+                        view: Optional[DenseNetworkView] = None,
+                        backend: BackendLike = None) -> List[BatchEntry]:
+    """Batched exact minimum-delay mappings of many pipelines over one network.
+
+    Solves the same problem as ``B`` calls of
+    :func:`repro.core.vectorized.elpc_min_delay_vec` — same optima, same
+    feasibility verdicts, same tie-breaking, bit-identical DP tables — but
+    advances all ``B`` dynamic programs together, one module stage per pass of
+    CSR edge-array operations.  Pipelines of different lengths are supported;
+    an item stops participating once its last column is filled.
+
+    Parameters
+    ----------
+    pipelines:
+        The pipelines to map.
+    network:
+        The shared transport network.
+    requests:
+        One :class:`EndToEndRequest` per pipeline, or a single request shared
+        by all of them.
+    include_link_delay, keep_table:
+        As in the scalar and vectorized solvers; ``keep_table`` attaches each
+        item's :class:`~repro.core.dp_table.DPTable` under
+        ``mapping.extras["dp_table"]``.
+    view:
+        Optional dense view to advance the DP over in place of
+        ``network.dense_view()`` — the solve-from-attached-view entry point
+        for callers holding a view re-wrapped from a shared-memory block
+        (:func:`repro.model.network.attach_shared_view`): the solve is
+        zero-copy, and since the arrays are byte-identical to the exporting
+        process's view, so are the results.  (The parallel runtime itself
+        reaches the same effect by installing the attached view on a rebuilt
+        network via :meth:`TransportNetwork.from_dense_view`, so plain
+        ``solve_many`` batches need no extra argument.)  ``view`` must
+        describe ``network``'s topology.
+    backend:
+        Array backend to run the DP stages on: a name (``"numpy"``,
+        ``"cupy"``, ``"jax"``), an
+        :class:`~repro.core.backend.ArrayBackend` instance, or ``None`` to
+        resolve through the ``REPRO_BACKEND`` environment variable (default
+        NumPy).  Results are bit-identical across backends wherever their
+        IEEE-754 arithmetic is; an unusable backend raises
+        :class:`~repro.exceptions.BackendUnavailableError` before any work.
+
+    Returns
+    -------
+    list
+        One entry per pipeline, in input order: the
+        :class:`~repro.core.mapping.PipelineMapping`, or the
+        :class:`~repro.exceptions.ReproError` a scalar solve of that instance
+        would have raised (:class:`InfeasibleMappingError` for infeasible
+        items, ``SpecificationError`` for malformed ones such as unknown
+        endpoint nodes).  Nothing is raised per item — one pathological
+        instance must not abort the batch.
+    """
+    start = time.perf_counter()
+    backend = get_backend(backend)
+    pipelines = list(pipelines)
+    B = len(pipelines)
+    requests = _broadcast_requests(requests, B)
+    results: List[Optional[BatchEntry]] = [None] * B
+    if B == 0:
+        return []
+    alive = _batched_feasibility(pipelines, network, requests, results,
+                                 framerate=False, view=view)
+    if not alive:
+        return results  # type: ignore[return-value]
+
+    if view is None:
+        view = network.dense_view()
+    A = len(alive)
+    n_arr = np.array([pipelines[i].n_modules for i in alive])
+    src = np.array([view.index_of[requests[i].source] for i in alive])
+    dst = np.array([view.index_of[requests[i].destination] for i in alive])
+    workload, message = _stage_arrays(pipelines, alive, int(n_arr.max()))
+    staged = backend.stage_view(view)
+    sweep = (_min_delay_stages_inplace if backend.supports_inplace
+             else lambda *args, **kwargs: _min_delay_stages_generic(
+                 backend, *args, **kwargs))
+    values, pred, same = sweep(staged, A, n_arr, src, workload, message,
+                               include_link_delay=include_link_delay)
 
     # Unreachable cells (inf value) carry pred = -1 / same = False in the
     # scalar and vectorized tables; normalising once after the sweep replaces
@@ -408,6 +459,7 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
             "include_link_delay": include_link_delay,
             "vectorized": True,
             "tensor_batch": B,
+            "backend": backend.name,
         }
         if keep_table:
             extras["dp_table"] = _as_dp_table(view, values[a, :n], pred[a, :n],
@@ -417,26 +469,117 @@ def elpc_min_delay_many(pipelines: Sequence[Pipeline],
     return results  # type: ignore[return-value]
 
 
+# --------------------------------------------------------------------------- #
+# Frame-rate DP stage sweep (backend-portable; no reduceat anywhere)
+# --------------------------------------------------------------------------- #
+def _framerate_stages(backend: ArrayBackend, staged: StagedView, A: int,
+                      n_arr: np.ndarray, src: np.ndarray, dst: np.ndarray,
+                      workload: np.ndarray, message: np.ndarray, *,
+                      include_link_delay: bool) -> Tuple[np.ndarray,
+                                                         np.ndarray]:
+    """The frame-rate min-max sweep, generic over the backend's namespace.
+
+    Unlike the min-delay sweep this is the *only* implementation — the
+    heuristic allocates per stage anyway, so the former NumPy-specific
+    ``np.minimum.reduceat`` reduction was replaced outright by the portable
+    padded-slot :meth:`~repro.core.backend.ArrayBackend.segment_min` (which
+    is also faster on the small per-node segments real topologies have).
+    The per-pipeline visited-path guard is an ``(A, k, k)`` boolean tensor
+    gathered along each stage's chosen predecessors; returns the host
+    ``(values, pred)`` state arrays.
+    """
+    xp = backend.xp
+    k = staged.k
+    n_max = int(n_arr.max())
+    int64 = xp.int64
+    inf = float("inf")
+
+    arange_A = xp.arange(A)
+    src_dev = backend.asarray(src)
+    values = xp.full((A, n_max, k), inf)
+    pred = xp.full((A, n_max, k), -1, dtype=int64)
+    values = backend.scatter_set(values, (arange_A, 0, src_dev), 0.0)
+    # visited[a, u, w]: node w lies on the partial path realising T^{j-1}(u).
+    visited = xp.zeros((A, k, k), dtype=bool)
+    visited = backend.scatter_set(visited, (arange_A, src_dev, src_dev), True)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(1, n_max):
+            act_host = np.flatnonzero(n_arr > j)
+            if act_host.size == 0:
+                break
+            act = backend.asarray(act_host)
+            compute = (backend.asarray(workload[j][act_host])[:, None]
+                       / staged.power_ms[None, :])
+            trans = (backend.asarray(message[j][act_host])[:, None]
+                     * BITS_PER_BYTE
+                     / staged.edge_bandwidth_bits_per_s[None, :]) * 1e3
+            if include_link_delay:
+                trans = trans + staged.edge_link_delay[None, :]
+            prev = values[act, j - 1]
+            # Min-max update on edges: max(T_prev(u), compute(v), trans(u, v)),
+            # nested exactly like the vectorized engine's np.maximum calls.
+            cand = xp.maximum(
+                xp.maximum(xp.take(prev, staged.edge_u, axis=1),
+                           xp.take(compute, staged.edge_v, axis=1)), trans)
+            # Visited-path guard: u -> v is forbidden when v already lies on
+            # u's partial path (node reuse is not allowed in this variant).
+            vis_e = visited[act][:, staged.edge_u, staged.edge_v]
+            cand = xp.where(vis_e, inf, cand)
+            # Intermediate modules never sit on the destination; pipelines of
+            # different lengths hit their last stage at different j.
+            last_host = n_arr[act_host] - 1 == j
+            notlast_host = ~last_host
+            if notlast_host.any():
+                mask = (backend.asarray(notlast_host)[:, None]
+                        & (staged.edge_v[None, :]
+                           == backend.asarray(dst[act_host])[:, None]))
+                cand = xp.where(mask, inf, cand)
+            col, best_u = backend.segment_min(cand, staged)
+            if last_host.any():
+                # Only the destination cell of an item's last column matters.
+                li_host = np.flatnonzero(last_host)
+                li = backend.asarray(li_host)
+                dst_li = backend.asarray(dst[act_host][li_host])
+                dst_vals = col[li, dst_li]
+                col = backend.scatter_set(col, (li,), inf)
+                col = backend.scatter_set(col, (li, dst_li), dst_vals)
+            values = backend.scatter_set(values, (act, j), col)
+            reachable = xp.isfinite(col)
+            pcol = xp.where(reachable, best_u, -1)
+            pred = backend.scatter_set(pred, (act, j), pcol)
+            new_visited = xp.take_along_axis(visited[act],
+                                             best_u[:, :, None], axis=1)
+            new_visited = backend.scatter_set(
+                new_visited, (slice(None), staged.rows, staged.rows), True)
+            visited = backend.scatter_set(visited, (act,), new_visited)
+    return backend.to_numpy(values), backend.to_numpy(pred)
+
+
 def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
                              network: TransportNetwork,
                              requests: Union[EndToEndRequest, Sequence[EndToEndRequest]],
                              *, include_link_delay: bool = True,
                              keep_table: bool = False,
-                             view: Optional[DenseNetworkView] = None) -> List[BatchEntry]:
+                             view: Optional[DenseNetworkView] = None,
+                             backend: BackendLike = None) -> List[BatchEntry]:
     """Batched maximum-frame-rate heuristic for many pipelines over one network.
 
     The batched counterpart of
     :func:`repro.core.vectorized.elpc_max_frame_rate_vec`: the min-max column
-    update runs on the CSR edge layout, the per-pipeline visited-path guard is
-    a ``(B, k, k)`` boolean tensor gathered along each stage's chosen
-    predecessors, and the destination-as-intermediate exclusion is applied per
-    item (pipelines of different lengths reach their last column at different
-    stages).  Values, feasibility outcomes and backtracked assignments are
-    bit-identical to the scalar and vectorized heuristics.
+    update runs on the CSR edge layout through the backend's padded-slot
+    segment minimum, the per-pipeline visited-path guard is a ``(B, k, k)``
+    boolean tensor gathered along each stage's chosen predecessors, and the
+    destination-as-intermediate exclusion is applied per item (pipelines of
+    different lengths reach their last column at different stages).  Values,
+    feasibility outcomes and backtracked assignments are bit-identical to the
+    scalar and vectorized heuristics.
 
-    See :func:`elpc_min_delay_many` for parameters and batch semantics.
+    See :func:`elpc_min_delay_many` for parameters (including ``backend=``)
+    and batch semantics.
     """
     start = time.perf_counter()
+    backend = get_backend(backend)
     pipelines = list(pipelines)
     B = len(pipelines)
     requests = _broadcast_requests(requests, B)
@@ -453,66 +596,13 @@ def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
     k = view.n_nodes
     A = len(alive)
     n_arr = np.array([pipelines[i].n_modules for i in alive])
-    n_max = int(n_arr.max())
     src = np.array([view.index_of[requests[i].source] for i in alive])
     dst = np.array([view.index_of[requests[i].destination] for i in alive])
-    workload, message = _stage_arrays(pipelines, alive, n_max)
-    power_ms = view.power * 1e3
-    rows = np.arange(k)
-    counts = np.diff(view.edge_indptr)
-    nonempty_nodes = np.flatnonzero(counts > 0)
-    nonempty_starts = view.edge_indptr[:-1][nonempty_nodes]
-    arange_A = np.arange(A)
-
-    values = np.full((A, n_max, k), np.inf)
-    pred = np.full((A, n_max, k), -1, dtype=np.int64)
-    values[arange_A, 0, src] = 0.0
-    # visited[a, u, w]: node w lies on the partial path realising T^{j-1}(u).
-    visited = np.zeros((A, k, k), dtype=bool)
-    visited[arange_A, src, src] = True
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        for j in range(1, n_max):
-            act = np.flatnonzero(n_arr > j)
-            if act.size == 0:
-                break
-            compute = workload[j][act, None] / power_ms[None, :]
-            trans_e = _edge_transport_ms(view, message[j][act],
-                                         include_link_delay=include_link_delay)
-            prev = values[act, j - 1]
-            # Min-max update on edges: max(T_prev(u), compute(v), trans(u, v)),
-            # nested exactly like the vectorized engine's np.maximum calls.
-            cand_e = np.maximum(
-                np.maximum(np.take(prev, view.edge_u, axis=1),
-                           np.take(compute, view.edge_v, axis=1)), trans_e)
-            # Visited-path guard: u -> v is forbidden when v already lies on
-            # u's partial path (node reuse is not allowed in this variant).
-            cand_e[visited[act][:, view.edge_u, view.edge_v]] = np.inf
-            # Intermediate modules never sit on the destination; pipelines of
-            # different lengths hit their last stage at different j.
-            last = n_arr[act] - 1 == j
-            notlast = ~last
-            if notlast.any():
-                mask = notlast[:, None] & (view.edge_v[None, :]
-                                           == dst[act][:, None])
-                cand_e[mask] = np.inf
-            col, best_u = _segment_min(cand_e, view, nonempty_starts,
-                                       nonempty_nodes, k)
-            if last.any():
-                # Only the destination cell of an item's last column matters.
-                li = np.flatnonzero(last)
-                dst_vals = col[li, dst[act][li]]
-                col[li] = np.inf
-                col[li, dst[act][li]] = dst_vals
-            values[act, j] = col
-            reachable = np.isfinite(col)
-            pcol = np.full((act.size, k), -1, dtype=np.int64)
-            pcol[reachable] = best_u[reachable]
-            pred[act, j] = pcol
-            new_visited = np.take_along_axis(visited[act], best_u[:, :, None],
-                                             axis=1)
-            new_visited[:, rows, rows] = True
-            visited[act] = new_visited
+    workload, message = _stage_arrays(pipelines, alive, int(n_arr.max()))
+    staged = backend.stage_view(view)
+    values, pred = _framerate_stages(backend, staged, A, n_arr, src, dst,
+                                     workload, message,
+                                     include_link_delay=include_link_delay)
 
     dp_elapsed = time.perf_counter() - start
     per_item_runtime = dp_elapsed / A
@@ -538,6 +628,7 @@ def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
             "include_link_delay": include_link_delay,
             "vectorized": True,
             "tensor_batch": B,
+            "backend": backend.name,
         }
         if keep_table:
             extras["dp_table"] = _as_dp_table(
@@ -551,7 +642,8 @@ def elpc_max_frame_rate_many(pipelines: Sequence[Pipeline],
 def elpc_min_delay_tensor(pipeline: Pipeline, network: TransportNetwork,
                           request: EndToEndRequest, *,
                           include_link_delay: bool = True,
-                          keep_table: bool = False) -> PipelineMapping:
+                          keep_table: bool = False,
+                          backend: BackendLike = None) -> PipelineMapping:
     """Single-instance front of :func:`elpc_min_delay_many` (``"elpc-tensor"``).
 
     Runs a batch of one so the tensor engine satisfies the registry's uniform
@@ -561,7 +653,7 @@ def elpc_min_delay_tensor(pipeline: Pipeline, network: TransportNetwork,
     """
     [entry] = elpc_min_delay_many([pipeline], network, [request],
                                   include_link_delay=include_link_delay,
-                                  keep_table=keep_table)
+                                  keep_table=keep_table, backend=backend)
     if isinstance(entry, ReproError):
         raise entry
     return entry
@@ -570,11 +662,12 @@ def elpc_min_delay_tensor(pipeline: Pipeline, network: TransportNetwork,
 def elpc_max_frame_rate_tensor(pipeline: Pipeline, network: TransportNetwork,
                                request: EndToEndRequest, *,
                                include_link_delay: bool = True,
-                               keep_table: bool = False) -> PipelineMapping:
+                               keep_table: bool = False,
+                               backend: BackendLike = None) -> PipelineMapping:
     """Single-instance front of :func:`elpc_max_frame_rate_many` (``"elpc-tensor"``)."""
     [entry] = elpc_max_frame_rate_many([pipeline], network, [request],
                                        include_link_delay=include_link_delay,
-                                       keep_table=keep_table)
+                                       keep_table=keep_table, backend=backend)
     if isinstance(entry, ReproError):
         raise entry
     return entry

@@ -43,6 +43,41 @@ class InfeasibleMappingError(ReproError):
         self.n_modules = n_modules
 
 
+class BackendUnavailableError(SpecificationError):
+    """A requested array backend cannot be used in this environment.
+
+    Raised by :func:`repro.core.backend.get_backend` when the backend name is
+    unknown, or when the backend is known but its array library is not
+    installed (or, for CuPy, no CUDA device is visible).  The message lists
+    the backends that *are* usable here so callers — including the
+    ``--backend`` CLI flag — can tell the user exactly what to switch to.
+    """
+
+    def __init__(self, message: str, *, backend: str | None = None,
+                 installed: tuple = ()):
+        super().__init__(message)
+        self.backend = backend
+        self.installed = tuple(installed)
+
+
+class UnsupportedStartMethodError(ReproError, RuntimeError):
+    """The multiprocessing start method is unsupported by the parallel runtime.
+
+    The shared-memory batch runtime (:mod:`repro.core.parallel`) is built on
+    the ``fork`` start method: workers inherit the parent's solver registry
+    and share one shared-memory resource tracker.  Under ``spawn`` or
+    ``forkserver`` neither holds — workers re-import the package, parent
+    registrations are invisible, and shared-memory lifetime rules differ —
+    so instead of silently running that untested path the runtime fails fast
+    with this error (see ``docs/ARCHITECTURE.md``, "Parallel runtime").
+    Sequential solves (``workers=1``) work on every platform.
+    """
+
+    def __init__(self, message: str, *, start_method: str | None = None):
+        super().__init__(message)
+        self.start_method = start_method
+
+
 class AlgorithmError(ReproError, RuntimeError):
     """An internal invariant of a mapping algorithm was violated.
 

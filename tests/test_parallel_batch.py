@@ -519,3 +519,46 @@ class TestComparisonHarnessUnderWorkers:
                              ["elpc-tensor", "greedy"], workers=2)
         for algorithm in ("elpc-tensor", "greedy"):
             assert seq.series(algorithm) == par.series(algorithm)
+
+
+class TestStartMethodGuard:
+    """Non-``fork`` start methods must fail fast, not run untested.
+
+    The runtime is built on fork semantics (registry snapshot inheritance,
+    shared resource tracker); ``_pool_context`` takes the platform and the
+    platform-default start method as parameters so the spawn/forkserver
+    verdicts are testable from Linux.
+    """
+
+    def test_linux_always_forks(self):
+        from repro.core.parallel import _pool_context
+
+        assert _pool_context(platform="linux").get_start_method() == "fork"
+
+    @pytest.mark.parametrize("platform,method", [
+        ("darwin", "spawn"),
+        ("win32", "spawn"),
+        ("darwin", "forkserver"),
+    ])
+    def test_spawn_and_forkserver_fail_fast(self, platform, method):
+        from repro.core.parallel import _pool_context
+        from repro.exceptions import UnsupportedStartMethodError
+
+        with pytest.raises(UnsupportedStartMethodError) as excinfo:
+            _pool_context(platform=platform, default_method=method)
+        assert excinfo.value.start_method == method
+        message = str(excinfo.value)
+        assert method in message
+        assert "workers=1" in message  # the actionable way out
+
+    def test_explicit_fork_default_is_honoured_off_linux(self):
+        from repro.core.parallel import _pool_context
+
+        context = _pool_context(platform="darwin", default_method="fork")
+        assert context.get_start_method() == "fork"
+
+    def test_error_is_a_repro_error(self):
+        """Callers catching ReproError (the CLI does) see the clear message."""
+        from repro.exceptions import ReproError, UnsupportedStartMethodError
+
+        assert issubclass(UnsupportedStartMethodError, ReproError)
