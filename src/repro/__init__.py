@@ -22,6 +22,8 @@ Public API highlights
 * :mod:`repro.simulation` — discrete-event replay of a mapping,
 * :mod:`repro.measurement` — synthetic active-probe bandwidth / power estimation,
 * :mod:`repro.analysis` — comparison harness, tables and ASCII figures,
+* :mod:`repro.service` — micro-batching HTTP solve service (``repro serve``):
+  concurrent requests coalesce into :func:`repro.solve_many` flushes,
 * :mod:`repro.extensions` — future-work features (frame rate with reuse, DAG
   workflows, dynamic re-mapping).
 """

@@ -23,13 +23,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.batch import solve_many
 from ..core.mapping import Objective
 from ..core.registry import get_solver
-from ..exceptions import InfeasibleMappingError, SpecificationError
+from ..exceptions import SpecificationError
 from ..generators.cases import CaseSpec
 from ..generators.network_gen import random_network, random_request
 from ..generators.pipeline_gen import random_pipeline
 from ..generators.random_state import DEFAULT_RANGES, ParameterRanges
+from ..model.serialization import ProblemInstance
 from .comparison import DEFAULT_ALGORITHMS
 from .metrics import improvement_ratio
 
@@ -134,35 +136,51 @@ def replicate_case(spec: CaseSpec, n_replicates: int, *,
                    objective: Objective = Objective.MIN_DELAY,
                    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
                    ranges: ParameterRanges = DEFAULT_RANGES,
-                   base_seed: Optional[int] = None) -> ReplicatedCaseResult:
+                   base_seed: Optional[int] = None,
+                   workers: Optional[int] = None) -> ReplicatedCaseResult:
     """Run ``n_replicates`` fresh random draws of one case specification.
 
     Each replicate re-draws the pipeline, the network topology/attributes and
     the request with a distinct seed derived from ``base_seed`` (default: the
-    spec's own seed), then runs every algorithm.  Infeasible runs are recorded
-    as NaN so feasibility rates remain visible in the statistics.
+    spec's own seed), then runs every algorithm over the whole replicate batch
+    via :func:`repro.core.batch.solve_many` — one batch per algorithm, so
+    tensor solvers get same-network grouping and ``workers=N`` fans the sweep
+    out over the shared-memory pool.  *Every* failed replicate — infeasible
+    instances and any other recorded :class:`~repro.exceptions.ReproError`
+    (bad spec, solver error) alike — is recorded as NaN, the per-item error
+    policy of :func:`solve_many`, so one pathological replicate can no longer
+    abort a whole campaign while feasibility rates remain visible in the
+    statistics.
     """
     if n_replicates < 1:
         raise SpecificationError("n_replicates must be at least 1")
+    for name in algorithms:
+        get_solver(name, objective)  # unknown algorithm names still fail fast
     seed0 = spec.seed if base_seed is None else base_seed
     result = ReplicatedCaseResult(spec=spec, objective=objective,
                                   algorithms=tuple(algorithms),
                                   values={name: [] for name in algorithms})
+    instances: List[ProblemInstance] = []
     for replicate in range(n_replicates):
         seed = seed0 + 7919 * (replicate + 1)
         pipeline = random_pipeline(spec.n_modules, seed=seed, ranges=ranges)
         network = random_network(spec.n_nodes, spec.n_links, seed=seed + 1,
                                  ranges=ranges)
         request = random_request(network, seed=seed + 2, min_hop_distance=2)
+        instances.append(ProblemInstance(
+            pipeline=pipeline, network=network, request=request,
+            name=f"case{spec.case_number}-r{replicate}"))
+    from ..core.parallel import maybe_runner
+
+    with maybe_runner(workers) as runner:
         for name in algorithms:
-            solver = get_solver(name, objective)
-            try:
-                mapping = solver(pipeline, network, request)
-                value = (mapping.delay_ms if objective is Objective.MIN_DELAY
-                         else mapping.frame_rate_fps)
-            except InfeasibleMappingError:
-                value = float("nan")
-            result.values[name].append(value)
+            batch = solve_many(instances, solver=name, objective=objective,
+                               runner=runner)
+            values = []
+            for item in batch:
+                value = item.objective_value(objective)
+                values.append(float("nan") if value is None else value)
+            result.values[name] = values
     return result
 
 

@@ -7,8 +7,10 @@ Three entry points are installed with the package:
   ``repro solve --solver elpc-tensor --case 3``), ``repro bench`` (regenerate
   the paper's evaluation artifacts, cross-check the ELPC engines and
   optionally ``--emit-json`` a machine-readable summary), ``repro
-  bench-scaling`` (scalar-vs-vectorized runtime scaling table) and ``repro
-  bench-batch`` (looped-vs-tensor batched throughput table).
+  bench-scaling`` (scalar-vs-vectorized runtime scaling table), ``repro
+  bench-batch`` (looped-vs-tensor batched throughput table) and ``repro
+  serve`` (the micro-batching solve service of :mod:`repro.service` on a
+  host/port, graceful drain on SIGINT/SIGTERM).
 * ``repro-map`` — legacy alias of ``repro solve``.
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
@@ -49,7 +51,7 @@ from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
 __all__ = ["main", "main_map", "main_bench", "main_bench_scaling",
-           "main_bench_batch"]
+           "main_bench_batch", "main_serve"]
 
 #: Schema tag of the JSON written by ``repro bench --emit-json`` and by
 #: ``benchmarks/check_regression.py`` — one format for both producers so the
@@ -400,12 +402,102 @@ def main_bench_batch(argv: Optional[Sequence[str]] = None, *,
     return 0
 
 
+def _build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Serve solve requests over HTTP with micro-batch "
+                    "coalescing (repro.service; POST /solve, GET /healthz).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8423,
+                        help="TCP port (0 picks a free port; the resolved "
+                             "port is announced on stdout)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="back every flush with a persistent N-worker "
+                             "shared-memory pool (default: in-process)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="default array backend for tensor solves "
+                             "(numpy/cupy/jax; validated at startup — an "
+                             "unavailable backend exits 1 listing the "
+                             "installed ones)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="flush as soon as this many requests are queued")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="flush at latest this long after the oldest "
+                             "queued request arrived (0 disables coalescing)")
+    parser.add_argument("--solver", default="elpc-tensor",
+                        help="solver for requests that do not name one "
+                             "(default: elpc-tensor, so batches group)")
+    return parser
+
+
+def main_serve(argv: Optional[Sequence[str]] = None, *,
+               prog: str = "repro serve") -> int:
+    """Entry point of ``repro serve``; returns a process exit code.
+
+    Blocks serving until SIGINT/SIGTERM, then drains the queue (every
+    accepted request is answered) before exiting 0.  Configuration errors —
+    an unusable ``--backend``, an unknown ``--solver``, an unbindable port —
+    exit 1 before the server accepts any request.
+    """
+    import asyncio
+    import signal
+
+    from .service import ServiceConfig, serve
+
+    parser = _build_serve_parser(prog)
+    args = parser.parse_args(argv)
+    try:
+        get_solver(args.solver, Objective.MIN_DELAY)
+        config = ServiceConfig(max_batch=args.max_batch,
+                               max_wait_ms=args.max_wait_ms,
+                               workers=args.workers, backend=args.backend,
+                               default_solver=args.solver)
+        from .service.dispatcher import SolveService
+
+        SolveService(config)  # validates the backend before binding the port
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                pass
+
+        def announce(server) -> None:
+            print(f"repro-serve listening on {server.host}:{server.port} "
+                  f"(solver={config.default_solver}, "
+                  f"max_batch={config.max_batch}, "
+                  f"max_wait_ms={config.max_wait_ms:g}, "
+                  f"workers={int(config.workers or 1)})", flush=True)
+
+        await serve(config, host=args.host, port=args.port, stop=stop,
+                    announce=announce)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
+        pass
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 1
+    print("repro-serve drained and stopped", flush=True)
+    return 0
+
+
 _SUBCOMMANDS = {
     "solve": "map a pipeline onto a network (alias: map)",
     "map": "alias of solve",
     "bench": "regenerate the paper's evaluation artifacts (+engine agreement)",
     "bench-scaling": "scalar vs vectorized runtime scaling table",
     "bench-batch": "looped vs tensor batched-throughput table",
+    "serve": "HTTP solve service with micro-batch coalescing",
 }
 
 
@@ -427,6 +519,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return main_bench_scaling(rest)
     if command == "bench-batch":
         return main_bench_batch(rest)
+    if command == "serve":
+        return main_serve(rest)
     print(f"error: unknown command {command!r}; "
           f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
     return 2

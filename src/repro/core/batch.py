@@ -88,7 +88,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .parallel import ParallelBatchRunner
 
 __all__ = ["BatchItemResult", "BatchRunResult", "solve_many",
-           "resolve_solver_backend"]
+           "resolve_solver_backend", "uses_tensor_dispatch"]
 
 #: Solver names whose batches are grouped by network and dispatched through
 #: the tensor engine (one batched call per group) instead of per-item solves.
@@ -227,15 +227,19 @@ def _coerce_instance(index: int, item: InstanceLike) -> ProblemInstance:
     return ProblemInstance(pipeline=pipeline, network=network, request=request)
 
 
-def _use_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
+def uses_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
                          objective: Objective) -> bool:
     """``True`` when ``solver`` names the *builtin* tensor engine.
 
-    Group dispatch hands whole batches to :mod:`repro.core.tensor` directly,
-    so it must only engage while the registry still serves the builtin under
-    that name — a user override of ``"elpc-tensor"`` (which the registry
-    guarantees always wins) falls back to ordinary per-item solves through
-    the override, sequentially and in worker chunks alike.
+    This is the one dispatch-policy predicate shared by :func:`solve_many`,
+    the parallel runtime (per worker chunk) and the service layer
+    (:mod:`repro.service`, which uses it to decide whether coalesced requests
+    can ride a same-network tensor group).  Group dispatch hands whole
+    batches to :mod:`repro.core.tensor` directly, so it must only engage
+    while the registry still serves the builtin under that name — a user
+    override of ``"elpc-tensor"`` (which the registry guarantees always
+    wins) falls back to ordinary per-item solves through the override,
+    sequentially and in worker chunks alike.
     """
     if not isinstance(solver, str) or solver.lower() not in TENSOR_SOLVERS:
         return False
@@ -247,6 +251,10 @@ def _use_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
         return get_solver(solver, objective) is builtin
     except ReproError:  # pragma: no cover - unknown names fail fast earlier
         return False
+
+
+#: Backward-compatible alias (the predicate predates its public name).
+_use_tensor_dispatch = uses_tensor_dispatch
 
 
 def resolve_solver_backend(solver: Union[str, Callable[..., PipelineMapping]],
@@ -286,7 +294,7 @@ def resolve_solver_backend(solver: Union[str, Callable[..., PipelineMapping]],
             return None
     from .backend import get_backend, validate_backend_name
 
-    tensor = _use_tensor_dispatch(solver, objective)
+    tensor = uses_tensor_dispatch(solver, objective)
     if not tensor and not explicit:
         return None
     if workers > 1:
@@ -503,7 +511,7 @@ def solve_many(instances: Iterable[InstanceLike], *,
                 items = transient.solve(normalized, solver=solver_name,
                                         objective=objective,
                                         chunk_size=chunk_size, **solver_kwargs)
-    elif _use_tensor_dispatch(solver, objective) and normalized:
+    elif uses_tensor_dispatch(solver, objective) and normalized:
         n_workers = 1
         items = _solve_tensor_groups(normalized, objective, dict(solver_kwargs))
     else:

@@ -74,7 +74,7 @@ from .batch import (
     _describe_unexpected,
     _solve_one,
     _solve_tensor_groups,
-    _use_tensor_dispatch,
+    uses_tensor_dispatch,
 )
 from .mapping import Objective
 
@@ -305,6 +305,18 @@ class ParallelBatchRunner:
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
 
+    def stats(self) -> Dict[str, object]:
+        """Live runner state for monitoring (the service ``/healthz`` payload).
+
+        ``exported_networks`` counts distinct shared-memory exports currently
+        cached (one per network object seen), ``pool_started`` says whether
+        the lazy worker pool has been spun up yet.
+        """
+        return {"workers": self.workers,
+                "exported_networks": len(self._exports),
+                "pool_started": self._pool is not None,
+                "closed": self._closed}
+
     def __enter__(self) -> "ParallelBatchRunner":
         return self
 
@@ -396,7 +408,7 @@ class ParallelBatchRunner:
         # Decided once here, in the parent: worker registry snapshots never
         # change which engine a batch runs on (a user override of the tensor
         # name disables group dispatch everywhere at once).
-        tensor = _use_tensor_dispatch(solver, objective)
+        tensor = uses_tensor_dispatch(solver, objective)
         if tensor and shippable:
             # Keep same-network items adjacent (stable in first-seen network
             # order) so worker chunks hold few, large tensor groups instead of

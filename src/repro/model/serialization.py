@@ -36,6 +36,7 @@ __all__ = [
     "load_instance",
     "instance_to_table_text",
     "instance_from_table_text",
+    "mapping_to_dict",
 ]
 
 
@@ -128,6 +129,23 @@ class InstanceSpec:
             name=self.name)
 
 
+def mapping_to_dict(mapping: Any) -> Dict[str, Any]:
+    """Serialise a :class:`~repro.core.mapping.PipelineMapping` for the wire.
+
+    A thin shell over :meth:`PipelineMapping.to_dict` (so there is exactly
+    one mapping serialiser to extend) that replaces non-finite floats — an
+    unbounded frame rate on a zero-cost mapping — with ``None`` to stay
+    strict-JSON clean.  Used by the :mod:`repro.service` wire schema.
+    """
+    def sanitize(value: Any) -> Any:
+        if isinstance(value, float) and (value != value
+                                         or abs(value) == float("inf")):
+            return None
+        return value
+
+    return {key: sanitize(value) for key, value in mapping.to_dict().items()}
+
+
 def instance_to_json(instance: ProblemInstance, *, indent: int = 2) -> str:
     """Serialise a :class:`ProblemInstance` to a JSON string."""
     return json.dumps(instance.to_dict(), indent=indent, sort_keys=True)
@@ -161,30 +179,76 @@ _MODULE_HEADER = "ModuleID ModuleComplexity InputDataInBytes OutputDataInBytes N
 _NODE_HEADER = "NodeID NodeIP ProcessingPower"
 _LINK_HEADER = "startNodeID endNodeID LinkID LinkBWInMbps LinkDelayInMilliseconds"
 
+#: Escaped-name tokens that would be ambiguous if emitted verbatim: ``-`` is
+#: the no-name sentinel of record lines and ``unnamed`` the legacy no-name
+#: sentinel of the header comment.  (Both are in percent-quoting's safe set,
+#: so a *name* with exactly that text must be re-escaped by hand.)
+_NAME_SENTINELS = frozenset({"-", "unnamed"})
+
+
+def _escape_name(name: Optional[str]) -> str:
+    """One whitespace-free, unambiguous token for an optional name.
+
+    Free-form names used to be emitted verbatim, which made the tabular
+    format fragile: whitespace was collapsed by field splitting, a leading
+    ``#`` turned the record into a comment, and text equal to a section or
+    header line was swallowed by the parser.  Percent-quoting (RFC 3986
+    style, UTF-8) fixes all of that reversibly — common names like
+    ``case-07`` or ``filter`` pass through unchanged.
+    """
+    from urllib.parse import quote
+
+    if name is None:
+        return "-"
+    if name == "":
+        return '""'
+    token = quote(name, safe="")
+    if token in _NAME_SENTINELS:
+        token = f"%{ord(name[0]):02X}{token[1:]}"
+    return token
+
+
+def _unescape_name(token: str, *, header: bool = False) -> Optional[str]:
+    """Invert :func:`_escape_name`; ``header`` also maps legacy ``unnamed``."""
+    from urllib.parse import unquote
+
+    if token == "-" or (header and token == "unnamed"):
+        return None
+    if token == '""':
+        return ""
+    return unquote(token)
+
 
 def instance_to_table_text(instance: ProblemInstance) -> str:
     """Render an instance in the paper's tabular parameter format.
 
     The output has four sections (``[pipeline]``, ``[nodes]``, ``[links]``,
     ``[request]``) with one whitespace-separated record per line, using
-    exactly the parameter names of Section 4.1.
+    exactly the parameter names of Section 4.1.  Names (instance, pipeline,
+    network, per-module) are percent-quoted into single tokens and floats are
+    rendered with ``repr`` so :func:`instance_from_table_text` round-trips the
+    instance exactly.
     """
     lines: List[str] = []
-    lines.append(f"# instance: {instance.name or 'unnamed'}")
+    lines.append(f"# instance: {_escape_name(instance.name)}")
+    lines.append(f"# pipeline: {_escape_name(instance.pipeline.name)}")
+    lines.append(f"# network: {_escape_name(instance.network.name)}")
     lines.append("[pipeline]")
     lines.append(_MODULE_HEADER)
     for mod in instance.pipeline.modules:
-        lines.append(f"{mod.module_id} {mod.complexity:.10g} {mod.input_bytes:.10g} "
-                     f"{mod.output_bytes:.10g} {mod.name or '-'}")
+        lines.append(f"{mod.module_id} {float(mod.complexity)!r} "
+                     f"{float(mod.input_bytes)!r} {float(mod.output_bytes)!r} "
+                     f"{_escape_name(mod.name)}")
     lines.append("[nodes]")
     lines.append(_NODE_HEADER)
     for node in instance.network.nodes():
-        lines.append(f"{node.node_id} {node.ip_address} {node.processing_power:.10g}")
+        lines.append(f"{node.node_id} {_escape_name(node.ip_address)} "
+                     f"{float(node.processing_power)!r}")
     lines.append("[links]")
     lines.append(_LINK_HEADER)
     for link in instance.network.links():
         lines.append(f"{link.start_node} {link.end_node} {link.link_id} "
-                     f"{link.bandwidth_mbps:.10g} {link.min_delay_ms:.10g}")
+                     f"{float(link.bandwidth_mbps)!r} {float(link.min_delay_ms)!r}")
     lines.append("[request]")
     lines.append(f"source {instance.request.source}")
     lines.append(f"destination {instance.request.destination}")
@@ -192,11 +256,23 @@ def instance_to_table_text(instance: ProblemInstance) -> str:
 
 
 def instance_from_table_text(text: str) -> ProblemInstance:
-    """Parse an instance from the tabular format of :func:`instance_to_table_text`."""
+    """Parse an instance from the tabular format of :func:`instance_to_table_text`.
+
+    Accepts files written by older library versions too: a multi-token module
+    name is re-joined with single spaces, a ``# instance: unnamed`` header
+    means no name, and names without percent-escapes pass through verbatim
+    (invalid ``%`` sequences are left untouched by the unquoting).  The one
+    ambiguity: a *legacy* verbatim name that happens to contain a valid
+    ``%XX`` sequence (say ``disk%20scan``) is indistinguishable from the
+    quoted form and will be decoded — re-save such files to adopt the quoted
+    format.
+    """
     from .module import ComputingModule
 
     section = None
     name: Optional[str] = None
+    pipeline_name: Optional[str] = None
+    network_name: Optional[str] = None
     modules: List[ComputingModule] = []
     nodes: List[ComputingNode] = []
     links: List[CommunicationLink] = []
@@ -208,9 +284,16 @@ def instance_from_table_text(text: str) -> ProblemInstance:
         if not line:
             continue
         if line.startswith("# instance:"):
-            name = line.split(":", 1)[1].strip() or None
-            if name == "unnamed":
-                name = None
+            name = _unescape_name(line.split(":", 1)[1].strip() or "-",
+                                  header=True)
+            continue
+        if line.startswith("# pipeline:"):
+            pipeline_name = _unescape_name(line.split(":", 1)[1].strip() or "-",
+                                           header=True)
+            continue
+        if line.startswith("# network:"):
+            network_name = _unescape_name(line.split(":", 1)[1].strip() or "-",
+                                          header=True)
             continue
         if line.startswith("#"):
             continue
@@ -223,7 +306,8 @@ def instance_from_table_text(text: str) -> ProblemInstance:
         if section == "pipeline":
             if len(fields) < 4:
                 raise SpecificationError(f"malformed module record: {line!r}")
-            mod_name = None if len(fields) < 5 or fields[4] == "-" else " ".join(fields[4:])
+            mod_name = (None if len(fields) < 5
+                        else _unescape_name(" ".join(fields[4:])))
             modules.append(ComputingModule(
                 module_id=int(fields[0]), complexity=float(fields[1]),
                 input_bytes=float(fields[2]), output_bytes=float(fields[3]),
@@ -231,7 +315,8 @@ def instance_from_table_text(text: str) -> ProblemInstance:
         elif section == "nodes":
             if len(fields) != 3:
                 raise SpecificationError(f"malformed node record: {line!r}")
-            nodes.append(ComputingNode(node_id=int(fields[0]), ip_address=fields[1],
+            nodes.append(ComputingNode(node_id=int(fields[0]),
+                                       ip_address=_unescape_name(fields[1]),
                                        processing_power=float(fields[2])))
         elif section == "links":
             if len(fields) != 5:
@@ -252,8 +337,8 @@ def instance_from_table_text(text: str) -> ProblemInstance:
 
     if source is None or destination is None:
         raise SpecificationError("missing [request] source/destination")
-    pipeline = Pipeline(modules=tuple(modules))
-    network = TransportNetwork(nodes=nodes, links=links)
+    pipeline = Pipeline(modules=tuple(modules), name=pipeline_name)
+    network = TransportNetwork(nodes=nodes, links=links, name=network_name)
     return ProblemInstance(pipeline=pipeline, network=network,
                            request=EndToEndRequest(source=source, destination=destination),
                            name=name)

@@ -1,0 +1,49 @@
+"""Async batching service layer: ``solve_many`` behind an HTTP front.
+
+The paper frames ELPC as an on-demand mapping service for streaming
+pipelines; this package is that request/response shape for the library.  A
+stdlib-only asyncio HTTP server (``repro serve``) accepts JSON solve
+requests, coalesces concurrent ones in a micro-batching queue (flush on
+``max_batch`` or ``max_wait_ms``) and dispatches every flush through
+:func:`repro.core.batch.solve_many` — so same-network requests ride the
+tensor engine's group path, and ``--workers N`` backs the dispatcher with a
+persistent shared-memory :class:`~repro.core.parallel.ParallelBatchRunner`.
+
+Layers (see ``docs/ARCHITECTURE.md``, "Service layer"):
+
+* :mod:`repro.service.wire` — the ``repro-serve/1`` JSON schema (built on
+  :meth:`ProblemInstance.to_dict`) and the network interner that restores
+  object-identity grouping across independent requests,
+* :mod:`repro.service.dispatcher` — :class:`ServiceConfig` +
+  :class:`SolveService`, the micro-batching queue and flush policy,
+* :mod:`repro.service.server` — the asyncio HTTP front-end
+  (:class:`SolveServer`, :class:`BackgroundServer`, :func:`serve`),
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking helper
+  used by tests, benchmarks and the CI smoke step.
+"""
+
+from .client import ServiceClient, ServiceUnavailableError
+from .dispatcher import ServiceConfig, SolveService
+from .server import BackgroundServer, SolveServer, serve
+from .wire import (
+    WIRE_SCHEMA,
+    NetworkInterner,
+    SolveRequest,
+    error_response,
+    item_result_to_wire,
+)
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "SolveRequest",
+    "NetworkInterner",
+    "item_result_to_wire",
+    "error_response",
+    "ServiceConfig",
+    "SolveService",
+    "SolveServer",
+    "BackgroundServer",
+    "serve",
+    "ServiceClient",
+    "ServiceUnavailableError",
+]

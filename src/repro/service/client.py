@@ -1,0 +1,168 @@
+"""Blocking HTTP client for the solve service (tests, examples, CI smoke).
+
+Stdlib-only (:mod:`http.client`), one connection per request — matching the
+server's connection-per-request model.  The client speaks the
+``repro-serve/1`` wire schema of :mod:`repro.service.wire`: requests are
+built from real :class:`~repro.model.serialization.ProblemInstance` objects
+and responses come back as plain dictionaries (``ok`` / ``error`` /
+``mapping`` / ``group_id`` ...), so a test can assert on coalescing and
+results without any deserialization helper.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional
+
+from ..core.mapping import Objective
+from ..exceptions import ReproError
+from ..model.serialization import ProblemInstance
+from .wire import SolveRequest
+
+__all__ = ["ServiceClient", "ServiceUnavailableError"]
+
+
+class ServiceUnavailableError(ReproError, ConnectionError):
+    """The service did not answer (connection refused / timed out)."""
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens (``repro serve --host --port``).
+    timeout:
+        Per-request socket timeout in seconds; solves block until their
+        flush completes, so keep it above the expected batch latency.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8423, *,
+                 timeout: float = 120.0, use_network_refs: bool = True) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Send ``{"ref": ...}`` instead of the full network once the server
+        #: has told us its interned digest (the ``network_ref`` response
+        #: field) — the big per-request saving for same-network streams.
+        self.use_network_refs = use_network_refs
+        # network object id -> (network, ref); the network reference pins the
+        # id so it cannot be recycled by the allocator.  Bounded so a client
+        # streaming over many distinct topologies cannot grow without limit.
+        self._network_refs: Dict[int, tuple] = {}
+        self._max_network_refs = 64
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One HTTP exchange; returns the parsed JSON body of the response."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, socket.timeout) as exc:
+            raise ServiceUnavailableError(
+                f"no solve service answered at {self.host}:{self.port} "
+                f"({exc})") from exc
+        finally:
+            connection.close()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceUnavailableError(
+                f"non-JSON response from {self.host}:{self.port}: "
+                f"{raw[:200]!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Service API
+    # ------------------------------------------------------------------ #
+    def solve(self, instance: ProblemInstance, *,
+              solver: str = "elpc-tensor",
+              objective: Objective = Objective.MIN_DELAY,
+              backend: Optional[str] = None,
+              **solver_kwargs) -> Dict[str, Any]:
+        """Solve one instance through the service; returns the wire response.
+
+        The response is :class:`~repro.core.batch.BatchItemResult`-shaped:
+        ``ok``, ``error``, ``runtime_s``, ``group_id``/``group_size`` (which
+        reveal micro-batch coalescing) and ``mapping`` (groups, path and both
+        objective values) when the solve succeeded.
+
+        The first solve over a network posts it in full; afterwards the
+        client sends the server-assigned ``network_ref`` instead (unless
+        ``use_network_refs=False``).  A stale reference — say the server
+        restarted or evicted the network — is retried transparently with the
+        full payload.
+        """
+        cached = (self._network_refs.get(id(instance.network))
+                  if self.use_network_refs else None)
+        if cached is not None:
+            # Reference path: never serialise the network at all — for
+            # same-network request streams this is the dominant saving.
+            payload: Dict[str, Any] = {
+                "instance": {
+                    "name": instance.name,
+                    "pipeline": instance.pipeline.to_dict(),
+                    "network": {"ref": cached[1]},
+                    "request": {"source": instance.request.source,
+                                "destination": instance.request.destination},
+                },
+                "solver": solver,
+                "objective": objective.value,
+            }
+            if backend is not None:
+                payload["backend"] = backend
+            if solver_kwargs:
+                payload["solver_kwargs"] = dict(solver_kwargs)
+        else:
+            request = SolveRequest(instance=instance, solver=solver,
+                                   objective=objective, backend=backend,
+                                   solver_kwargs=dict(solver_kwargs))
+            payload = request.to_wire()
+        response = self.request("POST", "/solve", payload)
+        if cached is not None and not response.get("ok") and \
+                "network ref" in (response.get("error") or ""):
+            # Stale ref (server restart / cache eviction): re-post in full.
+            del self._network_refs[id(instance.network)]
+            payload["instance"]["network"] = instance.network.to_dict()
+            response = self.request("POST", "/solve", payload)
+        if self.use_network_refs and response.get("network_ref"):
+            if (id(instance.network) not in self._network_refs
+                    and len(self._network_refs) >= self._max_network_refs):
+                self._network_refs.pop(next(iter(self._network_refs)))
+            self._network_refs[id(instance.network)] = (
+                instance.network, response["network_ref"])
+        return response
+
+    def healthz(self) -> Dict[str, Any]:
+        """The service's status payload (queue depth, config, counters)."""
+        return self.request("GET", "/healthz")
+
+    def wait_ready(self, *, timeout: float = 30.0,
+                   interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the service answers; returns its status.
+
+        Raises :class:`ServiceUnavailableError` when ``timeout`` elapses
+        first — the tool for "started ``repro serve`` in the background,
+        when can I send work?" (the CI smoke step does exactly this).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceUnavailableError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)

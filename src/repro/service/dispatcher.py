@@ -1,0 +1,312 @@
+"""Micro-batching dispatcher: coalesce concurrent solve requests into flushes.
+
+This is the heart of the service layer.  Incoming requests are appended to a
+pending queue; a single flusher task drains it in *flushes*, each triggered
+by whichever comes first:
+
+* the queue reaching ``max_batch`` requests, or
+* ``max_wait_ms`` elapsing since the oldest pending request arrived
+  (``max_wait_ms=0`` flushes as soon as the loop sees any pending request —
+  the no-coalescing configuration).
+
+Each flush is partitioned by :meth:`SolveRequest.dispatch_key` (solver ×
+objective × backend × solver kwargs) and every partition goes through one
+:func:`repro.core.batch.solve_many` call, so coalesced same-network requests
+ride the tensor engine's group path exactly like an offline batch — the
+``group_id``/``group_size`` fields in the responses make the coalescing
+observable.  With ``workers > 1`` a persistent
+:class:`~repro.core.parallel.ParallelBatchRunner` backs every flush (pool and
+shared-memory network exports live for the service lifetime, see
+``core/parallel.py``).
+
+The event loop never blocks on solving: flushes run on a single-thread
+executor (one flush at a time, which also serialises access to the runner),
+and per-request failures follow the batch API's recorded-error policy —
+a client always receives a response, never a dropped connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.batch import resolve_solver_backend, solve_many
+from ..core.mapping import Objective
+from ..exceptions import ReproError, SpecificationError
+from .wire import NetworkInterner, SolveRequest, error_response, item_result_to_wire
+
+__all__ = ["ServiceConfig", "SolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`SolveService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many requests are pending (also the cap on one
+        flush's size).
+    max_wait_ms:
+        Flush at latest this long after the oldest pending request arrived;
+        ``0`` disables coalescing (every request flushes immediately).
+    workers:
+        ``None``/0/1 solves flushes in-process; ``N > 1`` keeps one
+        persistent shared-memory :class:`ParallelBatchRunner` under every
+        flush.
+    backend:
+        Default array backend *name* for tensor solves (requests may override
+        per-call); validated when the service starts so a misconfigured
+        deployment fails at boot, not per request.
+    default_solver:
+        Solver used by requests that do not name one.
+    intern_networks:
+        Cap of the network interning cache (distinct topologies kept hot).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    workers: Optional[int] = None
+    backend: Optional[str] = None
+    default_solver: str = "elpc-tensor"
+    intern_networks: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise SpecificationError(
+                f"max_batch must be >= 1, got {self.max_batch!r}")
+        if self.max_wait_ms < 0:
+            raise SpecificationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms!r}")
+        if self.workers is not None and int(self.workers) < 0:
+            raise SpecificationError(
+                f"workers must be >= 0, got {self.workers!r}")
+
+
+#: One queued request: the parsed request, the future its response resolves,
+#: and the monotonic arrival time driving the max_wait_ms deadline.
+_Pending = Tuple[SolveRequest, "asyncio.Future", float]
+
+
+class SolveService:
+    """Accepts solve requests, coalesces them, dispatches through ``solve_many``.
+
+    Lifecycle: construct (validates the configured backend), :meth:`start`
+    inside a running event loop, :meth:`submit` per request, :meth:`close` to
+    shut down — by default *draining* the queue, so every accepted request
+    still receives its response.  The HTTP front-end
+    (:mod:`repro.service.server`) owns exactly one of these.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        # Fail at construction on an unusable default backend — the CLI turns
+        # this into exit 1 before binding a port, like the other --backend
+        # paths.
+        resolve_solver_backend(self.config.default_solver, Objective.MIN_DELAY,
+                               self.config.backend,
+                               workers=int(self.config.workers or 1))
+        self.interner = NetworkInterner(max_entries=self.config.intern_networks)
+        self._pending: List[_Pending] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._flusher: Optional["asyncio.Task"] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._runner = None
+        self._running = False
+        self._inflight = 0
+        self.requests_total = 0
+        self.responses_total = 0
+        self.flushes_total = 0
+        self.coalesced_flushes_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the flusher task (requires a running event loop)."""
+        if self._running:
+            return
+        workers = int(self.config.workers or 1)
+        if workers > 1:
+            from ..core.parallel import ParallelBatchRunner
+
+            self._runner = ParallelBatchRunner(workers=workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-flush")
+        self._wake = asyncio.Event()
+        self._running = True
+        self._flusher = asyncio.create_task(self._flush_loop())
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop the service; ``drain=True`` answers every pending request first.
+
+        With ``drain=False`` still-queued requests get an ``ok: false``
+        shutdown response (recorded, not dropped) and only in-flight flushes
+        are awaited.
+        """
+        if not self._running and self._flusher is None:
+            return
+        self._running = False
+        if not drain:
+            for request, future, _arrived in self._pending:
+                if not future.done():
+                    future.set_result(error_response(
+                        "service shutting down before this request was solved",
+                        solver=request.solver, objective=request.objective))
+            self._pending.clear()
+        if self._wake is not None:
+            self._wake.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    # ------------------------------------------------------------------ #
+    # Request entry point
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: SolveRequest) -> Dict[str, Any]:
+        """Queue one request and await its wire-format response."""
+        if not self._running:
+            return error_response("service is not running",
+                                  solver=request.solver,
+                                  objective=request.objective)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending.append((request, future, time.monotonic()))
+        self.requests_total += 1
+        self._wake.set()
+        return await future
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet answered (queued + in flight)."""
+        return len(self._pending) + self._inflight
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: queue state + engine/backend config."""
+        from ..core.backend import BACKEND_ENV_VAR
+        import os
+
+        backend = (self.config.backend
+                   or os.environ.get(BACKEND_ENV_VAR) or "numpy")
+        payload: Dict[str, Any] = {
+            "status": "ok" if self._running else "stopped",
+            "queue_depth": self.queue_depth,
+            "pending": len(self._pending),
+            "inflight": self._inflight,
+            "requests_total": self.requests_total,
+            "responses_total": self.responses_total,
+            "flushes_total": self.flushes_total,
+            "coalesced_flushes_total": self.coalesced_flushes_total,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "default_solver": self.config.default_solver,
+            "backend": backend,
+            "workers": int(self.config.workers or 1),
+            "interned_networks": len(self.interner),
+        }
+        if self._runner is not None:
+            payload["runner"] = self._runner.stats()
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Flush machinery
+    # ------------------------------------------------------------------ #
+    async def _flush_loop(self) -> None:
+        """Single consumer: waits for pending requests, applies the flush
+        policy, dispatches batches until closed (and drained)."""
+        while self._running or self._pending:
+            if not self._pending:
+                self._wake.clear()
+                if not self._running:
+                    break
+                await self._wake.wait()
+                continue
+            deadline = self._pending[0][2] + self.config.max_wait_ms / 1e3
+            while (self._running
+                   and len(self._pending) < self.config.max_batch):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = self._pending[: self.config.max_batch]
+            del self._pending[: len(batch)]
+            self._inflight += len(batch)
+            try:
+                await self._dispatch(batch)
+            except Exception as exc:
+                # _dispatch answers per-request failures itself; anything
+                # escaping it is a dispatcher bug — answer the batch and keep
+                # the flusher alive rather than wedging the whole service.
+                for request, future, _arrived in batch:
+                    if not future.done():
+                        future.set_result(error_response(
+                            f"internal dispatch error: "
+                            f"{type(exc).__name__}: {exc}",
+                            solver=request.solver,
+                            objective=request.objective))
+                self.responses_total += len(batch)
+            finally:
+                self._inflight -= len(batch)
+
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        """Partition one flush by dispatch key and solve each partition."""
+        self.flushes_total += 1
+        if len(batch) > 1:
+            self.coalesced_flushes_total += 1
+        partitions: "Dict[tuple, List[_Pending]]" = {}
+        for entry in batch:
+            partitions.setdefault(entry[0].dispatch_key(), []).append(entry)
+        for entries in partitions.values():
+            await self._dispatch_partition(entries)
+
+    async def _dispatch_partition(self, entries: List[_Pending]) -> None:
+        head = entries[0][0]
+        instances = [request.instance for request, _future, _arrived in entries]
+        call = partial(solve_many, instances,
+                       solver=head.solver, objective=head.objective,
+                       runner=self._runner,
+                       backend=head.backend or self.config.backend,
+                       **head.solver_kwargs)
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(self._executor, call)
+        except ReproError as exc:
+            # A partition-wide rejection (unknown solver name, unusable
+            # backend, bad kwargs): recorded per request, never a dropped
+            # connection — mirroring solve_many's per-item policy one level
+            # up.
+            for request, future, _arrived in entries:
+                if not future.done():
+                    future.set_result(error_response(
+                        str(exc), solver=request.solver,
+                        objective=request.objective))
+            self.responses_total += len(entries)
+            return
+        except Exception as exc:  # pragma: no cover - defensive last resort
+            for request, future, _arrived in entries:
+                if not future.done():
+                    future.set_result(error_response(
+                        f"{type(exc).__name__}: {exc}", solver=request.solver,
+                        objective=request.objective))
+            self.responses_total += len(entries)
+            return
+        for (request, future, _arrived), item in zip(entries, result.items):
+            if not future.done():
+                future.set_result(item_result_to_wire(
+                    item, solver=result.solver, objective=result.objective,
+                    network_ref=request.network_ref))
+        self.responses_total += len(entries)

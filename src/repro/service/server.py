@@ -1,0 +1,280 @@
+"""Stdlib-only HTTP front-end for the solve service (``asyncio.start_server``).
+
+A deliberately small HTTP/1.1 implementation — request line, headers,
+``Content-Length`` body, one response per connection — because the service
+needs no framework features: two routes and JSON bodies.  Routes:
+
+* ``POST /solve`` — one solve request (:mod:`repro.service.wire` schema);
+  always answered 200 with a per-request result payload, ``ok: false`` +
+  ``error`` on failures (malformed *HTTP/JSON* gets 400, unknown paths 404).
+* ``GET /healthz`` — service status: queue depth, flush counters, engine and
+  backend configuration (:meth:`SolveService.status`).
+
+:class:`BackgroundServer` runs the whole stack on a daemon thread for tests,
+benchmarks and notebooks; the CLI (``repro serve``) runs it in the foreground
+with graceful drain on SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..exceptions import ReproError, SpecificationError
+from .dispatcher import ServiceConfig, SolveService
+from .wire import SolveRequest, error_response
+
+__all__ = ["SolveServer", "BackgroundServer", "serve"]
+
+#: Refuse request bodies beyond this size (64 MiB) instead of buffering them.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class SolveServer:
+    """Bind the service to a host/port; owns the ``asyncio.start_server``."""
+
+    def __init__(self, service: SolveService, *, host: str = "127.0.0.1",
+                 port: int = 8423) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.AbstractServer"] = None
+        #: Live connection-handler tasks; close() awaits them so a drained
+        #: request's response write can never be cancelled by loop teardown
+        #: (Server.wait_closed only waits for handlers on Python >= 3.12.1).
+        self._handlers: set = set()
+
+    async def start(self) -> None:
+        """Start the service and listen; ``port=0`` resolves to a free port."""
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop accepting connections, then close the service (draining).
+
+        In-flight connection handlers are awaited after the service drain so
+        every answered request's response is actually written before the
+        event loop tears down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close(drain=drain)
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+
+    async def serve_until(self, stop: "asyncio.Event") -> None:
+        """Run until ``stop`` is set, then shut down gracefully."""
+        await stop.wait()
+        await self.close(drain=True)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: "asyncio.StreamReader",
+                      writer: "asyncio.StreamWriter") -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            status, payload = await self._respond(reader)
+            await self._write_json(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except Exception as exc:  # pragma: no cover - defensive
+            try:
+                await self._write_json(writer, 500, error_response(
+                    f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+    async def _respond(self, reader: "asyncio.StreamReader"
+                       ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            method, path, body = await _read_http_request(reader)
+        except _HttpError as exc:
+            return exc.status, error_response(str(exc))
+        if path.split("?", 1)[0] == "/healthz":
+            if method not in ("GET", "HEAD"):
+                return 405, error_response("use GET for /healthz")
+            return 200, self.service.status()
+        if path.split("?", 1)[0] != "/solve":
+            return 404, error_response(f"unknown path {path!r}; "
+                                       "use POST /solve or GET /healthz")
+        if method != "POST":
+            return 405, error_response("use POST for /solve")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, error_response(f"invalid JSON body: {exc}")
+        try:
+            request = SolveRequest.from_wire(
+                payload, interner=self.service.interner,
+                default_solver=self.service.config.default_solver)
+        except SpecificationError as exc:
+            return 400, error_response(str(exc))
+        except ReproError as exc:  # pragma: no cover - defensive
+            return 400, error_response(str(exc))
+        return 200, await self.service.submit(request)
+
+    @staticmethod
+    async def _write_json(writer: "asyncio.StreamWriter", status: int,
+                          payload: Dict[str, Any]) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 413: "Payload Too Large",
+                   500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_http_request(reader: "asyncio.StreamReader"
+                             ) -> Tuple[str, str, bytes]:
+    """Parse one HTTP/1.x request: ``(method, path, body)``."""
+    request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+    if not request_line:
+        raise _HttpError(400, "empty request")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, f"malformed request line {request_line!r}")
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not line:
+            break
+        name, _sep, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, f"bad Content-Length {value.strip()!r}")
+    if content_length < 0 or content_length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {content_length} bytes refused "
+                              f"(limit {MAX_BODY_BYTES})")
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return method, path, body
+
+
+async def serve(config: Optional[ServiceConfig] = None, *,
+                host: str = "127.0.0.1", port: int = 8423,
+                stop: Optional["asyncio.Event"] = None,
+                ready: Optional["threading.Event"] = None,
+                announce=None) -> SolveServer:
+    """Start a server and run it until ``stop`` is set (forever if ``None``).
+
+    ``ready`` (a *threading* event) is set once the port is bound —
+    :class:`BackgroundServer` and the CLI use it/`announce` to publish the
+    resolved port before the first request can arrive.
+    """
+    server = SolveServer(SolveService(config), host=host, port=port)
+    await server.start()
+    if announce is not None:
+        announce(server)
+    if ready is not None:
+        ready.set()
+    await server.serve_until(stop if stop is not None else asyncio.Event())
+    return server
+
+
+class BackgroundServer:
+    """Run a :class:`SolveServer` on a daemon thread (tests, benchmarks).
+
+    Context manager::
+
+        with BackgroundServer(ServiceConfig(max_batch=8)) as server:
+            client = server.client()
+            response = client.solve(instance)
+
+    Exit shuts the server down gracefully (queue drained).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.config = config
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._stop: Optional["asyncio.Event"] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[SolveServer] = None
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise SpecificationError("background server failed to start in 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await serve(self.config, host=self.host, port=self.port,
+                            stop=self._stop, ready=self._ready,
+                            announce=self._announce)
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+
+        try:
+            asyncio.run(main())
+        except BaseException:
+            if not self._ready.is_set():  # pragma: no cover - startup race
+                self._ready.set()
+
+    def _announce(self, server: SolveServer) -> None:
+        self.server = server
+        self.port = server.port
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain the queue, join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+
+    def client(self, **kwargs):
+        """A :class:`~repro.service.client.ServiceClient` for this server."""
+        from .client import ServiceClient
+
+        return ServiceClient(host=self.host, port=self.port, **kwargs)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,323 @@
+"""Wire schema of the solve service (``repro-serve/1``).
+
+The service speaks JSON built directly on the library's own serialization:
+a solve request is :meth:`ProblemInstance.to_dict` output under an
+``"instance"`` key plus the solver/objective/backend selection fields, and a
+solve response is one :class:`~repro.core.batch.BatchItemResult` rendered to
+a plain dictionary (``mapping`` serialised via
+:func:`repro.model.serialization.mapping_to_dict`).  Keeping the wire format
+a thin shell over ``to_dict``/``from_dict`` means anything the library can
+save or load can also be served, and the CLI/service/client never grow a
+second, subtly different schema.
+
+Network interning and references
+--------------------------------
+The tensor engine groups instances by network *object* identity
+(:func:`repro.core.batch.solve_many` and the docs in ``core/batch.py``), but
+every HTTP request deserialises its own copy of the network.  The
+:class:`NetworkInterner` canonicalises structurally identical network
+payloads onto one shared :class:`TransportNetwork` object (and therefore one
+cached dense view), which is what lets concurrent same-network requests ride
+a single tensor group flush.
+
+Interning also assigns every network a stable *reference* (a digest of its
+canonical JSON).  Responses carry it as ``network_ref``, and subsequent
+requests may replace the full ``"network"`` payload with ``{"ref": ...}`` —
+the natural protocol for the paper's service model, where the transport
+network is long-lived infrastructure and only the pipelines change per
+request.  For same-network request streams this removes the dominant
+per-request cost (serialising and parsing the topology) from the hot path;
+:class:`~repro.service.client.ServiceClient` uses it automatically after its
+first full post of a network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..core.batch import BatchItemResult
+from ..core.mapping import Objective
+from ..exceptions import SpecificationError
+from ..model.network import TransportNetwork
+from ..model.serialization import ProblemInstance, mapping_to_dict
+
+__all__ = ["WIRE_SCHEMA", "SolveRequest", "NetworkInterner",
+           "item_result_to_wire", "error_response"]
+
+#: Schema tag carried by every service response.
+WIRE_SCHEMA = "repro-serve/1"
+
+#: ``solver_kwargs`` keys that are dispatch controls of :func:`solve_many`
+#: itself, not solver options.  Letting them through would either collide
+#: with the kwargs the dispatcher pins (``TypeError`` before any solve) or
+#: let a client override server policy (e.g. fork a worker pool per flush
+#: via ``workers=``), so they are rejected at parse time.
+_RESERVED_SOLVER_KWARGS = frozenset(
+    {"solver", "objective", "backend", "runner", "workers", "chunk_size"})
+
+
+class NetworkInterner:
+    """Canonicalise identical network payloads onto one shared object.
+
+    Keyed by the canonical (sorted, compact) JSON rendering of the network's
+    ``to_dict`` payload; bounded LRU so a long-running service over an
+    unbounded stream of distinct topologies cannot grow without limit.
+    Interning is what turns per-request network copies back into the
+    object-identity grouping the tensor engine batches on — and it also means
+    repeat topologies reuse their cached dense view instead of rebuilding it
+    per request.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise SpecificationError(
+                f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        #: ref digest -> interned network (insertion order = LRU order)
+        self._cache: "OrderedDict[str, TransportNetwork]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @staticmethod
+    def ref_of(network_payload: Mapping[str, Any]) -> str:
+        """The stable reference digest of a network ``to_dict`` payload."""
+        canonical = json.dumps(network_payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def intern(self, network_payload: Mapping[str, Any]) -> TransportNetwork:
+        """The shared :class:`TransportNetwork` for this ``to_dict`` payload."""
+        return self.intern_with_ref(network_payload)[0]
+
+    def intern_with_ref(self, network_payload: Mapping[str, Any]
+                        ) -> Tuple[TransportNetwork, str]:
+        """Intern a full network payload; returns ``(network, ref)``."""
+        ref = self.ref_of(network_payload)
+        network = self._cache.get(ref)
+        if network is not None:
+            self.hits += 1
+            self._cache.move_to_end(ref)
+            return network, ref
+        self.misses += 1
+        network = TransportNetwork.from_dict(dict(network_payload))
+        self._cache[ref] = network
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return network, ref
+
+    def by_ref(self, ref: str) -> Optional[TransportNetwork]:
+        """The network previously interned under ``ref``, if still cached."""
+        network = self._cache.get(ref)
+        if network is not None:
+            self.hits += 1
+            self._cache.move_to_end(ref)
+        return network
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One parsed solve request.
+
+    Attributes
+    ----------
+    instance:
+        The problem to solve (already interned through the service's
+        :class:`NetworkInterner` when parsed via :meth:`from_wire`).
+    solver:
+        Registry name of the algorithm (the service default is
+        ``"elpc-tensor"`` so coalesced batches group).
+    objective:
+        Which objective to optimise.
+    backend:
+        Array backend *name* for the tensor engine, ``None`` for the server
+        default.
+    solver_kwargs:
+        Extra keyword arguments forwarded to every solve of the flush group.
+    network_ref:
+        The interner reference of the instance's network (set when parsed
+        against an interner); echoed to clients as ``network_ref`` so they
+        can switch to reference-style requests.
+    """
+
+    instance: ProblemInstance
+    solver: str = "elpc-tensor"
+    objective: Objective = Objective.MIN_DELAY
+    backend: Optional[str] = None
+    solver_kwargs: Dict[str, Any] = field(default_factory=dict)
+    network_ref: Optional[str] = None
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any], *,
+                  interner: Optional[NetworkInterner] = None,
+                  default_solver: str = "elpc-tensor") -> "SolveRequest":
+        """Parse a request payload; raises :class:`SpecificationError` on junk."""
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                f"solve request must be a JSON object, got {type(payload).__name__}")
+        instance_payload = payload.get("instance")
+        if not isinstance(instance_payload, Mapping):
+            raise SpecificationError(
+                "solve request needs an 'instance' object "
+                "(ProblemInstance.to_dict output)")
+        network_ref: Optional[str] = None
+        try:
+            network_payload = instance_payload.get("network")
+            if isinstance(network_payload, Mapping) and "ref" in network_payload:
+                if interner is None:
+                    raise SpecificationError(
+                        "network references need a service-side interner; "
+                        "send the full 'network' payload")
+                network_ref = str(network_payload["ref"])
+                network = interner.by_ref(network_ref)
+                if network is None:
+                    raise SpecificationError(
+                        f"unknown network ref {network_ref!r} (not posted "
+                        "yet, or evicted); POST the full network once and "
+                        "re-read 'network_ref' from the response")
+                instance = ProblemInstance(
+                    pipeline=_pipeline_from(instance_payload),
+                    network=network,
+                    request=_request_from(instance_payload),
+                    name=instance_payload.get("name"))
+            elif interner is not None:
+                network, network_ref = interner.intern_with_ref(network_payload)
+                instance = ProblemInstance(
+                    pipeline=_pipeline_from(instance_payload),
+                    network=network,
+                    request=_request_from(instance_payload),
+                    name=instance_payload.get("name"))
+            else:
+                instance = ProblemInstance.from_dict(dict(instance_payload))
+        except SpecificationError:
+            raise
+        except Exception as exc:
+            raise SpecificationError(f"malformed instance payload: {exc}") from exc
+        solver = payload.get("solver") or default_solver
+        if not isinstance(solver, str):
+            raise SpecificationError(
+                f"'solver' must be a registry name string, got {solver!r}")
+        objective = _objective_from(payload.get("objective"))
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise SpecificationError(
+                f"'backend' must be a backend name string, got {backend!r}")
+        solver_kwargs = payload.get("solver_kwargs") or {}
+        if not isinstance(solver_kwargs, Mapping):
+            raise SpecificationError(
+                f"'solver_kwargs' must be an object, got {solver_kwargs!r}")
+        reserved = _RESERVED_SOLVER_KWARGS.intersection(solver_kwargs)
+        if reserved:
+            raise SpecificationError(
+                f"solver_kwargs may not override dispatch controls "
+                f"{sorted(reserved)}; use the top-level request fields "
+                "(solver/objective/backend) or the server configuration "
+                "(--workers)")
+        return cls(instance=instance, solver=solver, objective=objective,
+                   backend=backend, solver_kwargs=dict(solver_kwargs),
+                   network_ref=network_ref)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Render this request as a JSON-compatible payload."""
+        out: Dict[str, Any] = {
+            "instance": self.instance.to_dict(),
+            "solver": self.solver,
+            "objective": self.objective.value,
+        }
+        if self.backend is not None:
+            out["backend"] = self.backend
+        if self.solver_kwargs:
+            out["solver_kwargs"] = dict(self.solver_kwargs)
+        return out
+
+    def dispatch_key(self) -> tuple:
+        """Requests with equal keys may be coalesced into one ``solve_many``.
+
+        Solver, objective, backend and solver kwargs must all match — the
+        batch API applies them batch-wide, so mixing them inside one call
+        would change results.
+        """
+        return (self.solver.lower(), self.objective,
+                self.backend,
+                json.dumps(self.solver_kwargs, sort_keys=True, default=repr))
+
+
+def _pipeline_from(instance_payload: Mapping[str, Any]):
+    from ..model.pipeline import Pipeline
+
+    return Pipeline.from_dict(instance_payload["pipeline"])
+
+
+def _request_from(instance_payload: Mapping[str, Any]):
+    from ..model.network import EndToEndRequest
+
+    request = instance_payload["request"]
+    return EndToEndRequest(source=int(request["source"]),
+                           destination=int(request["destination"]))
+
+
+def _objective_from(value: Any) -> Objective:
+    if value is None:
+        return Objective.MIN_DELAY
+    try:
+        return Objective(value)
+    except ValueError:
+        valid = sorted(o.value for o in Objective)
+        raise SpecificationError(
+            f"unknown objective {value!r}; expected one of {valid}") from None
+
+
+def item_result_to_wire(item: BatchItemResult, *, solver: str,
+                        objective: Objective,
+                        network_ref: Optional[str] = None) -> Dict[str, Any]:
+    """Render one :class:`BatchItemResult` as a service response payload.
+
+    The response mirrors the batch API's per-item error policy: a failed
+    solve is a normal payload with ``ok: false`` and the recorded ``error``
+    (plus ``traceback`` for unexpected exceptions) — never a dropped
+    connection or a non-200 status.  ``network_ref`` tells the client the
+    digest under which the instance's network is interned, enabling
+    reference-style follow-up requests.
+    """
+    payload: Dict[str, Any] = {
+        "schema": WIRE_SCHEMA,
+        "ok": item.ok,
+        "name": item.name,
+        "solver": solver,
+        "objective": objective.value,
+        "error": item.error,
+        "runtime_s": item.runtime_s,
+        "group_id": item.group_id,
+        "group_size": item.group_size,
+        "group_wall_s": item.group_wall_s,
+        "network_ref": network_ref,
+        "mapping": mapping_to_dict(item.mapping) if item.mapping is not None else None,
+    }
+    if item.traceback is not None:
+        payload["traceback"] = item.traceback
+    return payload
+
+
+def error_response(message: str, *, solver: Optional[str] = None,
+                   objective: Optional[Objective] = None) -> Dict[str, Any]:
+    """An ``ok: false`` response for failures outside any solve (bad request,
+    dispatch error) — same shape as a failed item so clients parse one format."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "ok": False,
+        "name": None,
+        "solver": solver,
+        "objective": objective.value if objective is not None else None,
+        "error": message,
+        "runtime_s": 0.0,
+        "group_id": None,
+        "group_size": 0,
+        "group_wall_s": None,
+        "mapping": None,
+    }

@@ -68,6 +68,10 @@ class StreamingResult:
         """Relative error of the analytical frame-rate prediction."""
         if self.predicted_frame_rate_fps == 0:
             return 0.0 if self.achieved_frame_rate_fps == 0 else float("inf")
+        if self.predicted_frame_rate_fps == float("inf"):
+            # A zero-cost mapping predicts an unbounded rate; the replay agrees
+            # exactly when it measured an unbounded rate too (span_ms == 0).
+            return 0.0 if self.achieved_frame_rate_fps == float("inf") else float("inf")
         return (abs(self.achieved_frame_rate_fps - self.predicted_frame_rate_fps)
                 / self.predicted_frame_rate_fps)
 
@@ -101,6 +105,12 @@ def simulate_streaming(mapping: PipelineMapping, *, n_frames: int = 50,
     process.release_frames(n_frames, interval_ms=interval_ms)
     engine.run()
 
+    missing = [f for f in range(n_frames) if f not in process.completion_ms]
+    if missing:
+        raise SimulationError(
+            f"streaming replay: frame {missing[0]} never completed "
+            f"({len(missing)} of {n_frames} frames are missing a completion "
+            "event after the simulation drained its event queue)")
     completions = [process.completion_ms[f] for f in range(n_frames)]
     if warmup_frames is None:
         warmup_frames = min(len(process.stations()), n_frames - 2)

@@ -97,6 +97,66 @@ class TestReplicateCase:
         # win rate is computed only over replicates where elpc is feasible
         assert 0.0 <= result.win_rate("elpc") <= 1.0
 
+    def test_unknown_algorithm_fails_fast(self):
+        with pytest.raises(SpecificationError):
+            replicate_case(PAPER_CASE_SPECS[1], n_replicates=2,
+                           algorithms=("elpc", "no-such-solver"))
+
+    def test_non_infeasibility_errors_recorded_as_nan(self):
+        """Any ReproError from one replicate (not just infeasibility) becomes
+        NaN instead of aborting the whole campaign."""
+        from repro.core import register_solver
+        from repro.core.registry import _REGISTRY
+        from repro.exceptions import SpecificationError as SpecError
+
+        calls = {"n": 0}
+
+        def flaky(pipeline, network, request, **kwargs):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise SpecError("synthetic mid-campaign solver error")
+            from repro.core import get_solver
+            return get_solver("greedy", Objective.MIN_DELAY)(
+                pipeline, network, request)
+
+        register_solver("stats-flaky", Objective.MIN_DELAY, flaky)
+        try:
+            result = replicate_case(PAPER_CASE_SPECS[1], n_replicates=4,
+                                    algorithms=("elpc", "stats-flaky"))
+        finally:
+            _REGISTRY.pop(("stats-flaky", Objective.MIN_DELAY), None)
+        flaky_values = result.values["stats-flaky"]
+        assert len(flaky_values) == 4
+        assert sum(1 for v in flaky_values if v != v) == 2  # NaN where it blew up
+        assert result.feasibility_rate("stats-flaky") == 0.5
+        # the co-scheduled healthy algorithm is untouched
+        assert result.feasibility_rate("elpc") == 1.0
+
+    def test_replicates_batch_through_solve_many(self, monkeypatch):
+        """The inner loop rides solve_many (one batch per algorithm), so
+        replication sweeps inherit tensor grouping and workers=."""
+        import repro.analysis.statistics as stats_mod
+
+        seen = []
+        real_solve_many = stats_mod.solve_many
+
+        def spy(instances, **kwargs):
+            seen.append((len(list(instances)), kwargs.get("solver")))
+            return real_solve_many(instances, **kwargs)
+
+        monkeypatch.setattr(stats_mod, "solve_many", spy)
+        result = replicate_case(PAPER_CASE_SPECS[1], n_replicates=3,
+                                algorithms=("elpc", "greedy"))
+        assert seen == [(3, "elpc"), (3, "greedy")]
+        assert result.n_replicates == 3
+
+    def test_workers_match_sequential(self):
+        sequential = replicate_case(PAPER_CASE_SPECS[1], n_replicates=3,
+                                    algorithms=("elpc", "greedy"))
+        parallel = replicate_case(PAPER_CASE_SPECS[1], n_replicates=3,
+                                  algorithms=("elpc", "greedy"), workers=2)
+        assert parallel.values == sequential.values
+
 
 class TestSummarizeImprovements:
     def test_pooled_improvements(self, replicated_small_case):

@@ -1,11 +1,17 @@
 """Unit tests for :mod:`repro.model.serialization`."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import SpecificationError
 from repro.model import (
+    CommunicationLink,
+    ComputingModule,
+    ComputingNode,
     EndToEndRequest,
     ProblemInstance,
+    TransportNetwork,
     instance_from_json,
     instance_from_table_text,
     instance_to_json,
@@ -13,6 +19,7 @@ from repro.model import (
     load_instance,
     save_instance,
 )
+from repro.model.serialization import _MODULE_HEADER as _MODULE_HEADER_LINE
 
 
 @pytest.fixture
@@ -99,3 +106,114 @@ class TestTableTextFormat:
         assert again.size_signature == inst.size_signature
         json_again = instance_from_json(instance_to_json(inst))
         assert json_again.size_signature == inst.size_signature
+
+    @pytest.mark.parametrize("name", [
+        "#leading-hash", "with # hash", "  padded  ", "\ttabbed\t",
+        "[pipeline]", "[nodes]", _MODULE_HEADER_LINE, "unnamed", "-", "",
+        "two  spaces", "newline\nname", "ünïcode名前", "100% done",
+    ])
+    def test_hostile_names_roundtrip(self, name):
+        """Names containing '#', padding whitespace, or text equal to a
+        section/header line must survive the tabular round-trip verbatim."""
+        inst = _instance_with_names(instance_name=name, module_name=name)
+        again = instance_from_table_text(instance_to_table_text(inst))
+        assert again.name == name
+        assert again.pipeline.modules[1].name == name
+
+    def test_legacy_unquoted_tables_still_parse(self):
+        """Files written before percent-quoting (verbatim names, 'unnamed'
+        header sentinel) keep parsing."""
+        legacy = (
+            "# instance: unnamed\n"
+            "[pipeline]\n"
+            "ModuleID ModuleComplexity InputDataInBytes OutputDataInBytes Name\n"
+            "0 0 0 1000 -\n"
+            "1 2 1000 0 isosurface extraction\n"
+            "[nodes]\n"
+            "NodeID NodeIP ProcessingPower\n"
+            "0 10.0.0.1 100\n"
+            "1 10.0.0.2 200\n"
+            "[links]\n"
+            "startNodeID endNodeID LinkID LinkBWInMbps LinkDelayInMilliseconds\n"
+            "0 1 0 80 1\n"
+            "[request]\n"
+            "source 0\n"
+            "destination 1\n")
+        inst = instance_from_table_text(legacy)
+        assert inst.name is None
+        assert inst.pipeline.modules[1].name == "isosurface extraction"
+        assert inst.network.nodes()[0].ip_address == "10.0.0.1"
+
+    def test_invalid_percent_sequences_pass_through(self):
+        """A legacy verbatim name with an *invalid* % sequence (e.g. a bare
+        trailing percent) is not mangled by the unquoting."""
+        legacy = (
+            "[pipeline]\n"
+            "0 0 0 1000 -\n"
+            "1 2 1000 0 done-100%\n"
+            "[nodes]\n"
+            "0 10.0.0.1 100\n"
+            "1 10.0.0.2 200\n"
+            "[links]\n"
+            "0 1 0 80 1\n"
+            "[request]\n"
+            "source 0\n"
+            "destination 1\n")
+        inst = instance_from_table_text(legacy)
+        assert inst.pipeline.modules[1].name == "done-100%"
+
+
+def _instance_with_names(*, instance_name, module_name, pipeline_name=None,
+                         network_name=None, complexity=2.0, payload=1000.0,
+                         bandwidth=80.0, delay=1.0, power=(100.0, 200.0)):
+    """A 2-node / 3-module instance with controllable names and floats."""
+    from repro.model import Pipeline as P
+
+    modules = (
+        ComputingModule(module_id=0, complexity=0.0, input_bytes=0.0,
+                        output_bytes=payload),
+        ComputingModule(module_id=1, complexity=complexity, input_bytes=payload,
+                        output_bytes=payload, name=module_name),
+        ComputingModule(module_id=2, complexity=complexity, input_bytes=payload,
+                        output_bytes=0.0),
+    )
+    nodes = [ComputingNode(node_id=0, processing_power=power[0]),
+             ComputingNode(node_id=1, processing_power=power[1])]
+    links = [CommunicationLink(start_node=0, end_node=1, link_id=0,
+                               bandwidth_mbps=bandwidth, min_delay_ms=delay)]
+    return ProblemInstance(
+        pipeline=P(modules=modules, name=pipeline_name),
+        network=TransportNetwork(nodes=nodes, links=links, name=network_name),
+        request=EndToEndRequest(source=0, destination=1),
+        name=instance_name)
+
+
+class TestTableTextRoundtripProperty:
+    """Hypothesis: table-text round-trip is the identity on valid instances."""
+
+    names = st.one_of(st.none(), st.text(max_size=24))
+    positive = st.floats(min_value=1e-9, max_value=1e12, allow_nan=False,
+                         allow_infinity=False)
+    non_negative = st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+                             allow_infinity=False)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance_name=names, module_name=names, pipeline_name=names,
+           network_name=names, complexity=non_negative, payload=non_negative,
+           bandwidth=positive, delay=non_negative, power_a=positive,
+           power_b=positive)
+    def test_roundtrip_identity(self, instance_name, module_name, pipeline_name,
+                                network_name, complexity, payload, bandwidth,
+                                delay, power_a, power_b):
+        inst = _instance_with_names(
+            instance_name=instance_name, module_name=module_name,
+            pipeline_name=pipeline_name, network_name=network_name,
+            complexity=complexity, payload=payload, bandwidth=bandwidth,
+            delay=delay, power=(power_a, power_b))
+        again = instance_from_table_text(instance_to_table_text(inst))
+        assert again.name == inst.name
+        assert again.pipeline == inst.pipeline
+        assert again.request == inst.request
+        assert again.network.name == inst.network.name
+        assert again.network.nodes() == inst.network.nodes()
+        assert again.network.links() == inst.network.links()

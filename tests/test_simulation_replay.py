@@ -78,6 +78,38 @@ class TestStreamingReplay:
         with pytest.raises(SimulationError):
             simulate_streaming(mapping, n_frames=1)
 
+    def test_never_completed_frame_raises_naming_the_frame(
+            self, illustration_instance, monkeypatch):
+        """A frame without a completion event must raise SimulationError (not
+        a bare KeyError) and say which frame went missing."""
+        from repro.simulation.engine import SimulationEngine
+
+        inst = illustration_instance
+        mapping = elpc_max_frame_rate(inst.pipeline, inst.network, inst.request)
+        monkeypatch.setattr(SimulationEngine, "run", lambda self: None)
+        with pytest.raises(SimulationError, match=r"frame 0 never completed"):
+            simulate_streaming(mapping, n_frames=5)
+
+    def test_zero_cost_pipeline_reports_infinite_rate(self):
+        """All frames completing at the same instant (span_ms == 0) is the
+        infinite-rate path, not a division error."""
+        import math
+
+        from repro.core import mapping_from_assignment
+        from repro.model import Pipeline
+
+        pipeline = Pipeline.from_stage_specs(
+            source_bytes=0, stages=[(0.0, 0), (0.0, 0)], name="zero-cost")
+        network = random_network(6, 12, seed=5)
+        source = network.node_ids()[0]
+        mapping = mapping_from_assignment(
+            pipeline, network, [source] * pipeline.n_modules,
+            objective=Objective.MAX_FRAME_RATE)
+        result = simulate_streaming(mapping, n_frames=6, include_link_delay=False)
+        assert math.isinf(result.achieved_frame_rate_fps)
+        assert math.isinf(result.predicted_frame_rate_fps)
+        assert result.prediction_error_relative == 0.0
+
     def test_node_reuse_mapping_respects_sharing(self):
         """A mapping that reuses a node must not stream faster than the shared
         bottleneck predicts."""
