@@ -1,0 +1,184 @@
+"""Benchmark: keep-alive continuous batching vs the PR 5 service transport.
+
+``repro loadtest`` drives both configurations end to end — real ``repro
+serve`` subprocesses, 32 concurrent closed-loop clients — and this file
+asserts the acceptance bar: **the keep-alive continuous-batching path must
+sustain at least 2x the throughput of the previous one-connection-per-request
+fixed-window configuration**, with every solve response identical to a
+direct :func:`repro.core.batch.solve_many` of the same instances.
+
+The two measured stacks:
+
+* *keep-alive + continuous batching* — ``repro serve`` defaults; clients
+  hold one persistent connection each (``keep_alive=True``) and the
+  dispatcher flushes the moment the executor frees.
+* *PR 5 baseline* — ``repro serve --fixed-window`` (every flush waits out
+  the ``max_wait_ms`` window) with ``keep_alive=False`` clients (a fresh
+  ``http.client`` connection per request — the transport the client shipped
+  with, preserved verbatim for exactly this A/B).
+
+The workload is deliberately *transport-dominated* (short pipelines over a
+small shared network): the solver cost is identical on both sides of the
+A/B, so the heavier the instances, the more the connection-handling
+difference under test is diluted.  Solver-bound service throughput is
+covered by ``test_bench_service.py``.
+
+Servers run as subprocesses so the 32 client threads and the server event
+loop do not share one GIL.  Each mode takes the best of two trials; like the
+other speedup benches, the wall-clock ratio assertion is skipped under
+``REPRO_SKIP_SPEEDUP_ASSERT=1`` (noisy shared runners) while the identity
+and connection-accounting assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Objective, solve_many
+from repro.service import ServiceClient, generate_workload, run_loadtest
+
+_CLIENTS = 32
+_DURATION_S = 1.2
+_TRIALS = 2
+#: Transport-dominated workload shape (see module docstring).
+_WORKLOAD = dict(n_modules=4, n_nodes=8, n_links=16, seed=5)
+_WORKLOAD_SIZE = 16
+
+
+def _spawn_server(extra_args=()):
+    """A real ``repro serve`` subprocess; returns ``(process, port)``."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys; from repro.cli import main; "
+         "raise SystemExit(main(['serve', '--port', '0'] + sys.argv[1:]))",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True)
+    announce = proc.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", announce)
+    assert match, f"no announce line from repro serve, got {announce!r}"
+    port = int(match.group(1))
+    ServiceClient(port=port).wait_ready(timeout=30)
+    return proc, port
+
+
+def _stop_server(proc):
+    proc.send_signal(signal.SIGINT)
+    proc.wait(timeout=30)
+
+
+def _best_run(port, instances, *, keep_alive):
+    best = None
+    for _ in range(_TRIALS):
+        result = run_loadtest(host="127.0.0.1", port=port, clients=_CLIENTS,
+                              duration_s=_DURATION_S, instances=instances,
+                              keep_alive=keep_alive)
+        assert result.errors_total == 0, (
+            f"loadtest errors (keep_alive={keep_alive}): "
+            f"{result.errors_total}/{result.requests_total}")
+        if best is None or result.throughput_rps > best.throughput_rps:
+            best = result
+    return best
+
+
+@pytest.fixture(scope="module")
+def loadtest_measurement():
+    """Both stacks measured (best of {_TRIALS} trials each) plus one short
+    response-recording run for the identity assertions."""
+    instances = generate_workload(_WORKLOAD_SIZE, **_WORKLOAD)
+
+    new_proc, new_port = _spawn_server()
+    old_proc, old_port = _spawn_server(["--fixed-window"])
+    try:
+        new = _best_run(new_port, instances, keep_alive=True)
+        old = _best_run(old_port, instances, keep_alive=False)
+        identity = run_loadtest(host="127.0.0.1", port=new_port, clients=8,
+                                duration_s=0.5, instances=instances,
+                                keep_responses=True)
+    finally:
+        _stop_server(new_proc)
+        _stop_server(old_proc)
+    return instances, new, old, identity
+
+
+@pytest.mark.benchmark(group="loadtest")
+def test_loadtest_keep_alive_continuous_batching(benchmark,
+                                                 loadtest_measurement):
+    """Timed metric: a fixed burst of keep-alive requests through the
+    continuous-batching server, plus the PR's >= 2x throughput bar."""
+    instances, new, old, _identity = loadtest_measurement
+
+    proc, port = _spawn_server()
+    try:
+        client = ServiceClient(port=port)
+        burst = (instances * 8)[:128]
+        with ThreadPoolExecutor(max_workers=_CLIENTS) as pool:
+            list(pool.map(client.solve, burst))  # warm-up + network refs
+
+            def keep_alive_burst():
+                return list(pool.map(client.solve, burst))
+
+            responses = benchmark(keep_alive_burst)
+        client.close()
+    finally:
+        _stop_server(proc)
+    assert all(r["ok"] for r in responses)
+
+    ratio = (new.throughput_rps / old.throughput_rps
+             if old.throughput_rps else float("inf"))
+    benchmark.extra_info["throughput_rps"] = round(new.throughput_rps, 1)
+    benchmark.extra_info["baseline_rps"] = round(old.throughput_rps, 1)
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 2)
+    benchmark.extra_info["p99_ms"] = round(new.latency_p99_ms, 3)
+    benchmark.extra_info["mean_flush_size"] = round(
+        new.server["mean_flush_size"], 2)
+    benchmark.extra_info["clients"] = _CLIENTS
+
+    # Connection accounting — the defining cost difference really happened:
+    # the keep-alive run opened about one connection per client, the
+    # baseline about one per request.
+    assert new.server["connections"] <= _CLIENTS + 4
+    assert old.server["connections"] >= old.requests_total
+    # The continuous-batching path really batched under load ...
+    assert new.mean_group_size > 1.0
+    assert new.server["busy_flushes"] > 0
+    # ... and both sides completed real traffic.
+    assert new.requests_total > 0 and old.requests_total > 0
+
+    if os.environ.get("REPRO_SKIP_SPEEDUP_ASSERT") == "1":
+        pytest.skip("speedup ratio assertions disabled via "
+                    "REPRO_SKIP_SPEEDUP_ASSERT")
+    assert ratio >= 2.0, (
+        f"keep-alive continuous batching only {ratio:.2f}x the baseline "
+        f"({new.throughput_rps:.0f} vs {old.throughput_rps:.0f} req/s at "
+        f"{_CLIENTS} clients); expected >= 2x")
+
+
+def test_loadtest_responses_identical_to_solve_many(loadtest_measurement):
+    """Every response recorded under concurrent load equals the direct
+    ``solve_many`` answer for its instance (JSON floats round-trip
+    repr-exactly, so == is exact)."""
+    instances, _new, _old, identity = loadtest_measurement
+    assert identity.responses, "identity run recorded no responses"
+    direct = solve_many(instances, solver="elpc-tensor",
+                        objective=Objective.MIN_DELAY)
+    assert direct.n_solved == len(instances)
+    for instance_index, response in identity.responses:
+        item = direct.items[instance_index]
+        assert response["ok"]
+        assert response["name"] == item.name
+        assert response["mapping"]["delay_ms"] == item.mapping.delay_ms
+        assert response["mapping"]["bottleneck_ms"] == item.mapping.bottleneck_ms
+        assert response["mapping"]["groups"] == [
+            list(group) for group in item.mapping.groups]
+        assert response["mapping"]["path"] == list(item.mapping.path)

@@ -8,9 +8,11 @@ Three entry points are installed with the package:
   the paper's evaluation artifacts, cross-check the ELPC engines and
   optionally ``--emit-json`` a machine-readable summary), ``repro
   bench-scaling`` (scalar-vs-vectorized runtime scaling table), ``repro
-  bench-batch`` (looped-vs-tensor batched throughput table) and ``repro
-  serve`` (the micro-batching solve service of :mod:`repro.service` on a
-  host/port, graceful drain on SIGINT/SIGTERM).
+  bench-batch`` (looped-vs-tensor batched throughput table), ``repro
+  serve`` (the keep-alive continuous-batching solve service of
+  :mod:`repro.service` on a host/port, graceful drain on SIGINT/SIGTERM)
+  and ``repro loadtest`` (N concurrent closed-loop clients against a
+  running server: p50/p99 latency, throughput, achieved batch size).
 * ``repro-map`` — legacy alias of ``repro solve``.
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
@@ -51,7 +53,7 @@ from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
 __all__ = ["main", "main_map", "main_bench", "main_bench_scaling",
-           "main_bench_batch", "main_serve"]
+           "main_bench_batch", "main_serve", "main_loadtest"]
 
 #: Schema tag of the JSON written by ``repro bench --emit-json`` and by
 #: ``benchmarks/check_regression.py`` — one format for both producers so the
@@ -423,8 +425,20 @@ def _build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
     parser.add_argument("--max-batch", type=int, default=32,
                         help="flush as soon as this many requests are queued")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
-                        help="flush at latest this long after the oldest "
-                             "queued request arrived (0 disables coalescing)")
+                        help="idle-engine bound: flush at latest this long "
+                             "after the oldest queued request arrived (0 "
+                             "disables coalescing); under continuous "
+                             "batching a busy solve executor replaces the "
+                             "window")
+    parser.add_argument("--fixed-window", action="store_true",
+                        help="disable continuous batching: every flush waits "
+                             "out the --max-wait-ms window even when the "
+                             "executor is free (the loadtest baseline "
+                             "policy, not for deployment)")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=8 * 1024 * 1024,
+                        help="refuse request bodies larger than this with "
+                             "HTTP 413 (default: 8 MiB)")
     parser.add_argument("--solver", default="elpc-tensor",
                         help="solver for requests that do not name one "
                              "(default: elpc-tensor, so batches group)")
@@ -451,8 +465,10 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
         get_solver(args.solver, Objective.MIN_DELAY)
         config = ServiceConfig(max_batch=args.max_batch,
                                max_wait_ms=args.max_wait_ms,
+                               continuous_batching=not args.fixed_window,
                                workers=args.workers, backend=args.backend,
-                               default_solver=args.solver)
+                               default_solver=args.solver,
+                               max_body_bytes=args.max_body_bytes)
         from .service.dispatcher import SolveService
 
         SolveService(config)  # validates the backend before binding the port
@@ -491,13 +507,117 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
     return 0
 
 
+def _build_loadtest_parser(prog: str = "repro loadtest"
+                           ) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Replay a workload against a running repro serve "
+                    "instance with N concurrent closed-loop clients and "
+                    "report p50/p99 latency, throughput and achieved batch "
+                    "size (repro.service.loadtest).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server host (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8423,
+                        help="server port (default: 8423)")
+    parser.add_argument("--clients", "-c", type=int, default=8,
+                        help="concurrent closed-loop clients (default: 8)")
+    parser.add_argument("--duration", "-d", type=float, default=2.0,
+                        help="measured window in seconds (default: 2)")
+    parser.add_argument("--solver", default="elpc-tensor",
+                        help="solver every request names (default: "
+                             "elpc-tensor, so coalesced requests group)")
+    parser.add_argument("--objective", choices=["delay", "framerate"],
+                        default="delay", help="optimisation objective")
+    parser.add_argument("--instances", type=int, default=64,
+                        help="generated workload size (default: 64 pipelines "
+                             "over one shared network)")
+    parser.add_argument("--modules", type=int, default=20,
+                        help="pipeline length of generated instances")
+    parser.add_argument("--nodes", type=int, default=24,
+                        help="generated shared-network size")
+    parser.add_argument("--links", type=int, default=60,
+                        help="generated shared-network link count")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="seed of the generated workload")
+    parser.add_argument("--replay", type=Path, default=None, metavar="PATH",
+                        help="recorded workload: JSONL of "
+                             "ProblemInstance.to_dict payloads, replayed "
+                             "round-robin (overrides the generated workload)")
+    parser.add_argument("--no-keep-alive", action="store_true",
+                        help="one TCP connection per request instead of "
+                             "persistent keep-alive connections (the PR 5 "
+                             "baseline transport, for A/B runs)")
+    parser.add_argument("--no-network-refs", action="store_true",
+                        help="post the full network payload on every "
+                             "request instead of switching to network_ref")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="skip the untimed warm-up round (connections "
+                             "and network refs then establish inside the "
+                             "measured window)")
+    parser.add_argument("--emit-json", type=Path, default=None, metavar="PATH",
+                        help="write the measurements in the repro-bench/1 "
+                             "schema shared with benchmarks/"
+                             "check_regression.py")
+    return parser
+
+
+def main_loadtest(argv: Optional[Sequence[str]] = None, *,
+                  prog: str = "repro loadtest") -> int:
+    """Entry point of ``repro loadtest``; returns a process exit code.
+
+    Exit codes: 0 on a completed run, 1 when no server answers, the workload
+    is unusable, or every request failed (the summary is still printed so a
+    broken deployment is diagnosable).
+    """
+    from .service import load_workload, generate_workload, run_loadtest
+
+    parser = _build_loadtest_parser(prog)
+    args = parser.parse_args(argv)
+    objective = (Objective.MIN_DELAY if args.objective == "delay"
+                 else Objective.MAX_FRAME_RATE)
+    try:
+        if args.replay is not None:
+            instances = load_workload(args.replay)
+        else:
+            instances = generate_workload(
+                args.instances, n_modules=args.modules, n_nodes=args.nodes,
+                n_links=args.links, seed=args.seed)
+        result = run_loadtest(
+            host=args.host, port=args.port, clients=args.clients,
+            duration_s=args.duration, instances=instances,
+            solver=args.solver, objective=objective,
+            keep_alive=not args.no_keep_alive,
+            use_network_refs=not args.no_network_refs,
+            warmup=not args.no_warmup)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.table_text())
+    if args.emit_json is not None:
+        args.emit_json.parent.mkdir(parents=True, exist_ok=True)
+        args.emit_json.write_text(
+            json.dumps(result.to_bench_json(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        print(f"{'bench-json':>18}: {args.emit_json}")
+    if result.requests_total == 0:
+        print("error: no request completed inside the measured window",
+              file=sys.stderr)
+        return 1
+    if result.errors_total == result.requests_total:
+        print("error: every request failed — check the server's solver/"
+              "backend configuration", file=sys.stderr)
+        return 1
+    return 0
+
+
 _SUBCOMMANDS = {
     "solve": "map a pipeline onto a network (alias: map)",
     "map": "alias of solve",
     "bench": "regenerate the paper's evaluation artifacts (+engine agreement)",
     "bench-scaling": "scalar vs vectorized runtime scaling table",
     "bench-batch": "looped vs tensor batched-throughput table",
-    "serve": "HTTP solve service with micro-batch coalescing",
+    "serve": "HTTP solve service with keep-alive continuous batching",
+    "loadtest": "closed-loop load harness against a running repro serve",
 }
 
 
@@ -521,6 +641,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return main_bench_batch(rest)
     if command == "serve":
         return main_serve(rest)
+    if command == "loadtest":
+        return main_loadtest(rest)
     print(f"error: unknown command {command!r}; "
           f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
     return 2

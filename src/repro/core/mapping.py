@@ -168,14 +168,18 @@ class PipelineMapping:
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
         """Compact JSON-compatible summary (does not embed the instance)."""
+        # One bottleneck evaluation serves both fields (fps is its inverse,
+        # see cost.frame_rate_fps) — to_dict sits on the service hot path.
+        bottleneck = self.bottleneck_ms
         return {
             "algorithm": self.algorithm,
             "objective": self.objective.value,
             "groups": [list(g) for g in self.groups],
             "path": list(self.path),
             "delay_ms": self.delay_ms,
-            "bottleneck_ms": self.bottleneck_ms,
-            "frame_rate_fps": self.frame_rate_fps,
+            "bottleneck_ms": bottleneck,
+            "frame_rate_fps": (float("inf") if bottleneck <= 0.0
+                               else 1e3 / bottleneck),
             "runtime_s": self.runtime_s,
             "allow_reuse": self.allow_reuse,
             "uses_node_reuse": self.uses_node_reuse,

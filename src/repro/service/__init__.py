@@ -3,11 +3,15 @@
 The paper frames ELPC as an on-demand mapping service for streaming
 pipelines; this package is that request/response shape for the library.  A
 stdlib-only asyncio HTTP server (``repro serve``) accepts JSON solve
-requests, coalesces concurrent ones in a micro-batching queue (flush on
-``max_batch`` or ``max_wait_ms``) and dispatches every flush through
-:func:`repro.core.batch.solve_many` — so same-network requests ride the
-tensor engine's group path, and ``--workers N`` backs the dispatcher with a
-persistent shared-memory :class:`~repro.core.parallel.ParallelBatchRunner`.
+requests over **keep-alive** connections and coalesces concurrent ones with
+a **continuous-batching** flush policy: while a flush is solving, arriving
+requests accumulate and are dispatched the moment the executor frees
+(capped at ``max_batch``); ``max_wait_ms`` only bounds the idle-engine
+case.  Every flush goes through :func:`repro.core.batch.solve_many` — so
+same-network requests ride the tensor engine's group path, and
+``--workers N`` backs the dispatcher with a persistent shared-memory
+:class:`~repro.core.parallel.ParallelBatchRunner`.  ``repro loadtest``
+measures the whole stack under sustained concurrent load.
 
 Layers (see ``docs/ARCHITECTURE.md``, "Service layer"):
 
@@ -15,15 +19,23 @@ Layers (see ``docs/ARCHITECTURE.md``, "Service layer"):
   :meth:`ProblemInstance.to_dict`) and the network interner that restores
   object-identity grouping across independent requests,
 * :mod:`repro.service.dispatcher` — :class:`ServiceConfig` +
-  :class:`SolveService`, the micro-batching queue and flush policy,
+  :class:`SolveService`, the continuous-batching queue and flush policy,
 * :mod:`repro.service.server` — the asyncio HTTP front-end
   (:class:`SolveServer`, :class:`BackgroundServer`, :func:`serve`),
-* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking helper
-  used by tests, benchmarks and the CI smoke step.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  keep-alive helper used by tests, benchmarks and the CI smoke step,
+* :mod:`repro.service.loadtest` — the closed-loop load harness behind
+  ``repro loadtest`` (:func:`run_loadtest`, :class:`LoadtestResult`).
 """
 
 from .client import ServiceClient, ServiceUnavailableError
 from .dispatcher import ServiceConfig, SolveService
+from .loadtest import (
+    LoadtestResult,
+    generate_workload,
+    load_workload,
+    run_loadtest,
+)
 from .server import BackgroundServer, SolveServer, serve
 from .wire import (
     WIRE_SCHEMA,
@@ -46,4 +58,8 @@ __all__ = [
     "serve",
     "ServiceClient",
     "ServiceUnavailableError",
+    "LoadtestResult",
+    "generate_workload",
+    "load_workload",
+    "run_loadtest",
 ]

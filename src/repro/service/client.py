@@ -1,21 +1,39 @@
 """Blocking HTTP client for the solve service (tests, examples, CI smoke).
 
-Stdlib-only (:mod:`http.client`), one connection per request — matching the
-server's connection-per-request model.  The client speaks the
-``repro-serve/1`` wire schema of :mod:`repro.service.wire`: requests are
-built from real :class:`~repro.model.serialization.ProblemInstance` objects
-and responses come back as plain dictionaries (``ok`` / ``error`` /
-``mapping`` / ``group_id`` ...), so a test can assert on coalescing and
-results without any deserialization helper.
+Stdlib-only and **keep-alive**: each thread using the client holds one
+persistent socket, so a multi-solve session pays TCP and connection setup
+once instead of once per request (the server answers ``Connection:
+keep-alive`` and keeps the socket open).  The persistent path speaks a
+minimal HTTP/1.1 framing of its own rather than :mod:`http.client` — the
+service's responses are always ``Content-Length``-framed JSON, and
+``http.client`` burns ~0.2 ms per response parsing headers through
+:mod:`email.parser`, which would dominate the very per-request cost
+keep-alive exists to remove.  A stale socket — the server restarted,
+evicted the connection, or an intermediary dropped it — surfaces as a
+closed-connection read on the next exchange and is retried exactly once on
+a fresh connection, transparently (solves are pure, so the retry is safe).
+
+``keep_alive=False`` restores the previous one-connection-per-request
+behavior, deliberately kept on :mod:`http.client` exactly as it shipped:
+``repro loadtest`` uses it as the measured baseline for what the keep-alive
+path buys.
+
+The client speaks the ``repro-serve/1`` wire schema of
+:mod:`repro.service.wire`: requests are built from real
+:class:`~repro.model.serialization.ProblemInstance` objects and responses
+come back as plain dictionaries (``ok`` / ``error`` / ``mapping`` /
+``group_id`` ...), so a test can assert on coalescing and results without
+any deserialization helper.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import threading
 import time
 from http.client import HTTPConnection
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.mapping import Objective
 from ..exceptions import ReproError
@@ -29,6 +47,68 @@ class ServiceUnavailableError(ReproError, ConnectionError):
     """The service did not answer (connection refused / timed out)."""
 
 
+class _StaleConnection(Exception):
+    """The server closed (or garbled) a previously-working keep-alive socket."""
+
+
+class _PersistentConnection:
+    """One keep-alive socket plus its receive buffer (per client thread)."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+
+
+def _read_http_response(connection: _PersistentConnection
+                        ) -> Tuple[int, bytes, bool]:
+    """Read one ``Content-Length``-framed response: ``(status, body, close)``.
+
+    Raises :class:`_StaleConnection` when the socket EOFs or the bytes do not
+    frame as an HTTP response — on a reused keep-alive socket both mean the
+    same thing (the server has since closed its end) and warrant one retry.
+    """
+    sock, buffer = connection.sock, connection.buffer
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            connection.buffer = b""
+            raise _StaleConnection("connection closed before a response")
+        buffer += chunk
+    head, _, buffer = buffer.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.split(b"\r\n")
+    content_length: Optional[int] = None
+    will_close = False
+    try:
+        status = int(status_line.split(None, 2)[1])
+        for line in header_lines:
+            name, _sep, value = line.partition(b":")
+            name = name.strip().lower()
+            if name == b"content-length":
+                content_length = int(value)
+            elif name == b"connection":
+                will_close = b"close" in value.lower()
+        if content_length is None or content_length < 0:
+            raise ValueError("missing Content-Length")
+    except (IndexError, ValueError) as exc:
+        connection.buffer = b""
+        raise _StaleConnection(f"unparseable response head: {exc}") from exc
+    while len(buffer) < content_length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            connection.buffer = b""
+            raise _StaleConnection("connection closed mid-response")
+        buffer += chunk
+    connection.buffer = buffer[content_length:]
+    return status, buffer[:content_length], will_close
+
+
 class ServiceClient:
     """Talk to a running ``repro serve`` instance.
 
@@ -39,13 +119,25 @@ class ServiceClient:
     timeout:
         Per-request socket timeout in seconds; solves block until their
         flush completes, so keep it above the expected batch latency.
+    keep_alive:
+        ``True`` (default): one persistent connection per calling thread,
+        reused across requests with a single transparent retry on a stale
+        socket.  ``False``: a fresh :class:`~http.client.HTTPConnection` per
+        request (the pre-keep-alive behavior, kept as the loadtest baseline).
+
+    The client is thread-safe: connections are thread-local, so N threads
+    sharing one client hold N server-side connections, each keep-alive.
+    Use it as a context manager (or call :meth:`close`) to drop the
+    persistent connections deterministically.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8423, *,
-                 timeout: float = 120.0, use_network_refs: bool = True) -> None:
+                 timeout: float = 120.0, use_network_refs: bool = True,
+                 keep_alive: bool = True) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
         #: Send ``{"ref": ...}`` instead of the full network once the server
         #: has told us its interned digest (the ``network_ref`` response
         #: field) — the big per-request saving for same-network streams.
@@ -55,35 +147,126 @@ class ServiceClient:
         # streaming over many distinct topologies cannot grow without limit.
         self._network_refs: Dict[int, tuple] = {}
         self._max_network_refs = 64
+        self._local = threading.local()
+        #: Every persistent connection not yet dropped, across threads, so
+        #: close() can shut them all down from any one thread.
+        self._open_connections: set = set()
+        self._connections_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
+    def _connection(self) -> _PersistentConnection:
+        """This thread's persistent connection, created on first use."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = _PersistentConnection(self.host, self.port,
+                                               self.timeout)
+            self._local.connection = connection
+            with self._connections_lock:
+                self._open_connections.add(connection)
+        return connection
+
+    def _drop_connection(self) -> None:
+        """Discard this thread's persistent connection (stale socket)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            return
+        self._local.connection = None
+        with self._connections_lock:
+            self._open_connections.discard(connection)
+        connection.close()
+
+    def close(self) -> None:
+        """Close every persistent connection this client opened (all threads)."""
+        with self._connections_lock:
+            connections, self._open_connections = self._open_connections, set()
+        for connection in connections:
+            connection.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def request(self, method: str, path: str,
                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One HTTP exchange; returns the parsed JSON body of the response."""
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-        except (OSError, socket.timeout) as exc:
-            raise ServiceUnavailableError(
-                f"no solve service answered at {self.host}:{self.port} "
-                f"({exc})") from exc
-        finally:
-            connection.close()
+        """One HTTP exchange; returns the parsed JSON body of the response.
+
+        Rides this thread's persistent connection; a stale keep-alive socket
+        (server closed its end since the last exchange) is retried once on a
+        fresh connection before giving up.
+        """
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        if self.keep_alive:
+            raw = self._exchange_keep_alive(method, path, body)
+        else:
+            raw = self._exchange_per_request(method, path, body)
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceUnavailableError(
                 f"non-JSON response from {self.host}:{self.port}: "
                 f"{raw[:200]!r}") from exc
+
+    def _exchange_keep_alive(self, method: str, path: str,
+                             body: Optional[bytes]) -> bytes:
+        head = f"{method} {path} HTTP/1.1\r\nHost: {self.host}:{self.port}\r\n"
+        if body is not None:
+            head += ("Content-Type: application/json\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n")
+            request_bytes = head.encode("ascii") + body
+        else:
+            request_bytes = (head + "\r\n").encode("ascii")
+        last_exc: Optional[BaseException] = None
+        for attempt in range(2):
+            fresh = getattr(self._local, "connection", None) is None
+            try:
+                connection = self._connection()
+                connection.sock.sendall(request_bytes)
+                _status, raw, will_close = _read_http_response(connection)
+            except (_StaleConnection, BrokenPipeError,
+                    ConnectionResetError) as exc:
+                # A previously-working socket the server has since closed:
+                # reconnect and retry once.  A connection that failed on its
+                # very first exchange is a dead service, not a stale socket.
+                self._drop_connection()
+                last_exc = exc
+                if fresh or attempt == 1:
+                    break
+                continue
+            except (OSError, socket.timeout) as exc:
+                self._drop_connection()
+                raise ServiceUnavailableError(
+                    f"no solve service answered at {self.host}:{self.port} "
+                    f"({exc})") from exc
+            if will_close:
+                self._drop_connection()
+            return raw
+        raise ServiceUnavailableError(
+            f"no solve service answered at {self.host}:{self.port} "
+            f"({last_exc})") from last_exc
+
+    def _exchange_per_request(self, method: str, path: str,
+                              body: Optional[bytes]) -> bytes:
+        """One fresh connection per exchange — the pre-keep-alive transport,
+        preserved verbatim (``http.client`` and all) as the A/B baseline."""
+        headers = {"Connection": "close"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            return connection.getresponse().read()
+        except (OSError, socket.timeout) as exc:
+            raise ServiceUnavailableError(
+                f"no solve service answered at {self.host}:{self.port} "
+                f"({exc})") from exc
+        finally:
+            connection.close()
 
     # ------------------------------------------------------------------ #
     # Service API

@@ -1,13 +1,22 @@
-"""Micro-batching dispatcher: coalesce concurrent solve requests into flushes.
+"""Continuous-batching dispatcher: coalesce concurrent solve requests into flushes.
 
 This is the heart of the service layer.  Incoming requests are appended to a
-pending queue; a single flusher task drains it in *flushes*, each triggered
-by whichever comes first:
+pending queue; a single flusher task drains it in *flushes*.  The default
+policy is **continuous batching** (the same idea LLM serving schedulers
+use): while a flush is executing on the solve executor, newly arriving
+requests simply accumulate, and the moment the executor frees the
+accumulated batch is dispatched — capped at ``max_batch`` — with no
+wall-clock wait in the hot path.  Under sustained load the engine is never
+idle and the batch size adapts to however much traffic arrived during the
+previous solve.  ``max_wait_ms`` only matters when the engine is *idle*: the
+first request of a burst opens a coalescing window bounded by it (reaching
+``max_batch`` still flushes early; ``max_wait_ms=0`` flushes immediately —
+the no-coalescing configuration).
 
-* the queue reaching ``max_batch`` requests, or
-* ``max_wait_ms`` elapsing since the oldest pending request arrived
-  (``max_wait_ms=0`` flushes as soon as the loop sees any pending request —
-  the no-coalescing configuration).
+``ServiceConfig(continuous_batching=False)`` restores the pre-continuous
+fixed-window policy (every flush waits out the ``max_wait_ms`` window even
+when the executor just freed) — kept as the measurable baseline for
+``repro loadtest`` A/B runs, not for deployment.
 
 Each flush is partitioned by :meth:`SolveRequest.dispatch_key` (solver ×
 objective × backend × solver kwargs) and every partition goes through one
@@ -52,8 +61,17 @@ class ServiceConfig:
         Flush as soon as this many requests are pending (also the cap on one
         flush's size).
     max_wait_ms:
-        Flush at latest this long after the oldest pending request arrived;
-        ``0`` disables coalescing (every request flushes immediately).
+        Idle-engine bound: flush at latest this long after the oldest
+        pending request arrived; ``0`` disables coalescing (every request
+        flushes immediately).  Under continuous batching a busy executor
+        replaces the window — requests arriving mid-flush dispatch the
+        moment the executor frees.
+    continuous_batching:
+        ``True`` (default): dispatch the accumulated batch as soon as the
+        executor frees; ``max_wait_ms`` only bounds the idle-engine case.
+        ``False``: the legacy fixed wall-clock window policy (every flush
+        waits ``max_wait_ms`` from its oldest arrival) — the loadtest
+        baseline configuration.
     workers:
         ``None``/0/1 solves flushes in-process; ``N > 1`` keeps one
         persistent shared-memory :class:`ParallelBatchRunner` under every
@@ -66,14 +84,21 @@ class ServiceConfig:
         Solver used by requests that do not name one.
     intern_networks:
         Cap of the network interning cache (distinct topologies kept hot).
+    max_body_bytes:
+        Refuse request bodies larger than this with HTTP 413 instead of
+        buffering them (a hostile ``Content-Length`` must not balloon server
+        memory).  The default (8 MiB) is far above any realistic instance
+        payload.
     """
 
     max_batch: int = 32
     max_wait_ms: float = 2.0
+    continuous_batching: bool = True
     workers: Optional[int] = None
     backend: Optional[str] = None
     default_solver: str = "elpc-tensor"
     intern_networks: int = 256
+    max_body_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -85,6 +110,9 @@ class ServiceConfig:
         if self.workers is not None and int(self.workers) < 0:
             raise SpecificationError(
                 f"workers must be >= 0, got {self.workers!r}")
+        if self.max_body_bytes < 1024:
+            raise SpecificationError(
+                f"max_body_bytes must be >= 1024, got {self.max_body_bytes!r}")
 
 
 #: One queued request: the parsed request, the future its response resolves,
@@ -122,6 +150,17 @@ class SolveService:
         self.responses_total = 0
         self.flushes_total = 0
         self.coalesced_flushes_total = 0
+        #: Flushes dispatched on the busy-executor path: the executor freed
+        #: with requests already pending, so no wall-clock window was waited.
+        self.busy_flushes_total = 0
+        #: Per-flush batch-size counters (observable continuous-batching
+        #: behavior: mean = flushed_requests_total / flushes_total).
+        self.flushed_requests_total = 0
+        self.flush_size_max = 0
+        #: Queue-wait counters: time from a request's arrival to its flush
+        #: being dispatched, summed over requests.
+        self.queue_wait_s_total = 0.0
+        self.queue_wait_s_max = 0.0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -207,8 +246,19 @@ class SolveService:
             "responses_total": self.responses_total,
             "flushes_total": self.flushes_total,
             "coalesced_flushes_total": self.coalesced_flushes_total,
+            "busy_flushes_total": self.busy_flushes_total,
+            "flushed_requests_total": self.flushed_requests_total,
+            "mean_flush_size": (self.flushed_requests_total
+                                / self.flushes_total
+                                if self.flushes_total else 0.0),
+            "flush_size_max": self.flush_size_max,
+            "queue_wait_ms_mean": (self.queue_wait_s_total * 1e3
+                                   / self.flushed_requests_total
+                                   if self.flushed_requests_total else 0.0),
+            "queue_wait_ms_max": self.queue_wait_s_max * 1e3,
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
+            "continuous_batching": self.config.continuous_batching,
             "default_solver": self.config.default_solver,
             "backend": backend,
             "workers": int(self.config.workers or 1),
@@ -223,27 +273,43 @@ class SolveService:
     # ------------------------------------------------------------------ #
     async def _flush_loop(self) -> None:
         """Single consumer: waits for pending requests, applies the flush
-        policy, dispatches batches until closed (and drained)."""
+        policy, dispatches batches until closed (and drained).
+
+        Continuous-batching policy: ``executor_busy`` tracks whether the
+        previous iteration dispatched a flush.  Requests that arrived while
+        that flush was executing are dispatched *immediately* once it
+        returns — the executor freeing is the trigger, not a wall-clock
+        deadline.  Only an idle engine (queue was empty when the request
+        arrived) opens the ``max_wait_ms`` coalescing window; with
+        ``continuous_batching=False`` every flush waits out the window (the
+        legacy policy, kept as the loadtest baseline).
+        """
+        executor_busy = False
         while self._running or self._pending:
             if not self._pending:
+                executor_busy = False
                 self._wake.clear()
                 if not self._running:
                     break
                 await self._wake.wait()
                 continue
-            deadline = self._pending[0][2] + self.config.max_wait_ms / 1e3
-            while (self._running
-                   and len(self._pending) < self.config.max_batch):
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._wake.clear()
-                try:
-                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
-                except asyncio.TimeoutError:
-                    break
+            busy_dispatch = self.config.continuous_batching and executor_busy
+            if not busy_dispatch:
+                deadline = self._pending[0][2] + self.config.max_wait_ms / 1e3
+                while (self._running
+                       and len(self._pending) < self.config.max_batch):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(self._wake.wait(),
+                                               timeout=remaining)
+                    except asyncio.TimeoutError:
+                        break
             batch = self._pending[: self.config.max_batch]
             del self._pending[: len(batch)]
+            self._record_flush(batch, busy=busy_dispatch)
             self._inflight += len(batch)
             try:
                 await self._dispatch(batch)
@@ -261,6 +327,19 @@ class SolveService:
                 self.responses_total += len(batch)
             finally:
                 self._inflight -= len(batch)
+                executor_busy = True
+
+    def _record_flush(self, batch: List[_Pending], *, busy: bool) -> None:
+        """Update the per-flush batch-size and queue-wait counters."""
+        now = time.monotonic()
+        self.flushed_requests_total += len(batch)
+        self.flush_size_max = max(self.flush_size_max, len(batch))
+        if busy:
+            self.busy_flushes_total += 1
+        for _request, _future, arrived in batch:
+            waited = max(0.0, now - arrived)
+            self.queue_wait_s_total += waited
+            self.queue_wait_s_max = max(self.queue_wait_s_max, waited)
 
     async def _dispatch(self, batch: List[_Pending]) -> None:
         """Partition one flush by dispatch key and solve each partition."""

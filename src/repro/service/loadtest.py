@@ -1,0 +1,331 @@
+"""Closed-loop load-test harness for the solve service (``repro loadtest``).
+
+N concurrent *closed-loop* clients (each posts its next request the moment
+its previous response arrives — the classic service benchmark model) replay
+a workload against a running server for a fixed duration, then report:
+
+* **latency** — per-request wall time, mean / p50 / p99 / max,
+* **throughput** — completed requests per second over the measured window,
+* **achieved batching** — the request-weighted mean ``group_size`` of the
+  responses plus the server's own per-flush counters (``/healthz`` deltas:
+  mean flush size, busy-path flushes, queue wait), which is what makes the
+  continuous-batching policy's behavior a measured number.
+
+The workload is either *generated* (:func:`generate_workload`: B pipelines
+over one shared network — the same-network streaming regime the service is
+built for) or *recorded* (:func:`load_workload`: a JSONL file of
+``ProblemInstance.to_dict`` payloads, replayed round-robin).  Each client
+thread owns one keep-alive :class:`~repro.service.client.ServiceClient`;
+``keep_alive=False`` reverts every client to one-connection-per-request so
+the keep-alive saving itself can be A/B measured (that is exactly what
+``benchmarks/test_bench_loadtest.py`` asserts).
+
+Results render as a table (:meth:`LoadtestResult.table_text`) and serialise
+into the ``repro-bench/1`` JSON schema (:meth:`LoadtestResult.to_bench_json`)
+so ``benchmarks/check_regression.py`` and the CI bench gate can consume
+loadtest numbers exactly like every other benchmark's.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.mapping import Objective
+from ..exceptions import ReproError, SpecificationError
+from ..model.serialization import ProblemInstance
+from .client import ServiceClient
+
+__all__ = ["LoadtestResult", "generate_workload", "load_workload",
+           "run_loadtest"]
+
+#: Schema tag of the JSON emitted by ``repro loadtest --emit-json`` — the
+#: same one ``repro bench --emit-json`` and ``check_regression.py`` speak.
+BENCH_JSON_SCHEMA = "repro-bench/1"
+
+
+def generate_workload(count: int = 64, *, n_modules: int = 20,
+                      n_nodes: int = 24, n_links: int = 60,
+                      seed: int = 5) -> List[ProblemInstance]:
+    """``count`` random pipelines over one shared network (the coalescing
+    shape); the dense view is prebuilt so the first flush is not a cold one."""
+    from ..generators.network_gen import random_network, random_request
+    from ..generators.pipeline_gen import random_pipeline
+
+    if count < 1:
+        raise SpecificationError(f"workload count must be >= 1, got {count!r}")
+    network = random_network(n_nodes, n_links, seed=seed)
+    instances = [
+        ProblemInstance(
+            pipeline=random_pipeline(n_modules, seed=seed * 1000 + 101 + i),
+            network=network,
+            request=random_request(network, seed=seed * 1000 + 701 + i,
+                                   min_hop_distance=2),
+            name=f"loadtest-{i}")
+        for i in range(count)
+    ]
+    network.dense_view()
+    return instances
+
+
+def load_workload(path: Path) -> List[ProblemInstance]:
+    """A recorded workload: one ``ProblemInstance.to_dict`` payload per JSONL
+    line (blank lines skipped), replayed round-robin by the clients."""
+    instances: List[ProblemInstance] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecificationError(f"cannot read workload {path}: {exc}") from exc
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            instances.append(ProblemInstance.from_dict(json.loads(line)))
+        except Exception as exc:
+            raise SpecificationError(
+                f"{path}:{lineno}: bad instance payload: {exc}") from exc
+    if not instances:
+        raise SpecificationError(f"workload {path} holds no instances")
+    return instances
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (len(sorted_values) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (sorted_values[lower]
+            + (sorted_values[upper] - sorted_values[lower]) * fraction)
+
+
+@dataclass
+class LoadtestResult:
+    """One load-test run's measurements (see module docstring)."""
+
+    clients: int
+    duration_s: float
+    keep_alive: bool
+    solver: str
+    objective: Objective
+    requests_total: int = 0
+    errors_total: int = 0
+    throughput_rps: float = 0.0
+    latency_mean_ms: float = 0.0
+    latency_stddev_ms: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    #: Request-weighted mean of the responses' ``group_size`` — how many
+    #: requests the average *request* shared its solve_many group with.
+    mean_group_size: float = 0.0
+    #: Server-side ``/healthz`` deltas over the measured window.
+    server: Dict[str, float] = field(default_factory=dict)
+    #: ``(instance_index, response)`` pairs, kept when ``keep_responses=True``
+    #: (the bit-identity assertions of the loadtest benchmark use them).
+    responses: Optional[List[Tuple[int, Dict[str, Any]]]] = None
+
+    def table_text(self) -> str:
+        lines = [
+            f"loadtest: {self.clients} closed-loop clients x "
+            f"{self.duration_s:.2f}s  (solver={self.solver}, "
+            f"objective={self.objective.value}, "
+            f"keep_alive={'on' if self.keep_alive else 'off'})",
+            f"{'requests':>18}: {self.requests_total} "
+            f"({self.errors_total} errors)",
+            f"{'throughput':>18}: {self.throughput_rps:,.1f} req/s",
+            f"{'latency mean':>18}: {self.latency_mean_ms:.3f} ms "
+            f"(stddev {self.latency_stddev_ms:.3f})",
+            f"{'latency p50':>18}: {self.latency_p50_ms:.3f} ms",
+            f"{'latency p99':>18}: {self.latency_p99_ms:.3f} ms",
+            f"{'latency max':>18}: {self.latency_max_ms:.3f} ms",
+            f"{'mean group size':>18}: {self.mean_group_size:.2f} "
+            "(per-request)",
+        ]
+        if self.server:
+            lines.append(
+                f"{'server flushes':>18}: "
+                f"{self.server.get('flushes', 0):.0f} "
+                f"(mean size {self.server.get('mean_flush_size', 0.0):.2f}, "
+                f"busy-path {self.server.get('busy_flushes', 0):.0f}, "
+                f"queue wait mean "
+                f"{self.server.get('queue_wait_ms_mean', 0.0):.3f} ms)")
+            lines.append(
+                f"{'connections':>18}: "
+                f"{self.server.get('connections', 0):.0f} opened during run")
+        return "\n".join(lines)
+
+    def to_bench_json(self, *, sha: Optional[str] = None) -> Dict[str, Any]:
+        """Render in the ``repro-bench/1`` schema consumed by the bench gate
+        (``mean_s`` is the gated metric; ratios ride as ``extra:`` fields)."""
+        metric: Dict[str, Any] = {
+            "mean_s": self.latency_mean_ms / 1e3,
+            "stddev_s": self.latency_stddev_ms / 1e3,
+            "rounds": self.requests_total,
+            "extra:throughput_rps": round(self.throughput_rps, 2),
+            "extra:p50_ms": round(self.latency_p50_ms, 4),
+            "extra:p99_ms": round(self.latency_p99_ms, 4),
+            "extra:mean_group_size": round(self.mean_group_size, 3),
+            "extra:clients": self.clients,
+            "extra:errors": self.errors_total,
+            "extra:keep_alive": int(self.keep_alive),
+        }
+        if "mean_flush_size" in self.server:
+            metric["extra:mean_flush_size"] = round(
+                self.server["mean_flush_size"], 3)
+        payload: Dict[str, Any] = {
+            "schema": BENCH_JSON_SCHEMA,
+            "source": "repro-loadtest",
+            "metrics": {"loadtest/request_latency": metric},
+        }
+        if sha:
+            payload["sha"] = sha
+        return payload
+
+
+def run_loadtest(*, host: str = "127.0.0.1", port: int = 8423,
+                 clients: int = 8, duration_s: float = 2.0,
+                 instances: Optional[Sequence[ProblemInstance]] = None,
+                 solver: str = "elpc-tensor",
+                 objective: Objective = Objective.MIN_DELAY,
+                 keep_alive: bool = True, use_network_refs: bool = True,
+                 warmup: bool = True, timeout: float = 120.0,
+                 keep_responses: bool = False) -> LoadtestResult:
+    """Run ``clients`` closed-loop clients against a running server.
+
+    Every client owns one :class:`ServiceClient` (persistent connection
+    under ``keep_alive=True``) and walks the workload with stride
+    ``clients`` from its own offset, so the clients jointly cover all
+    instances.  A warm-up round (one solve per client, untimed) establishes
+    connections and teaches each client the server's ``network_ref`` before
+    the measured window opens; ``/healthz`` is snapshotted on both sides of
+    the window so the server's flush counters can be attributed to the run.
+
+    Raises :class:`~repro.service.client.ServiceUnavailableError` when no
+    server answers, and :class:`SpecificationError` on bad parameters.
+    """
+    if clients < 1:
+        raise SpecificationError(f"clients must be >= 1, got {clients!r}")
+    if duration_s <= 0:
+        raise SpecificationError(
+            f"duration_s must be > 0, got {duration_s!r}")
+    workload = list(instances) if instances is not None else generate_workload()
+    if not workload:
+        raise SpecificationError("empty workload")
+
+    probe = ServiceClient(host, port, timeout=timeout)
+    status_before = probe.healthz()  # raises ServiceUnavailableError if down
+
+    barrier = threading.Barrier(clients + 1)
+    stop = threading.Event()
+    #: per-client list of (instance_index, latency_s, response-or-None)
+    records: List[List[Tuple[int, float, Optional[Dict[str, Any]]]]] = [
+        [] for _ in range(clients)]
+    worker_errors: List[BaseException] = []
+
+    def worker(index: int) -> None:
+        client = ServiceClient(host, port, timeout=timeout,
+                               keep_alive=keep_alive,
+                               use_network_refs=use_network_refs)
+        try:
+            if warmup:
+                try:
+                    client.solve(workload[index % len(workload)],
+                                 solver=solver, objective=objective)
+                except ReproError:
+                    pass  # the measured loop will surface persistent failures
+            barrier.wait()
+            position = index
+            mine = records[index]
+            while not stop.is_set():
+                instance_index = position % len(workload)
+                start = time.perf_counter()
+                try:
+                    response = client.solve(workload[instance_index],
+                                            solver=solver,
+                                            objective=objective)
+                except ReproError:
+                    response = None
+                mine.append((instance_index, time.perf_counter() - start,
+                             response))
+                position += clients
+        except BaseException as exc:  # pragma: no cover - harness bug guard
+            worker_errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True,
+                                name=f"loadtest-{i}")
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    window_start = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    window_s = time.perf_counter() - window_start
+    status_after = probe.healthz()
+    probe.close()
+    if worker_errors:
+        raise worker_errors[0]
+
+    flat = [entry for client_records in records for entry in client_records]
+    latencies_ms = sorted(latency * 1e3 for _i, latency, _r in flat)
+    ok_responses = [(i, r) for i, _latency, r in flat
+                    if r is not None and r.get("ok")]
+    n = len(flat)
+    mean_ms = sum(latencies_ms) / n if n else 0.0
+    stddev_ms = (math.sqrt(sum((v - mean_ms) ** 2 for v in latencies_ms)
+                           / (n - 1)) if n > 1 else 0.0)
+
+    def delta(key: str) -> float:
+        return float(status_after.get(key, 0) or 0) \
+            - float(status_before.get(key, 0) or 0)
+
+    flushes = delta("flushes_total")
+    flushed = delta("flushed_requests_total")
+    result = LoadtestResult(
+        clients=clients,
+        duration_s=window_s,
+        keep_alive=keep_alive,
+        solver=solver,
+        objective=objective,
+        requests_total=n,
+        errors_total=n - len(ok_responses),
+        throughput_rps=n / window_s if window_s > 0 else 0.0,
+        latency_mean_ms=mean_ms,
+        latency_stddev_ms=stddev_ms,
+        latency_p50_ms=_percentile(latencies_ms, 50.0),
+        latency_p99_ms=_percentile(latencies_ms, 99.0),
+        latency_max_ms=latencies_ms[-1] if latencies_ms else 0.0,
+        mean_group_size=(sum(r.get("group_size") or 0
+                             for _i, r in ok_responses) / len(ok_responses)
+                         if ok_responses else 0.0),
+        server={
+            "flushes": flushes,
+            "flushed_requests": flushed,
+            "mean_flush_size": flushed / flushes if flushes else 0.0,
+            "busy_flushes": delta("busy_flushes_total"),
+            "responses": delta("responses_total"),
+            "connections": delta("connections_total"),
+            "queue_wait_ms_mean": float(
+                status_after.get("queue_wait_ms_mean", 0.0) or 0.0),
+        },
+        responses=[(i, r) for i, r in ok_responses] if keep_responses else None,
+    )
+    return result

@@ -1,14 +1,21 @@
 """Stdlib-only HTTP front-end for the solve service (``asyncio.start_server``).
 
 A deliberately small HTTP/1.1 implementation — request line, headers,
-``Content-Length`` body, one response per connection — because the service
-needs no framework features: two routes and JSON bodies.  Routes:
+``Content-Length`` body — because the service needs no framework features:
+two routes and JSON bodies.  Connections are **keep-alive**: one handler
+task loops reading requests and writing responses until the client closes
+the socket or sends ``Connection: close`` (HTTP/1.0 clients must opt *in*
+with ``Connection: keep-alive``), so a steady-state client pays TCP and
+handler setup once per session rather than once per solve.  Request bodies
+beyond :attr:`ServiceConfig.max_body_bytes` are refused with HTTP 413
+before any buffering.  Routes:
 
 * ``POST /solve`` — one solve request (:mod:`repro.service.wire` schema);
   always answered 200 with a per-request result payload, ``ok: false`` +
   ``error`` on failures (malformed *HTTP/JSON* gets 400, unknown paths 404).
-* ``GET /healthz`` — service status: queue depth, flush counters, engine and
-  backend configuration (:meth:`SolveService.status`).
+* ``GET /healthz`` — service status: queue depth, flush/batch-size/queue-wait
+  counters, engine and backend configuration (:meth:`SolveService.status`)
+  plus the server's accepted-connection counter.
 
 :class:`BackgroundServer` runs the whole stack on a daemon thread for tests,
 benchmarks and notebooks; the CLI (``repro serve``) runs it in the foreground
@@ -18,18 +25,17 @@ with graceful drain on SIGINT/SIGTERM.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import threading
-from typing import Any, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..exceptions import ReproError, SpecificationError
 from .dispatcher import ServiceConfig, SolveService
 from .wire import SolveRequest, error_response
 
 __all__ = ["SolveServer", "BackgroundServer", "serve"]
-
-#: Refuse request bodies beyond this size (64 MiB) instead of buffering them.
-MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 class SolveServer:
@@ -45,10 +51,32 @@ class SolveServer:
         #: request's response write can never be cancelled by loop teardown
         #: (Server.wait_closed only waits for handlers on Python >= 3.12.1).
         self._handlers: set = set()
+        #: Open connections' writers; close() force-closes them so handlers
+        #: idling in readline between keep-alive requests cannot stall
+        #: shutdown.
+        self._connections: set = set()
+        self._closing = False
+        #: Accepted TCP connections over the server's lifetime.  With
+        #: keep-alive clients this grows per *session*, not per request —
+        #: the regression tests pin exactly that.
+        self.connections_total = 0
+        #: Parsed-request cache: body digest -> SolveRequest.  Parsing is a
+        #: pure function of the body bytes (given the interner's contents),
+        #: so a replayed byte-identical body — the steady state of a client
+        #: re-posting the same reference-style instances — skips JSON decode
+        #: and instance reconstruction entirely.  Only successful parses are
+        #: cached (a failed one may succeed later, e.g. once its network ref
+        #: is posted); a cached request pins its interned network, so a hit
+        #: stays valid even after interner eviction.  Touched only from the
+        #: event-loop thread.
+        self._parsed_requests: "OrderedDict[bytes, SolveRequest]" = OrderedDict()
+        self._parsed_requests_max = 512
+        self.request_cache_hits = 0
 
     async def start(self) -> None:
         """Start the service and listen; ``port=0`` resolves to a free port."""
         await self.service.start()
+        self._closing = False
         self._server = await asyncio.start_server(self._handle, self.host,
                                                   self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -56,15 +84,23 @@ class SolveServer:
     async def close(self, *, drain: bool = True) -> None:
         """Stop accepting connections, then close the service (draining).
 
-        In-flight connection handlers are awaited after the service drain so
-        every answered request's response is actually written before the
-        event loop tears down.
+        Keep-alive connections idling between requests are force-closed
+        *after* the service drain (their handlers sit in ``readline`` waiting
+        for a next request that must not block shutdown); handlers are then
+        awaited so every answered request's response is actually written
+        before the event loop tears down.
         """
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.service.close(drain=drain)
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
         if self._handlers:
             await asyncio.gather(*list(self._handlers),
                                  return_exceptions=True)
@@ -79,68 +115,103 @@ class SolveServer:
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: "asyncio.StreamReader",
                       writer: "asyncio.StreamWriter") -> None:
+        """One connection: loop requests → responses until the client closes
+        the socket, sends ``Connection: close``, errors out, or the server
+        shuts down (keep-alive lifecycle)."""
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
+        self._connections.add(writer)
+        self.connections_total += 1
         try:
-            status, payload = await self._respond(reader)
-            await self._write_json(writer, status, payload)
+            while True:
+                try:
+                    parsed = await _read_http_request(
+                        reader,
+                        max_body_bytes=self.service.config.max_body_bytes)
+                except _HttpError as exc:
+                    # After a malformed request line or a refused oversized
+                    # body the framing is untrustworthy: answer, then close.
+                    await self._write_json(writer, exc.status,
+                                           error_response(str(exc)),
+                                           keep_alive=False)
+                    break
+                if parsed is None:
+                    break  # clean EOF between requests: client is done
+                method, path, body, keep_alive = parsed
+                keep_alive = keep_alive and not self._closing
+                status, payload = await self._respond(method, path, body)
+                await self._write_json(writer, status, payload,
+                                       keep_alive=keep_alive)
+                if not keep_alive:
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
         except Exception as exc:  # pragma: no cover - defensive
             try:
                 await self._write_json(writer, 500, error_response(
-                    f"{type(exc).__name__}: {exc}"))
+                    f"{type(exc).__name__}: {exc}"), keep_alive=False)
             except Exception:
                 pass
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
             except Exception:  # pragma: no cover - already torn down
                 pass
 
-    async def _respond(self, reader: "asyncio.StreamReader"
+    async def _respond(self, method: str, path: str, body: bytes
                        ) -> Tuple[int, Dict[str, Any]]:
-        try:
-            method, path, body = await _read_http_request(reader)
-        except _HttpError as exc:
-            return exc.status, error_response(str(exc))
         if path.split("?", 1)[0] == "/healthz":
             if method not in ("GET", "HEAD"):
                 return 405, error_response("use GET for /healthz")
-            return 200, self.service.status()
+            payload = self.service.status()
+            payload["connections_total"] = self.connections_total
+            payload["request_cache_hits"] = self.request_cache_hits
+            return 200, payload
         if path.split("?", 1)[0] != "/solve":
             return 404, error_response(f"unknown path {path!r}; "
                                        "use POST /solve or GET /healthz")
         if method != "POST":
             return 405, error_response("use POST for /solve")
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, error_response(f"invalid JSON body: {exc}")
-        try:
-            request = SolveRequest.from_wire(
-                payload, interner=self.service.interner,
-                default_solver=self.service.config.default_solver)
-        except SpecificationError as exc:
-            return 400, error_response(str(exc))
-        except ReproError as exc:  # pragma: no cover - defensive
-            return 400, error_response(str(exc))
+        digest = hashlib.blake2b(body, digest_size=16).digest()
+        request = self._parsed_requests.get(digest)
+        if request is not None:
+            self.request_cache_hits += 1
+            self._parsed_requests.move_to_end(digest)
+        else:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, error_response(f"invalid JSON body: {exc}")
+            try:
+                request = SolveRequest.from_wire(
+                    payload, interner=self.service.interner,
+                    default_solver=self.service.config.default_solver)
+            except SpecificationError as exc:
+                return 400, error_response(str(exc))
+            except ReproError as exc:  # pragma: no cover - defensive
+                return 400, error_response(str(exc))
+            self._parsed_requests[digest] = request
+            while len(self._parsed_requests) > self._parsed_requests_max:
+                self._parsed_requests.popitem(last=False)
         return 200, await self.service.submit(request)
 
     @staticmethod
     async def _write_json(writer: "asyncio.StreamWriter", status: int,
-                          payload: Dict[str, Any]) -> None:
+                          payload: Dict[str, Any], *,
+                          keep_alive: bool = True) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 413: "Payload Too Large",
                    500: "Internal Server Error"}
         body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n").encode("ascii")
+                f"Connection: {connection}\r\n\r\n").encode("ascii")
         writer.write(head + body)
         await writer.drain()
 
@@ -151,33 +222,71 @@ class _HttpError(Exception):
         self.status = status
 
 
-async def _read_http_request(reader: "asyncio.StreamReader"
-                             ) -> Tuple[str, str, bytes]:
-    """Parse one HTTP/1.x request: ``(method, path, body)``."""
-    request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-    if not request_line:
-        raise _HttpError(400, "empty request")
-    parts = request_line.split()
-    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-        raise _HttpError(400, f"malformed request line {request_line!r}")
-    method, path = parts[0].upper(), parts[1]
-    content_length = 0
-    while True:
-        line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-        if not line:
+def _keep_alive_requested(version: str, headers: Mapping[str, str]) -> bool:
+    """HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+    HTTP/1.0 must opt in with ``Connection: keep-alive``."""
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        return "keep-alive" in connection
+    return "close" not in connection
+
+
+async def _read_http_request(reader: "asyncio.StreamReader", *,
+                             max_body_bytes: int
+                             ) -> Optional[Tuple[str, str, bytes, bool]]:
+    """Parse one HTTP/1.x request: ``(method, path, body, keep_alive)``.
+
+    Returns ``None`` on a clean EOF before any request bytes — a keep-alive
+    client closing its idle connection, not an error.  Bodies longer than
+    ``max_body_bytes`` raise a 413 :class:`_HttpError` *before* any body
+    byte is buffered.
+    """
+    # One readuntil per request: the whole head (request line + headers) in a
+    # single await instead of a readline round-trip per line — this parser is
+    # the per-request floor of the keep-alive hot path.  Stray blank lines
+    # between keep-alive requests (RFC 9112 §2.2) parse as empty head blocks
+    # and are retried a bounded number of times.
+    lines = []
+    for _ in range(4):
+        try:
+            block = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial.strip(b"\r\n"):
+                return None  # clean EOF between requests: client is done
+            raise _HttpError(400, "truncated request head") from None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(400, "request head too large") from None
+        lines = [line for line in block[:-4].split(b"\r\n") if line.strip()]
+        if lines:
             break
-        name, _sep, value = line.partition(":")
-        if name.strip().lower() == "content-length":
-            try:
-                content_length = int(value.strip())
-            except ValueError:
-                raise _HttpError(400, f"bad Content-Length {value.strip()!r}")
-    if content_length < 0 or content_length > MAX_BODY_BYTES:
+    if not lines:
+        raise _HttpError(400, "empty request")
+    line = lines[0].decode("latin-1")
+    parts = line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, f"malformed request line {line!r}")
+    method, path, version = parts[0].upper(), parts[1], parts[2]
+    headers: Dict[str, str] = {}
+    for raw in lines[1:]:
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    content_length = 0
+    if "content-length" in headers:
+        try:
+            content_length = int(headers["content-length"])
+        except ValueError:
+            raise _HttpError(
+                400, f"bad Content-Length {headers['content-length']!r}")
+    if content_length < 0:
+        raise _HttpError(400, f"bad Content-Length {content_length}")
+    if content_length > max_body_bytes:
         raise _HttpError(413, f"body of {content_length} bytes refused "
-                              f"(limit {MAX_BODY_BYTES})")
+                              f"(limit {max_body_bytes}; raise "
+                              "ServiceConfig.max_body_bytes to serve larger "
+                              "instances)")
     body = (await reader.readexactly(content_length)
             if content_length else b"")
-    return method, path, body
+    return method, path, body, _keep_alive_requested(version, headers)
 
 
 async def serve(config: Optional[ServiceConfig] = None, *,

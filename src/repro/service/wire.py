@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -70,6 +71,14 @@ class NetworkInterner:
     object-identity grouping the tensor engine batches on — and it also means
     repeat topologies reuse their cached dense view instead of rebuilding it
     per request.
+
+    Thread-safe: keep-alive connection handlers (and any future pre-fork
+    replica sharing an interner) may intern concurrently, and an unlocked
+    ``OrderedDict`` LRU would corrupt under racing ``move_to_end`` /
+    ``popitem`` calls — worse, two racing misses could double-insert and hand
+    out *different* objects for one topology, silently splitting a tensor
+    group.  All cache access therefore holds one lock; the interned network
+    per digest is unique for the interner's lifetime (until evicted).
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -79,11 +88,13 @@ class NetworkInterner:
         self.max_entries = max_entries
         #: ref digest -> interned network (insertion order = LRU order)
         self._cache: "OrderedDict[str, TransportNetwork]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     @staticmethod
     def ref_of(network_payload: Mapping[str, Any]) -> str:
@@ -100,25 +111,29 @@ class NetworkInterner:
                         ) -> Tuple[TransportNetwork, str]:
         """Intern a full network payload; returns ``(network, ref)``."""
         ref = self.ref_of(network_payload)
-        network = self._cache.get(ref)
-        if network is not None:
-            self.hits += 1
-            self._cache.move_to_end(ref)
+        with self._lock:
+            network = self._cache.get(ref)
+            if network is not None:
+                self.hits += 1
+                self._cache.move_to_end(ref)
+                return network, ref
+            # Construction happens under the lock: slower for a cold miss,
+            # but two racing misses can never double-insert one topology.
+            self.misses += 1
+            network = TransportNetwork.from_dict(dict(network_payload))
+            self._cache[ref] = network
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
             return network, ref
-        self.misses += 1
-        network = TransportNetwork.from_dict(dict(network_payload))
-        self._cache[ref] = network
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
-        return network, ref
 
     def by_ref(self, ref: str) -> Optional[TransportNetwork]:
         """The network previously interned under ``ref``, if still cached."""
-        network = self._cache.get(ref)
-        if network is not None:
-            self.hits += 1
-            self._cache.move_to_end(ref)
-        return network
+        with self._lock:
+            network = self._cache.get(ref)
+            if network is not None:
+                self.hits += 1
+                self._cache.move_to_end(ref)
+            return network
 
 
 @dataclass(frozen=True)

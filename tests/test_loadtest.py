@@ -1,0 +1,177 @@
+"""Tests for the closed-loop loadtest harness (repro.service.loadtest).
+
+The throughput acceptance bar (keep-alive continuous batching vs the
+one-connection-per-request fixed-window baseline) lives in
+``benchmarks/test_bench_loadtest.py``; this file covers the harness itself:
+workload generation/recording, the statistics, result identity with direct
+``solve_many``, the bench-JSON schema, and the ``repro loadtest`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Objective, solve_many
+from repro.exceptions import SpecificationError
+from repro.service import (
+    BackgroundServer,
+    ServiceConfig,
+    generate_workload,
+    load_workload,
+    run_loadtest,
+)
+from repro.service.loadtest import BENCH_JSON_SCHEMA, _percentile
+
+
+class TestWorkloads:
+    def test_generated_workload_shares_one_network(self):
+        instances = generate_workload(6, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        assert len(instances) == 6
+        assert len({id(inst.network) for inst in instances}) == 1
+        assert len({inst.name for inst in instances}) == 6
+
+    def test_generated_workload_is_deterministic(self):
+        first = generate_workload(3, n_modules=4, n_nodes=8, n_links=16,
+                                  seed=7)
+        second = generate_workload(3, n_modules=4, n_nodes=8, n_links=16,
+                                   seed=7)
+        for a, b in zip(first, second):
+            assert a.to_dict() == b.to_dict()
+
+    def test_generated_workload_rejects_bad_count(self):
+        with pytest.raises(SpecificationError, match="count"):
+            generate_workload(0)
+
+    def test_recorded_workload_roundtrip(self, tmp_path):
+        instances = generate_workload(3, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        path = tmp_path / "workload.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(inst.to_dict()) for inst in instances)
+            + "\n\n", encoding="utf-8")  # trailing blank line is tolerated
+        again = load_workload(path)
+        assert [a.to_dict() for a in again] == [i.to_dict() for i in instances]
+
+    def test_recorded_workload_bad_line_is_located(self, tmp_path):
+        path = tmp_path / "workload.jsonl"
+        path.write_text('{"not": "an instance"}\n', encoding="utf-8")
+        with pytest.raises(SpecificationError, match="workload.jsonl:1"):
+            load_workload(path)
+
+    def test_recorded_workload_missing_file(self, tmp_path):
+        with pytest.raises(SpecificationError, match="cannot read"):
+            load_workload(tmp_path / "nope.jsonl")
+
+
+class TestPercentile:
+    def test_edges_and_interpolation(self):
+        assert _percentile([], 50.0) == 0.0
+        assert _percentile([3.0], 99.0) == 3.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 100.0) == 4.0
+        assert _percentile(values, 50.0) == pytest.approx(2.5)
+
+
+class TestRunLoadtest:
+    def test_smoke_and_result_identity_with_solve_many(self):
+        """A short run completes without errors, reports server-side flush
+        deltas, and — the wire contract — every kept response is identical
+        to the direct solve_many answer for that instance."""
+        instances = generate_workload(8, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        with BackgroundServer(ServiceConfig()) as server:
+            result = run_loadtest(host="127.0.0.1", port=server.port,
+                                  clients=2, duration_s=0.4,
+                                  instances=instances, keep_responses=True)
+        assert result.requests_total > 0
+        assert result.errors_total == 0
+        assert result.throughput_rps > 0
+        assert result.latency_p99_ms >= result.latency_p50_ms >= 0
+        assert result.mean_group_size >= 1.0
+        assert result.server["responses"] >= result.requests_total
+        assert result.server["flushes"] >= 1
+        assert result.responses, "keep_responses=True must record responses"
+
+        direct = solve_many(instances, solver="elpc-tensor",
+                            objective=Objective.MIN_DELAY)
+        for instance_index, response in result.responses:
+            item = direct.items[instance_index]
+            assert response["ok"]
+            assert response["name"] == item.name
+            assert response["mapping"]["groups"] == [
+                list(group) for group in item.mapping.groups]
+            assert response["mapping"]["path"] == list(item.mapping.path)
+            assert response["mapping"]["delay_ms"] == item.mapping.delay_ms
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError, match="clients"):
+            run_loadtest(clients=0)
+        with pytest.raises(SpecificationError, match="duration"):
+            run_loadtest(duration_s=0.0)
+
+    def test_bench_json_schema(self):
+        instances = generate_workload(4, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        with BackgroundServer(ServiceConfig()) as server:
+            result = run_loadtest(host="127.0.0.1", port=server.port,
+                                  clients=2, duration_s=0.3,
+                                  instances=instances)
+        payload = result.to_bench_json(sha="abc123")
+        assert payload["schema"] == BENCH_JSON_SCHEMA
+        assert payload["sha"] == "abc123"
+        metric = payload["metrics"]["loadtest/request_latency"]
+        assert metric["mean_s"] > 0
+        assert metric["rounds"] == result.requests_total
+        assert metric["extra:throughput_rps"] > 0
+        assert metric["extra:clients"] == 2
+        assert metric["extra:keep_alive"] == 1
+        # table_text renders without raising and mentions the headline stats
+        table = result.table_text()
+        assert "throughput" in table and "p99" in table
+
+
+class TestLoadtestCli:
+    def test_cli_end_to_end_with_emit_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "loadtest.json"
+        with BackgroundServer(ServiceConfig()) as server:
+            code = main(["loadtest", "--port", str(server.port),
+                         "--clients", "2", "--duration", "0.3",
+                         "--instances", "4", "--modules", "4",
+                         "--nodes", "8", "--links", "16",
+                         "--emit-json", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "closed-loop clients" in captured
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_JSON_SCHEMA
+        assert "loadtest/request_latency" in payload["metrics"]
+
+    def test_cli_exit_1_when_no_server(self, capsys):
+        from repro.cli import main
+
+        code = main(["loadtest", "--port", "1", "--duration", "0.2",
+                     "--clients", "1", "--instances", "2",
+                     "--modules", "4", "--nodes", "8", "--links", "16"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_replay_workload(self, tmp_path):
+        from repro.cli import main
+
+        instances = generate_workload(3, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        path = tmp_path / "recorded.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(inst.to_dict()) for inst in instances),
+            encoding="utf-8")
+        with BackgroundServer(ServiceConfig()) as server:
+            code = main(["loadtest", "--port", str(server.port),
+                         "--clients", "2", "--duration", "0.3",
+                         "--replay", str(path)])
+        assert code == 0

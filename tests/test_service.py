@@ -449,3 +449,383 @@ class TestServeCli:
             proc.send_signal(signal.SIGINT)
             assert proc.wait(timeout=30) == 0
         assert "drained and stopped" in proc.stdout.read()
+
+class TestKeepAlive:
+    def test_multi_solve_session_uses_one_connection(self):
+        """Regression: a session of solves + healthz rides ONE server-side
+        connection (the pre-keep-alive client opened one per request)."""
+        instances = _instances(4)
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with server.client() as client:
+                for instance in instances:
+                    assert client.solve(instance)["ok"]
+                status = client.healthz()
+        assert status["connections_total"] == 1
+        assert status["responses_total"] == len(instances)
+
+    def test_per_request_mode_opens_a_connection_per_request(self):
+        """keep_alive=False preserves the old transport: every exchange is
+        its own TCP connection (the loadtest baseline's defining cost)."""
+        instances = _instances(3)
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with server.client(keep_alive=False) as client:
+                for instance in instances:
+                    assert client.solve(instance)["ok"]
+                status = client.healthz()
+        assert status["connections_total"] == len(instances) + 1  # + healthz
+
+    def test_stale_socket_reconnects_transparently(self):
+        """A server that drops the socket after each response (while still
+        advertising keep-alive) only costs the client a silent retry."""
+        import socket as socket_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(8)
+        port = listener.getsockname()[1]
+        accepted = []
+        body = json.dumps({"ok": True, "lying": "keep-alive"}).encode()
+        head = (f"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: keep-alive\r\n\r\n").encode()
+
+        def dummy_server():
+            for _ in range(2):
+                conn, _addr = listener.accept()
+                accepted.append(1)
+                conn.settimeout(5)
+                while b"\r\n\r\n" not in conn.recv(65536):
+                    pass
+                conn.sendall(head + body)
+                conn.close()  # the lie: advertised keep-alive, closed anyway
+
+        thread = threading.Thread(target=dummy_server, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient(port=port, timeout=5) as client:
+                assert client.request("GET", "/healthz")["ok"] is True
+                # The persistent socket is now dead; this must retry once on
+                # a fresh connection rather than surface an error.
+                assert client.request("GET", "/healthz")["ok"] is True
+            thread.join(timeout=5)
+            assert len(accepted) == 2
+        finally:
+            listener.close()
+
+    def test_dead_service_still_raises_immediately(self):
+        with ServiceClient(port=1, timeout=1) as client:
+            with pytest.raises(ServiceUnavailableError):
+                client.healthz()
+
+    def test_http10_client_gets_connection_close(self):
+        """HTTP/1.0 without an opt-in keeps the old one-shot semantics."""
+        import socket as socket_module
+
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with socket_module.create_connection(("127.0.0.1", server.port),
+                                                 timeout=5) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+                raw = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break  # server closed after the response
+                    raw += chunk
+        head = raw.split(b"\r\n\r\n", 1)[0].lower()
+        assert b"connection: close" in head
+
+    def test_http10_keep_alive_opt_in_is_honored(self):
+        import socket as socket_module
+
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with socket_module.create_connection(("127.0.0.1", server.port),
+                                                 timeout=5) as sock:
+                request = (b"GET /healthz HTTP/1.0\r\nHost: x\r\n"
+                           b"Connection: keep-alive\r\n\r\n")
+                for _ in range(2):  # second request rides the same socket
+                    sock.sendall(request)
+                    raw = b""
+                    while b"\r\n\r\n" not in raw:
+                        raw += sock.recv(65536)
+                    head, _, rest = raw.partition(b"\r\n\r\n")
+                    assert b"connection: keep-alive" in head.lower()
+                    length = int(
+                        [line.split(b":")[1] for line in head.split(b"\r\n")
+                         if line.lower().startswith(b"content-length")][0])
+                    while len(rest) < length:
+                        rest += sock.recv(65536)
+            status = server.client().healthz()
+        assert status["connections_total"] == 2  # raw socket + healthz probe
+
+    def test_shutdown_force_closes_idle_keepalive_connections(self):
+        """stop() must not hang on a handler idling in its next-request read."""
+        server = BackgroundServer(ServiceConfig(max_wait_ms=0.0)).start()
+        client = server.client()
+        try:
+            assert client.solve(_instances(1)[0])["ok"]
+            # The client's persistent socket is now idle server-side.
+            server.stop()  # would deadlock if the handler were not closed
+        finally:
+            client.close()
+        with pytest.raises(ServiceUnavailableError):
+            server.client().healthz()
+
+
+class TestBodyLimit:
+    def test_oversized_body_refused_with_413(self):
+        from http.client import HTTPConnection
+
+        instance = _instances(1)[0]
+        payload = SolveRequest(instance=instance).to_wire()
+        body = json.dumps(payload).encode()
+        config = ServiceConfig(max_wait_ms=0.0,
+                               max_body_bytes=max(1024, len(body) - 1))
+        with BackgroundServer(config) as server:
+            connection = HTTPConnection("127.0.0.1", server.port, timeout=10)
+            connection.request("POST", "/solve", body=body,
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            refused = json.loads(response.read())
+            status_code = response.status
+            will_close = response.will_close
+            connection.close()
+            # The refusal happens before any body buffering, and the server
+            # closes the connection (framing after a refused body is
+            # untrustworthy).  A fresh connection must still be served.
+            follow_up = server.client().healthz()
+        assert status_code == 413
+        assert refused["ok"] is False
+        assert "refused" in refused["error"]
+        assert will_close
+        assert follow_up["status"] == "ok"
+
+    def test_body_under_limit_is_served(self):
+        instance = _instances(1)[0]
+        body_len = len(json.dumps(SolveRequest(instance=instance).to_wire()))
+        config = ServiceConfig(max_wait_ms=0.0, max_body_bytes=body_len + 512)
+        with BackgroundServer(config) as server:
+            assert server.client(use_network_refs=False).solve(instance)["ok"]
+
+    def test_max_body_bytes_validated(self):
+        with pytest.raises(SpecificationError, match="max_body_bytes"):
+            ServiceConfig(max_body_bytes=10)
+
+
+class TestInternerConcurrency:
+    def test_concurrent_interning_yields_one_object_per_topology(self):
+        """N threads interning the same topologies concurrently must all get
+        the identical object (a racing unlocked LRU could double-insert and
+        silently split tensor groups)."""
+        interner = NetworkInterner(max_entries=8)
+        payloads = [random_network(6, 10, seed=seed).to_dict()
+                    for seed in range(4)]
+        n_threads, rounds = 8, 50
+        seen = [set() for _ in payloads]
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(index):
+            try:
+                barrier.wait()
+                for round_no in range(rounds):
+                    which = (index + round_no) % len(payloads)
+                    network, ref = interner.intern_with_ref(payloads[which])
+                    assert interner.by_ref(ref) is network
+                    seen[which].add(id(network))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(len(ids) == 1 for ids in seen)  # one object per topology
+        assert len(interner) == len(payloads)
+        assert interner.hits + interner.misses >= n_threads * rounds
+
+    def test_concurrent_interning_respects_lru_bound(self):
+        interner = NetworkInterner(max_entries=3)
+        payloads = [random_network(5, 8, seed=seed).to_dict()
+                    for seed in range(10)]
+
+        def worker(index):
+            for round_no in range(30):
+                interner.intern(payloads[(index + round_no) % len(payloads)])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(interner) <= 3
+
+
+class TestContinuousBatching:
+    """Flush-policy behavior at the SolveService level, with a patched
+    dispatch so the tests control executor busyness without wall-clock
+    sleeps in any hot path."""
+
+    @staticmethod
+    def _fake_dispatch(service, batches, *, hold_s=0.0):
+        """Replace _dispatch_partition: record batches, optionally simulate a
+        busy executor for ``hold_s``, answer every request ok."""
+
+        async def fake(entries):
+            batches.append([request.instance.name
+                            for request, _future, _arrived in entries])
+            if hold_s:
+                await asyncio.sleep(hold_s)
+            for request, future, _arrived in entries:
+                if not future.done():
+                    future.set_result({"ok": True,
+                                       "name": request.instance.name})
+            service.responses_total += len(entries)
+
+        service._dispatch_partition = fake
+
+    def test_mid_flush_arrivals_dispatch_when_executor_frees(self):
+        """The continuous-batching core claim: a request arriving while a
+        flush is executing is dispatched the moment the executor frees —
+        NOT after the max_wait_ms window (set here to a minute, so the old
+        fixed-window policy would visibly hang this test)."""
+        instances = _instances(3)
+
+        async def scenario():
+            service = SolveService(ServiceConfig(max_batch=2,
+                                                 max_wait_ms=60_000.0))
+            batches = []
+            await service.start()
+            self._fake_dispatch(service, batches, hold_s=0.05)
+            # a1 + a2 reach max_batch -> flush starts immediately.
+            first = [asyncio.ensure_future(
+                service.submit(SolveRequest(instance=inst)))
+                for inst in instances[:2]]
+            await asyncio.sleep(0.01)  # flush is now holding the executor
+            late = asyncio.ensure_future(
+                service.submit(SolveRequest(instance=instances[2])))
+            responses = await asyncio.wait_for(
+                asyncio.gather(*first, late), timeout=5.0)
+            await service.close(drain=True)
+            return service, batches, responses
+
+        service, batches, responses = asyncio.run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert batches == [[instances[0].name, instances[1].name],
+                           [instances[2].name]]
+        assert service.busy_flushes_total == 1
+        assert service.flush_size_max == 2
+
+    def test_fixed_window_policy_waits_out_the_window(self):
+        """continuous_batching=False really is the legacy policy: the
+        mid-flush arrival stays queued until drain (its 60s window)."""
+        instances = _instances(3)
+
+        async def scenario():
+            service = SolveService(ServiceConfig(
+                max_batch=2, max_wait_ms=60_000.0,
+                continuous_batching=False))
+            batches = []
+            await service.start()
+            self._fake_dispatch(service, batches, hold_s=0.05)
+            first = [asyncio.ensure_future(
+                service.submit(SolveRequest(instance=inst)))
+                for inst in instances[:2]]
+            await asyncio.sleep(0.01)
+            late = asyncio.ensure_future(
+                service.submit(SolveRequest(instance=instances[2])))
+            await asyncio.gather(*first)
+            await asyncio.sleep(0.2)  # well past the flush; window still open
+            still_queued = not late.done()
+            await service.close(drain=True)  # drain cuts the window short
+            await asyncio.wait_for(late, timeout=5.0)
+            return service, still_queued
+
+        service, still_queued = asyncio.run(scenario())
+        assert still_queued
+        assert service.busy_flushes_total == 0
+
+    def test_idle_engine_flushes_within_max_wait(self):
+        """With an idle executor the max_wait_ms window still bounds latency:
+        a lone request is answered right after the window, without reaching
+        max_batch."""
+        import time as time_module
+
+        instance = _instances(1)[0]
+
+        async def scenario():
+            service = SolveService(ServiceConfig(max_batch=32,
+                                                 max_wait_ms=50.0))
+            batches = []
+            await service.start()
+            self._fake_dispatch(service, batches)
+            start = time_module.monotonic()
+            response = await asyncio.wait_for(
+                service.submit(SolveRequest(instance=instance)), timeout=5.0)
+            elapsed = time_module.monotonic() - start
+            await service.close(drain=True)
+            return service, response, elapsed
+
+        service, response, elapsed = asyncio.run(scenario())
+        assert response["ok"]
+        assert 0.04 <= elapsed < 5.0  # waited the window, not max_batch
+        assert service.busy_flushes_total == 0
+        assert service.flushes_total == 1
+
+    def test_drain_on_close_answers_everything(self):
+        """Requests parked in an open window (or accumulated behind a busy
+        executor) are all answered by close(drain=True)."""
+        instances = _instances(5)
+
+        async def scenario():
+            service = SolveService(ServiceConfig(max_batch=2,
+                                                 max_wait_ms=60_000.0))
+            batches = []
+            await service.start()
+            self._fake_dispatch(service, batches, hold_s=0.05)
+            tasks = [asyncio.ensure_future(
+                service.submit(SolveRequest(instance=inst)))
+                for inst in instances]
+            await asyncio.sleep(0.01)
+            await service.close(drain=True)
+            return service, batches, [task.result() for task in tasks]
+
+        service, batches, responses = asyncio.run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert sum(len(batch) for batch in batches) == len(instances)
+        assert all(len(batch) <= 2 for batch in batches)  # max_batch respected
+        assert service.responses_total == len(instances)
+
+    def test_queue_wait_and_flush_counters_surface_in_healthz(self):
+        instances = _instances(4)
+        config = ServiceConfig(max_batch=4, max_wait_ms=5000.0)
+        with BackgroundServer(config) as server:
+            responses = _post_all(server.client(), instances)
+            status = server.client().healthz()
+        assert all(r["ok"] for r in responses)
+        assert status["flushed_requests_total"] == 4
+        assert status["flush_size_max"] == 4
+        assert status["mean_flush_size"] == 4.0
+        assert status["continuous_batching"] is True
+        assert status["queue_wait_ms_mean"] >= 0.0
+        assert status["queue_wait_ms_max"] >= status["queue_wait_ms_mean"]
+
+
+class TestRequestParseCache:
+    def test_replayed_identical_bodies_hit_the_parse_cache(self):
+        """Byte-identical re-posts (the reference-path steady state) skip
+        JSON decode + instance reconstruction server-side."""
+        instance = _instances(1)[0]
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with server.client() as client:
+                first = client.solve(instance)    # full network post
+                second = client.solve(instance)   # ref path
+                third = client.solve(instance)    # ref path, identical bytes
+                status = client.healthz()
+        assert first["ok"] and second["ok"] and third["ok"]
+        assert status["request_cache_hits"] == 1
+        assert (first["mapping"]["delay_ms"] == second["mapping"]["delay_ms"]
+                == third["mapping"]["delay_ms"])
