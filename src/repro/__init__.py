@@ -15,6 +15,15 @@ Public API highlights
 * :func:`repro.solve_many` — batch API to run one solver over many instances,
   optionally across worker processes; ``solver="elpc-tensor"`` groups the
   batch by network and solves each group in one tensor call,
+* :func:`repro.place_many` / :mod:`repro.placement` — multi-tenant joint
+  placement: a batch of pipelines packed onto one cluster with finite
+  per-node compute and per-link bandwidth budgets
+  (:class:`repro.ClusterState`), via sequential packing (``"place-greedy"``)
+  or a joint min-cost max-flow optimizer (``"place-flow"``),
+* :class:`repro.SolveOptions` — one frozen bundle for the batch-dispatch
+  knobs (solver, objective, backend, workers, runner, chunk_size,
+  solver_kwargs), accepted as ``options=`` by :func:`repro.solve_many`,
+  :func:`repro.place_many` and the service layer,
 * :func:`repro.solve` / :func:`repro.available_solvers` — name-based access to
   every algorithm including the Streamline and Greedy baselines,
 * :mod:`repro.generators` — random pipelines/networks, the 20-case suite, and
@@ -53,11 +62,14 @@ from .core import (
     register_solver,
     solve,
     solve_many,
+    place_many,
+    SolveOptions,
     ParallelBatchRunner,
 )
 from .exceptions import (
     AlgorithmError,
     BackendUnavailableError,
+    CapacityError,
     InfeasibleMappingError,
     MeasurementError,
     ReproError,
@@ -79,6 +91,16 @@ from .model import (
     load_instance,
     save_instance,
 )
+from .placement import (
+    ClusterState,
+    PlacementItem,
+    PlacementRequest,
+    PlacementResult,
+    available_placers,
+    get_placer,
+    register_placer,
+    validate_placements,
+)
 
 __all__ = [
     "__version__", "PAPER",
@@ -97,11 +119,16 @@ __all__ = [
     "Objective", "PipelineMapping", "mapping_from_assignment",
     "solve", "get_solver", "register_solver", "available_solvers",
     # batch engine
-    "solve_many", "BatchItemResult", "BatchRunResult", "ParallelBatchRunner",
+    "solve_many", "SolveOptions", "BatchItemResult", "BatchRunResult",
+    "ParallelBatchRunner",
+    # multi-tenant placement
+    "place_many", "ClusterState", "PlacementRequest", "PlacementItem",
+    "PlacementResult", "validate_placements",
+    "register_placer", "get_placer", "available_placers",
     # array backends
     "ArrayBackend", "get_backend", "available_backends",
     # exceptions
     "ReproError", "SpecificationError", "InfeasibleMappingError",
-    "AlgorithmError", "SimulationError", "MeasurementError",
+    "CapacityError", "AlgorithmError", "SimulationError", "MeasurementError",
     "BackendUnavailableError", "UnsupportedStartMethodError",
 ]

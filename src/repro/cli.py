@@ -10,9 +10,12 @@ Three entry points are installed with the package:
   bench-scaling`` (scalar-vs-vectorized runtime scaling table), ``repro
   bench-batch`` (looped-vs-tensor batched throughput table), ``repro
   serve`` (the keep-alive continuous-batching solve service of
-  :mod:`repro.service` on a host/port, graceful drain on SIGINT/SIGTERM)
-  and ``repro loadtest`` (N concurrent closed-loop clients against a
-  running server: p50/p99 latency, throughput, achieved batch size).
+  :mod:`repro.service` on a host/port, graceful drain on SIGINT/SIGTERM,
+  optional ``--admission-control`` capacity gating), ``repro loadtest``
+  (N concurrent closed-loop clients against a running server: p50/p99
+  latency, throughput, achieved batch size) and ``repro place`` (joint
+  multi-tenant placement of a generated pipeline batch onto one
+  capacity-limited cluster via :func:`repro.place_many`).
 * ``repro-map`` — legacy alias of ``repro solve``.
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
@@ -43,7 +46,7 @@ from .analysis.experiments import (
     vectorized_speedup,
     write_all_outputs,
 )
-from .core.batch import solve_many
+from .core.batch import SolveOptions, place_many, solve_many
 from .core.mapping import Objective
 from .core.registry import available_solvers, get_solver
 from .exceptions import ReproError
@@ -53,7 +56,7 @@ from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
 __all__ = ["main", "main_map", "main_bench", "main_bench_scaling",
-           "main_bench_batch", "main_serve", "main_loadtest"]
+           "main_bench_batch", "main_serve", "main_loadtest", "main_place"]
 
 #: Schema tag of the JSON written by ``repro bench --emit-json`` and by
 #: ``benchmarks/check_regression.py`` — one format for both producers so the
@@ -154,8 +157,9 @@ def _batch_instances(args: argparse.Namespace) -> List[ProblemInstance]:
 
 def _run_batch(args: argparse.Namespace, objective: Objective) -> int:
     instances = _batch_instances(args)
-    result = solve_many(instances, solver=args.algorithm, objective=objective,
-                        workers=args.workers, backend=args.backend)
+    options = SolveOptions(solver=args.algorithm, objective=objective,
+                           workers=args.workers, backend=args.backend)
+    result = solve_many(instances, options=options)
     unit = "ms delay" if objective is Objective.MIN_DELAY else "fps"
     print(f"batch: {len(result)} instances, solver={result.solver}, "
           f"objective={objective.value}, workers={result.workers}")
@@ -442,6 +446,19 @@ def _build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
     parser.add_argument("--solver", default="elpc-tensor",
                         help="solver for requests that do not name one "
                              "(default: elpc-tensor, so batches group)")
+    parser.add_argument("--admission-control", action="store_true",
+                        help="charge every successful solve against a "
+                             "per-network capacity ledger "
+                             "(repro.placement.ClusterState) and reject, "
+                             "rather than answer, requests the cluster "
+                             "cannot hold; higher-priority requests in a "
+                             "batch are admitted first")
+    parser.add_argument("--admission-capacity-factor", type=float, default=1.0,
+                        help="scale the ledger's node and link budgets "
+                             "(with --admission-control; default: 1.0)")
+    parser.add_argument("--admission-demand-fps", type=float, default=1.0,
+                        help="frame rate each admitted mapping is charged at "
+                             "(with --admission-control; default: 1.0)")
     return parser
 
 
@@ -468,7 +485,11 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
                                continuous_batching=not args.fixed_window,
                                workers=args.workers, backend=args.backend,
                                default_solver=args.solver,
-                               max_body_bytes=args.max_body_bytes)
+                               max_body_bytes=args.max_body_bytes,
+                               admission_control=args.admission_control,
+                               admission_capacity_factor=(
+                                   args.admission_capacity_factor),
+                               admission_demand_fps=args.admission_demand_fps)
         from .service.dispatcher import SolveService
 
         SolveService(config)  # validates the backend before binding the port
@@ -610,6 +631,101 @@ def main_loadtest(argv: Optional[Sequence[str]] = None, *,
     return 0
 
 
+def _build_place_parser(prog: str = "repro place") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Place a batch of pipelines jointly onto one "
+                    "capacity-limited cluster (repro.place_many): every "
+                    "admitted mapping is charged against finite per-node "
+                    "compute and per-link bandwidth budgets; requests that "
+                    "no longer fit are rejected, not silently degraded.")
+    parser.add_argument("--placer", default="place-greedy",
+                        help="placement strategy: place-greedy (sequential "
+                             "capacity-aware packing) or place-flow (joint "
+                             "min-cost max-flow; see --list-placers)")
+    parser.add_argument("--engine", default="elpc-vec",
+                        help="per-pipeline solver run on the residual "
+                             "cluster (default: elpc-vec)")
+    parser.add_argument("--objective", choices=["delay", "framerate"],
+                        default="delay", help="optimisation objective")
+    parser.add_argument("--count", type=int, default=12,
+                        help="generated batch size (default: 12 pipelines "
+                             "over one shared network)")
+    parser.add_argument("--modules", type=int, default=12,
+                        help="pipeline length of generated instances")
+    parser.add_argument("--nodes", type=int, default=24,
+                        help="generated shared-cluster size")
+    parser.add_argument("--links", type=int, default=60,
+                        help="generated shared-cluster link count")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="seed of the generated workload")
+    parser.add_argument("--demand-fps", type=float, default=1.0,
+                        help="frame rate each pipeline is charged at "
+                             "(default: 1.0; raise it to oversubscribe)")
+    parser.add_argument("--capacity-factor", type=float, default=1.0,
+                        help="scale the cluster's node and link budgets "
+                             "(default: 1.0; lower it to oversubscribe)")
+    parser.add_argument("--order", default="priority",
+                        choices=["priority", "input"],
+                        help="packing order of place-greedy (default: "
+                             "priority, descending then arrival)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable summary instead of "
+                             "the table")
+    parser.add_argument("--list-placers", action="store_true",
+                        help="list registered placement strategies and exit")
+    return parser
+
+
+def main_place(argv: Optional[Sequence[str]] = None, *,
+               prog: str = "repro place") -> int:
+    """Entry point of ``repro place``; returns a process exit code.
+
+    Exit codes: 0 on a completed placement run (even with rejections — they
+    are the subsystem's point), 1 on a library error (unknown placer or
+    engine, bad workload parameters, a ledger that fails validation).
+    """
+    from .placement import validate_placements
+    from .service.loadtest import generate_workload
+
+    parser = _build_place_parser(prog)
+    args = parser.parse_args(argv)
+    objective = (Objective.MIN_DELAY if args.objective == "delay"
+                 else Objective.MAX_FRAME_RATE)
+    if args.list_placers:
+        from .placement import available_placers
+
+        for name in available_placers():
+            print(name)
+        return 0
+    try:
+        instances = generate_workload(
+            args.count, n_modules=args.modules, n_nodes=args.nodes,
+            n_links=args.links, seed=args.seed)
+        placer_kwargs = {"order": args.order} if args.placer == "place-greedy" else {}
+        result = place_many(
+            instances, placer=args.placer, engine=args.engine,
+            objective=objective, demand_fps=args.demand_fps,
+            node_capacity_factor=args.capacity_factor,
+            link_capacity_factor=args.capacity_factor, **placer_kwargs)
+        audit = validate_placements(result.items, result.cluster)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = result.summary()
+        payload["validated_utilization"] = audit
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    print(result.table())
+    print(f"admitted {result.n_admitted}/{len(result.items)} "
+          f"(placer={result.placer}, engine={result.engine}, "
+          f"objective={objective.value}, demand_fps={args.demand_fps:g}, "
+          f"capacity_factor={args.capacity_factor:g}) "
+          f"in {result.wall_time_s:.3f} s wall; ledger validated clean")
+    return 0
+
+
 _SUBCOMMANDS = {
     "solve": "map a pipeline onto a network (alias: map)",
     "map": "alias of solve",
@@ -618,6 +734,7 @@ _SUBCOMMANDS = {
     "bench-batch": "looped vs tensor batched-throughput table",
     "serve": "HTTP solve service with keep-alive continuous batching",
     "loadtest": "closed-loop load harness against a running repro serve",
+    "place": "joint multi-tenant placement onto a capacity-limited cluster",
 }
 
 
@@ -643,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return main_serve(rest)
     if command == "loadtest":
         return main_loadtest(rest)
+    if command == "place":
+        return main_place(rest)
     print(f"error: unknown command {command!r}; "
           f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
     return 2

@@ -64,7 +64,13 @@ from .reduction import (
     solve_ensp_exact,
     verify_ensp_certificate,
 )
-from .batch import BatchItemResult, BatchRunResult, solve_many
+from .batch import (
+    BatchItemResult,
+    BatchRunResult,
+    SolveOptions,
+    place_many,
+    solve_many,
+)
 from .parallel import ParallelBatchRunner
 from .registry import available_solvers, get_solver, register_solver, solve
 from .tensor import (
@@ -81,7 +87,8 @@ __all__ = [
     "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
     "elpc_min_delay_many", "elpc_max_frame_rate_many",
     "elpc_min_delay_tensor", "elpc_max_frame_rate_tensor",
-    "BatchItemResult", "BatchRunResult", "solve_many", "ParallelBatchRunner",
+    "BatchItemResult", "BatchRunResult", "SolveOptions", "solve_many",
+    "place_many", "ParallelBatchRunner",
     "ArrayBackend", "NumpyBackend", "CupyBackend", "JaxBackend",
     "get_backend", "available_backends", "register_backend",
     "exhaustive_min_delay", "exhaustive_max_frame_rate", "enumerate_exact_hop_paths",

@@ -87,8 +87,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .backend import BackendLike
     from .parallel import ParallelBatchRunner
 
-__all__ = ["BatchItemResult", "BatchRunResult", "solve_many",
-           "resolve_solver_backend", "uses_tensor_dispatch"]
+__all__ = ["BatchItemResult", "BatchRunResult", "SolveOptions", "solve_many",
+           "place_many", "resolve_solver_backend", "uses_tensor_dispatch"]
 
 #: Solver names whose batches are grouped by network and dispatched through
 #: the tensor engine (one batched call per group) instead of per-item solves.
@@ -97,6 +97,95 @@ TENSOR_SOLVERS = frozenset({"elpc-tensor"})
 #: Anything solve_many accepts as one problem instance.
 InstanceLike = Union[ProblemInstance,
                      Tuple[Pipeline, TransportNetwork, EndToEndRequest]]
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """One bundle for the batch-dispatch knobs that used to travel as kwargs.
+
+    Every consumer of the six knobs — :func:`solve_many`,
+    :func:`place_many`, :class:`repro.service.ServiceConfig` /
+    :class:`repro.service.SolveService`, and the CLI helpers — accepts an
+    ``options=SolveOptions(...)`` argument.  Every field defaults to ``None``
+    meaning *unspecified*: the consumer's own default applies (``solver`` →
+    ``"elpc-vec"``, ``objective`` → :attr:`Objective.MIN_DELAY`, and so on),
+    exactly as if the kwarg had not been passed.
+
+    Legacy kwargs remain accepted everywhere and are **merged** with the
+    options bundle: a knob set in only one place wins; a knob set in *both*
+    places must agree, otherwise :class:`SpecificationError` (a
+    :class:`ValueError`) is raised — silent precedence would make the two
+    call styles disagree about what actually ran.  ``solver_kwargs`` dicts
+    merge key-wise under the same rule.
+
+    The dataclass is frozen so a bundle can be built once and shared across
+    calls, threads and services without defensive copying.
+    """
+
+    solver: Union[str, Callable[..., PipelineMapping], None] = None
+    objective: Optional[Objective] = None
+    backend: "BackendLike" = None
+    workers: Optional[int] = None
+    runner: Optional["ParallelBatchRunner"] = None
+    chunk_size: Optional[int] = None
+    solver_kwargs: Optional[Dict[str, object]] = None
+
+    def merged_with(self, *, solver=None, objective=None, backend=None,
+                    workers=None, runner=None, chunk_size=None,
+                    solver_kwargs: Optional[Dict[str, object]] = None
+                    ) -> "SolveOptions":
+        """This bundle merged with legacy kwargs (conflict → ``ValueError``).
+
+        Returns a new :class:`SolveOptions` in which each knob is whichever
+        side specified it; a knob specified on both sides must compare equal.
+        """
+        def pick(name: str, mine, legacy):
+            if mine is None:
+                return legacy
+            if legacy is None:
+                return mine
+            if mine == legacy:
+                return mine
+            raise SpecificationError(
+                f"conflicting {name!r}: options={mine!r} but the legacy "
+                f"keyword argument says {legacy!r} — specify it in one place "
+                "(or make them agree)")
+
+        merged_kwargs: Optional[Dict[str, object]]
+        if self.solver_kwargs is None:
+            merged_kwargs = dict(solver_kwargs) if solver_kwargs else None
+        elif not solver_kwargs:
+            merged_kwargs = dict(self.solver_kwargs)
+        else:
+            merged_kwargs = dict(self.solver_kwargs)
+            for key, value in solver_kwargs.items():
+                if key in merged_kwargs and merged_kwargs[key] != value:
+                    raise SpecificationError(
+                        f"conflicting solver_kwargs[{key!r}]: options say "
+                        f"{merged_kwargs[key]!r} but the legacy keyword "
+                        f"argument says {value!r}")
+                merged_kwargs[key] = value
+        return SolveOptions(
+            solver=pick("solver", self.solver, solver),
+            objective=pick("objective", self.objective, objective),
+            backend=pick("backend", self.backend, backend),
+            workers=pick("workers", self.workers, workers),
+            runner=pick("runner", self.runner, runner),
+            chunk_size=pick("chunk_size", self.chunk_size, chunk_size),
+            solver_kwargs=merged_kwargs)
+
+
+def _resolve_options(options: Optional[SolveOptions], *, solver, objective,
+                     backend, workers, runner, chunk_size,
+                     solver_kwargs: Dict[str, object]) -> SolveOptions:
+    """Merge ``options`` with legacy kwargs (either side may be empty)."""
+    base = options if options is not None else SolveOptions()
+    if not isinstance(base, SolveOptions):
+        raise SpecificationError(
+            f"options must be a SolveOptions, got {type(base).__name__}")
+    return base.merged_with(solver=solver, objective=objective,
+                            backend=backend, workers=workers, runner=runner,
+                            chunk_size=chunk_size, solver_kwargs=solver_kwargs)
 
 
 @dataclass(frozen=True)
@@ -253,8 +342,23 @@ def uses_tensor_dispatch(solver: Union[str, Callable[..., PipelineMapping]],
         return False
 
 
-#: Backward-compatible alias (the predicate predates its public name).
-_use_tensor_dispatch = uses_tensor_dispatch
+#: Deprecated aliases served via module ``__getattr__`` (PEP 562) so that
+#: touching one raises a :class:`DeprecationWarning` instead of silently
+#: aliasing forever.
+_DEPRECATED_ALIASES = {"_use_tensor_dispatch": "uses_tensor_dispatch"}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is not None:
+        import warnings
+
+        warnings.warn(
+            f"repro.core.batch.{name} is deprecated; use "
+            f"repro.core.batch.{target} instead",
+            DeprecationWarning, stacklevel=2)
+        return globals()[target]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_solver_backend(solver: Union[str, Callable[..., PipelineMapping]],
@@ -415,12 +519,13 @@ def _solve_tensor_groups(instances: List[ProblemInstance], objective: Objective,
 
 
 def solve_many(instances: Iterable[InstanceLike], *,
-               solver: Union[str, Callable[..., PipelineMapping]] = "elpc-vec",
-               objective: Objective = Objective.MIN_DELAY,
+               solver: Union[str, Callable[..., PipelineMapping], None] = None,
+               objective: Optional[Objective] = None,
                workers: Optional[int] = None,
                runner: Optional["ParallelBatchRunner"] = None,
                chunk_size: Optional[int] = None,
                backend: "BackendLike" = None,
+               options: Optional[SolveOptions] = None,
                **solver_kwargs) -> BatchRunResult:
     """Solve every instance of a batch with one solver.
 
@@ -429,6 +534,13 @@ def solve_many(instances: Iterable[InstanceLike], *,
     instances:
         :class:`ProblemInstance` objects or ``(pipeline, network, request)``
         triples.
+    options:
+        A :class:`SolveOptions` bundle carrying any of the knobs below.
+        Knobs may come from the bundle, from the legacy keyword arguments,
+        or both — a knob specified in both places must agree, otherwise
+        :class:`SpecificationError` (a ``ValueError``) is raised.  Leaving
+        everything unset means the documented defaults (``solver="elpc-vec"``,
+        ``objective=Objective.MIN_DELAY``).
     solver:
         Registry name (``"elpc"``, ``"elpc-vec"``, ``"elpc-tensor"``,
         ``"greedy"``, ...) or a solver callable.  Multiprocessing requires a
@@ -476,6 +588,17 @@ def solve_many(instances: Iterable[InstanceLike], *,
         solver errors, unexpected exceptions) are recorded as items with
         ``mapping=None`` rather than raised.
     """
+    resolved = _resolve_options(options, solver=solver, objective=objective,
+                                backend=backend, workers=workers,
+                                runner=runner, chunk_size=chunk_size,
+                                solver_kwargs=solver_kwargs)
+    solver = resolved.solver if resolved.solver is not None else "elpc-vec"
+    objective = (resolved.objective if resolved.objective is not None
+                 else Objective.MIN_DELAY)
+    workers, runner = resolved.workers, resolved.runner
+    chunk_size, backend = resolved.chunk_size, resolved.backend
+    solver_kwargs = dict(resolved.solver_kwargs or {})
+
     normalized = [_coerce_instance(i, item) for i, item in enumerate(instances)]
     n_workers = int(workers or 1)
     if n_workers < 0:
@@ -522,3 +645,112 @@ def solve_many(instances: Iterable[InstanceLike], *,
     return BatchRunResult(solver=solver_name, objective=objective, items=items,
                           wall_time_s=time.perf_counter() - start,
                           workers=n_workers)
+
+
+def place_many(requests: Iterable, *,
+               placer: str = "place-greedy",
+               cluster=None,
+               engine: Optional[str] = None,
+               objective: Optional[Objective] = None,
+               demand_fps: float = 1.0,
+               node_capacity_factor: float = 1.0,
+               link_capacity_factor: float = 1.0,
+               options: Optional[SolveOptions] = None,
+               **placer_kwargs):
+    """Place a batch of pipelines *jointly* on one capacity-limited cluster.
+
+    The multi-tenant sibling of :func:`solve_many`: where ``solve_many``
+    answers "what is each pipeline's best mapping on an uncontended
+    network?", ``place_many`` answers "which of these pipelines fit
+    *together*, and where?" — every admitted mapping is charged against the
+    cluster's per-node compute and per-link bandwidth budgets and rejections
+    are recorded per item, never raised.
+
+    Parameters
+    ----------
+    requests:
+        :class:`repro.placement.PlacementRequest` objects,
+        :class:`ProblemInstance` objects, or ``(pipeline, network, request)``
+        triples — all sharing one :class:`TransportNetwork` *object* (the
+        cluster being contended for; :class:`SpecificationError` otherwise).
+    placer:
+        Registered placement strategy (``"place-greedy"`` sequential packing,
+        ``"place-flow"`` joint min-cost max-flow; see
+        :func:`repro.placement.available_placers`).
+    cluster:
+        An existing :class:`repro.placement.ClusterState` to place onto
+        (it is mutated — later batches see earlier commits).  ``None`` builds
+        a fresh ledger from the shared network with the two capacity factors
+        below.
+    engine:
+        Per-pipeline solver the placer runs on the residual cluster
+        (default ``"elpc-vec"``).
+    objective:
+        Mapping objective, default :attr:`Objective.MIN_DELAY`.
+    demand_fps:
+        Default steady-state frame rate for requests that do not carry their
+        own (plain instances and triples).
+    node_capacity_factor / link_capacity_factor:
+        Budget scaling used only when ``cluster`` is ``None`` (see
+        :meth:`repro.placement.ClusterState.from_network`).
+    options:
+        A :class:`SolveOptions` bundle: ``options.solver`` is the placement
+        *engine*, ``options.objective`` the objective and
+        ``options.solver_kwargs`` extra engine kwargs — merged with the
+        legacy keyword arguments under the same conflict-is-an-error rule as
+        :func:`solve_many`.  ``workers`` / ``runner`` / ``chunk_size`` /
+        ``backend`` are not applicable to placement and raise
+        :class:`SpecificationError` when set.
+    placer_kwargs:
+        Forwarded to the placer (e.g. ``order="input"`` for
+        ``place-greedy``).
+
+    Returns
+    -------
+    repro.placement.PlacementResult
+        Per-request outcomes in input order plus the final ledger.
+    """
+    from ..placement import ClusterState, PlacementRequest
+    from ..placement.registry import get_placer
+
+    resolved = _resolve_options(options, solver=engine, objective=objective,
+                                backend=None, workers=None, runner=None,
+                                chunk_size=None, solver_kwargs=placer_kwargs)
+    for name in ("workers", "runner", "chunk_size", "backend"):
+        if getattr(resolved, name) is not None:
+            raise SpecificationError(
+                f"SolveOptions.{name} is not applicable to place_many "
+                "(placement runs in-process on one ledger)")
+    engine_name = resolved.solver if resolved.solver is not None else "elpc-vec"
+    if not isinstance(engine_name, str):
+        raise SpecificationError(
+            "place_many needs the engine by registry name (placers look it "
+            "up per objective)")
+    objective = (resolved.objective if resolved.objective is not None
+                 else Objective.MIN_DELAY)
+    kwargs = dict(resolved.solver_kwargs or {})
+
+    coerced = [PlacementRequest.coerce(i, item, demand_fps=demand_fps)
+               for i, item in enumerate(requests)]
+    network = None
+    for request in coerced:
+        if network is None:
+            network = request.instance.network
+        elif request.instance.network is not network:
+            raise SpecificationError(
+                "place_many requests must all share one TransportNetwork "
+                "object — joint placement is defined on a single cluster")
+    if cluster is None:
+        if network is None:
+            raise SpecificationError(
+                "place_many needs at least one request (or an explicit "
+                "cluster=) to know which cluster to place on")
+        cluster = ClusterState.from_network(
+            network, node_capacity_factor=node_capacity_factor,
+            link_capacity_factor=link_capacity_factor)
+    elif network is not None and network is not cluster.network:
+        raise SpecificationError(
+            "place_many requests name a different TransportNetwork object "
+            "than the given cluster's")
+    return get_placer(placer)(coerced, cluster, objective=objective,
+                              engine=engine_name, **kwargs)

@@ -60,6 +60,18 @@ class BackendUnavailableError(SpecificationError):
         self.installed = tuple(installed)
 
 
+class CapacityError(ReproError):
+    """A placement does not fit the cluster's remaining capacity.
+
+    Raised by the placement ledger (:mod:`repro.placement.ledger`) when a
+    commit would drive a node's compute budget or a link's bandwidth budget
+    negative, and by the placers when no capacity-feasible mapping exists for
+    a request on the residual cluster.  The failed commit never mutates the
+    ledger, so the caller can catch this, record the rejection and continue
+    packing the rest of the batch.
+    """
+
+
 class UnsupportedStartMethodError(ReproError, RuntimeError):
     """The multiprocessing start method is unsupported by the parallel runtime.
 

@@ -1,0 +1,211 @@
+"""Request/result dataclasses shared by every placer.
+
+A placer consumes :class:`PlacementRequest` objects (a problem instance plus
+its steady-state frame-rate demand and a scheduling priority) and produces a
+:class:`PlacementResult` whose per-request :class:`PlacementItem` entries are
+in *input order* regardless of the order the placer actually solved them in —
+the same contract :func:`repro.solve_many` keeps for batches.  Rejections are
+recorded (``mapping is None``, ``error`` holds the reason), never raised, so
+one infeasible tenant cannot take down the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.mapping import Objective, PipelineMapping
+from ..exceptions import SpecificationError
+from ..model.serialization import ProblemInstance
+from .ledger import ClusterState, PlacementDemand
+
+__all__ = ["PlacementRequest", "PlacementItem", "PlacementResult"]
+
+#: What :meth:`PlacementRequest.coerce` accepts.
+RequestLike = Union["PlacementRequest", ProblemInstance, tuple]
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One tenant's placement request: an instance plus demand and priority.
+
+    Attributes
+    ----------
+    instance:
+        The pipeline-mapping problem to solve (pipeline, network, request).
+    demand_fps:
+        Steady-state frame rate the placement must sustain; scales the
+        resource demand charged to the ledger (see
+        :meth:`repro.placement.ClusterState.demand_of`).
+    priority:
+        Larger = more important.  Priority order decides who is packed first
+        and who wins when the cluster cannot fit everyone; ties break by
+        input position (earlier wins), so the order is deterministic.
+    """
+
+    instance: ProblemInstance
+    demand_fps: float = 1.0
+    priority: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instance, ProblemInstance):
+            raise SpecificationError(
+                "PlacementRequest.instance must be a ProblemInstance")
+        if self.demand_fps < 0:
+            raise SpecificationError(
+                f"demand_fps must be >= 0, got {self.demand_fps!r}")
+
+    @classmethod
+    def coerce(cls, index: int, item: RequestLike, *,
+               demand_fps: float = 1.0) -> "PlacementRequest":
+        """Normalise batch items like :func:`repro.solve_many` does.
+
+        Accepts a ready :class:`PlacementRequest`, a
+        :class:`~repro.ProblemInstance`, or a ``(pipeline, network, request)``
+        triple; the latter two get ``demand_fps`` (the batch default) and
+        priority 0.
+        """
+        if isinstance(item, cls):
+            return item
+        if isinstance(item, ProblemInstance):
+            return cls(instance=item, demand_fps=demand_fps)
+        try:
+            pipeline, network, request = item
+        except (TypeError, ValueError):
+            raise SpecificationError(
+                f"placement item {index} is neither a PlacementRequest, a "
+                "ProblemInstance, nor a (pipeline, network, request) triple"
+            ) from None
+        instance = ProblemInstance(pipeline=pipeline, network=network,
+                                   request=request)
+        return cls(instance=instance, demand_fps=demand_fps)
+
+
+@dataclass(frozen=True)
+class PlacementItem:
+    """Outcome of one request: an admitted mapping or a recorded rejection.
+
+    ``admitted`` items carry the mapping, the demand that was committed to the
+    ledger, and the engine runtime; rejected items carry ``error`` (the
+    :class:`~repro.exceptions.CapacityError` /
+    :class:`~repro.exceptions.InfeasibleMappingError` explaining why).
+    ``attempts`` counts residual-solve iterations the placer spent on the
+    request (1 = first solve fit; more = the repair loop re-solved on a
+    further-reduced network).
+    """
+
+    index: int
+    name: Optional[str]
+    mapping: Optional[PipelineMapping] = None
+    error: Optional[Exception] = None
+    demand: Optional[PlacementDemand] = None
+    priority: float = 0.0
+    demand_fps: float = 1.0
+    runtime_s: float = 0.0
+    attempts: int = 0
+
+    @property
+    def admitted(self) -> bool:
+        """``True`` when the request got a committed, capacity-feasible mapping."""
+        return self.mapping is not None
+
+
+@dataclass
+class PlacementResult:
+    """A full batch placement: per-request items plus the final ledger.
+
+    ``items`` are in input order.  ``cluster`` is the ledger *after* all
+    commits, so callers can inspect residual capacity, keep placing follow-up
+    batches on it, or hand it to
+    :func:`repro.placement.validate_placements`.
+    """
+
+    placer: str
+    objective: Objective
+    engine: str
+    items: List[PlacementItem]
+    cluster: ClusterState
+    wall_time_s: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_admitted(self) -> int:
+        """Number of requests that received a committed mapping."""
+        return sum(1 for item in self.items if item.admitted)
+
+    @property
+    def n_rejected(self) -> int:
+        """Number of requests rejected (capacity or infeasibility)."""
+        return len(self.items) - self.n_admitted
+
+    def admitted_items(self) -> List[PlacementItem]:
+        """The admitted items, in input order."""
+        return [item for item in self.items if item.admitted]
+
+    def rejected_items(self) -> List[PlacementItem]:
+        """The rejected items, in input order."""
+        return [item for item in self.items if not item.admitted]
+
+    def objective_total(self, subset: Optional[Sequence[int]] = None) -> float:
+        """Sum of the objective over admitted items (delay: lower is better).
+
+        For :attr:`Objective.MIN_DELAY` this is total end-to-end delay (ms);
+        for :attr:`Objective.MAX_FRAME_RATE` it is total achievable frame
+        rate (fps, higher is better).  ``subset`` restricts the sum to the
+        given request indices — the differential tests use it to compare two
+        placers over their *common* admitted set.
+        """
+        chosen = set(subset) if subset is not None else None
+        total = 0.0
+        for item in self.items:
+            if not item.admitted:
+                continue
+            if chosen is not None and item.index not in chosen:
+                continue
+            if self.objective is Objective.MIN_DELAY:
+                total += item.mapping.delay_ms
+            else:
+                total += item.mapping.frame_rate_fps
+        return total
+
+    def admitted_indices(self) -> List[int]:
+        """Input indices of the admitted requests."""
+        return [item.index for item in self.items if item.admitted]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate statistics (what ``repro place`` prints as JSON)."""
+        util = self.cluster.utilization()
+        return {
+            "placer": self.placer,
+            "engine": self.engine,
+            "objective": self.objective.value,
+            "n_requests": len(self.items),
+            "n_admitted": self.n_admitted,
+            "n_rejected": self.n_rejected,
+            "objective_total": self.objective_total(),
+            "node_utilization": util["node_utilization"],
+            "link_utilization": util["link_utilization"],
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def table(self) -> str:
+        """Fixed-width per-request report (what ``repro place`` prints by default)."""
+        header = (f"{'idx':>4}  {'name':<18} {'prio':>6}  {'fps':>7}  "
+                  f"{'status':<8} {'objective':>12}  reason")
+        lines = [header, "-" * len(header)]
+        for item in self.items:
+            if item.admitted:
+                value = (item.mapping.delay_ms
+                         if self.objective is Objective.MIN_DELAY
+                         else item.mapping.frame_rate_fps)
+                status, obj_text, reason = "placed", f"{value:12.4f}", ""
+            else:
+                status, obj_text = "rejected", f"{'-':>12}"
+                reason = str(item.error) if item.error is not None else ""
+                if len(reason) > 60:
+                    reason = reason[:57] + "..."
+            name = (item.name or "")[:18]
+            lines.append(f"{item.index:>4}  {name:<18} {item.priority:>6.2f}  "
+                         f"{item.demand_fps:>7.2f}  {status:<8} {obj_text}  "
+                         f"{reason}")
+        return "\n".join(lines)

@@ -1,0 +1,409 @@
+"""The cluster capacity ledger: who is using how much of which resource.
+
+:class:`ClusterState` layers two budget arrays over a network's cached dense
+view (:meth:`repro.TransportNetwork.dense_view`):
+
+* ``node_remaining`` — per-node compute budget in **operations per second**.
+  The cost model says a module of workload :math:`w = c\\,m` operations takes
+  :math:`w / (p \\cdot 10^3)` ms on a node of power :math:`p` (millions of
+  ops/s), so a node of power :math:`p` sustains :math:`p \\cdot 10^6` ops/s —
+  that is its default capacity, scaled by ``node_capacity_factor``.
+* ``link_remaining`` — per-link bandwidth budget in **bits per second**
+  (``bandwidth_mbps * 1e6``, scaled by ``link_capacity_factor``), one shared
+  budget per *undirected* link: traffic in both directions draws from it.
+
+A placed pipeline streaming at ``demand_fps`` frames per second demands
+``demand_fps * workload(modules on v)`` ops/s from every node it computes on
+and ``demand_fps * 8 * message_bytes`` bits/s from every link its path
+crosses (:meth:`ClusterState.demand_of`).  ``commit`` is atomic — it checks
+every component first and raises :class:`~repro.exceptions.CapacityError`
+without mutating anything when one budget would go negative — and every
+committed demand is retained so :meth:`ClusterState.validate` can re-derive
+the remaining arrays from scratch and the batch validator
+(:func:`validate_placements`) can replay a whole placement result against a
+fresh ledger.
+
+Floating-point note: budgets are compared with a relative slack of
+``1e-9 * capacity`` so a pipeline whose demand *exactly* equals the budget is
+admitted despite rounding; the validator applies the same slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.mapping import PipelineMapping
+from ..exceptions import CapacityError, SpecificationError
+from ..model.link import BITS_PER_BYTE, MEGABIT
+from ..model.network import TransportNetwork
+from ..types import NodeId
+
+__all__ = ["PlacementDemand", "CapacityViolation", "ClusterState",
+           "validate_placements"]
+
+#: Relative slack applied to every budget comparison (see module notes).
+_REL_SLACK = 1e-9
+
+
+def _link_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+    """Canonical undirected key of the link ``u``–``v``."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class PlacementDemand:
+    """Steady-state resource demand of one mapping at a given frame rate.
+
+    Attributes
+    ----------
+    nodes:
+        ``node_id -> ops/s`` drawn from each node the mapping computes on
+        (zero-workload entries are dropped).
+    links:
+        ``(u, v) -> bits/s`` drawn from each undirected link the mapping's
+        path crosses, both directions pooled (zero-byte messages dropped).
+    demand_fps:
+        The frame rate the demand was computed at.
+    """
+
+    nodes: Mapping[NodeId, float]
+    links: Mapping[Tuple[NodeId, NodeId], float]
+    demand_fps: float = 1.0
+
+    @property
+    def total_node_ops(self) -> float:
+        """Total compute demand over all nodes, ops/s."""
+        return float(sum(self.nodes.values()))
+
+    @property
+    def total_link_bits(self) -> float:
+        """Total bandwidth demand over all links, bits/s."""
+        return float(sum(self.links.values()))
+
+
+@dataclass(frozen=True)
+class CapacityViolation:
+    """One budget a demand would overdraw.
+
+    ``kind`` is ``"node"`` or ``"link"``; ``where`` is the node id or the
+    canonical ``(u, v)`` link key; ``needed``/``remaining`` are in the
+    resource's own unit (ops/s, bits/s).
+    """
+
+    kind: str
+    where: Any
+    needed: float
+    remaining: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner (used in rejection reasons)."""
+        unit = "ops/s" if self.kind == "node" else "bits/s"
+        return (f"{self.kind} {self.where}: needs {self.needed:.6g} {unit}, "
+                f"only {max(self.remaining, 0.0):.6g} remaining")
+
+
+@dataclass
+class _Snapshot:
+    """Opaque ledger snapshot returned by :meth:`ClusterState.snapshot`."""
+
+    node_remaining: np.ndarray
+    link_remaining: Dict[Tuple[NodeId, NodeId], float]
+    committed: Tuple[PlacementDemand, ...] = ()
+
+
+class ClusterState:
+    """Per-node / per-link remaining-capacity ledger over one network.
+
+    Build one with :meth:`from_network`; hand it to a placer
+    (:func:`repro.place_many`) or drive it directly:
+    :meth:`demand_of` → :meth:`fits` / :meth:`violations` → :meth:`commit` /
+    :meth:`release`, with :meth:`snapshot` / :meth:`restore` bracketing any
+    speculative sequence.  All arrays are indexed like the network's dense
+    view (``view.index_of[node_id]``).
+    """
+
+    def __init__(self, network: TransportNetwork,
+                 node_capacity: np.ndarray,
+                 link_capacity: Dict[Tuple[NodeId, NodeId], float]) -> None:
+        self.network = network
+        self.view = network.dense_view()
+        self.node_capacity = np.asarray(node_capacity, dtype=float).copy()
+        if self.node_capacity.shape != (self.view.n_nodes,):
+            raise SpecificationError(
+                f"node_capacity must have shape ({self.view.n_nodes},), got "
+                f"{self.node_capacity.shape}")
+        if np.any(self.node_capacity < 0):
+            raise SpecificationError("node capacities must be >= 0")
+        self.link_capacity = dict(link_capacity)
+        for key, cap in self.link_capacity.items():
+            if cap < 0:
+                raise SpecificationError(
+                    f"link capacity of {key} must be >= 0, got {cap!r}")
+        self.node_remaining = self.node_capacity.copy()
+        self.link_remaining = dict(self.link_capacity)
+        #: Every currently-committed demand, in commit order (the validator's
+        #: ground truth; release removes the entry by identity).
+        self.committed: List[PlacementDemand] = []
+        self.commits_total = 0
+        self.releases_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_network(cls, network: TransportNetwork, *,
+                     node_capacity_factor: float = 1.0,
+                     link_capacity_factor: float = 1.0,
+                     node_capacity: Optional[Mapping[NodeId, float]] = None,
+                     link_capacity: Optional[Mapping[Tuple[NodeId, NodeId],
+                                                     float]] = None
+                     ) -> "ClusterState":
+        """Budgets derived from the network's own powers and bandwidths.
+
+        Defaults: node budget = ``power * 1e6 * node_capacity_factor`` ops/s
+        (a factor of 1.0 means the node may be loaded to exactly its rated
+        power), link budget = ``bandwidth_mbps * 1e6 * link_capacity_factor``
+        bits/s.  Factors < 1 model headroom policies; factors > 1 model
+        deliberate oversubscription.  Explicit per-node / per-link overrides
+        (``node_capacity`` / ``link_capacity`` mappings) replace the derived
+        value for the listed entries only — the zero-capacity-node tests use
+        this to drain individual nodes.
+        """
+        if node_capacity_factor < 0 or link_capacity_factor < 0:
+            raise SpecificationError("capacity factors must be >= 0")
+        view = network.dense_view()
+        node_cap = view.power * (MEGABIT * node_capacity_factor)
+        node_cap = np.asarray(node_cap, dtype=float).copy()
+        if node_capacity:
+            for node_id, cap in node_capacity.items():
+                if node_id not in view.index_of:
+                    raise SpecificationError(
+                        f"node_capacity names unknown node {node_id!r}")
+                node_cap[view.index_of[node_id]] = float(cap)
+        link_cap: Dict[Tuple[NodeId, NodeId], float] = {}
+        for link in network.links():
+            key = _link_key(link.start_node, link.end_node)
+            link_cap[key] = link.bandwidth_mbps * MEGABIT * link_capacity_factor
+        if link_capacity:
+            for raw_key, cap in link_capacity.items():
+                key = _link_key(*raw_key)
+                if key not in link_cap:
+                    raise SpecificationError(
+                        f"link_capacity names unknown link {raw_key!r}")
+                link_cap[key] = float(cap)
+        return cls(network, node_cap, link_cap)
+
+    # ------------------------------------------------------------------ #
+    # Demand model
+    # ------------------------------------------------------------------ #
+    def demand_of(self, mapping: PipelineMapping, *,
+                  demand_fps: float = 1.0) -> PlacementDemand:
+        """The steady-state demand of ``mapping`` streaming at ``demand_fps``.
+
+        Node demand pools every visit of a reused node (the same aggregation
+        :func:`repro.model.cost.bottleneck_time_ms` applies with
+        ``account_node_sharing=True``); link demand pools every crossing of a
+        link in either direction.
+        """
+        if demand_fps < 0:
+            raise SpecificationError(
+                f"demand_fps must be >= 0, got {demand_fps!r}")
+        pipeline = mapping.pipeline
+        nodes: Dict[NodeId, float] = {}
+        for group, node_id in zip(mapping.groups, mapping.path):
+            load = pipeline.group_workload(group) * demand_fps
+            if load > 0:
+                nodes[node_id] = nodes.get(node_id, 0.0) + load
+        links: Dict[Tuple[NodeId, NodeId], float] = {}
+        for i in range(len(mapping.path) - 1):
+            u, v = mapping.path[i], mapping.path[i + 1]
+            if u == v:
+                continue
+            bits = (pipeline.group_output_bytes(mapping.groups[i])
+                    * BITS_PER_BYTE * demand_fps)
+            if bits > 0:
+                key = _link_key(u, v)
+                links[key] = links.get(key, 0.0) + bits
+        return PlacementDemand(nodes=nodes, links=links, demand_fps=demand_fps)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def remaining_node(self, node_id: NodeId) -> float:
+        """Remaining compute budget of a node, ops/s."""
+        return float(self.node_remaining[self.view.index_of[node_id]])
+
+    def remaining_link(self, u: NodeId, v: NodeId) -> float:
+        """Remaining bandwidth budget of the undirected link ``u``–``v``, bits/s."""
+        try:
+            return self.link_remaining[_link_key(u, v)]
+        except KeyError:
+            raise SpecificationError(f"no link {u}–{v} in the cluster") from None
+
+    def _slack(self, capacity: float) -> float:
+        return max(_REL_SLACK, _REL_SLACK * capacity)
+
+    def violations(self, demand: PlacementDemand) -> List[CapacityViolation]:
+        """Every budget ``demand`` would overdraw (empty = it fits)."""
+        out: List[CapacityViolation] = []
+        for node_id, needed in demand.nodes.items():
+            index = self.view.index_of.get(node_id)
+            if index is None:
+                raise SpecificationError(
+                    f"demand names unknown node {node_id!r}")
+            remaining = float(self.node_remaining[index])
+            if needed > remaining + self._slack(self.node_capacity[index]):
+                out.append(CapacityViolation("node", node_id, needed, remaining))
+        for key, needed in demand.links.items():
+            if key not in self.link_remaining:
+                raise SpecificationError(f"demand names unknown link {key!r}")
+            remaining = self.link_remaining[key]
+            if needed > remaining + self._slack(self.link_capacity[key]):
+                out.append(CapacityViolation("link", key, needed, remaining))
+        return out
+
+    def fits(self, demand: PlacementDemand) -> bool:
+        """``True`` when :meth:`commit` would succeed right now."""
+        return not self.violations(demand)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def commit(self, demand: PlacementDemand) -> PlacementDemand:
+        """Atomically subtract ``demand`` from the remaining budgets.
+
+        Raises :class:`~repro.exceptions.CapacityError` — without mutating
+        any budget — when one component does not fit; the message lists every
+        violated budget so rejection reasons are actionable.  Returns the
+        demand so callers can retain it for a later :meth:`release`.
+        """
+        violations = self.violations(demand)
+        if violations:
+            raise CapacityError(
+                "placement exceeds remaining cluster capacity: "
+                + "; ".join(v.describe() for v in violations))
+        for node_id, needed in demand.nodes.items():
+            self.node_remaining[self.view.index_of[node_id]] -= needed
+        for key, needed in demand.links.items():
+            self.link_remaining[key] -= needed
+        self.committed.append(demand)
+        self.commits_total += 1
+        return demand
+
+    def release(self, demand: PlacementDemand) -> None:
+        """Return a previously committed demand's budgets to the pool.
+
+        The demand must be one of :attr:`committed` (matched by object
+        identity — the object :meth:`commit` returned); anything else raises
+        :class:`SpecificationError` rather than silently inflating capacity.
+        """
+        for i, entry in enumerate(self.committed):
+            if entry is demand:
+                del self.committed[i]
+                break
+        else:
+            raise SpecificationError(
+                "release() got a demand that is not currently committed")
+        for node_id, needed in demand.nodes.items():
+            self.node_remaining[self.view.index_of[node_id]] += needed
+        for key, needed in demand.links.items():
+            self.link_remaining[key] += needed
+        self.releases_total += 1
+
+    def snapshot(self) -> _Snapshot:
+        """A restorable copy of the ledger's entire mutable state."""
+        return _Snapshot(node_remaining=self.node_remaining.copy(),
+                         link_remaining=dict(self.link_remaining),
+                         committed=tuple(self.committed))
+
+    def restore(self, snap: _Snapshot) -> None:
+        """Roll the ledger back to a :meth:`snapshot` (budgets and commits)."""
+        self.node_remaining = snap.node_remaining.copy()
+        self.link_remaining = dict(snap.link_remaining)
+        self.committed = list(snap.committed)
+
+    # ------------------------------------------------------------------ #
+    # Invariants and reporting
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Assert the ledger's invariant: remaining = capacity − Σ committed.
+
+        Raises :class:`~repro.exceptions.CapacityError` when a budget is
+        overdrawn or the remaining arrays disagree with the committed-demand
+        ground truth (which would mean a bookkeeping bug, not a bad input).
+        """
+        node_used = np.zeros_like(self.node_capacity)
+        link_used: Dict[Tuple[NodeId, NodeId], float] = {}
+        for demand in self.committed:
+            for node_id, needed in demand.nodes.items():
+                node_used[self.view.index_of[node_id]] += needed
+            for key, needed in demand.links.items():
+                link_used[key] = link_used.get(key, 0.0) + needed
+        slack = np.maximum(_REL_SLACK, _REL_SLACK * self.node_capacity)
+        if np.any(node_used > self.node_capacity + slack):
+            index = int(np.argmax(node_used - self.node_capacity))
+            raise CapacityError(
+                f"node {self.view.node_ids[index]} is overdrawn: "
+                f"{node_used[index]:.6g} ops/s committed against a capacity "
+                f"of {self.node_capacity[index]:.6g}")
+        expected = self.node_capacity - node_used
+        if not np.allclose(self.node_remaining, expected,
+                           rtol=1e-6, atol=1e-6):
+            raise CapacityError(
+                "node_remaining disagrees with the committed demands "
+                "(ledger bookkeeping bug)")
+        for key, cap in self.link_capacity.items():
+            used = link_used.get(key, 0.0)
+            if used > cap + self._slack(cap):
+                raise CapacityError(
+                    f"link {key} is overdrawn: {used:.6g} bits/s committed "
+                    f"against a capacity of {cap:.6g}")
+            if abs(self.link_remaining[key] - (cap - used)) > max(
+                    1e-6, 1e-6 * cap):
+                raise CapacityError(
+                    f"link_remaining[{key}] disagrees with the committed "
+                    "demands (ledger bookkeeping bug)")
+
+    def utilization(self) -> Dict[str, float]:
+        """Aggregate utilisation summary (for ``repro place`` and healthz)."""
+        node_cap = float(self.node_capacity.sum())
+        node_used = float((self.node_capacity - self.node_remaining).sum())
+        link_cap = float(sum(self.link_capacity.values()))
+        link_used = float(sum(self.link_capacity[k] - self.link_remaining[k]
+                              for k in self.link_capacity))
+        return {
+            "committed": float(len(self.committed)),
+            "node_utilization": node_used / node_cap if node_cap else 0.0,
+            "link_utilization": link_used / link_cap if link_cap else 0.0,
+            "node_remaining_min": float(self.node_remaining.min())
+            if len(self.node_remaining) else 0.0,
+        }
+
+
+def validate_placements(items: Iterable, cluster: ClusterState,
+                        ) -> Dict[str, float]:
+    """Replay a placement result's admitted mappings against a fresh ledger.
+
+    ``items`` is any iterable of objects carrying ``mapping`` and
+    ``demand_fps`` attributes (:class:`repro.placement.PlacementItem`;
+    rejected items with ``mapping=None`` are skipped).  A fresh
+    :class:`ClusterState` with the same capacities as ``cluster`` is built,
+    every admitted mapping's demand is *recomputed from the mapping itself*
+    and committed in order — so the check is independent of whatever demands
+    the placer recorded — and :class:`~repro.exceptions.CapacityError`
+    propagates if any commit fails.  Returns the fresh ledger's utilisation
+    summary, so benches can assert on it.
+    """
+    fresh = ClusterState(cluster.network, cluster.node_capacity,
+                         cluster.link_capacity)
+    for item in items:
+        mapping = getattr(item, "mapping", None)
+        if mapping is None:
+            continue
+        demand_fps = float(getattr(item, "demand_fps", 1.0))
+        fresh.commit(fresh.demand_of(mapping, demand_fps=demand_fps))
+    fresh.validate()
+    return fresh.utilization()

@@ -1,0 +1,76 @@
+"""Registry of placement strategies, keyed by name.
+
+Mirrors the solver registry (:mod:`repro.core.registry`) so placers are
+addressable by name from :func:`repro.place_many`, the ``repro place`` CLI
+and the service admission hook.  A *placer* is any callable with the uniform
+signature::
+
+    placer(requests, cluster, *, objective, engine, **kwargs) -> PlacementResult
+
+Unlike solvers, placers are not keyed by objective — every placer must handle
+both objectives (it receives ``objective=`` and forwards it to the engine).
+Builtins load with *setdefault* semantics, so a user registration made before
+the first lookup is never clobbered; overriding a builtin explicitly requires
+``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import SpecificationError
+from .base import PlacementResult
+
+__all__ = ["Placer", "register_placer", "get_placer", "available_placers"]
+
+Placer = Callable[..., PlacementResult]
+
+_REGISTRY: Dict[str, Placer] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True  # set first: register_placer() re-enters this
+    try:
+        from .flow import place_flow
+        from .packing import place_greedy
+        _REGISTRY.setdefault("place-greedy", place_greedy)
+        _REGISTRY.setdefault("place-flow", place_flow)
+    except BaseException:
+        _BUILTINS_LOADED = False
+        raise
+
+
+def register_placer(name: str, placer: Placer, *,
+                    overwrite: bool = False) -> None:
+    """Register ``placer`` under ``name`` (case-insensitive).
+
+    Raises :class:`SpecificationError` on duplicate registration unless
+    ``overwrite`` is given; builtins are loaded first so overriding one always
+    requires ``overwrite=True`` and the override always wins.
+    """
+    _load_builtins()
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise SpecificationError(f"placer {name!r} is already registered")
+    _REGISTRY[key] = placer
+
+
+def get_placer(name: str) -> Placer:
+    """Look up a registered placer; raises :class:`SpecificationError` if unknown."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown placer {name!r}; known placers: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_placers() -> List[str]:
+    """Names of all registered placers."""
+    _load_builtins()
+    return sorted(_REGISTRY)

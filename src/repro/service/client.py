@@ -18,12 +18,13 @@ behavior, deliberately kept on :mod:`http.client` exactly as it shipped:
 ``repro loadtest`` uses it as the measured baseline for what the keep-alive
 path buys.
 
-The client speaks the ``repro-serve/1`` wire schema of
-:mod:`repro.service.wire`: requests are built from real
-:class:`~repro.model.serialization.ProblemInstance` objects and responses
-come back as plain dictionaries (``ok`` / ``error`` / ``mapping`` /
-``group_id`` ...), so a test can assert on coalescing and results without
-any deserialization helper.
+The client advertises the ``repro-serve/2`` wire schema of
+:mod:`repro.service.wire` (every request carries ``schema`` and may carry a
+``priority`` for the server's admission control): requests are built from
+real :class:`~repro.model.serialization.ProblemInstance` objects and
+responses come back as plain dictionaries (``ok`` / ``error`` / ``mapping`` /
+``group_id`` / ``admission`` ...), so a test can assert on coalescing,
+admission and results without any deserialization helper.
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.mapping import Objective
 from ..exceptions import ReproError
 from ..model.serialization import ProblemInstance
-from .wire import SolveRequest
+from .wire import WIRE_SCHEMA, SolveRequest
 
 __all__ = ["ServiceClient", "ServiceUnavailableError"]
 
@@ -275,13 +276,18 @@ class ServiceClient:
               solver: str = "elpc-tensor",
               objective: Objective = Objective.MIN_DELAY,
               backend: Optional[str] = None,
+              priority: float = 0.0,
               **solver_kwargs) -> Dict[str, Any]:
         """Solve one instance through the service; returns the wire response.
 
         The response is :class:`~repro.core.batch.BatchItemResult`-shaped:
         ``ok``, ``error``, ``runtime_s``, ``group_id``/``group_size`` (which
         reveal micro-batch coalescing) and ``mapping`` (groups, path and both
-        objective values) when the solve succeeded.
+        objective values) when the solve succeeded.  ``priority`` matters
+        only on servers running admission control (``repro serve
+        --admission-control``): higher-priority requests win the capacity
+        race within a flush, and a capacity rejection comes back as ``ok:
+        false`` with an ``admission`` object.
 
         The first solve over a network posts it in full; afterwards the
         client sends the server-assigned ``network_ref`` instead (unless
@@ -295,6 +301,7 @@ class ServiceClient:
             # Reference path: never serialise the network at all — for
             # same-network request streams this is the dominant saving.
             payload: Dict[str, Any] = {
+                "schema": WIRE_SCHEMA,
                 "instance": {
                     "name": instance.name,
                     "pipeline": instance.pipeline.to_dict(),
@@ -309,10 +316,13 @@ class ServiceClient:
                 payload["backend"] = backend
             if solver_kwargs:
                 payload["solver_kwargs"] = dict(solver_kwargs)
+            if priority:
+                payload["priority"] = priority
         else:
             request = SolveRequest(instance=instance, solver=solver,
                                    objective=objective, backend=backend,
-                                   solver_kwargs=dict(solver_kwargs))
+                                   solver_kwargs=dict(solver_kwargs),
+                                   priority=priority)
             payload = request.to_wire()
         response = self.request("POST", "/solve", payload)
         if cached is not None and not response.get("ok") and \

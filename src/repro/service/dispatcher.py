@@ -43,9 +43,9 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.batch import resolve_solver_backend, solve_many
+from ..core.batch import SolveOptions, resolve_solver_backend, solve_many
 from ..core.mapping import Objective
-from ..exceptions import ReproError, SpecificationError
+from ..exceptions import CapacityError, ReproError, SpecificationError
 from .wire import NetworkInterner, SolveRequest, error_response, item_result_to_wire
 
 __all__ = ["ServiceConfig", "SolveService"]
@@ -89,6 +89,32 @@ class ServiceConfig:
         buffering them (a hostile ``Content-Length`` must not balloon server
         memory).  The default (8 MiB) is far above any realistic instance
         payload.
+    options:
+        A :class:`repro.SolveOptions` bundle as an alternative spelling of
+        the dispatch knobs this config shares with the batch API:
+        ``options.solver`` ↔ ``default_solver``, ``options.backend`` ↔
+        ``backend``, ``options.workers`` ↔ ``workers``.  A knob set in both
+        places must agree (:class:`SpecificationError` otherwise, matching
+        :func:`repro.solve_many`); ``objective`` / ``runner`` /
+        ``chunk_size`` / ``solver_kwargs`` have no service-config equivalent
+        (they are per-request or service-owned) and are rejected when set.
+    admission_control:
+        ``True`` runs every *successful* solve through a per-network
+        admission ledger (:class:`repro.placement.ClusterState`) before
+        responding: the mapping's steady-state demand (at
+        ``admission_demand_fps``) is committed against the network's
+        remaining node/link budgets, **in priority order within each flush
+        partition**, and a mapping that no longer fits is rejected with
+        ``ok: false`` and an ``admission`` object instead of being handed
+        out oversubscribed.  Commitments persist for the service lifetime
+        (tenants hold their capacity); ``/healthz`` reports
+        ``admitted_total`` / ``rejected_total``.
+    admission_capacity_factor:
+        Node/link budget scaling for admission ledgers (see
+        :meth:`repro.placement.ClusterState.from_network`).
+    admission_demand_fps:
+        Frame rate each admitted mapping is assumed to stream at when its
+        demand is charged to the ledger.
     """
 
     max_batch: int = 32
@@ -99,8 +125,14 @@ class ServiceConfig:
     default_solver: str = "elpc-tensor"
     intern_networks: int = 256
     max_body_bytes: int = 8 * 1024 * 1024
+    options: Optional[SolveOptions] = None
+    admission_control: bool = False
+    admission_capacity_factor: float = 1.0
+    admission_demand_fps: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.options is not None:
+            self._merge_options(self.options)
         if self.max_batch < 1:
             raise SpecificationError(
                 f"max_batch must be >= 1, got {self.max_batch!r}")
@@ -113,6 +145,43 @@ class ServiceConfig:
         if self.max_body_bytes < 1024:
             raise SpecificationError(
                 f"max_body_bytes must be >= 1024, got {self.max_body_bytes!r}")
+        if self.admission_capacity_factor < 0:
+            raise SpecificationError(
+                f"admission_capacity_factor must be >= 0, got "
+                f"{self.admission_capacity_factor!r}")
+        if self.admission_demand_fps < 0:
+            raise SpecificationError(
+                f"admission_demand_fps must be >= 0, got "
+                f"{self.admission_demand_fps!r}")
+
+    def _merge_options(self, options: SolveOptions) -> None:
+        """Fold an options bundle into this config (conflict → ``ValueError``)."""
+        if not isinstance(options, SolveOptions):
+            raise SpecificationError(
+                f"options must be a SolveOptions, got {type(options).__name__}")
+        for name in ("objective", "runner", "chunk_size", "solver_kwargs"):
+            if getattr(options, name) is not None:
+                raise SpecificationError(
+                    f"SolveOptions.{name} has no ServiceConfig equivalent "
+                    "(objective travels per request; the runner and chunking "
+                    "are service-owned)")
+        pairs = [("solver", "default_solver", "elpc-tensor"),
+                 ("backend", "backend", None),
+                 ("workers", "workers", None)]
+        for opt_name, cfg_name, default in pairs:
+            opt_value = getattr(options, opt_name)
+            if opt_value is None:
+                continue
+            cfg_value = getattr(self, cfg_name)
+            if cfg_value != default and cfg_value != opt_value:
+                raise SpecificationError(
+                    f"conflicting {cfg_name!r}: ServiceConfig says "
+                    f"{cfg_value!r} but options.{opt_name} says "
+                    f"{opt_value!r} — specify it in one place")
+            if opt_name == "solver" and not isinstance(opt_value, str):
+                raise SpecificationError(
+                    "ServiceConfig needs the default solver by registry name")
+            object.__setattr__(self, cfg_name, opt_value)
 
 
 #: One queued request: the parsed request, the future its response resolves,
@@ -130,8 +199,20 @@ class SolveService:
     (:mod:`repro.service.server`) owns exactly one of these.
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 options: Optional[SolveOptions] = None) -> None:
         self.config = config or ServiceConfig()
+        if options is not None:
+            # Late options merge: same rules as ServiceConfig(options=...),
+            # re-validated by the replacement config's __post_init__.
+            import dataclasses
+
+            if (self.config.options is not None
+                    and self.config.options != options):
+                raise SpecificationError(
+                    "SolveService got options= but its ServiceConfig already "
+                    "carries a different options bundle")
+            self.config = dataclasses.replace(self.config, options=options)
         # Fail at construction on an unusable default backend — the CLI turns
         # this into exit 1 before binding a port, like the other --backend
         # paths.
@@ -161,6 +242,12 @@ class SolveService:
         #: being dispatched, summed over requests.
         self.queue_wait_s_total = 0.0
         self.queue_wait_s_max = 0.0
+        #: Admission-control state: one capacity ledger per interned network
+        #: (keyed by network ref), populated lazily; commitments persist for
+        #: the service lifetime — an admitted tenant holds its capacity.
+        self._ledgers: Dict[str, Any] = {}
+        self.admitted_total = 0
+        self.rejected_total = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -263,7 +350,12 @@ class SolveService:
             "backend": backend,
             "workers": int(self.config.workers or 1),
             "interned_networks": len(self.interner),
+            "admission_control": self.config.admission_control,
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
         }
+        if self.config.admission_control:
+            payload["admission_ledgers"] = len(self._ledgers)
         if self._runner is not None:
             payload["runner"] = self._runner.stats()
         return payload
@@ -383,9 +475,78 @@ class SolveService:
                         objective=request.objective))
             self.responses_total += len(entries)
             return
-        for (request, future, _arrived), item in zip(entries, result.items):
-            if not future.done():
-                future.set_result(item_result_to_wire(
-                    item, solver=result.solver, objective=result.objective,
-                    network_ref=request.network_ref))
+        if self.config.admission_control:
+            responses = self._admit(entries, result)
+            for (request, future, _arrived), response in zip(entries, responses):
+                if not future.done():
+                    future.set_result(response)
+        else:
+            for (request, future, _arrived), item in zip(entries, result.items):
+                if not future.done():
+                    future.set_result(item_result_to_wire(
+                        item, solver=result.solver,
+                        objective=result.objective,
+                        network_ref=request.network_ref))
         self.responses_total += len(entries)
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    def _ledger_for(self, request: SolveRequest):
+        """The capacity ledger of this request's (interned) network."""
+        from ..placement import ClusterState
+
+        key = request.network_ref or f"id:{id(request.instance.network)}"
+        ledger = self._ledgers.get(key)
+        if ledger is None or ledger.network is not request.instance.network:
+            # New topology — or the interner evicted and re-interned it as a
+            # fresh object, which voids the old ledger's node indices.
+            ledger = ClusterState.from_network(
+                request.instance.network,
+                node_capacity_factor=self.config.admission_capacity_factor,
+                link_capacity_factor=self.config.admission_capacity_factor)
+            self._ledgers[key] = ledger
+        return ledger
+
+    def _admit(self, entries: List[_Pending], result) -> List[Dict[str, Any]]:
+        """Charge each successful solve against its network's ledger.
+
+        Commits run in priority order (arrival order breaking ties) within
+        the partition, so when a flush carries more demand than the cluster
+        has left, high-priority requests win the capacity race regardless of
+        their position in the batch.  A mapping that no longer fits gets an
+        ``ok: false`` response carrying the capacity violation as its
+        ``admission.reason``; failed solves pass through unchanged (there is
+        nothing to admit).  Responses come back in ``entries`` order.
+        """
+        order = sorted(range(len(entries)),
+                       key=lambda i: (-entries[i][0].priority, i))
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(entries)
+        for i in order:
+            request = entries[i][0]
+            item = result.items[i]
+            if item.mapping is None:
+                responses[i] = item_result_to_wire(
+                    item, solver=result.solver, objective=result.objective,
+                    network_ref=request.network_ref)
+                continue
+            ledger = self._ledger_for(request)
+            try:
+                demand = ledger.demand_of(
+                    item.mapping,
+                    demand_fps=self.config.admission_demand_fps)
+                ledger.commit(demand)
+            except CapacityError as exc:
+                self.rejected_total += 1
+                responses[i] = error_response(
+                    f"admission rejected: {exc}",
+                    solver=result.solver, objective=result.objective,
+                    admission={"admitted": False, "reason": str(exc),
+                               "priority": request.priority})
+                continue
+            self.admitted_total += 1
+            responses[i] = item_result_to_wire(
+                item, solver=result.solver, objective=result.objective,
+                network_ref=request.network_ref,
+                admission={"admitted": True, "priority": request.priority})
+        return responses  # type: ignore[return-value]

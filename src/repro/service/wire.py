@@ -1,4 +1,4 @@
-"""Wire schema of the solve service (``repro-serve/1``).
+"""Wire schema of the solve service (``repro-serve/2``).
 
 The service speaks JSON built directly on the library's own serialization:
 a solve request is :meth:`ProblemInstance.to_dict` output under an
@@ -29,6 +29,17 @@ request.  For same-network request streams this removes the dominant
 per-request cost (serialising and parsing the topology) from the hot path;
 :class:`~repro.service.client.ServiceClient` uses it automatically after its
 first full post of a network.
+
+Schema versions
+---------------
+``repro-serve/2`` (current) adds an optional per-request ``priority`` (used
+by the dispatcher's admission control to decide who gets cluster capacity
+first) and an ``admission`` object on responses produced under admission
+control (``{"admitted": bool, "reason": ...}``; capacity rejections are
+ordinary ``ok: false`` responses carrying it).  ``repro-serve/1`` payloads —
+no ``schema`` field, or ``schema: "repro-serve/1"`` — are accepted verbatim:
+every ``/1`` field means the same thing, ``priority`` just defaults to 0.
+Requests naming any *other* schema are rejected at parse time.
 """
 
 from __future__ import annotations
@@ -46,11 +57,18 @@ from ..exceptions import SpecificationError
 from ..model.network import TransportNetwork
 from ..model.serialization import ProblemInstance, mapping_to_dict
 
-__all__ = ["WIRE_SCHEMA", "SolveRequest", "NetworkInterner",
+__all__ = ["WIRE_SCHEMA", "WIRE_SCHEMA_V1", "SUPPORTED_SCHEMAS",
+           "SolveRequest", "NetworkInterner",
            "item_result_to_wire", "error_response"]
 
-#: Schema tag carried by every service response.
-WIRE_SCHEMA = "repro-serve/1"
+#: Schema tag carried by every service response (and advertised by clients).
+WIRE_SCHEMA = "repro-serve/2"
+
+#: The previous schema, still accepted on requests verbatim.
+WIRE_SCHEMA_V1 = "repro-serve/1"
+
+#: Request schemas the server parses.
+SUPPORTED_SCHEMAS = frozenset({WIRE_SCHEMA, WIRE_SCHEMA_V1})
 
 #: ``solver_kwargs`` keys that are dispatch controls of :func:`solve_many`
 #: itself, not solver options.  Letting them through would either collide
@@ -159,6 +177,11 @@ class SolveRequest:
         The interner reference of the instance's network (set when parsed
         against an interner); echoed to clients as ``network_ref`` so they
         can switch to reference-style requests.
+    priority:
+        Admission priority (``repro-serve/2``): larger values get cluster
+        capacity first when the dispatcher runs admission control; ties break
+        by arrival order.  Ignored (but still parsed) when admission control
+        is off.
     """
 
     instance: ProblemInstance
@@ -167,6 +190,7 @@ class SolveRequest:
     backend: Optional[str] = None
     solver_kwargs: Dict[str, Any] = field(default_factory=dict)
     network_ref: Optional[str] = None
+    priority: float = 0.0
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any], *,
@@ -176,6 +200,11 @@ class SolveRequest:
         if not isinstance(payload, Mapping):
             raise SpecificationError(
                 f"solve request must be a JSON object, got {type(payload).__name__}")
+        schema = payload.get("schema")
+        if schema is not None and schema not in SUPPORTED_SCHEMAS:
+            raise SpecificationError(
+                f"unsupported wire schema {schema!r}; this server speaks "
+                f"{sorted(SUPPORTED_SCHEMAS)}")
         instance_payload = payload.get("instance")
         if not isinstance(instance_payload, Mapping):
             raise SpecificationError(
@@ -234,13 +263,18 @@ class SolveRequest:
                 f"{sorted(reserved)}; use the top-level request fields "
                 "(solver/objective/backend) or the server configuration "
                 "(--workers)")
+        priority = payload.get("priority", 0.0)
+        if not isinstance(priority, (int, float)) or isinstance(priority, bool):
+            raise SpecificationError(
+                f"'priority' must be a number, got {priority!r}")
         return cls(instance=instance, solver=solver, objective=objective,
                    backend=backend, solver_kwargs=dict(solver_kwargs),
-                   network_ref=network_ref)
+                   network_ref=network_ref, priority=float(priority))
 
     def to_wire(self) -> Dict[str, Any]:
-        """Render this request as a JSON-compatible payload."""
+        """Render this request as a JSON-compatible payload (``repro-serve/2``)."""
         out: Dict[str, Any] = {
+            "schema": WIRE_SCHEMA,
             "instance": self.instance.to_dict(),
             "solver": self.solver,
             "objective": self.objective.value,
@@ -249,6 +283,8 @@ class SolveRequest:
             out["backend"] = self.backend
         if self.solver_kwargs:
             out["solver_kwargs"] = dict(self.solver_kwargs)
+        if self.priority:
+            out["priority"] = self.priority
         return out
 
     def dispatch_key(self) -> tuple:
@@ -290,7 +326,9 @@ def _objective_from(value: Any) -> Objective:
 
 def item_result_to_wire(item: BatchItemResult, *, solver: str,
                         objective: Objective,
-                        network_ref: Optional[str] = None) -> Dict[str, Any]:
+                        network_ref: Optional[str] = None,
+                        admission: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
     """Render one :class:`BatchItemResult` as a service response payload.
 
     The response mirrors the batch API's per-item error policy: a failed
@@ -298,7 +336,8 @@ def item_result_to_wire(item: BatchItemResult, *, solver: str,
     (plus ``traceback`` for unexpected exceptions) — never a dropped
     connection or a non-200 status.  ``network_ref`` tells the client the
     digest under which the instance's network is interned, enabling
-    reference-style follow-up requests.
+    reference-style follow-up requests.  ``admission`` (``repro-serve/2``) is
+    attached when the dispatcher ran admission control on this response.
     """
     payload: Dict[str, Any] = {
         "schema": WIRE_SCHEMA,
@@ -316,14 +355,19 @@ def item_result_to_wire(item: BatchItemResult, *, solver: str,
     }
     if item.traceback is not None:
         payload["traceback"] = item.traceback
+    if admission is not None:
+        payload["admission"] = dict(admission)
     return payload
 
 
 def error_response(message: str, *, solver: Optional[str] = None,
-                   objective: Optional[Objective] = None) -> Dict[str, Any]:
+                   objective: Optional[Objective] = None,
+                   admission: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
     """An ``ok: false`` response for failures outside any solve (bad request,
-    dispatch error) — same shape as a failed item so clients parse one format."""
-    return {
+    dispatch error, admission rejection) — same shape as a failed item so
+    clients parse one format."""
+    payload: Dict[str, Any] = {
         "schema": WIRE_SCHEMA,
         "ok": False,
         "name": None,
@@ -336,3 +380,6 @@ def error_response(message: str, *, solver: Optional[str] = None,
         "group_wall_s": None,
         "mapping": None,
     }
+    if admission is not None:
+        payload["admission"] = dict(admission)
+    return payload

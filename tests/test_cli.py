@@ -306,3 +306,77 @@ class TestBackendFlag:
                                  "--nodes", "8", "--links", "16",
                                  "--backend", "numpy"]) == 0
         assert "Tensor batch engine speedup" in capsys.readouterr().out
+
+
+class TestReproPlace:
+    def test_default_run_exits_0(self, capsys):
+        assert main(["place", "--placer", "place-greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out and "ledger validated clean" in out
+        assert "status" in out  # the per-request table header
+
+    def test_flow_placer(self, capsys):
+        assert main(["place", "--placer", "place-flow", "--count", "6",
+                     "--nodes", "14", "--links", "36"]) == 0
+        assert "placer=place-flow" in capsys.readouterr().out
+
+    def test_oversubscribed_run_reports_rejections(self, capsys):
+        assert main(["place", "--count", "10", "--capacity-factor", "0.05",
+                     "--demand-fps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+
+    def test_json_summary(self, capsys):
+        assert main(["place", "--count", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["placer"] == "place-greedy"
+        assert payload["n_requests"] == 4
+        assert payload["n_admitted"] + payload["n_rejected"] == 4
+        assert "validated_utilization" in payload
+
+    def test_framerate_objective(self, capsys):
+        assert main(["place", "--count", "4", "--objective",
+                     "framerate"]) == 0
+        assert "objective=max_frame_rate" in capsys.readouterr().out
+
+    def test_list_placers(self, capsys):
+        assert main(["place", "--list-placers"]) == 0
+        out = capsys.readouterr().out
+        assert "place-greedy" in out and "place-flow" in out
+
+    def test_unknown_placer_exits_1(self, capsys):
+        assert main(["place", "--placer", "place-magic"]) == 1
+        assert "unknown placer" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_1(self, capsys):
+        assert main(["place", "--engine", "frobnicator"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_umbrella_help_lists_place(self, capsys):
+        assert main([]) == 0
+        assert "place" in capsys.readouterr().out
+
+
+class TestServeAdmissionFlags:
+    def test_flags_parse_into_config(self):
+        from repro.cli import _build_serve_parser
+
+        args = _build_serve_parser().parse_args(
+            ["--admission-control", "--admission-capacity-factor", "0.5",
+             "--admission-demand-fps", "2.5"])
+        assert args.admission_control is True
+        assert args.admission_capacity_factor == 0.5
+        assert args.admission_demand_fps == 2.5
+
+    def test_flags_default_off(self):
+        from repro.cli import _build_serve_parser
+
+        args = _build_serve_parser().parse_args([])
+        assert args.admission_control is False
+        assert args.admission_capacity_factor == 1.0
+
+    def test_negative_factor_exits_1(self, capsys):
+        from repro.cli import main_serve
+
+        assert main_serve(["--admission-capacity-factor", "-2"]) == 1
+        assert "admission_capacity_factor" in capsys.readouterr().err
