@@ -13,9 +13,12 @@ Three entry points are installed with the package:
   :mod:`repro.service` on a host/port, graceful drain on SIGINT/SIGTERM,
   optional ``--admission-control`` capacity gating), ``repro loadtest``
   (N concurrent closed-loop clients against a running server: p50/p99
-  latency, throughput, achieved batch size) and ``repro place`` (joint
+  latency, throughput, achieved batch size), ``repro place`` (joint
   multi-tenant placement of a generated pipeline batch onto one
-  capacity-limited cluster via :func:`repro.place_many`).
+  capacity-limited cluster via :func:`repro.place_many`) and ``repro churn``
+  (capacity-churn replay: scalar capacity events drift the network and each
+  step re-plans warm-started from the previous DP tables, reporting
+  staleness vs re-solve cost with a warm-vs-cold differential check).
 * ``repro-map`` — legacy alias of ``repro solve``.
 * ``repro-bench`` — legacy alias of ``repro bench``.
 
@@ -56,7 +59,8 @@ from .generators.workloads import named_workloads
 from .model.serialization import ProblemInstance, load_instance
 
 __all__ = ["main", "main_map", "main_bench", "main_bench_scaling",
-           "main_bench_batch", "main_serve", "main_loadtest", "main_place"]
+           "main_bench_batch", "main_serve", "main_loadtest", "main_place",
+           "main_churn"]
 
 #: Schema tag of the JSON written by ``repro bench --emit-json`` and by
 #: ``benchmarks/check_regression.py`` — one format for both producers so the
@@ -726,6 +730,106 @@ def main_place(argv: Optional[Sequence[str]] = None, *,
     return 0
 
 
+def _build_churn_parser(prog: str = "repro churn") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Replay a capacity-churn stream against a mapped batch "
+                    "(repro.simulation.simulate_churn): scalar "
+                    "power/bandwidth/delay events drift the network, each "
+                    "step re-plans warm-started from the previous DP tables "
+                    "(differentially verified bit-identical to a cold "
+                    "re-solve) and reports staleness vs re-solve cost.")
+    parser.add_argument("--pipelines", type=int, default=16,
+                        help="generated batch size (default: 16 pipelines "
+                             "over one shared network)")
+    parser.add_argument("--modules", type=int, default=12,
+                        help="pipeline length of generated instances")
+    parser.add_argument("--nodes", type=int, default=24,
+                        help="generated shared-network size")
+    parser.add_argument("--links", type=int, default=60,
+                        help="generated shared-network link count")
+    parser.add_argument("--steps", type=int, default=20,
+                        help="churn steps to replay (default: 20; each step "
+                             "is one event batch followed by one re-plan)")
+    parser.add_argument("--edit-fraction", type=float, default=0.01,
+                        help="fraction of links edited per step (default: "
+                             "0.01, floored at one edit)")
+    parser.add_argument("--edits-per-step", type=int, default=None,
+                        help="explicit edits per step (overrides "
+                             "--edit-fraction)")
+    parser.add_argument("--amplitude", type=float, default=0.4,
+                        help="drift amplitude: edited values are original * "
+                             "U[1-a, 1+a] (default: 0.4)")
+    parser.add_argument("--solver", default="elpc-vec",
+                        help="ELPC engine to re-plan with (default: "
+                             "elpc-vec; must be elpc, elpc-vec or "
+                             "elpc-tensor for warm starts)")
+    parser.add_argument("--objective", choices=["delay", "framerate"],
+                        default="delay", help="optimisation objective")
+    parser.add_argument("--seed", type=int, default=5,
+                        help="seed of the workload and the churn stream")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the per-step warm-vs-cold differential "
+                             "check (timing-only runs)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable summary instead of "
+                             "the table")
+    parser.add_argument("--emit-json", type=Path, default=None, metavar="PATH",
+                        help="write the measurements in the repro-bench/1 "
+                             "schema shared with benchmarks/"
+                             "check_regression.py")
+    return parser
+
+
+def main_churn(argv: Optional[Sequence[str]] = None, *,
+               prog: str = "repro churn") -> int:
+    """Entry point of ``repro churn``; returns a process exit code.
+
+    Exit codes: 0 on a completed replay, 1 on a library error (bad workload
+    parameters, non-warm-startable solver), 3 when any warm re-solve
+    disagreed with its cold reference — the same "engines diverged" verdict
+    ``repro bench`` uses, so scripted pipelines cannot publish speedups from
+    a broken incremental engine.
+    """
+    from .service.loadtest import generate_workload
+    from .simulation import generate_churn_events, simulate_churn
+
+    parser = _build_churn_parser(prog)
+    args = parser.parse_args(argv)
+    objective = (Objective.MIN_DELAY if args.objective == "delay"
+                 else Objective.MAX_FRAME_RATE)
+    try:
+        instances = generate_workload(
+            args.pipelines, n_modules=args.modules, n_nodes=args.nodes,
+            n_links=args.links, seed=args.seed)
+        network = instances[0].network
+        events = generate_churn_events(
+            network, n_steps=args.steps, edit_fraction=args.edit_fraction,
+            edits_per_step=args.edits_per_step, amplitude=args.amplitude,
+            seed=args.seed)
+        result = simulate_churn(network, instances, events,
+                                solver=args.solver, objective=objective,
+                                verify=not args.no_verify)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_bench_json(), indent=2, sort_keys=True))
+    else:
+        print(result.table_text())
+    if args.emit_json is not None:
+        args.emit_json.parent.mkdir(parents=True, exist_ok=True)
+        args.emit_json.write_text(
+            json.dumps(result.to_bench_json(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        print(f"{'bench-json':>18}: {args.emit_json}")
+    if result.mismatches_total:
+        print(f"error: {result.mismatches_total} warm re-solves disagreed "
+              "with their cold reference", file=sys.stderr)
+        return 3
+    return 0
+
+
 _SUBCOMMANDS = {
     "solve": "map a pipeline onto a network (alias: map)",
     "map": "alias of solve",
@@ -735,6 +839,7 @@ _SUBCOMMANDS = {
     "serve": "HTTP solve service with keep-alive continuous batching",
     "loadtest": "closed-loop load harness against a running repro serve",
     "place": "joint multi-tenant placement onto a capacity-limited cluster",
+    "churn": "capacity-churn replay: warm-started re-planning vs staleness",
 }
 
 
@@ -762,6 +867,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return main_loadtest(rest)
     if command == "place":
         return main_place(rest)
+    if command == "churn":
+        return main_churn(rest)
     print(f"error: unknown command {command!r}; "
           f"expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
     return 2

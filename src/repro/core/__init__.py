@@ -80,11 +80,13 @@ from .tensor import (
     elpc_min_delay_tensor,
 )
 from .vectorized import elpc_max_frame_rate_vec, elpc_min_delay_vec
+from .warm import WarmState, elpc_max_frame_rate_warm, elpc_min_delay_warm
 
 __all__ = [
     "DPCell", "DPTable",
     "elpc_min_delay", "elpc_max_frame_rate",
     "elpc_min_delay_vec", "elpc_max_frame_rate_vec",
+    "WarmState", "elpc_min_delay_warm", "elpc_max_frame_rate_warm",
     "elpc_min_delay_many", "elpc_max_frame_rate_many",
     "elpc_min_delay_tensor", "elpc_max_frame_rate_tensor",
     "BatchItemResult", "BatchRunResult", "SolveOptions", "solve_many",

@@ -86,6 +86,7 @@ from .registry import get_solver
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .backend import BackendLike
     from .parallel import ParallelBatchRunner
+    from .warm import WarmState
 
 __all__ = ["BatchItemResult", "BatchRunResult", "SolveOptions", "solve_many",
            "place_many", "resolve_solver_backend", "uses_tensor_dispatch"]
@@ -93,6 +94,11 @@ __all__ = ["BatchItemResult", "BatchRunResult", "SolveOptions", "solve_many",
 #: Solver names whose batches are grouped by network and dispatched through
 #: the tensor engine (one batched call per group) instead of per-item solves.
 TENSOR_SOLVERS = frozenset({"elpc-tensor"})
+
+#: Solver names whose batches may be warm-started (``warm_start=`` /
+#: ``prior=``).  The three ELPC engines are bit-identical to each other, so
+#: the warm engine (:mod:`repro.core.warm`) can substitute for any of them.
+WARM_SOLVERS = frozenset({"elpc", "elpc-vec", "elpc-tensor"})
 
 #: Anything solve_many accepts as one problem instance.
 InstanceLike = Union[ProblemInstance,
@@ -252,13 +258,25 @@ class BatchItemResult:
 
 @dataclass
 class BatchRunResult:
-    """All outcomes of one :func:`solve_many` call, in input order."""
+    """All outcomes of one :func:`solve_many` call, in input order.
+
+    Batches run with ``warm_start=True`` (or ``prior=``) additionally carry
+    ``warm_states`` — the per-instance captured DP state a follow-up
+    ``solve_many(..., prior=result)`` re-solve starts from after the shared
+    network drifts — plus the ``warm_reused`` / ``warm_resolved`` split of
+    how the batch was actually serviced (reused verbatim because nothing
+    relevant changed, vs re-solved warm or cold).
+    """
 
     solver: str
     objective: Objective
     items: List[BatchItemResult] = field(default_factory=list)
     wall_time_s: float = 0.0
     workers: int = 1
+    warm_states: Optional[List[Optional["WarmState"]]] = field(
+        default=None, repr=False, compare=False)
+    warm_reused: int = 0
+    warm_resolved: int = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -518,6 +536,73 @@ def _solve_tensor_groups(instances: List[ProblemInstance], objective: Objective,
     return items  # type: ignore[return-value]
 
 
+def _solve_warm(instances: List[ProblemInstance], objective: Objective,
+                solver_kwargs: dict, *,
+                prior: Optional[BatchRunResult]
+                ) -> Tuple[List[BatchItemResult],
+                           List[Optional["WarmState"]], int, int]:
+    """Solve a batch through the warm engine, reusing a prior run's DP state.
+
+    Instances are matched to ``prior`` positionally (the re-solve contract:
+    the same batch, drifted networks).  Per instance the warm engine decides
+    whether to reuse the prior item verbatim (its network is bit-unchanged),
+    patch only the dirty DP columns (scalar drift), or cold-solve (first run,
+    structural edit, journal gap) — all three produce results bit-identical
+    to a cold batch on the current networks.
+    """
+    from .warm import elpc_max_frame_rate_warm, elpc_min_delay_warm
+
+    solve = (elpc_min_delay_warm if objective is Objective.MIN_DELAY
+             else elpc_max_frame_rate_warm)
+    prior_states: Optional[List[Optional["WarmState"]]] = None
+    if prior is not None:
+        if prior.warm_states is None:
+            raise SpecificationError(
+                "prior= needs a BatchRunResult produced with warm_start=True "
+                "(it carries no captured warm states)")
+        if len(prior.items) != len(instances):
+            raise SpecificationError(
+                f"prior batch has {len(prior.items)} items but this batch "
+                f"has {len(instances)} — warm re-solves match positionally")
+        prior_states = prior.warm_states
+    items: List[BatchItemResult] = []
+    states: List[Optional["WarmState"]] = []
+    reused = resolved = 0
+    for index, instance in enumerate(instances):
+        state = prior_states[index] if prior_states is not None else None
+        start = time.perf_counter()
+        try:
+            mapping, new_state = solve(instance.pipeline, instance.network,
+                                       instance.request, prior=state,
+                                       **solver_kwargs)
+        except ReproError as exc:
+            items.append(BatchItemResult(
+                index=index, name=instance.name, mapping=None, error=str(exc),
+                runtime_s=time.perf_counter() - start))
+            states.append(None)
+            resolved += 1
+            continue
+        except Exception as exc:
+            error, tb = _describe_unexpected(exc)
+            items.append(BatchItemResult(
+                index=index, name=instance.name, mapping=None, error=error,
+                runtime_s=time.perf_counter() - start, traceback=tb))
+            states.append(None)
+            resolved += 1
+            continue
+        if state is not None and new_state is state and prior is not None:
+            # Bit-unchanged network: the prior item still answers exactly.
+            items.append(prior.items[index])
+            reused += 1
+        else:
+            items.append(BatchItemResult(
+                index=index, name=instance.name, mapping=mapping, error=None,
+                runtime_s=time.perf_counter() - start))
+            resolved += 1
+        states.append(new_state)
+    return items, states, reused, resolved
+
+
 def solve_many(instances: Iterable[InstanceLike], *,
                solver: Union[str, Callable[..., PipelineMapping], None] = None,
                objective: Optional[Objective] = None,
@@ -526,6 +611,8 @@ def solve_many(instances: Iterable[InstanceLike], *,
                chunk_size: Optional[int] = None,
                backend: "BackendLike" = None,
                options: Optional[SolveOptions] = None,
+               prior: Optional[BatchRunResult] = None,
+               warm_start: bool = False,
                **solver_kwargs) -> BatchRunResult:
     """Solve every instance of a batch with one solver.
 
@@ -578,6 +665,19 @@ def solve_many(instances: Iterable[InstanceLike], *,
         :class:`SpecificationError` (those solvers always compute in NumPy,
         so silently accepting e.g. ``backend="cupy"`` would misreport where
         the numbers came from).
+    prior:
+        A previous warm-started :class:`BatchRunResult` for the *same batch*
+        (matched positionally) whose networks have since drifted.  Instances
+        whose network is bit-unchanged reuse their prior item verbatim;
+        instances on scalar-drifted networks are warm re-solved from the
+        prior DP tables (only dirty columns recomputed); structural drift
+        falls back to a cold solve.  All outcomes are bit-identical to a
+        cold batch.  Implies ``warm_start=True``.
+    warm_start:
+        Capture per-instance warm state (:attr:`BatchRunResult.warm_states`)
+        so this result can serve as a later call's ``prior=``.  Warm batches
+        run in-process (``workers``/``runner`` are rejected) and need one of
+        the ELPC engines (:data:`WARM_SOLVERS`).
     solver_kwargs:
         Forwarded to every solve (e.g. ``include_link_delay=False``).
 
@@ -618,6 +718,32 @@ def solve_many(instances: Iterable[InstanceLike], *,
 
     backend_value = resolve_solver_backend(solver, objective, backend,
                                            workers=n_workers)
+
+    if warm_start or prior is not None:
+        if runner is not None or n_workers > 1:
+            raise SpecificationError(
+                "warm-started batches run in-process — captured DP state "
+                "cannot cross worker processes; drop workers=/runner=")
+        if not (isinstance(solver, str) and solver in WARM_SOLVERS):
+            raise SpecificationError(
+                f"warm_start/prior need an ELPC engine "
+                f"({', '.join(sorted(WARM_SOLVERS))}), got {solver_name!r}")
+        if backend_value is not None:
+            from .backend import get_backend
+
+            if get_backend(backend_value).name != "numpy":
+                raise SpecificationError(
+                    "warm-started batches compute in NumPy; drop backend= "
+                    "or pass backend=\"numpy\"")
+        start = time.perf_counter()
+        items, states, reused, resolved = _solve_warm(
+            normalized, objective, dict(solver_kwargs), prior=prior)
+        return BatchRunResult(solver=solver_name, objective=objective,
+                              items=items,
+                              wall_time_s=time.perf_counter() - start,
+                              workers=1, warm_states=states,
+                              warm_reused=reused, warm_resolved=resolved)
+
     if backend_value is not None:
         solver_kwargs["backend"] = backend_value
 
@@ -656,6 +782,7 @@ def place_many(requests: Iterable, *,
                node_capacity_factor: float = 1.0,
                link_capacity_factor: float = 1.0,
                options: Optional[SolveOptions] = None,
+               prior=None,
                **placer_kwargs):
     """Place a batch of pipelines *jointly* on one capacity-limited cluster.
 
@@ -701,6 +828,16 @@ def place_many(requests: Iterable, *,
         :func:`solve_many`.  ``workers`` / ``runner`` / ``chunk_size`` /
         ``backend`` are not applicable to placement and raise
         :class:`SpecificationError` when set.
+    prior:
+        A previous :class:`repro.placement.PlacementResult` for the *same
+        batch on the same cluster*, used to re-plan after the shared network
+        drifts.  When the network is bit-unchanged since the prior placement
+        the prior result is returned verbatim; otherwise the prior batch's
+        own commitments are released, the ledger is
+        :meth:`~repro.placement.ClusterState.rebase`-d onto the patched
+        capacities (other tenants' commitments survive the drift), and the
+        batch is re-placed on the rebased residual cluster.  Mutually
+        exclusive with ``cluster=``.
     placer_kwargs:
         Forwarded to the placer (e.g. ``order="input"`` for
         ``place-greedy``).
@@ -709,6 +846,8 @@ def place_many(requests: Iterable, *,
     -------
     repro.placement.PlacementResult
         Per-request outcomes in input order plus the final ledger.
+        ``extras["network_epoch"]`` records the view epoch the placement was
+        computed at (what a later ``prior=`` re-plan compares against).
     """
     from ..placement import ClusterState, PlacementRequest
     from ..placement.registry import get_placer
@@ -740,6 +879,27 @@ def place_many(requests: Iterable, *,
             raise SpecificationError(
                 "place_many requests must all share one TransportNetwork "
                 "object — joint placement is defined on a single cluster")
+    if prior is not None:
+        if cluster is not None:
+            raise SpecificationError(
+                "place_many got both prior= and cluster= — a re-plan always "
+                "continues on the prior result's own ledger")
+        if network is not None and prior.cluster.network is not network:
+            raise SpecificationError(
+                "prior= placement was computed on a different "
+                "TransportNetwork object than these requests name")
+        if network is not None and network.dense_view() is prior.cluster.view:
+            # Bit-unchanged cluster: the prior placement still answers.
+            return prior
+        cluster = prior.cluster
+        # The re-plan replaces the prior batch's placements: hand their
+        # draws back (other tenants' commitments stay), then rebase the
+        # budgets onto the drifted capacities before re-placing.
+        live = {id(d) for d in cluster.committed}
+        for item in prior.items:
+            if item.demand is not None and id(item.demand) in live:
+                cluster.release(item.demand)
+        cluster.rebase()
     if cluster is None:
         if network is None:
             raise SpecificationError(
@@ -752,5 +912,11 @@ def place_many(requests: Iterable, *,
         raise SpecificationError(
             "place_many requests name a different TransportNetwork object "
             "than the given cluster's")
-    return get_placer(placer)(coerced, cluster, objective=objective,
-                              engine=engine_name, **kwargs)
+    result = get_placer(placer)(coerced, cluster, objective=objective,
+                                engine=engine_name, **kwargs)
+    if network is not None:
+        result.extras["network_epoch"] = network.view_epoch
+        if prior is not None:
+            result.extras["replanned_from_epoch"] = \
+                prior.extras.get("network_epoch")
+    return result

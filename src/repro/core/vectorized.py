@@ -46,6 +46,108 @@ from .mapping import Objective, PipelineMapping, mapping_from_assignment
 __all__ = ["elpc_min_delay_vec", "elpc_max_frame_rate_vec"]
 
 
+def _min_delay_tables(pipeline: Pipeline, view: DenseNetworkView, src: int, *,
+                      include_link_delay: bool
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill the min-delay DP tables ``(values, pred, same)`` over ``view``.
+
+    Shared by the cold vectorized solver below and the warm-start engine
+    (:mod:`repro.core.warm`), which re-uses these tables as its cold baseline
+    and recomputes only dirty columns on patched views — bit-identity between
+    the two paths rests on both calling this exact routine.
+    """
+    k = view.n_nodes
+    n = pipeline.n_modules
+    rows = np.arange(k)
+    power_ms = view.power * 1e3
+
+    values = np.full((n, k), np.inf)
+    pred = np.full((n, k), -1, dtype=np.int64)
+    same = np.zeros((n, k), dtype=bool)
+    values[0, src] = 0.0
+
+    for j in range(1, n):
+        module = pipeline.modules[j]
+        prev = values[j - 1]
+        if not np.isfinite(prev).any():
+            break  # nothing reachable, the caller's feasibility check fires
+        compute = (module.complexity * module.input_bytes) / power_ms  # (k,)
+        trans = view.transport_matrix_ms(module.input_bytes,
+                                         include_link_delay=include_link_delay)
+        # Sub-case (ii): cross[u, v] = T^{j-1}(u) + compute(v) + trans(u, v),
+        # summed in the scalar solver's order so values match bit for bit.
+        cross = (prev[:, None] + compute[None, :]) + trans
+        best_u = np.argmin(cross, axis=0)  # first minimum = lowest node id
+        cross_best = cross[best_u, rows]
+        # Sub-case (i): stay on the node running module j-1.  Strict "<"
+        # mirrors DPTable.relax, so ties keep the same-node transition.
+        same_cand = prev + compute
+        take_cross = cross_best < same_cand
+        values[j] = np.where(take_cross, cross_best, same_cand)
+        pred[j] = np.where(take_cross, best_u, rows)
+        same[j] = ~take_cross
+        unreachable = ~np.isfinite(values[j])
+        pred[j][unreachable] = -1
+        same[j][unreachable] = False
+
+    return values, pred, same
+
+
+def _framerate_tables(pipeline: Pipeline, view: DenseNetworkView,
+                      src: int, dst: int, *, include_link_delay: bool
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fill the frame-rate DP tables ``(values, pred)`` over ``view``.
+
+    The ``visited`` path guard is internal state that permutes globally with
+    every column (`visited = visited[best_u]`), which is why the warm-start
+    engine cannot recompute frame-rate columns selectively and instead
+    re-runs this routine on the patched view (see :mod:`repro.core.warm`).
+    """
+    k = view.n_nodes
+    n = pipeline.n_modules
+    rows = np.arange(k)
+    power_ms = view.power * 1e3
+
+    values = np.full((n, k), np.inf)
+    pred = np.full((n, k), -1, dtype=np.int64)
+    values[0, src] = 0.0
+    # visited[u, w]: node w lies on the partial path realising T^{j-1}(u).
+    visited = np.zeros((k, k), dtype=bool)
+    visited[src, src] = True
+
+    for j in range(1, n):
+        module = pipeline.modules[j]
+        prev = values[j - 1]
+        if not np.isfinite(prev).any():
+            break
+        compute = (module.complexity * module.input_bytes) / power_ms
+        trans = view.transport_matrix_ms(module.input_bytes,
+                                         include_link_delay=include_link_delay)
+        # Min-max column update: cand[u, v] = max(T^{j-1}(u), compute(v), trans(u, v)).
+        cand = np.maximum(np.maximum(prev[:, None], compute[None, :]), trans)
+        # Visited-path guard: u -> v is forbidden when v already lies on u's
+        # partial path (node reuse is not allowed in this problem variant).
+        cand[visited] = np.inf
+        if j < n - 1:
+            # Intermediate modules never sit on the destination (same
+            # strengthening as the scalar solver).
+            cand[:, dst] = np.inf
+        best_u = np.argmin(cand, axis=0)  # first minimum = lowest node id
+        col = cand[best_u, rows]
+        if j == n - 1:
+            # Only the destination cell of the last column is meaningful.
+            keep = np.full(k, np.inf)
+            keep[dst] = col[dst]
+            col = keep
+        values[j] = col
+        reachable = np.isfinite(col)
+        pred[j][reachable] = best_u[reachable]
+        visited = visited[best_u]
+        visited[rows, rows] = True
+
+    return values, pred
+
+
 def _backtrack(view: DenseNetworkView, pred: np.ndarray,
                last_index: int) -> List[NodeId]:
     """Follow the per-column predecessor-index arrays back to the base column."""
@@ -105,41 +207,12 @@ def elpc_min_delay_vec(pipeline: Pipeline, network: TransportNetwork,
     report.raise_if_infeasible(source=request.source, destination=request.destination)
 
     view = network.dense_view()
-    k = view.n_nodes
     n = pipeline.n_modules
     src = view.index_of[request.source]
     dst = view.index_of[request.destination]
-    rows = np.arange(k)
-    power_ms = view.power * 1e3
 
-    values = np.full((n, k), np.inf)
-    pred = np.full((n, k), -1, dtype=np.int64)
-    same = np.zeros((n, k), dtype=bool)
-    values[0, src] = 0.0
-
-    for j in range(1, n):
-        module = pipeline.modules[j]
-        prev = values[j - 1]
-        if not np.isfinite(prev).any():
-            break  # nothing reachable, final feasibility check will fire
-        compute = (module.complexity * module.input_bytes) / power_ms  # (k,)
-        trans = view.transport_matrix_ms(module.input_bytes,
-                                         include_link_delay=include_link_delay)
-        # Sub-case (ii): cross[u, v] = T^{j-1}(u) + compute(v) + trans(u, v),
-        # summed in the scalar solver's order so values match bit for bit.
-        cross = (prev[:, None] + compute[None, :]) + trans
-        best_u = np.argmin(cross, axis=0)  # first minimum = lowest node id
-        cross_best = cross[best_u, rows]
-        # Sub-case (i): stay on the node running module j-1.  Strict "<"
-        # mirrors DPTable.relax, so ties keep the same-node transition.
-        same_cand = prev + compute
-        take_cross = cross_best < same_cand
-        values[j] = np.where(take_cross, cross_best, same_cand)
-        pred[j] = np.where(take_cross, best_u, rows)
-        same[j] = ~take_cross
-        unreachable = ~np.isfinite(values[j])
-        pred[j][unreachable] = -1
-        same[j][unreachable] = False
+    values, pred, same = _min_delay_tables(
+        pipeline, view, src, include_link_delay=include_link_delay)
 
     best = float(values[n - 1, dst])
     if not math.isfinite(best):
@@ -203,45 +276,9 @@ def elpc_max_frame_rate_vec(pipeline: Pipeline, network: TransportNetwork,
     n = pipeline.n_modules
     src = view.index_of[request.source]
     dst = view.index_of[request.destination]
-    rows = np.arange(k)
-    power_ms = view.power * 1e3
 
-    values = np.full((n, k), np.inf)
-    pred = np.full((n, k), -1, dtype=np.int64)
-    values[0, src] = 0.0
-    # visited[u, w]: node w lies on the partial path realising T^{j-1}(u).
-    visited = np.zeros((k, k), dtype=bool)
-    visited[src, src] = True
-
-    for j in range(1, n):
-        module = pipeline.modules[j]
-        prev = values[j - 1]
-        if not np.isfinite(prev).any():
-            break
-        compute = (module.complexity * module.input_bytes) / power_ms
-        trans = view.transport_matrix_ms(module.input_bytes,
-                                         include_link_delay=include_link_delay)
-        # Min-max column update: cand[u, v] = max(T^{j-1}(u), compute(v), trans(u, v)).
-        cand = np.maximum(np.maximum(prev[:, None], compute[None, :]), trans)
-        # Visited-path guard: u -> v is forbidden when v already lies on u's
-        # partial path (node reuse is not allowed in this problem variant).
-        cand[visited] = np.inf
-        if j < n - 1:
-            # Intermediate modules never sit on the destination (same
-            # strengthening as the scalar solver).
-            cand[:, dst] = np.inf
-        best_u = np.argmin(cand, axis=0)  # first minimum = lowest node id
-        col = cand[best_u, rows]
-        if j == n - 1:
-            # Only the destination cell of the last column is meaningful.
-            keep = np.full(k, np.inf)
-            keep[dst] = col[dst]
-            col = keep
-        values[j] = col
-        reachable = np.isfinite(col)
-        pred[j][reachable] = best_u[reachable]
-        visited = visited[best_u]
-        visited[rows, rows] = True
+    values, pred = _framerate_tables(
+        pipeline, view, src, dst, include_link_delay=include_link_delay)
 
     best = float(values[n - 1, dst])
     if not math.isfinite(best):

@@ -1,0 +1,386 @@
+"""Warm-started ELPC re-solves over incrementally patched dense views.
+
+When a :class:`~repro.model.network.TransportNetwork` drifts through *scalar*
+edits (``set_processing_power`` / ``set_bandwidth`` / ``set_link_delay``), its
+dense view is patched copy-on-write and the edits are journaled as
+:class:`~repro.model.network.ViewDelta` entries (see ``model/network.py``).
+This module exploits that journal: a solve captures its filled DP tables into
+a :class:`WarmState`, and a later re-solve on the drifted network asks
+:meth:`TransportNetwork.delta_since` which rows actually moved and recomputes
+**only the DP columns the edits can reach** instead of the full
+:math:`O(n k^2)` sweep.
+
+The dirty-column argument for the min-delay DP: column ``v`` of stage ``j``
+depends only on ``compute[v]`` (so a power edit at ``v`` dirties it), on
+``trans[:, v]`` (so a bandwidth/delay edit on a link incident to ``v``
+dirties it), and on the stage ``j-1`` values of ``v`` and of ``v``'s
+*neighbours* — non-adjacent predecessors contribute ``+inf`` transport and
+can never win the argmin, whatever their value.  So per stage the candidate
+set is ``static ∪ dirty ∪ neighbours(dirty)`` where ``static`` is the edited
+rows and ``dirty`` is the set of columns whose *value* changed at the
+previous stage; every column outside it is provably bit-identical to a cold
+solve, and the recomputed columns run the exact element-wise operations of
+:func:`repro.core.vectorized._min_delay_tables` on column slices — so the
+warm tables equal the cold tables bit for bit (pinned by
+``tests/test_warm_equivalence.py``).
+
+The frame-rate heuristic does not admit selective recomputation: its
+``visited`` path guard is a ``(k, k)`` matrix that permutes *globally* with
+every stage (``visited = visited[best_u]``), so any value change anywhere can
+reshuffle every later column.  The warm entry point therefore reuses the
+cached mapping verbatim when the view is unchanged and otherwise re-runs the
+full (still vectorized) table fill on the patched view — correct, just not
+sub-linear.
+
+Warm solves are tagged ``algorithm="elpc-warm"``; their mapped assignments,
+objective values and DP tables are bit-identical to ``elpc`` / ``elpc-vec`` /
+``elpc-tensor`` cold solves of the drifted network, which is what lets
+:func:`repro.core.batch.solve_many` substitute them freely on its
+``prior=``-driven re-solve path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InfeasibleMappingError, SpecificationError
+from ..model.link import BITS_PER_BYTE
+from ..model.network import (DenseNetworkView, EndToEndRequest,
+                             TransportNetwork, ViewDelta)
+from ..model.pipeline import Pipeline
+from ..model.validation import check_delay_instance, check_framerate_instance
+from .mapping import Objective, PipelineMapping, mapping_from_assignment
+from .vectorized import (_as_dp_table, _backtrack, _framerate_tables,
+                         _min_delay_tables)
+
+__all__ = ["WarmState", "elpc_min_delay_warm", "elpc_max_frame_rate_warm"]
+
+
+@dataclass
+class WarmState:
+    """Captured solve state a later warm re-solve can start from.
+
+    Holds the dense view the DP tables were filled against (its ``epoch``
+    anchors :meth:`TransportNetwork.delta_since`), the filled tables, and the
+    finished mapping so an *unchanged* network costs nothing at all.  The
+    arrays are the solver's own working copies — treat them as frozen.
+    """
+
+    objective: Objective
+    include_link_delay: bool
+    view: DenseNetworkView
+    src: int
+    dst: int
+    values: np.ndarray
+    pred: np.ndarray
+    same: Optional[np.ndarray]
+    mapping: PipelineMapping = field(repr=False)
+
+    @property
+    def epoch(self) -> int:
+        """The view epoch the tables are valid for."""
+        return self.view.epoch
+
+
+def _check_prior(prior: WarmState, objective: Objective,
+                 include_link_delay: bool) -> None:
+    if prior.objective is not objective:
+        raise SpecificationError(
+            f"warm state was captured for objective {prior.objective!r}, "
+            f"cannot warm-start a {objective!r} solve from it")
+    if prior.include_link_delay != include_link_delay:
+        raise SpecificationError(
+            "warm state was captured with include_link_delay="
+            f"{prior.include_link_delay}, cannot warm-start a solve with "
+            f"include_link_delay={include_link_delay}")
+
+
+def _usable_delta(prior: Optional[WarmState], network: TransportNetwork,
+                  objective: Objective, include_link_delay: bool
+                  ) -> Optional[ViewDelta]:
+    """The scalar-edit delta bridging ``prior`` to ``network``, else ``None``.
+
+    ``None`` means the warm path cannot run (no prior, a structural edit
+    intervened, or the journal was trimmed) and the caller must cold-solve.
+    """
+    if prior is None:
+        return None
+    _check_prior(prior, objective, include_link_delay)
+    return network.delta_since(prior.view.epoch)
+
+
+def _static_rows(delta: ViewDelta, k: int) -> np.ndarray:
+    """Boolean mask of rows whose compute or incident transport edge moved."""
+    static = np.zeros(k, dtype=bool)
+    for row in delta.node_rows:
+        static[row] = True
+    for i, j in delta.link_cells:
+        static[i] = True
+        static[j] = True
+    return static
+
+
+def _warm_min_delay_tables(pipeline: Pipeline, view: DenseNetworkView,
+                           prior: WarmState, delta: ViewDelta, *,
+                           include_link_delay: bool
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      int, int]:
+    """Selectively recompute dirty columns of the min-delay DP tables.
+
+    Returns ``(values, pred, same, stages_touched, columns_recomputed)``;
+    the tables are fresh arrays, bit-identical to a cold
+    :func:`_min_delay_tables` run over the patched ``view``.
+    """
+    k = view.n_nodes
+    n = pipeline.n_modules
+    rows = np.arange(k)
+    power_ms = view.power * 1e3
+    static = _static_rows(delta, k)
+    static_idx = np.flatnonzero(static)
+
+    values = prior.values.copy()
+    pred = prior.pred.copy()
+    same = prior.same.copy()
+
+    # Stage-0 values (0 at src, inf elsewhere) depend on no edited quantity.
+    dirty_idx = np.empty(0, dtype=np.int64)
+    stages_touched = 0
+    columns_recomputed = 0
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for j in range(1, n):
+            prev = values[j - 1]
+            if not np.isfinite(prev).any():
+                # Reachability is adjacency-only, so the cold solve's early
+                # break fires at exactly this stage too; later stages stay at
+                # their (identical) initial fill.
+                break
+            if dirty_idx.size == 0:
+                cand = static_idx
+            else:
+                reach = view.adjacency[dirty_idx].any(axis=0)
+                reach[static_idx] = True
+                reach[dirty_idx] = True
+                cand = np.flatnonzero(reach)
+            if cand.size == 0:
+                continue
+            module = pipeline.modules[j]
+            compute = (module.complexity * module.input_bytes) / power_ms
+            stages_touched += 1
+
+            if 2 * cand.size > k:
+                # Dirtiness has cascaded past the point where candidate
+                # slicing wins — run this stage exactly like the cold solver
+                # (full-width, fully contiguous), then seed the next stage's
+                # dirty set from the observed value changes.
+                trans = view.transport_matrix_ms(
+                    module.input_bytes,
+                    include_link_delay=include_link_delay)
+                cross = (prev[:, None] + compute[None, :]) + trans
+                best_u = np.argmin(cross, axis=0)
+                cross_best = cross[best_u, rows]
+                same_cand = prev + compute
+                take_cross = cross_best < same_cand
+                new_vals = np.where(take_cross, cross_best, same_cand)
+                new_pred = np.where(take_cross, best_u, rows)
+                new_same = ~take_cross
+                unreachable = ~np.isfinite(new_vals)
+                new_pred[unreachable] = -1
+                new_same[unreachable] = False
+                # Value changes (inf -> inf compares equal) are what
+                # propagates: a downstream column reads only the previous
+                # stage's *values*.
+                dirty_idx = np.flatnonzero(new_vals != values[j])
+                values[j] = new_vals
+                pred[j] = new_pred
+                same[j] = new_same
+                columns_recomputed += k
+                continue
+
+            # Candidate-column slice of transport_matrix_ms, gathered by row:
+            # links are undirected, so adjacency / bandwidth / link_delay are
+            # symmetric and a (contiguous) row gather carries exactly the
+            # column values.  Each entry is then the same element-wise ops on
+            # the same operands the cold solver uses — bit-identical.
+            seconds = ((module.input_bytes * BITS_PER_BYTE)
+                       / view.bandwidth_bits_per_s[cand])
+            times = seconds * 1e3
+            if include_link_delay:
+                times += view.link_delay[cand]
+            trans_c = np.where(view.adjacency[cand], times, np.inf)  # (c, k)
+            cross = (prev[None, :] + compute[cand, None]) + trans_c
+            best_u = np.argmin(cross, axis=1)  # first minimum = lowest id
+            cross_best = cross[np.arange(cand.size), best_u]
+            same_cand = prev[cand] + compute[cand]
+            take_cross = cross_best < same_cand
+            new_vals = np.where(take_cross, cross_best, same_cand)
+            new_pred = np.where(take_cross, best_u, cand)
+            new_same = ~take_cross
+            unreachable = ~np.isfinite(new_vals)
+            new_pred[unreachable] = -1
+            new_same[unreachable] = False
+            changed = new_vals != values[j, cand]
+            values[j, cand] = new_vals
+            pred[j, cand] = new_pred
+            same[j, cand] = new_same
+            dirty_idx = cand[changed]
+            columns_recomputed += int(cand.size)
+
+    return values, pred, same, stages_touched, columns_recomputed
+
+
+def elpc_min_delay_warm(pipeline: Pipeline, network: TransportNetwork,
+                        request: EndToEndRequest, *,
+                        prior: Optional[WarmState] = None,
+                        include_link_delay: bool = True,
+                        keep_table: bool = False
+                        ) -> Tuple[PipelineMapping, WarmState]:
+    """Min-delay solve that starts from (and refreshes) a :class:`WarmState`.
+
+    With no usable ``prior`` (first solve, structural edit, journal trimmed)
+    this is a cold :func:`~repro.core.vectorized.elpc_min_delay_vec`-identical
+    solve that additionally captures its tables.  With a usable prior it
+    recomputes only the columns the journaled scalar edits can affect — the
+    returned mapping and tables are bit-identical to the cold path either
+    way.  Returns ``(mapping, state)``; pass ``state`` back as ``prior=`` on
+    the next drift.
+    """
+    start = time.perf_counter()
+    delta = _usable_delta(prior, network, Objective.MIN_DELAY,
+                          include_link_delay)
+    view = network.dense_view()
+    n = pipeline.n_modules
+    src = view.index_of[request.source]
+    dst = view.index_of[request.destination]
+
+    # The captured tables only transfer to the same problem: a usable delta
+    # certifies the *view* lineage, the rest is checked explicitly.  An empty
+    # delta additionally requires the identical view object — a foreign prior
+    # at a coincidentally equal epoch must cold-solve.
+    warm = (delta is not None and prior is not None
+            and src == prior.src and dst == prior.dst
+            and prior.values.shape == (n, view.n_nodes)
+            and prior.mapping.pipeline == pipeline
+            and (not delta.is_empty or view is prior.view))
+    if warm and delta.is_empty:
+        # Nothing moved: the cached solve is still exact.
+        return prior.mapping, prior
+    if warm:
+        values, pred, same, stages, columns = _warm_min_delay_tables(
+            pipeline, view, prior, delta, include_link_delay=include_link_delay)
+    else:
+        # Cold fill (validation included — the warm path skips it because
+        # scalar edits cannot change the adjacency-only feasibility report).
+        report = check_delay_instance(pipeline, network, request)
+        report.raise_if_infeasible(source=request.source,
+                                   destination=request.destination)
+        values, pred, same = _min_delay_tables(
+            pipeline, view, src, include_link_delay=include_link_delay)
+        stages, columns = n - 1, (n - 1) * view.n_nodes
+
+    best = float(values[n - 1, dst])
+    if not math.isfinite(best):
+        raise InfeasibleMappingError(
+            "ELPC-warm (min delay) found no feasible mapping reaching the "
+            "destination", source=request.source,
+            destination=request.destination, n_modules=n)
+
+    assignment = _backtrack(view, pred, dst)
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MIN_DELAY, algorithm="elpc-warm",
+        runtime_s=runtime, allow_reuse=True)
+    mapping.extras.update({
+        "dp_value_ms": best,
+        "dp_finite_cells": int(np.isfinite(values).sum()),
+        "include_link_delay": include_link_delay,
+        "vectorized": True,
+        "warm": warm,
+        "warm_stages_recomputed": stages,
+        "warm_columns_recomputed": columns,
+        "view_epoch": view.epoch,
+    })
+    if keep_table:
+        mapping.extras["dp_table"] = _as_dp_table(view, values, pred, same)
+    state = WarmState(objective=Objective.MIN_DELAY,
+                      include_link_delay=include_link_delay, view=view,
+                      src=src, dst=dst, values=values, pred=pred, same=same,
+                      mapping=mapping)
+    return mapping, state
+
+
+def elpc_max_frame_rate_warm(pipeline: Pipeline, network: TransportNetwork,
+                             request: EndToEndRequest, *,
+                             prior: Optional[WarmState] = None,
+                             include_link_delay: bool = True,
+                             keep_table: bool = False
+                             ) -> Tuple[PipelineMapping, WarmState]:
+    """Frame-rate solve with warm-state capture and unchanged-view reuse.
+
+    The visited-path guard makes selective column recomputation unsound (see
+    the module docstring), so "warm" here means: reuse the cached mapping
+    when the delta is empty, otherwise refill the tables on the patched view
+    without re-running the adjacency-only feasibility validation.  Output is
+    bit-identical to a cold ``elpc-vec`` solve in all cases.
+    """
+    start = time.perf_counter()
+    delta = _usable_delta(prior, network, Objective.MAX_FRAME_RATE,
+                          include_link_delay)
+    view = network.dense_view()
+    n = pipeline.n_modules
+    k = view.n_nodes
+    src = view.index_of[request.source]
+    dst = view.index_of[request.destination]
+
+    warm = (delta is not None and prior is not None
+            and src == prior.src and dst == prior.dst
+            and prior.values.shape == (n, k)
+            and prior.mapping.pipeline == pipeline
+            and (not delta.is_empty or view is prior.view))
+    if warm and delta.is_empty:
+        return prior.mapping, prior
+    if not warm:
+        report = check_framerate_instance(pipeline, network, request)
+        report.raise_if_infeasible(source=request.source,
+                                   destination=request.destination)
+    values, pred = _framerate_tables(
+        pipeline, view, src, dst, include_link_delay=include_link_delay)
+
+    best = float(values[n - 1, dst])
+    if not math.isfinite(best):
+        raise InfeasibleMappingError(
+            "ELPC-warm (max frame rate) found no simple path with exactly "
+            f"{n} nodes from {request.source} to {request.destination}",
+            source=request.source, destination=request.destination,
+            n_modules=n)
+
+    assignment = _backtrack(view, pred, dst)
+    runtime = time.perf_counter() - start
+    mapping = mapping_from_assignment(
+        pipeline, network, assignment,
+        objective=Objective.MAX_FRAME_RATE, algorithm="elpc-warm",
+        runtime_s=runtime, allow_reuse=False)
+    mapping.extras.update({
+        "dp_bottleneck_ms": best,
+        "dp_finite_cells": int(np.isfinite(values).sum()),
+        "include_link_delay": include_link_delay,
+        "vectorized": True,
+        "warm": warm,
+        "warm_stages_recomputed": n - 1,
+        "warm_columns_recomputed": (n - 1) * k,
+        "view_epoch": view.epoch,
+    })
+    if keep_table:
+        mapping.extras["dp_table"] = _as_dp_table(
+            view, values, pred, np.zeros((n, k), dtype=bool))
+    state = WarmState(objective=Objective.MAX_FRAME_RATE,
+                      include_link_delay=include_link_delay, view=view,
+                      src=src, dst=dst, values=values, pred=pred, same=None,
+                      mapping=mapping)
+    return mapping, state

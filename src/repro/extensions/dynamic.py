@@ -75,9 +75,10 @@ class ResourceProfile:
     _link_events: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = field(
         default_factory=dict)
     # Scaled dense views keyed by (id(base_view), time); the base view object
-    # is kept alive inside each entry so its id cannot be recycled.  Cleared
-    # whenever the profile mutates; a base-network mutation produces a new
-    # base view (and so a new key) via TransportNetwork's own invalidation.
+    # is kept alive inside each entry so its id cannot be recycled.  A profile
+    # mutation drops only the entries inside the affected time window; a
+    # base-network mutation produces a new base view (and so a new key) via
+    # TransportNetwork's own invalidation.
     _scaled_views: Dict[Tuple[int, float], Tuple[DenseNetworkView, DenseNetworkView]] = field(
         default_factory=dict, repr=False, compare=False)
 
@@ -85,9 +86,24 @@ class ResourceProfile:
     def _key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
         return (u, v) if u <= v else (v, u)
 
-    def _invalidate(self) -> None:
-        """Drop cached scaled views after a profile mutation."""
-        self._scaled_views.clear()
+    def _invalidate(self, start: float, end: float) -> None:
+        """Drop cached scaled views whose timestamp falls in ``[start, end)``.
+
+        A factor change registered at ``start`` only alters the piecewise-
+        constant profile up to the next event for the *same* resource; views
+        cached for instants outside that window still evaluate to exactly the
+        same factors, so they are kept.
+        """
+        stale = [key for key in self._scaled_views if start <= key[1] < end]
+        for key in stale:
+            del self._scaled_views[key]
+
+    @staticmethod
+    def _next_change(events: List[Tuple[float, float]], time_s: float) -> float:
+        """First event time strictly after ``time_s`` (``inf`` if none)."""
+        times = [t for t, _f in events]
+        idx = bisect.bisect_right(times, time_s)
+        return times[idx] if idx < len(times) else float("inf")
 
     def set_node_factor(self, node_id: NodeId, time_s: float, factor: float) -> None:
         """From ``time_s`` on, node ``node_id`` runs at ``factor`` × nominal power."""
@@ -96,7 +112,7 @@ class ResourceProfile:
         events = self._node_events.setdefault(node_id, [])
         events.append((float(time_s), float(factor)))
         events.sort()
-        self._invalidate()
+        self._invalidate(float(time_s), self._next_change(events, float(time_s)))
 
     def set_link_factor(self, u: NodeId, v: NodeId, time_s: float, factor: float) -> None:
         """From ``time_s`` on, link ``u``–``v`` delivers ``factor`` × nominal bandwidth."""
@@ -105,7 +121,7 @@ class ResourceProfile:
         events = self._link_events.setdefault(self._key(u, v), [])
         events.append((float(time_s), float(factor)))
         events.sort()
-        self._invalidate()
+        self._invalidate(float(time_s), self._next_change(events, float(time_s)))
 
     @staticmethod
     def _factor_at(events: List[Tuple[float, float]], time_s: float) -> float:

@@ -29,6 +29,7 @@ from .network import (
     EndToEndRequest,
     SharedViewSpec,
     TransportNetwork,
+    ViewDelta,
     attach_shared_view,
     export_shared_view,
 )
@@ -57,7 +58,8 @@ __all__ = [
     "ComputingModule", "Pipeline", "source_module", "sink_module",
     # network
     "ComputingNode", "CommunicationLink", "TransportNetwork", "EndToEndRequest",
-    "DenseNetworkView", "synthetic_ip", "transfer_time_ms", "BITS_PER_BYTE",
+    "DenseNetworkView", "ViewDelta", "synthetic_ip", "transfer_time_ms",
+    "BITS_PER_BYTE",
     "SharedViewSpec", "export_shared_view", "attach_shared_view",
     # cost model
     "computing_time_ms", "transport_time_ms", "group_computing_time_ms",

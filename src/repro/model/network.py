@@ -17,8 +17,9 @@ and adjacency-matrix import/export.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace as _dc_replace
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import networkx as nx
 import numpy as np
@@ -36,6 +37,48 @@ _SHARED_VIEW_FIELDS: Tuple[str, ...] = (
     "edge_u", "edge_v", "edge_indptr", "edge_bandwidth_bits_per_s",
     "edge_link_delay",
 )
+
+#: Scalar-edit journal entries retained per network.  Consumers further than
+#: this many epochs behind get ``delta_since() -> None`` (cold rebuild), the
+#: same behaviour as a structural edit.
+_VIEW_JOURNAL_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """One (or a merged run of) scalar edit(s) between two dense-view epochs.
+
+    ``node_rows`` are the dense-view row indices whose processing power
+    changed; ``link_cells`` are canonical ``(i, j)`` (``i < j``) row-index
+    pairs whose bandwidth and/or link delay changed.  Scalar edits never
+    change the adjacency structure — positive-value validation on the setters
+    guarantees it — so a delta is exactly "these matrix entries moved, the
+    topology did not".  Structural edits (node/link add/remove) clear the
+    journal instead of appending: :meth:`TransportNetwork.delta_since` then
+    returns ``None`` and consumers must fall back to a cold rebuild.
+    """
+
+    base_epoch: int
+    epoch: int
+    node_rows: Tuple[int, ...] = ()
+    link_cells: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when nothing changed between the two epochs."""
+        return not self.node_rows and not self.link_cells
+
+    def merged_with(self, other: "ViewDelta") -> "ViewDelta":
+        """This delta followed by ``other`` (epoch ranges must chain)."""
+        if other.base_epoch != self.epoch:
+            raise SpecificationError(
+                f"cannot merge ViewDelta ending at epoch {self.epoch} with "
+                f"one starting at {other.base_epoch}")
+        return ViewDelta(
+            base_epoch=self.base_epoch, epoch=other.epoch,
+            node_rows=tuple(sorted(set(self.node_rows) | set(other.node_rows))),
+            link_cells=tuple(sorted(set(self.link_cells)
+                                    | set(other.link_cells))))
 
 
 @dataclass(frozen=True)
@@ -178,6 +221,12 @@ class DenseNetworkView:
     neighbor_lists:
         Per-row tuples of neighbour *node ids*, ascending — the dense
         equivalent of :meth:`TransportNetwork.neighbors`.
+    epoch:
+        The owning network's view epoch at the time this view was built or
+        patched.  Consumers that cache per-view derived state compare it (or
+        the view's object identity — every patch produces a *new* view
+        object) to detect staleness; see
+        :meth:`TransportNetwork.delta_since`.
     """
 
     node_ids: Tuple[NodeId, ...]
@@ -193,11 +242,12 @@ class DenseNetworkView:
     edge_bandwidth_bits_per_s: np.ndarray
     edge_link_delay: np.ndarray
     neighbor_lists: Tuple[Tuple[NodeId, ...], ...]
+    epoch: int = 0
 
     @classmethod
     def build(cls, node_ids: Sequence[NodeId], power: np.ndarray,
               adjacency: np.ndarray, bandwidth: np.ndarray,
-              link_delay: np.ndarray) -> "DenseNetworkView":
+              link_delay: np.ndarray, *, epoch: int = 0) -> "DenseNetworkView":
         """Assemble a view (derived arrays included) from its base matrices.
 
         Shared by :meth:`TransportNetwork.dense_view` and by
@@ -234,7 +284,70 @@ class DenseNetworkView:
                    link_delay=link_delay, bandwidth_bits_per_s=bits_per_s,
                    edge_u=edge_u, edge_v=edge_v, edge_indptr=edge_indptr,
                    edge_bandwidth_bits_per_s=edge_bits,
-                   edge_link_delay=edge_delay, neighbor_lists=neighbor_lists)
+                   edge_link_delay=edge_delay, neighbor_lists=neighbor_lists,
+                   epoch=epoch)
+
+    def patched(self, *, epoch: int,
+                node_powers: Optional[Mapping[int, float]] = None,
+                link_values: Optional[Mapping[Tuple[int, int],
+                                              Tuple[float, float]]] = None
+                ) -> "DenseNetworkView":
+        """A copy-on-write scalar patch of this view at a new ``epoch``.
+
+        ``node_powers`` maps row indices to new processing powers;
+        ``link_values`` maps ``(i, j)`` row-index pairs of *existing* links to
+        their new ``(bandwidth_mbps, min_delay_ms)``.  The returned view is a
+        **new object** that shares every unchanged array with this one and
+        carries fresh frozen copies only of the arrays a patch touches — so
+        every consumer cache keyed by view identity (the staged-backend
+        cache, the shared-memory export table, the scaled-view cache)
+        correctly misses, while the untouched topology arrays stay zero-copy.
+
+        Patched entries apply the exact element-wise operations
+        :meth:`build` applies (``bandwidth * MEGABIT`` for the bits/s arrays,
+        direct writes for delays and powers), so a patched view is
+        bit-identical to a from-scratch rebuild of the edited network — the
+        property the differential suite pins.
+        """
+        changes: Dict[str, np.ndarray] = {}
+        if node_powers:
+            power = self.power.copy()
+            for row, value in node_powers.items():
+                power[row] = float(value)
+            changes["power"] = power
+        if link_values:
+            bandwidth = self.bandwidth.copy()
+            link_delay = self.link_delay.copy()
+            bits_per_s = self.bandwidth_bits_per_s.copy()
+            edge_bits = self.edge_bandwidth_bits_per_s.copy()
+            edge_delay = self.edge_link_delay.copy()
+            for (i, j), (bw, delay) in link_values.items():
+                if not self.adjacency[i, j]:
+                    raise SpecificationError(
+                        f"patched() got cell ({i}, {j}) but no link exists "
+                        "there — structural edits need a rebuild")
+                bw = float(bw)
+                delay = float(delay)
+                bits = bw * MEGABIT
+                bandwidth[i, j] = bandwidth[j, i] = bw
+                link_delay[i, j] = link_delay[j, i] = delay
+                bits_per_s[i, j] = bits_per_s[j, i] = bits
+                # The two directed CSR slots: edge (u -> v) lives in the
+                # incoming segment of v, with u ascending inside it.
+                for u, v in ((i, j), (j, i)):
+                    lo = int(self.edge_indptr[v])
+                    hi = int(self.edge_indptr[v + 1])
+                    pos = lo + int(np.searchsorted(self.edge_u[lo:hi], u))
+                    edge_bits[pos] = bits
+                    edge_delay[pos] = delay
+            changes["bandwidth"] = bandwidth
+            changes["link_delay"] = link_delay
+            changes["bandwidth_bits_per_s"] = bits_per_s
+            changes["edge_bandwidth_bits_per_s"] = edge_bits
+            changes["edge_link_delay"] = edge_delay
+        for arr in changes.values():
+            arr.setflags(write=False)
+        return _dc_replace(self, epoch=epoch, **changes)
 
     @property
     def n_nodes(self) -> int:
@@ -323,8 +436,21 @@ class TransportNetwork:
     delay, matching the paper's model in which :math:`L_{i,j}` is a property
     of the node pair.
 
-    Instances are mutable only through :meth:`add_node` / :meth:`add_link`;
-    mapping algorithms treat the network as read-only.
+    Mutation comes in two flavours with different dense-view costs:
+
+    * **Structural** edits — :meth:`add_node` / :meth:`add_link` /
+      :meth:`remove_node` / :meth:`remove_link` — change the topology, drop
+      the cached dense view and clear the scalar-edit journal; the next
+      :meth:`dense_view` call pays a full O(k²) rebuild.
+    * **Scalar** edits — :meth:`set_processing_power` / :meth:`set_bandwidth`
+      / :meth:`set_link_delay` — keep the topology fixed and *patch* the
+      cached view copy-on-write instead (bit-identical to a rebuild), append
+      a :class:`ViewDelta` to the journal and bump :attr:`view_epoch`, so
+      delta-aware consumers (warm-started solvers, ledgers, the service
+      interner) can re-derive only what actually changed via
+      :meth:`delta_since`.
+
+    Mapping algorithms treat the network as read-only either way.
     """
 
     def __init__(self, nodes: Iterable[ComputingNode] = (),
@@ -335,6 +461,13 @@ class TransportNetwork:
         self._links: Dict[Tuple[NodeId, NodeId], CommunicationLink] = {}
         self._next_link_id = 0
         self._dense_view: Optional[DenseNetworkView] = None
+        self._view_epoch = 0
+        self._view_deltas: List[ViewDelta] = []
+        #: Scalar edits applied as copy-on-write view patches (no rebuild).
+        self.delta_patches_total = 0
+        #: Full dense-view constructions (initial builds and post-structural
+        #: rebuilds alike).
+        self.rebuilds_total = 0
         self.name = name
         for node in nodes:
             self.add_node(node)
@@ -350,7 +483,7 @@ class TransportNetwork:
             raise SpecificationError(f"duplicate node_id {node.node_id}")
         self._nodes[node.node_id] = node
         self._graph.add_node(node.node_id)
-        self._dense_view = None
+        self._invalidate_view()
 
     def add_link(self, link: CommunicationLink) -> None:
         """Register a communication link.  Both endpoints must already exist."""
@@ -377,7 +510,39 @@ class TransportNetwork:
                              bandwidth_mbps=link.bandwidth_mbps,
                              min_delay_ms=link.min_delay_ms,
                              link_id=link.link_id)
-        self._dense_view = None
+        self._invalidate_view()
+
+    def remove_link(self, u: NodeId, v: NodeId) -> CommunicationLink:
+        """Remove the link between ``u`` and ``v`` (structural edit).
+
+        Returns the removed :class:`CommunicationLink`.  Raises
+        :class:`SpecificationError` if no such link exists.
+        """
+        key = self._edge_key(u, v)
+        try:
+            link = self._links.pop(key)
+        except KeyError:
+            raise SpecificationError(
+                f"no link between nodes {u} and {v}") from None
+        self._graph.remove_edge(*key)
+        self._invalidate_view()
+        return link
+
+    def remove_node(self, node_id: NodeId) -> ComputingNode:
+        """Remove a node and every link incident to it (structural edit).
+
+        Returns the removed :class:`ComputingNode`.  Raises
+        :class:`SpecificationError` if the node is unknown.
+        """
+        try:
+            node = self._nodes.pop(node_id)
+        except KeyError:
+            raise SpecificationError(f"unknown node_id {node_id}") from None
+        for key in [k for k in self._links if node_id in k]:
+            del self._links[key]
+        self._graph.remove_node(node_id)
+        self._invalidate_view()
+        return node
 
     def connect(self, u: NodeId, v: NodeId, bandwidth_mbps: float,
                 min_delay_ms: float = 0.0) -> CommunicationLink:
@@ -387,6 +552,123 @@ class TransportNetwork:
                                  min_delay_ms=min_delay_ms)
         self.add_link(link)
         return self._links[self._edge_key(u, v)]
+
+    # ------------------------------------------------------------------ #
+    # Incremental view lifecycle (scalar edits, epochs, delta journal)
+    # ------------------------------------------------------------------ #
+    @property
+    def view_epoch(self) -> int:
+        """Monotone edit counter; bumped by every mutation after construction.
+
+        Consumers that cached results against a given :meth:`dense_view`
+        compare epochs to detect drift, and call :meth:`delta_since` to learn
+        whether the drift is scalar-only (patchable) or structural (rebuild).
+        """
+        return self._view_epoch
+
+    def _invalidate_view(self) -> None:
+        """Structural edit: drop the cached view and the scalar-edit journal."""
+        self._dense_view = None
+        self._view_epoch += 1
+        self._view_deltas.clear()
+
+    def delta_since(self, epoch: int) -> Optional[ViewDelta]:
+        """Merged scalar-edit delta from ``epoch`` to :attr:`view_epoch`.
+
+        Returns an empty :class:`ViewDelta` when nothing changed, a merged
+        delta when every intervening edit was scalar, and ``None`` when the
+        journal cannot bridge the gap (a structural edit intervened, the
+        journal was trimmed, or ``epoch`` is from the future) — callers must
+        then fall back to a cold rebuild.
+        """
+        current = self._view_epoch
+        if epoch == current:
+            return ViewDelta(base_epoch=epoch, epoch=current)
+        if epoch > current:
+            return None
+        merged: Optional[ViewDelta] = None
+        for entry in self._view_deltas:
+            if entry.epoch <= epoch:
+                continue
+            if merged is None:
+                if entry.base_epoch != epoch:
+                    return None  # journal trimmed below the requested epoch
+                merged = entry
+            else:
+                if entry.base_epoch != merged.epoch:
+                    return None  # gap: a structural edit cleared the chain
+                merged = merged.merged_with(entry)
+        if merged is None or merged.epoch != current:
+            return None
+        return merged
+
+    def _row_index(self, node_id: NodeId) -> int:
+        if self._dense_view is not None:
+            return self._dense_view.index_of[node_id]
+        return self.node_ids().index(node_id)
+
+    def _cell_key(self, u: NodeId, v: NodeId) -> Tuple[int, int]:
+        i, j = self._row_index(u), self._row_index(v)
+        return (i, j) if i <= j else (j, i)
+
+    def _record_scalar_edit(self, node_rows: Tuple[int, ...] = (),
+                            link_cells: Tuple[Tuple[int, int], ...] = ()) -> None:
+        base = self._view_epoch
+        self._view_epoch = base + 1
+        self._view_deltas.append(ViewDelta(
+            base_epoch=base, epoch=self._view_epoch,
+            node_rows=node_rows, link_cells=link_cells))
+        if len(self._view_deltas) > _VIEW_JOURNAL_LIMIT:
+            del self._view_deltas[:len(self._view_deltas) - _VIEW_JOURNAL_LIMIT]
+        self.delta_patches_total += 1
+        if self._dense_view is not None:
+            view = self._dense_view
+            node_powers = {row: self._nodes[view.node_ids[row]].processing_power
+                           for row in node_rows}
+            link_values = {}
+            for i, j in link_cells:
+                link = self._links[self._edge_key(view.node_ids[i],
+                                                  view.node_ids[j])]
+                link_values[(i, j)] = (link.bandwidth_mbps, link.min_delay_ms)
+            self._dense_view = view.patched(
+                epoch=self._view_epoch,
+                node_powers=node_powers or None,
+                link_values=link_values or None)
+
+    def set_processing_power(self, node_id: NodeId, processing_power: float) -> None:
+        """Scalar edit: change one node's processing power (MIPS).
+
+        Patches the cached dense view copy-on-write and journals a
+        :class:`ViewDelta` instead of forcing a rebuild.  A no-op when the
+        value is unchanged.
+        """
+        node = self.node(node_id)
+        if float(processing_power) == node.processing_power:
+            return
+        self._nodes[node_id] = node.with_power(processing_power)
+        self._record_scalar_edit(node_rows=(self._row_index(node_id),))
+
+    def set_bandwidth(self, u: NodeId, v: NodeId, bandwidth_mbps: float) -> None:
+        """Scalar edit: change one link's bandwidth (Mbit/s).  See
+        :meth:`set_processing_power` for the journaling contract."""
+        link = self.link(u, v)
+        if float(bandwidth_mbps) == link.bandwidth_mbps:
+            return
+        key = self._edge_key(u, v)
+        self._links[key] = link.with_bandwidth(bandwidth_mbps)
+        self._graph[u][v]["bandwidth_mbps"] = float(bandwidth_mbps)
+        self._record_scalar_edit(link_cells=(self._cell_key(u, v),))
+
+    def set_link_delay(self, u: NodeId, v: NodeId, min_delay_ms: float) -> None:
+        """Scalar edit: change one link's minimum delay (ms).  See
+        :meth:`set_processing_power` for the journaling contract."""
+        link = self.link(u, v)
+        if float(min_delay_ms) == link.min_delay_ms:
+            return
+        key = self._edge_key(u, v)
+        self._links[key] = _dc_replace(link, min_delay_ms=float(min_delay_ms))
+        self._graph[u][v]["min_delay_ms"] = float(min_delay_ms)
+        self._record_scalar_edit(link_cells=(self._cell_key(u, v),))
 
     @staticmethod
     def _edge_key(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
@@ -636,11 +918,15 @@ class TransportNetwork:
     def dense_view(self) -> DenseNetworkView:
         """Cached dense array snapshot of the topology and its attributes.
 
-        The first call after a mutation materialises the node-index map, the
-        processing-power vector and the adjacency / bandwidth / link-delay
-        matrices; subsequent calls return the same
-        :class:`DenseNetworkView` instance until :meth:`add_node` or
-        :meth:`add_link` invalidates it.  The vectorized ELPC solvers
+        The first call after a structural mutation materialises the
+        node-index map, the processing-power vector and the adjacency /
+        bandwidth / link-delay matrices; subsequent calls return the same
+        :class:`DenseNetworkView` instance until :meth:`add_node` /
+        :meth:`add_link` / :meth:`remove_node` / :meth:`remove_link`
+        invalidates it.  Scalar edits (:meth:`set_processing_power`,
+        :meth:`set_bandwidth`, :meth:`set_link_delay`) do *not* invalidate:
+        they swap in a copy-on-write patched view that shares every unchanged
+        array with its predecessor.  The vectorized ELPC solvers
         (:mod:`repro.core.vectorized`) and the batch engine rely on this so
         repeated solves over one topology pay the O(k²) construction only once.
         """
@@ -665,8 +951,10 @@ class TransportNetwork:
         # layout and the neighbour lists, and freezes every array so a caller
         # mutating them gets an error instead of silently corrupting all later
         # vectorized solves on this network.
+        self.rebuilds_total += 1
         self._dense_view = DenseNetworkView.build(
-            ids, power, adjacency, bandwidth, link_delay)
+            ids, power, adjacency, bandwidth, link_delay,
+            epoch=self._view_epoch)
         return self._dense_view
 
     # ------------------------------------------------------------------ #
@@ -756,6 +1044,12 @@ class TransportNetwork:
         checks and the cost model see a regular :class:`TransportNetwork`
         whose link attributes round-trip the exported floats exactly, keeping
         every solver bit-identical to an in-process solve.
+
+        Sharing the view object is safe because scalar edits are
+        copy-on-write: mutating the reconstructed network swaps in a *new*
+        patched view (or drops the reference entirely for structural edits)
+        and never writes through the shared arrays, so the caller's cached
+        view cannot be corrupted from the copy.
         """
         net = cls(name=name)
         for i, nid in enumerate(view.node_ids):
@@ -766,6 +1060,10 @@ class TransportNetwork:
             net.connect(view.node_ids[i], view.node_ids[j],
                         bandwidth_mbps=float(view.bandwidth[i, j]),
                         min_delay_ms=float(view.link_delay[i, j]))
+        # Adopt the view's epoch (construction bumped the counter once per
+        # add); the journal restarts empty at the adopted epoch.
+        net._view_epoch = view.epoch
+        net._view_deltas.clear()
         net._dense_view = view
         return net
 

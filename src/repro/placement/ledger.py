@@ -149,6 +149,11 @@ class ClusterState:
         self.committed: List[PlacementDemand] = []
         self.commits_total = 0
         self.releases_total = 0
+        #: How the capacities were derived (set by :meth:`from_network`);
+        #: ``None`` for explicit-capacity ledgers, which cannot
+        #: :meth:`rebase` — their budgets carry no recipe to re-derive.
+        self._capacity_policy: Optional[Dict[str, Any]] = None
+        self.rebases_total = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -194,7 +199,97 @@ class ClusterState:
                     raise SpecificationError(
                         f"link_capacity names unknown link {raw_key!r}")
                 link_cap[key] = float(cap)
-        return cls(network, node_cap, link_cap)
+        state = cls(network, node_cap, link_cap)
+        state._capacity_policy = {
+            "node_capacity_factor": float(node_capacity_factor),
+            "link_capacity_factor": float(link_capacity_factor),
+            "node_capacity": dict(node_capacity) if node_capacity else {},
+            "link_capacity": ({_link_key(*k): float(v)
+                               for k, v in link_capacity.items()}
+                              if link_capacity else {}),
+        }
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Incremental re-derivation
+    # ------------------------------------------------------------------ #
+    def rebase(self) -> List[CapacityViolation]:
+        """Re-derive the budgets from the network's *current* dense view.
+
+        After the network drifts through scalar edits (or is structurally
+        rebuilt), a :meth:`from_network` ledger can rebase instead of being
+        thrown away: capacities are recomputed with the stored policy
+        (factors + overrides), every committed demand is **replayed onto the
+        new budgets** — admissions survive the drift — and the remaining
+        arrays are re-derived as ``capacity − Σ committed``.  Returns the
+        budgets the surviving commitments now overdraw (capacity shrank under
+        load); callers decide whether to evict (:meth:`release`) or tolerate
+        the debt.  A no-op (empty list) when the view is unchanged.
+
+        Raises
+        ------
+        SpecificationError
+            If the ledger was built with explicit capacity arrays (no stored
+            policy to re-derive from).
+        CapacityError
+            If a committed demand names a node or link the drifted network no
+            longer has — structural churn must release placements first.
+        """
+        if self._capacity_policy is None:
+            raise SpecificationError(
+                "this ledger was built from explicit capacity arrays; only "
+                "ClusterState.from_network ledgers can rebase()")
+        view = self.network.dense_view()
+        if view is self.view:
+            return []
+        policy = self._capacity_policy
+        fresh = ClusterState.from_network(
+            self.network,
+            node_capacity_factor=policy["node_capacity_factor"],
+            link_capacity_factor=policy["link_capacity_factor"],
+            node_capacity=policy["node_capacity"] or None,
+            link_capacity=policy["link_capacity"] or None)
+        for demand in self.committed:
+            for node_id in demand.nodes:
+                if node_id not in fresh.view.index_of:
+                    raise CapacityError(
+                        f"committed demand draws on node {node_id!r}, which "
+                        "the drifted network no longer has — release the "
+                        "placement before rebasing")
+            for key in demand.links:
+                if key not in fresh.link_capacity:
+                    raise CapacityError(
+                        f"committed demand draws on link {key!r}, which the "
+                        "drifted network no longer has — release the "
+                        "placement before rebasing")
+        self.view = fresh.view
+        self.node_capacity = fresh.node_capacity
+        self.link_capacity = fresh.link_capacity
+        node_used = np.zeros_like(self.node_capacity)
+        link_used: Dict[Tuple[NodeId, NodeId], float] = {}
+        for demand in self.committed:
+            for node_id, needed in demand.nodes.items():
+                node_used[self.view.index_of[node_id]] += needed
+            for key, needed in demand.links.items():
+                link_used[key] = link_used.get(key, 0.0) + needed
+        self.node_remaining = self.node_capacity - node_used
+        self.link_remaining = {key: cap - link_used.get(key, 0.0)
+                               for key, cap in self.link_capacity.items()}
+        violations: List[CapacityViolation] = []
+        for index in np.flatnonzero(
+                node_used > self.node_capacity
+                + np.maximum(_REL_SLACK, _REL_SLACK * self.node_capacity)):
+            node_id = self.view.node_ids[int(index)]
+            violations.append(CapacityViolation(
+                "node", node_id, float(node_used[index]),
+                float(self.node_capacity[index] - node_used[index])))
+        for key, used in link_used.items():
+            cap = self.link_capacity[key]
+            if used > cap + self._slack(cap):
+                violations.append(CapacityViolation(
+                    "link", key, used, cap - used))
+        self.rebases_total += 1
+        return violations
 
     # ------------------------------------------------------------------ #
     # Demand model

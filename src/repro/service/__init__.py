@@ -41,14 +41,18 @@ from .wire import (
     WIRE_SCHEMA,
     NetworkInterner,
     SolveRequest,
+    apply_network_edits,
     error_response,
     item_result_to_wire,
+    versioned_ref,
 )
 
 __all__ = [
     "WIRE_SCHEMA",
     "SolveRequest",
     "NetworkInterner",
+    "apply_network_edits",
+    "versioned_ref",
     "item_result_to_wire",
     "error_response",
     "ServiceConfig",

@@ -339,6 +339,34 @@ class ServiceClient:
                 instance.network, response["network_ref"])
         return response
 
+    def apply_delta(self, ref_or_network, edits) -> Dict[str, Any]:
+        """POST a capacity delta against an interned network (``/delta``).
+
+        ``ref_or_network`` is either a ``network_ref`` string from a solve
+        response, or a network object this client has already solved over
+        (its cached ref is used).  ``edits`` is a list of scalar-edit objects
+        (``{"kind": "power", "node": ..., "value": ...}`` /
+        ``{"kind": "bandwidth"|"delay", "u": ..., "v": ..., "value": ...}``).
+        The response carries the new epoch-versioned ``network_ref``,
+        ``view_epoch`` and the server's patch/rebuild counters.
+        """
+        if isinstance(ref_or_network, str):
+            ref = ref_or_network
+        else:
+            cached = self._network_refs.get(id(ref_or_network))
+            if cached is None:
+                raise ReproError(
+                    "this client holds no network_ref for that network — "
+                    "solve over it once first, or pass the ref string")
+            ref = cached[1]
+        response = self.request("POST", "/delta", {"schema": WIRE_SCHEMA,
+                                                   "ref": ref,
+                                                   "edits": list(edits)})
+        if not isinstance(ref_or_network, str) and response.get("network_ref"):
+            self._network_refs[id(ref_or_network)] = (
+                ref_or_network, response["network_ref"])
+        return response
+
     def healthz(self) -> Dict[str, Any]:
         """The service's status payload (queue depth, config, counters)."""
         return self.request("GET", "/healthz")

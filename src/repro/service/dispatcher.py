@@ -41,12 +41,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.batch import SolveOptions, resolve_solver_backend, solve_many
 from ..core.mapping import Objective
 from ..exceptions import CapacityError, ReproError, SpecificationError
-from .wire import NetworkInterner, SolveRequest, error_response, item_result_to_wire
+from .wire import (SUPPORTED_SCHEMAS, WIRE_SCHEMA, NetworkInterner,
+                   SolveRequest, error_response, item_result_to_wire)
 
 __all__ = ["ServiceConfig", "SolveService"]
 
@@ -248,6 +249,17 @@ class SolveService:
         self._ledgers: Dict[str, Any] = {}
         self.admitted_total = 0
         self.rejected_total = 0
+        #: Incremental-view state (``POST /delta``): base refs whose interned
+        #: network has been patched at least once, the pending delta-applied
+        #: marks driving the staleness metric (base ref -> monotonic time of
+        #: the latest un-flushed delta), and the counters ``/healthz``
+        #: reports.
+        self._patched_refs: set = set()
+        self._delta_applied: Dict[str, float] = {}
+        self.deltas_total = 0
+        self.warm_solves_total = 0
+        self.staleness_s_total = 0.0
+        self.staleness_samples = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -312,6 +324,79 @@ class SolveService:
         self._wake.set()
         return await future
 
+    async def apply_delta(self, payload: Any) -> Dict[str, Any]:
+        """Apply a capacity delta to an interned network (``POST /delta``).
+
+        Payload: ``{"ref": <network_ref>, "edits": [...]}`` (``ref`` may also
+        travel as ``{"network": {"ref": ...}}``, mirroring reference-style
+        solve requests; versioned ``digest@epoch`` refs are accepted).  Edits
+        are the :func:`repro.service.wire.apply_network_edits` scalar kinds —
+        ``power`` / ``bandwidth`` / ``delay``.
+
+        The mutation runs on the flush executor, so it is serialised against
+        in-flight solves: a flush observes either the pre-delta or the
+        post-delta capacities, never a torn edit.  The network object (and
+        its digest) survives — subsequent reference-style requests resolve to
+        the *patched* network, and their dense views come from the delta
+        journal's copy-on-write patch path rather than a rebuild.  When
+        admission control holds a ledger for the network, the ledger is
+        rebased onto the new capacities and any now-overdrawn budgets are
+        reported as ``capacity_violations`` (commitments are kept — tenants
+        are not evicted, the operator decides).
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                f"delta request must be a JSON object, got "
+                f"{type(payload).__name__}")
+        schema = payload.get("schema")
+        if schema is not None and schema not in SUPPORTED_SCHEMAS:
+            raise SpecificationError(
+                f"unsupported wire schema {schema!r}; this server speaks "
+                f"{sorted(SUPPORTED_SCHEMAS)}")
+        ref = payload.get("ref")
+        if ref is None:
+            network_payload = payload.get("network")
+            if isinstance(network_payload, Mapping):
+                ref = network_payload.get("ref")
+        if not isinstance(ref, str) or not ref:
+            raise SpecificationError(
+                "delta request needs a 'ref' string naming an interned "
+                "network (the 'network_ref' of a previous solve response)")
+        edits = payload.get("edits")
+        call = partial(self._apply_delta_sync, ref, edits)
+        if self._executor is not None:
+            loop = asyncio.get_running_loop()
+            network, new_ref, applied, rebased, violations = (
+                await loop.run_in_executor(self._executor, call))
+        else:  # service not started (direct library use): apply inline
+            network, new_ref, applied, rebased, violations = call()
+        base = ref.split("@", 1)[0]
+        self._patched_refs.add(base)
+        self._delta_applied[base] = time.monotonic()
+        self.deltas_total += 1
+        return {
+            "schema": WIRE_SCHEMA,
+            "ok": True,
+            "network_ref": new_ref,
+            "view_epoch": network.view_epoch,
+            "edits_applied": applied,
+            "delta_patches_total": network.delta_patches_total,
+            "rebuilds_total": network.rebuilds_total,
+            "ledger_rebased": rebased,
+            "capacity_violations": [v.describe() for v in violations],
+        }
+
+    def _apply_delta_sync(self, ref: str, edits: Any):
+        """Executor-side body of :meth:`apply_delta` (see there)."""
+        network, new_ref, applied = self.interner.apply_delta(ref, edits)
+        rebased = False
+        violations: List[Any] = []
+        ledger = self._ledgers.get(ref.split("@", 1)[0])
+        if ledger is not None and ledger.network is network:
+            violations = ledger.rebase()
+            rebased = True
+        return network, new_ref, applied, rebased, violations
+
     @property
     def queue_depth(self) -> int:
         """Requests accepted but not yet answered (queued + in flight)."""
@@ -354,6 +439,21 @@ class SolveService:
             "admitted_total": self.admitted_total,
             "rejected_total": self.rejected_total,
         }
+        # Incremental-view lifecycle counters: epoch/patch/rebuild state is
+        # summed over the networks still interned (evicted topologies take
+        # their counters with them); staleness is delta-applied -> first
+        # subsequent flush answering on that network.
+        networks = self.interner.networks()
+        payload["view_epoch"] = max(
+            (n.view_epoch for n in networks), default=0)
+        payload["delta_patches_total"] = sum(
+            n.delta_patches_total for n in networks)
+        payload["rebuilds_total"] = sum(n.rebuilds_total for n in networks)
+        payload["deltas_total"] = self.deltas_total
+        payload["warm_solves_total"] = self.warm_solves_total
+        payload["staleness_ms_mean"] = (
+            self.staleness_s_total * 1e3 / self.staleness_samples
+            if self.staleness_samples else 0.0)
         if self.config.admission_control:
             payload["admission_ledgers"] = len(self._ledgers)
         if self._runner is not None:
@@ -475,6 +575,7 @@ class SolveService:
                         objective=request.objective))
             self.responses_total += len(entries)
             return
+        self._record_incremental(entries)
         if self.config.admission_control:
             responses = self._admit(entries, result)
             for (request, future, _arrived), response in zip(entries, responses):
@@ -486,8 +587,40 @@ class SolveService:
                     future.set_result(item_result_to_wire(
                         item, solver=result.solver,
                         objective=result.objective,
-                        network_ref=request.network_ref))
+                        network_ref=self._response_ref(request)))
         self.responses_total += len(entries)
+
+    def _response_ref(self, request: SolveRequest) -> Optional[str]:
+        """The (possibly epoch-versioned) ref echoed on this response."""
+        if request.network_ref is None:
+            return None
+        return self.interner.ref_for(request.network_ref,
+                                     request.instance.network)
+
+    def _record_incremental(self, entries: List[_Pending]) -> None:
+        """Update warm-solve and staleness counters for one solved partition.
+
+        A request answered on a network that has taken at least one delta is
+        a *warm solve* — its dense view came from the copy-on-write patch
+        path, not a rebuild.  Staleness is measured per delta: the time from
+        ``apply_delta`` returning to the first subsequent flush that answers
+        on that network (i.e. how long clients were served plans computed
+        against capacities that had already drifted).
+        """
+        bases = set()
+        for request, _future, _arrived in entries:
+            if request.network_ref is None:
+                continue
+            base = request.network_ref.split("@", 1)[0]
+            bases.add(base)
+            if base in self._patched_refs:
+                self.warm_solves_total += 1
+        now = time.monotonic()
+        for base in bases:
+            marked = self._delta_applied.pop(base, None)
+            if marked is not None:
+                self.staleness_s_total += now - marked
+                self.staleness_samples += 1
 
     # ------------------------------------------------------------------ #
     # Admission control
@@ -528,7 +661,7 @@ class SolveService:
             if item.mapping is None:
                 responses[i] = item_result_to_wire(
                     item, solver=result.solver, objective=result.objective,
-                    network_ref=request.network_ref)
+                    network_ref=self._response_ref(request))
                 continue
             ledger = self._ledger_for(request)
             try:
@@ -547,6 +680,6 @@ class SolveService:
             self.admitted_total += 1
             responses[i] = item_result_to_wire(
                 item, solver=result.solver, objective=result.objective,
-                network_ref=request.network_ref,
+                network_ref=self._response_ref(request),
                 admission={"admitted": True, "priority": request.priority})
         return responses  # type: ignore[return-value]

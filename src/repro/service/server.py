@@ -13,9 +13,17 @@ before any buffering.  Routes:
 * ``POST /solve`` — one solve request (:mod:`repro.service.wire` schema);
   always answered 200 with a per-request result payload, ``ok: false`` +
   ``error`` on failures (malformed *HTTP/JSON* gets 400, unknown paths 404).
+* ``POST /delta`` — scalar capacity/bandwidth/delay edits against an interned
+  network (``{"ref": ..., "edits": [...]}``): the network is patched in
+  place, its ``network_ref`` digest survives (responses gain a ``@epoch``
+  suffix), admission ledgers are rebased, and subsequent reference-style
+  solves run against the drifted capacities via the delta journal's
+  copy-on-write view patches (:meth:`SolveService.apply_delta`).
 * ``GET /healthz`` — service status: queue depth, flush/batch-size/queue-wait
-  counters, engine and backend configuration (:meth:`SolveService.status`)
-  plus the server's accepted-connection counter.
+  counters, incremental-view counters (``view_epoch``,
+  ``delta_patches_total``, ``warm_solves_total``, ``staleness_ms_mean``),
+  engine and backend configuration (:meth:`SolveService.status`) plus the
+  server's accepted-connection counter.
 
 :class:`BackgroundServer` runs the whole stack on a daemon thread for tests,
 benchmarks and notebooks; the CLI (``repro serve``) runs it in the foreground
@@ -171,9 +179,23 @@ class SolveServer:
             payload["connections_total"] = self.connections_total
             payload["request_cache_hits"] = self.request_cache_hits
             return 200, payload
+        if path.split("?", 1)[0] == "/delta":
+            if method != "POST":
+                return 405, error_response("use POST for /delta")
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, error_response(f"invalid JSON body: {exc}")
+            try:
+                return 200, await self.service.apply_delta(payload)
+            except SpecificationError as exc:
+                return 400, error_response(str(exc))
+            except ReproError as exc:
+                return 400, error_response(str(exc))
         if path.split("?", 1)[0] != "/solve":
             return 404, error_response(f"unknown path {path!r}; "
-                                       "use POST /solve or GET /healthz")
+                                       "use POST /solve, POST /delta or "
+                                       "GET /healthz")
         if method != "POST":
             return 405, error_response("use POST for /solve")
         digest = hashlib.blake2b(body, digest_size=16).digest()

@@ -59,6 +59,7 @@ from ..model.serialization import ProblemInstance, mapping_to_dict
 
 __all__ = ["WIRE_SCHEMA", "WIRE_SCHEMA_V1", "SUPPORTED_SCHEMAS",
            "SolveRequest", "NetworkInterner",
+           "apply_network_edits", "versioned_ref",
            "item_result_to_wire", "error_response"]
 
 #: Schema tag carried by every service response (and advertised by clients).
@@ -106,6 +107,12 @@ class NetworkInterner:
         self.max_entries = max_entries
         #: ref digest -> interned network (insertion order = LRU order)
         self._cache: "OrderedDict[str, TransportNetwork]" = OrderedDict()
+        #: ref digest -> the network's view epoch when it was interned.
+        #: Building a network from a payload advances its epoch once per
+        #: structural edit, so "has this network drifted since interning?"
+        #: is ``view_epoch > base epoch``, not ``view_epoch > 0`` — the
+        #: comparison behind epoch-suffixed references (:meth:`ref_for`).
+        self._base_epochs: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -140,18 +147,145 @@ class NetworkInterner:
             self.misses += 1
             network = TransportNetwork.from_dict(dict(network_payload))
             self._cache[ref] = network
+            self._base_epochs[ref] = network.view_epoch
             while len(self._cache) > self.max_entries:
-                self._cache.popitem(last=False)
+                evicted, _network = self._cache.popitem(last=False)
+                self._base_epochs.pop(evicted, None)
             return network, ref
 
     def by_ref(self, ref: str) -> Optional[TransportNetwork]:
-        """The network previously interned under ``ref``, if still cached."""
+        """The network previously interned under ``ref``, if still cached.
+
+        Accepts *versioned* references (``digest@epoch``, see
+        :func:`versioned_ref`): deltas patch the interned object in place, so
+        every epoch of one topology resolves to the same network and a client
+        holding a pre-delta digest keeps working across capacity updates.
+        """
+        base = ref.split("@", 1)[0]
         with self._lock:
-            network = self._cache.get(ref)
+            network = self._cache.get(base)
             if network is not None:
                 self.hits += 1
-                self._cache.move_to_end(ref)
+                self._cache.move_to_end(base)
             return network
+
+    def networks(self) -> Tuple[TransportNetwork, ...]:
+        """Snapshot of every currently interned network (stats/healthz)."""
+        with self._lock:
+            return tuple(self._cache.values())
+
+    def ref_for(self, ref: str, network: TransportNetwork) -> str:
+        """The reference to echo for ``network``: epoch-suffixed iff drifted.
+
+        A network that has taken deltas since it was interned answers with
+        ``digest@epoch``; an unpatched one keeps its bare digest, so clients
+        only ever see version suffixes once capacities actually move.
+        """
+        base = ref.split("@", 1)[0]
+        with self._lock:
+            base_epoch = self._base_epochs.get(base, 0)
+        return versioned_ref(base, network, base_epoch=base_epoch)
+
+    def apply_delta(self, ref: str, edits: Any
+                    ) -> Tuple[TransportNetwork, str, int]:
+        """Apply scalar ``edits`` to the network interned under ``ref``.
+
+        The interned *object* is mutated in place — its digest (and therefore
+        every outstanding ``network_ref``) stays valid; only the view epoch
+        advances.  Returns ``(network, versioned_ref, n_edits)`` where the
+        versioned reference carries the post-delta epoch as a ``@epoch``
+        suffix.  Raises :class:`SpecificationError` on an unknown reference or
+        malformed edits; edits are validated against the topology before any
+        is applied, so a rejected delta never leaves the network half-edited.
+        """
+        base = ref.split("@", 1)[0]
+        with self._lock:
+            network = self._cache.get(base)
+            if network is not None:
+                self._cache.move_to_end(base)
+        if network is None:
+            raise SpecificationError(
+                f"unknown network ref {ref!r} (not posted yet, or evicted); "
+                "POST the full network once via /solve and re-read "
+                "'network_ref' from the response")
+        applied = apply_network_edits(network, edits)
+        return network, self.ref_for(base, network), applied
+
+
+def versioned_ref(ref: Optional[str], network: TransportNetwork, *,
+                  base_epoch: int = 0) -> Optional[str]:
+    """``digest@epoch`` once a network has drifted, the bare digest before.
+
+    ``base_epoch`` is the network's view epoch at interning time (building a
+    topology advances the epoch structurally, so fresh networks do not start
+    at zero).  The suffix makes capacity drift observable to clients — two
+    responses naming different suffixes were solved against different
+    capacities — without invalidating the digest:
+    :meth:`NetworkInterner.by_ref` strips the suffix, so any version of the
+    reference resolves to the same interned object.
+    """
+    if ref is None:
+        return None
+    epoch = network.view_epoch
+    return f"{ref}@{epoch}" if epoch > base_epoch else ref
+
+
+#: Edit kinds accepted by ``apply_network_edits`` / ``POST /delta``, mapped
+#: to the scalar setter each drives and the operand fields it needs.
+_EDIT_KINDS = {
+    "power": ("set_processing_power", ("node",)),
+    "bandwidth": ("set_bandwidth", ("u", "v")),
+    "delay": ("set_link_delay", ("u", "v")),
+}
+
+
+def apply_network_edits(network: TransportNetwork, edits: Any) -> int:
+    """Apply a list of scalar-edit payloads to a network; returns the count.
+
+    Each edit is an object ``{"kind": "power", "node": ..., "value": ...}``
+    or ``{"kind": "bandwidth"|"delay", "u": ..., "v": ..., "value": ...}``.
+    All edits are validated (shape, numeric value, node/link existence)
+    before the first setter runs, so a bad edit anywhere in the list leaves
+    the network untouched.
+    """
+    if not isinstance(edits, (list, tuple)) or not edits:
+        raise SpecificationError(
+            "'edits' must be a non-empty array of edit objects "
+            '({"kind": "power"|"bandwidth"|"delay", ...})')
+    staged = []
+    for position, edit in enumerate(edits):
+        if not isinstance(edit, Mapping):
+            raise SpecificationError(
+                f"edit #{position} must be an object, got "
+                f"{type(edit).__name__}")
+        kind = edit.get("kind")
+        if kind not in _EDIT_KINDS:
+            raise SpecificationError(
+                f"edit #{position} has unknown kind {kind!r}; expected one "
+                f"of {sorted(_EDIT_KINDS)}")
+        setter_name, id_fields = _EDIT_KINDS[kind]
+        try:
+            ids = tuple(int(edit[name]) for name in id_fields)
+            value = float(edit["value"])
+        except KeyError as exc:
+            raise SpecificationError(
+                f"edit #{position} ({kind}) is missing field {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise SpecificationError(
+                f"edit #{position} ({kind}) has a non-numeric field: "
+                f"{exc}") from None
+        if kind == "power":
+            if not network.has_node(ids[0]):
+                raise SpecificationError(
+                    f"edit #{position}: no node {ids[0]} in this network")
+        elif not network.has_link(*ids):
+            raise SpecificationError(
+                f"edit #{position}: no link {ids[0]}->{ids[1]} in this "
+                "network")
+        staged.append((getattr(network, setter_name), ids, value))
+    for setter, ids, value in staged:
+        setter(*ids, value)
+    return len(staged)
 
 
 @dataclass(frozen=True)

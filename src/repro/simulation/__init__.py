@@ -8,10 +8,21 @@ execution so the analytical cost model can be validated end to end:
   must equal Eq. 1,
 * :func:`simulate_streaming` — continuous-frame replay; the measured
   steady-state rate must converge to the Eq. 2 frame rate,
+* :func:`simulate_churn` — capacity-churn replay (``repro churn``): scalar
+  capacity events drift the network, each step re-plans warm-started from
+  the previous DP tables and reports staleness-vs-resolve-cost, with every
+  warm re-solve differentially verified against a cold one,
 * :class:`SimulationEngine`, :class:`FifoStation`, :class:`Trace` — the
   reusable event-driven substrate underneath.
 """
 
+from .churn import (
+    ChurnEvent,
+    ChurnResult,
+    ChurnStepResult,
+    generate_churn_events,
+    simulate_churn,
+)
 from .engine import SimulationEngine
 from .events import Event, EventQueue
 from .interactive import InteractiveResult, simulate_interactive
@@ -26,4 +37,6 @@ __all__ = [
     "Trace", "TraceRecord",
     "InteractiveResult", "simulate_interactive",
     "StreamingResult", "simulate_streaming",
+    "ChurnEvent", "ChurnStepResult", "ChurnResult",
+    "generate_churn_events", "simulate_churn",
 ]

@@ -114,6 +114,30 @@ class TestScaledDenseViews:
             0.125 * base.bandwidth(u, v))
         assert before.bandwidth[i, j] == pytest.approx(base.bandwidth(u, v))
 
+    def test_invalidation_is_scoped_to_the_affected_window(self, base):
+        """A factor change at ``t`` drops only the cached views in
+        ``[t, next event for that resource)`` — instants outside the window
+        keep their (still exact) cached objects."""
+        profile = ResourceProfile()
+        profile.set_node_factor(4, 30.0, 0.8)
+        before_window = profile.scaled_view(base, 5.0)
+        inside_window = profile.scaled_view(base, 20.0)
+        after_window = profile.scaled_view(base, 40.0)
+        profile.set_node_factor(4, 10.0, 0.5)  # affects [10, 30) only
+        assert profile.scaled_view(base, 5.0) is before_window
+        assert profile.scaled_view(base, 40.0) is after_window
+        refreshed = profile.scaled_view(base, 20.0)
+        assert refreshed is not inside_window
+        idx = refreshed.index_of[4]
+        assert refreshed.power[idx] == pytest.approx(
+            0.5 * base.processing_power(4))
+        # An event with no later sibling invalidates everything from its
+        # timestamp onward.
+        profile.set_link_factor(*base.links()[0].endpoints, time_s=15.0,
+                                factor=0.25)
+        assert profile.scaled_view(base, 5.0) is before_window
+        assert profile.scaled_view(base, 40.0) is not after_window
+
     def test_base_network_mutation_misses_cache(self, base):
         from repro.model import ComputingNode
 

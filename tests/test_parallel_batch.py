@@ -106,6 +106,30 @@ class TestSharedViewExportAttach:
         for nid in network.node_ids():
             assert rebuilt.processing_power(nid) == network.processing_power(nid)
 
+    def test_from_dense_view_edits_never_corrupt_callers_view(self):
+        """Regression: scalar edits on the reconstructed network must swap in
+        a patched copy-on-write view, never write through the shared arrays
+        of the caller's (still cached) view."""
+        network = random_network(12, 26, seed=8)
+        view = network.dense_view()
+        bw_before = view.bandwidth.copy()
+        power_before = view.power.copy()
+        rebuilt = TransportNetwork.from_dense_view(view)
+        link = next(iter(rebuilt.links()))
+        rebuilt.set_bandwidth(link.start_node, link.end_node,
+                              link.bandwidth_mbps * 2.0)
+        node_id = next(iter(rebuilt.node_ids()))
+        rebuilt.set_processing_power(node_id,
+                                     rebuilt.processing_power(node_id) * 3.0)
+        patched = rebuilt.dense_view()
+        assert patched is not view  # edits swapped in a fresh patched view
+        np.testing.assert_array_equal(view.bandwidth, bw_before)
+        np.testing.assert_array_equal(view.power, power_before)
+        # The donor network still serves its original, untouched view.
+        assert network.dense_view() is view
+        # Unchanged arrays stay shared (copy-on-write, not a rebuild).
+        assert patched.adjacency is view.adjacency
+
     def test_tensor_engines_solve_from_attached_view(self):
         """The `view=` entry point: an attached view drives the batched DPs
         zero-copy and reproduces the regular solve bit for bit."""

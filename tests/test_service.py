@@ -321,6 +321,80 @@ class TestHealthz:
             client.wait_ready(timeout=0.2, interval=0.05)
 
 
+class TestDeltaProtocol:
+    def test_healthz_incremental_counters_start_at_zero(self):
+        with BackgroundServer(ServiceConfig(max_batch=4)) as server:
+            status = server.client().healthz()
+        assert status["view_epoch"] == 0
+        assert status["delta_patches_total"] == 0
+        assert status["rebuilds_total"] == 0
+        assert status["deltas_total"] == 0
+        assert status["warm_solves_total"] == 0
+        assert status["staleness_ms_mean"] == 0.0
+
+    def test_delta_roundtrip_updates_counters_and_versions_ref(self):
+        instances = _instances(2)
+        network = instances[0].network
+        link = network.links()[0]
+        with BackgroundServer(ServiceConfig(max_batch=4)) as server:
+            client = server.client()
+            first = client.solve(instances[0])
+            base_ref = first["network_ref"]
+            assert "@" not in base_ref  # undrifted networks keep a bare ref
+            response = client.apply_delta(base_ref, [
+                {"kind": "bandwidth", "u": link.start_node,
+                 "v": link.end_node,
+                 "value": link.bandwidth_mbps * 0.5},
+                {"kind": "power", "node": network.node_ids()[0],
+                 "value": network.processing_power(network.node_ids()[0])
+                 * 2.0},
+            ])
+            assert response["ok"] is True
+            assert response["edits_applied"] == 2
+            # Drifted networks answer with an epoch-versioned ref.
+            assert response["network_ref"].startswith(base_ref + "@")
+            assert response["view_epoch"] > 0
+            # The versioned ref is accepted wherever a bare ref is.
+            second = client.solve(instances[1])
+            status = client.healthz()
+        assert second["ok"] is True
+        assert status["deltas_total"] == 1
+        assert status["delta_patches_total"] == 2
+        assert status["view_epoch"] == response["view_epoch"]
+        # The post-delta solve on the patched network counts as warm-capable
+        # traffic and closes the staleness window.
+        assert status["warm_solves_total"] == 1
+        assert status["staleness_ms_mean"] > 0.0
+
+    def test_delta_is_atomic_on_invalid_edit(self):
+        instances = _instances(1)
+        with BackgroundServer(ServiceConfig(max_batch=4)) as server:
+            client = server.client()
+            first = client.solve(instances[0])
+            ref = first["network_ref"]
+            response = client.request("POST", "/delta", {
+                "schema": WIRE_SCHEMA, "ref": ref,
+                "edits": [
+                    {"kind": "power", "node": instances[0].network.node_ids()[0],
+                     "value": 99.0},
+                    {"kind": "power", "node": 10_000, "value": 1.0},  # bad
+                ]})
+            status = client.healthz()
+        assert response["ok"] is False
+        assert "10000" in response["error"] or "10_000" in response["error"]
+        # Validate-then-apply: the good edit must not have landed either.
+        assert status["delta_patches_total"] == 0
+        assert status["deltas_total"] == 0
+
+    def test_delta_against_unknown_ref_is_recorded_error(self):
+        with BackgroundServer(ServiceConfig(max_batch=4)) as server:
+            response = server.client().request("POST", "/delta", {
+                "schema": WIRE_SCHEMA, "ref": "no-such-digest",
+                "edits": [{"kind": "power", "node": 0, "value": 1.0}]})
+        assert response["ok"] is False
+        assert "no-such-digest" in response["error"]
+
+
 class TestGracefulShutdown:
     def test_close_drains_pending_requests(self):
         """Requests still queued when close() arrives are answered, not
