@@ -1,0 +1,282 @@
+"""Benchmark: pre-fork replica scaling of the solve service.
+
+``repro serve --replicas 4`` and a single-process ``repro serve`` are both
+driven end to end, and this file asserts the PR's acceptance bar: **the
+4-replica fleet must sustain at least 1.5x the throughput of one replica on
+a transport-dominated workload**, with every solve response bit-identical to
+a direct :func:`repro.core.batch.solve_many` of the same instances.
+
+One asyncio process does all JSON parsing and serialisation, so on the
+transport-dominated workload (short pipelines, small shared network — the
+same shape as ``test_bench_loadtest.py``) the single server saturates one
+core; the fleet spreads accepted connections across replica processes via
+``SO_REUSEPORT`` (or the shared inherited listener) and scales with cores.
+
+The load generators are **separate ``repro loadtest`` subprocesses** (summed
+from their ``--emit-json`` reports): a single Python client process would
+bottleneck both sides of the A/B on its own GIL and squash the very ratio
+under measurement.
+
+Like the other speedup benches, the wall-clock ratio assertion is skipped
+under ``REPRO_SKIP_SPEEDUP_ASSERT=1`` (noisy shared runners) and on hosts
+with fewer than 4 CPUs (replica scaling is physically impossible there);
+the fleet-health, per-replica-attribution, response-identity and
+restart-under-load assertions always run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Objective, solve_many
+from repro.service import ServiceClient, generate_workload, run_loadtest
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="pre-fork replicas need os.fork")
+
+_REPLICAS = 4
+_GENERATORS = 3          # concurrent loadtest subprocesses per measurement
+_CLIENTS_PER_GEN = 12
+_DURATION_S = 1.2
+_TRIALS = 2
+#: Transport-dominated workload shape (see module docstring).
+_WORKLOAD = dict(n_modules=4, n_nodes=8, n_links=16, seed=5)
+_WORKLOAD_SIZE = 16
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_server(extra_args=()):
+    """A real ``repro serve`` subprocess; returns ``(process, port)``."""
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys; from repro.cli import main; "
+         "raise SystemExit(main(['serve', '--port', '0'] + sys.argv[1:]))",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=_env(),
+        text=True)
+    announce = proc.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", announce)
+    assert match, f"no announce line from repro serve, got {announce!r}"
+    port = int(match.group(1))
+    ServiceClient(port=port).wait_ready(timeout=30)
+    return proc, port
+
+
+def _stop_server(proc):
+    proc.send_signal(signal.SIGINT)
+    proc.wait(timeout=60)
+
+
+def _wait_fleet(port, replicas, timeout=30.0):
+    with ServiceClient(port=port, timeout=30) as client:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = client.healthz()
+            fleet = status.get("fleet")
+            if fleet and fleet["alive"] == replicas:
+                return status
+            time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {replicas} alive replicas")
+
+
+def _offered_throughput(port, tmp, tag):
+    """Summed throughput of {_GENERATORS} concurrent ``repro loadtest``
+    subprocess generators (each a separate Python process: the measurement
+    must not be capped by one client-side GIL)."""
+    procs, outs = [], []
+    for generator in range(_GENERATORS):
+        out = tmp / f"{tag}-{generator}.json"
+        outs.append(out)
+        args = ["loadtest", "--port", str(port),
+                "--clients", str(_CLIENTS_PER_GEN),
+                "--duration", str(_DURATION_S),
+                "--instances", str(_WORKLOAD_SIZE),
+                "--modules", str(_WORKLOAD["n_modules"]),
+                "--nodes", str(_WORKLOAD["n_nodes"]),
+                "--links", str(_WORKLOAD["n_links"]),
+                "--seed", str(_WORKLOAD["seed"]),
+                "--emit-json", str(out)]
+        procs.append(subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; "
+             "raise SystemExit(main(sys.argv[1:]))", *args],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, env=_env(),
+            text=True))
+    for proc in procs:
+        assert proc.wait(timeout=180) == 0, proc.stderr.read()
+    total_rps, errors = 0.0, 0
+    for out in outs:
+        metric = json.loads(out.read_text())["metrics"][
+            "loadtest/request_latency"]
+        total_rps += metric["extra:throughput_rps"]
+        errors += metric["extra:errors"]
+    assert errors == 0, f"{tag}: {errors} generator-side request errors"
+    return total_rps
+
+
+def _best_offered(port, tmp, tag):
+    return max(_offered_throughput(port, tmp, f"{tag}-{trial}")
+               for trial in range(_TRIALS))
+
+
+@pytest.fixture(scope="module")
+def replica_measurement(tmp_path_factory):
+    """Fleet and solo throughput (best of {_TRIALS} trials, {_GENERATORS}
+    generator subprocesses each) plus one response-recording run and the
+    fleet's final health."""
+    tmp = tmp_path_factory.mktemp("bench-replicas")
+    instances = generate_workload(_WORKLOAD_SIZE, **_WORKLOAD)
+    fleet_proc, fleet_port = _spawn_server(["--replicas", str(_REPLICAS)])
+    solo_proc, solo_port = _spawn_server()
+    try:
+        _wait_fleet(fleet_port, _REPLICAS)
+        fleet_rps = _best_offered(fleet_port, tmp, "fleet")
+        solo_rps = _best_offered(solo_port, tmp, "solo")
+        identity = run_loadtest(host="127.0.0.1", port=fleet_port, clients=8,
+                                duration_s=0.5, instances=instances,
+                                keep_responses=True)
+        with ServiceClient(port=fleet_port, timeout=30) as client:
+            health = client.healthz()
+    finally:
+        _stop_server(fleet_proc)
+        _stop_server(solo_proc)
+    return dict(instances=instances, fleet_rps=fleet_rps, solo_rps=solo_rps,
+                identity=identity, health=health)
+
+
+@pytest.mark.benchmark(group="replicas")
+def test_replica_fleet_throughput(benchmark, replica_measurement):
+    """Timed metric: a fixed keep-alive burst through a {_REPLICAS}-replica
+    fleet, plus the PR's >= 1.5x fleet-vs-solo throughput bar."""
+    instances = replica_measurement["instances"]
+
+    proc, port = _spawn_server(["--replicas", str(_REPLICAS)])
+    try:
+        _wait_fleet(port, _REPLICAS)
+        client = ServiceClient(port=port)
+        burst = (instances * 8)[:128]
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            list(pool.map(client.solve, burst))  # warm-up + network refs
+
+            def fleet_burst():
+                return list(pool.map(client.solve, burst))
+
+            responses = benchmark(fleet_burst)
+        client.close()
+    finally:
+        _stop_server(proc)
+    assert all(r["ok"] for r in responses)
+    # The burst's 16 keep-alive connections really spread over the fleet.
+    assert len({r["replica_id"] for r in responses}) >= 2
+
+    fleet_rps = replica_measurement["fleet_rps"]
+    solo_rps = replica_measurement["solo_rps"]
+    ratio = fleet_rps / solo_rps if solo_rps else float("inf")
+    benchmark.extra_info["fleet_rps"] = round(fleet_rps, 1)
+    benchmark.extra_info["solo_rps"] = round(solo_rps, 1)
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 2)
+    benchmark.extra_info["replicas"] = _REPLICAS
+    benchmark.extra_info["generators"] = _GENERATORS
+
+    health = replica_measurement["health"]
+    assert health["fleet"]["replicas"] == _REPLICAS
+    assert health["fleet"]["alive"] == _REPLICAS
+    assert health["fleet"]["restarts_total"] == 0  # no crashes under load
+    # Fleet-wide accounting saw the generators' traffic, spread over > 1
+    # replica process.
+    served = [row for row in health["per_replica"]
+              if row["responses_total"] > 0]
+    assert len(served) >= 2, f"kernel never balanced: {health['per_replica']}"
+
+    if os.environ.get("REPRO_SKIP_SPEEDUP_ASSERT") == "1":
+        pytest.skip("speedup ratio assertions disabled via "
+                    "REPRO_SKIP_SPEEDUP_ASSERT")
+    if (os.cpu_count() or 1) < _REPLICAS:
+        pytest.skip(f"host has {os.cpu_count()} CPUs; {_REPLICAS}-replica "
+                    "scaling needs at least that many cores")
+    assert ratio >= 1.5, (
+        f"{_REPLICAS}-replica fleet only {ratio:.2f}x one replica "
+        f"({fleet_rps:.0f} vs {solo_rps:.0f} req/s summed over "
+        f"{_GENERATORS} generators); expected >= 1.5x")
+
+
+def test_replica_responses_identical_to_solve_many(replica_measurement):
+    """Every response recorded against the fleet equals the direct
+    ``solve_many`` answer for its instance, regardless of which replica
+    (and therefore which independent interner) served it."""
+    instances = replica_measurement["instances"]
+    identity = replica_measurement["identity"]
+    assert identity.responses, "identity run recorded no responses"
+    direct = solve_many(instances, solver="elpc-tensor",
+                        objective=Objective.MIN_DELAY)
+    assert direct.n_solved == len(instances)
+    for instance_index, response in identity.responses:
+        item = direct.items[instance_index]
+        assert response["ok"]
+        assert response["name"] == item.name
+        assert response["mapping"]["delay_ms"] == item.mapping.delay_ms
+        assert response["mapping"]["bottleneck_ms"] == \
+            item.mapping.bottleneck_ms
+        assert response["mapping"]["groups"] == [
+            list(group) for group in item.mapping.groups]
+        assert response["mapping"]["path"] == list(item.mapping.path)
+    # Attribution exists for every response (single- or multi-replica).
+    assert identity.per_replica
+    assert sum(identity.per_replica.values()) >= identity.requests_total \
+        - identity.errors_total
+
+
+def test_replica_restart_under_open_loop_load():
+    """Kill one replica while an open-loop schedule is in flight: the
+    supervisor restarts it, every scheduled arrival still gets an answer
+    (none silently dropped), and the fleet ends the run at full strength.
+    Runs everywhere — it asserts behavior, not speed."""
+    proc, port = _spawn_server(["--replicas", "2"])
+    instances = generate_workload(8, **_WORKLOAD)
+    try:
+        status = _wait_fleet(port, 2)
+        victim = status["per_replica"][1]["pid"]
+        killer = threading.Timer(0.4, os.kill, (victim, signal.SIGKILL))
+        killer.start()
+        try:
+            result = run_loadtest(host="127.0.0.1", port=port,
+                                  duration_s=1.5, instances=instances,
+                                  arrival_rate=120.0, max_connections=8,
+                                  seed=9)
+        finally:
+            killer.cancel()
+        # No arrival was dropped: each one produced a recorded outcome.
+        assert result.requests_total == result.scheduled_total
+        # The kill may cost the in-flight exchanges an error, but the run
+        # as a whole stayed served.
+        assert result.errors_total < result.requests_total / 2, (
+            f"{result.errors_total}/{result.requests_total} errors after "
+            "replica kill")
+        deadline = time.monotonic() + 30
+        with ServiceClient(port=port, timeout=30) as probe:
+            while time.monotonic() < deadline:
+                fleet = probe.healthz()["fleet"]
+                if fleet["alive"] == 2 and fleet["restarts_total"] >= 1:
+                    break
+                time.sleep(0.05)
+        assert fleet["alive"] == 2, f"fleet did not recover: {fleet}"
+        assert fleet["restarts_total"] >= 1
+    finally:
+        _stop_server(proc)

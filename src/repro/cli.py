@@ -52,7 +52,7 @@ from .analysis.experiments import (
 from .core.batch import SolveOptions, place_many, solve_many
 from .core.mapping import Objective
 from .core.registry import available_solvers, get_solver
-from .exceptions import ReproError
+from .exceptions import ReproError, SpecificationError
 from .generators.cases import make_case, paper_case_suite, PAPER_CASE_SPECS
 from .generators.network_gen import random_network, random_request
 from .generators.workloads import named_workloads
@@ -422,6 +422,12 @@ def _build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=8423,
                         help="TCP port (0 picks a free port; the resolved "
                              "port is announced on stdout)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="pre-fork N replica processes behind one shared "
+                             "listener (SO_REUSEPORT where available), "
+                             "supervised with crash restart and graceful "
+                             "drain (default: 1 = single process, POSIX only "
+                             "above that)")
     parser.add_argument("--workers", type=int, default=None,
                         help="back every flush with a persistent N-worker "
                              "shared-memory pool (default: in-process)")
@@ -471,9 +477,13 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
     """Entry point of ``repro serve``; returns a process exit code.
 
     Blocks serving until SIGINT/SIGTERM, then drains the queue (every
-    accepted request is answered) before exiting 0.  Configuration errors —
-    an unusable ``--backend``, an unknown ``--solver``, an unbindable port —
-    exit 1 before the server accepts any request.
+    accepted request is answered) before exiting 0.  With ``--replicas N``
+    (N > 1, POSIX only) the process becomes a pre-fork supervisor: N replica
+    processes share the announced listener, crashed replicas are restarted
+    with bounded backoff, and the shutdown signal propagates as a graceful
+    drain to every replica.  Configuration errors — an unusable
+    ``--backend``, an unknown ``--solver``, an unbindable port, ``--replicas
+    > 1`` without ``os.fork`` — exit 1 before the server accepts any request.
     """
     import asyncio
     import signal
@@ -483,6 +493,9 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
     parser = _build_serve_parser(prog)
     args = parser.parse_args(argv)
     try:
+        if args.replicas < 1:
+            raise SpecificationError(
+                f"--replicas must be >= 1, got {args.replicas}")
         get_solver(args.solver, Objective.MIN_DELAY)
         config = ServiceConfig(max_batch=args.max_batch,
                                max_wait_ms=args.max_wait_ms,
@@ -500,6 +513,35 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.replicas > 1:
+        from .service.replicas import ReplicaSupervisor
+
+        def announce_fleet(sup) -> None:
+            print(f"repro-serve listening on {sup.host}:{sup.port} "
+                  f"(solver={config.default_solver}, "
+                  f"max_batch={config.max_batch}, "
+                  f"max_wait_ms={config.max_wait_ms:g}, "
+                  f"workers={int(config.workers or 1)}, "
+                  f"replicas={sup.replicas}, "
+                  f"listener={'so_reuseport' if sup.reuse_port else 'shared-fd'})",
+                  flush=True)
+
+        try:
+            supervisor = ReplicaSupervisor(config, host=args.host,
+                                           port=args.port,
+                                           replicas=args.replicas,
+                                           announce=announce_fleet)
+            code = supervisor.run()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port} ({exc})",
+                  file=sys.stderr)
+            return 1
+        print("repro-serve drained and stopped", flush=True)
+        return code
 
     async def run() -> None:
         stop = asyncio.Event()
@@ -537,9 +579,12 @@ def _build_loadtest_parser(prog: str = "repro loadtest"
     parser = argparse.ArgumentParser(
         prog=prog,
         description="Replay a workload against a running repro serve "
-                    "instance with N concurrent closed-loop clients and "
-                    "report p50/p99 latency, throughput and achieved batch "
-                    "size (repro.service.loadtest).")
+                    "instance — N concurrent closed-loop clients by default, "
+                    "or an open-loop arrival schedule (--arrival-rate / "
+                    "--trace) over a bounded connection pool — and report "
+                    "p50/p99 latency, throughput, schedule lag, per-replica "
+                    "attribution and achieved batch size "
+                    "(repro.service.loadtest).")
     parser.add_argument("--host", default="127.0.0.1",
                         help="server host (default: 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8423,
@@ -568,6 +613,22 @@ def _build_loadtest_parser(prog: str = "repro loadtest"
                         help="recorded workload: JSONL of "
                              "ProblemInstance.to_dict payloads, replayed "
                              "round-robin (overrides the generated workload)")
+    parser.add_argument("--arrival-rate", type=float, default=None,
+                        metavar="RPS",
+                        help="open-loop mode: offer requests on a Poisson "
+                             "arrival schedule at this rate (req/s) over "
+                             "--duration, deterministic under --seed, "
+                             "instead of closed-loop clients")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="open-loop mode: replay a recorded trace — "
+                             "JSONL of {\"t\": seconds, \"instance\": {...}} "
+                             "— on its own timestamps (mutually exclusive "
+                             "with --arrival-rate)")
+    parser.add_argument("--max-connections", type=int, default=32,
+                        metavar="M",
+                        help="open-loop mode: size of the keep-alive "
+                             "connection pool multiplexing the schedule "
+                             "(default: 32)")
     parser.add_argument("--no-keep-alive", action="store_true",
                         help="one TCP connection per request instead of "
                              "persistent keep-alive connections (the PR 5 "
@@ -590,19 +651,31 @@ def main_loadtest(argv: Optional[Sequence[str]] = None, *,
                   prog: str = "repro loadtest") -> int:
     """Entry point of ``repro loadtest``; returns a process exit code.
 
-    Exit codes: 0 on a completed run, 1 when no server answers, the workload
-    is unusable, or every request failed (the summary is still printed so a
-    broken deployment is diagnosable).
+    Exit codes: 0 on a completed run; 1 when the run could not start — no
+    server answers (unreachable host/port) or the workload/trace/parameters
+    are unusable; 2 when the run happened but produced nothing usable —
+    no request completed or every request failed (the summary is still
+    printed either way, so a broken deployment is diagnosable and
+    distinguishable from an absent one).
     """
-    from .service import load_workload, generate_workload, run_loadtest
+    from .service import (generate_workload, load_trace, load_workload,
+                          run_loadtest)
+    from .service.client import ServiceUnavailableError
 
     parser = _build_loadtest_parser(prog)
     args = parser.parse_args(argv)
     objective = (Objective.MIN_DELAY if args.objective == "delay"
                  else Objective.MAX_FRAME_RATE)
     try:
+        if args.arrival_rate is not None and args.trace is not None:
+            raise SpecificationError(
+                "--arrival-rate and --trace are mutually exclusive open-loop "
+                "modes; pass one")
+        trace = load_trace(args.trace) if args.trace is not None else None
         if args.replay is not None:
             instances = load_workload(args.replay)
+        elif trace is not None:
+            instances = None  # the trace carries its own instances
         else:
             instances = generate_workload(
                 args.instances, n_modules=args.modules, n_nodes=args.nodes,
@@ -613,7 +686,12 @@ def main_loadtest(argv: Optional[Sequence[str]] = None, *,
             solver=args.solver, objective=objective,
             keep_alive=not args.no_keep_alive,
             use_network_refs=not args.no_network_refs,
-            warmup=not args.no_warmup)
+            warmup=not args.no_warmup,
+            arrival_rate=args.arrival_rate, trace=trace,
+            max_connections=args.max_connections, seed=args.seed)
+    except ServiceUnavailableError as exc:
+        print(f"error: server unreachable: {exc}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -627,11 +705,11 @@ def main_loadtest(argv: Optional[Sequence[str]] = None, *,
     if result.requests_total == 0:
         print("error: no request completed inside the measured window",
               file=sys.stderr)
-        return 1
+        return 2
     if result.errors_total == result.requests_total:
         print("error: every request failed — check the server's solver/"
               "backend configuration", file=sys.stderr)
-        return 1
+        return 2
     return 0
 
 

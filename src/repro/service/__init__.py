@@ -24,8 +24,15 @@ Layers (see ``docs/ARCHITECTURE.md``, "Service layer"):
   (:class:`SolveServer`, :class:`BackgroundServer`, :func:`serve`),
 * :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
   keep-alive helper used by tests, benchmarks and the CI smoke step,
-* :mod:`repro.service.loadtest` — the closed-loop load harness behind
-  ``repro loadtest`` (:func:`run_loadtest`, :class:`LoadtestResult`).
+* :mod:`repro.service.replicas` — pre-fork replica processes behind one
+  shared listener (``repro serve --replicas N``): :class:`ReplicaSupervisor`
+  with crash restart + graceful drain, and the shared-memory
+  :class:`FleetState` behind the ``fleet`` block of ``/healthz``,
+* :mod:`repro.service.loadtest` — the load harness behind ``repro
+  loadtest`` (:func:`run_loadtest`, :class:`LoadtestResult`): closed-loop
+  concurrent clients, or open-loop arrival schedules — seeded Poisson
+  (:func:`poisson_schedule`) or recorded timestamped traces
+  (:func:`load_trace`) — over a bounded connection pool.
 """
 
 from .client import ServiceClient, ServiceUnavailableError
@@ -33,8 +40,16 @@ from .dispatcher import ServiceConfig, SolveService
 from .loadtest import (
     LoadtestResult,
     generate_workload,
+    load_trace,
     load_workload,
+    poisson_schedule,
     run_loadtest,
+)
+from .replicas import (
+    FleetState,
+    ReplicaSupervisor,
+    bind_listeners,
+    run_replica,
 )
 from .server import BackgroundServer, SolveServer, serve
 from .wire import (
@@ -62,8 +77,14 @@ __all__ = [
     "serve",
     "ServiceClient",
     "ServiceUnavailableError",
+    "FleetState",
+    "ReplicaSupervisor",
+    "bind_listeners",
+    "run_replica",
     "LoadtestResult",
     "generate_workload",
+    "load_trace",
     "load_workload",
+    "poisson_schedule",
     "run_loadtest",
 ]

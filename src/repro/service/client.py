@@ -153,6 +153,12 @@ class ServiceClient:
         #: close() can shut them all down from any one thread.
         self._open_connections: set = set()
         self._connections_lock = threading.Lock()
+        #: Stale-socket retries that were actually taken: the server closed
+        #: (or a replica died under) a previously-working keep-alive
+        #: connection and the exchange was transparently replayed on a fresh
+        #: one.  Observable so tests can pin that a replica kill really
+        #: exercised the reconnect path.
+        self.reconnects_total = 0
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -238,6 +244,7 @@ class ServiceClient:
                 last_exc = exc
                 if fresh or attempt == 1:
                     break
+                self.reconnects_total += 1
                 continue
             except (OSError, socket.timeout) as exc:
                 self._drop_connection()

@@ -201,8 +201,15 @@ class SolveService:
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
-                 options: Optional[SolveOptions] = None) -> None:
+                 options: Optional[SolveOptions] = None,
+                 replica_id: int = 0) -> None:
         self.config = config or ServiceConfig()
+        #: Which pre-fork replica this service runs in (0 for a single
+        #: process).  Stamped into every response and the healthz payload;
+        #: each replica constructs its own SolveService *after* the fork, so
+        #: dispatch state — the pending queue, the flush executor and the
+        #: network interner — is never shared across replicas.
+        self.replica_id = int(replica_id)
         if options is not None:
             # Late options merge: same rules as ServiceConfig(options=...),
             # re-validated by the replacement config's __post_init__.
@@ -411,6 +418,7 @@ class SolveService:
                    or os.environ.get(BACKEND_ENV_VAR) or "numpy")
         payload: Dict[str, Any] = {
             "status": "ok" if self._running else "stopped",
+            "replica_id": self.replica_id,
             "queue_depth": self.queue_depth,
             "pending": len(self._pending),
             "inflight": self._inflight,

@@ -25,6 +25,14 @@ before any buffering.  Routes:
   engine and backend configuration (:meth:`SolveService.status`) plus the
   server's accepted-connection counter.
 
+Every response carries a ``replica_id`` (0 for a single-process server) so
+clients and the loadtest harness can attribute traffic per replica.  Under a
+pre-fork fleet (``repro serve --replicas N``,
+:mod:`repro.service.replicas`) the server publishes its counters into the
+shared :class:`~repro.service.replicas.FleetState` and ``/healthz`` answers
+gain a summed ``fleet`` block plus a ``per_replica`` list, so one probe sees
+the whole fleet no matter which replica accepted it.
+
 :class:`BackgroundServer` runs the whole stack on a daemon thread for tests,
 benchmarks and notebooks; the CLI (``repro serve``) runs it in the foreground
 with graceful drain on SIGINT/SIGTERM.
@@ -47,13 +55,25 @@ __all__ = ["SolveServer", "BackgroundServer", "serve"]
 
 
 class SolveServer:
-    """Bind the service to a host/port; owns the ``asyncio.start_server``."""
+    """Bind the service to a host/port; owns the ``asyncio.start_server``.
+
+    ``sock`` (a bound, listening socket) replaces host/port binding — the
+    pre-fork replica path (:mod:`repro.service.replicas`) hands every child
+    the listener its supervisor bound before forking.  ``replica_id`` tags
+    every response (and the healthz payload); ``fleet`` is the shared
+    :class:`~repro.service.replicas.FleetState` this replica publishes its
+    counters into.
+    """
 
     def __init__(self, service: SolveService, *, host: str = "127.0.0.1",
-                 port: int = 8423) -> None:
+                 port: int = 8423, sock=None, replica_id: int = 0,
+                 fleet=None) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.sock = sock
+        self.replica_id = int(replica_id)
+        self.fleet = fleet
         self._server: Optional["asyncio.AbstractServer"] = None
         #: Live connection-handler tasks; close() awaits them so a drained
         #: request's response write can never be cancelled by loop teardown
@@ -85,8 +105,12 @@ class SolveServer:
         """Start the service and listen; ``port=0`` resolves to a free port."""
         await self.service.start()
         self._closing = False
-        self._server = await asyncio.start_server(self._handle, self.host,
-                                                  self.port)
+        if self.sock is not None:
+            self._server = await asyncio.start_server(self._handle,
+                                                      sock=self.sock)
+        else:
+            self._server = await asyncio.start_server(self._handle, self.host,
+                                                      self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def close(self, *, drain: bool = True) -> None:
@@ -170,6 +194,16 @@ class SolveServer:
             except Exception:  # pragma: no cover - already torn down
                 pass
 
+    def _publish_fleet(self) -> None:
+        """Push this replica's counters into the shared fleet table."""
+        if self.fleet is None:
+            return
+        service = self.service
+        self.fleet.publish(self.replica_id, (
+            service.requests_total, service.responses_total,
+            service.flushes_total, service.flushed_requests_total,
+            self.connections_total))
+
     async def _respond(self, method: str, path: str, body: bytes
                        ) -> Tuple[int, Dict[str, Any]]:
         if path.split("?", 1)[0] == "/healthz":
@@ -178,6 +212,13 @@ class SolveServer:
             payload = self.service.status()
             payload["connections_total"] = self.connections_total
             payload["request_cache_hits"] = self.request_cache_hits
+            if self.fleet is not None:
+                # Publish first so the summed fleet block includes this very
+                # probe's numbers; sibling rows are as fresh as their last
+                # response (each replica publishes per response written).
+                self._publish_fleet()
+                payload["fleet"] = self.fleet.summary()
+                payload["per_replica"] = self.fleet.per_replica()
             return 200, payload
         if path.split("?", 1)[0] == "/delta":
             if method != "POST":
@@ -221,13 +262,16 @@ class SolveServer:
                 self._parsed_requests.popitem(last=False)
         return 200, await self.service.submit(request)
 
-    @staticmethod
-    async def _write_json(writer: "asyncio.StreamWriter", status: int,
+    async def _write_json(self, writer: "asyncio.StreamWriter", status: int,
                           payload: Dict[str, Any], *,
                           keep_alive: bool = True) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 413: "Payload Too Large",
                    500: "Internal Server Error"}
+        # Every response names the replica that served it — per-replica
+        # attribution for clients and the open-loop loadtest report.
+        payload.setdefault("replica_id", self.replica_id)
+        self._publish_fleet()
         body = json.dumps(payload).encode("utf-8")
         connection = "keep-alive" if keep_alive else "close"
         head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"

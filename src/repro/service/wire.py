@@ -40,6 +40,17 @@ ordinary ``ok: false`` responses carrying it).  ``repro-serve/1`` payloads —
 no ``schema`` field, or ``schema: "repro-serve/1"`` — are accepted verbatim:
 every ``/1`` field means the same thing, ``priority`` just defaults to 0.
 Requests naming any *other* schema are rejected at parse time.
+
+Responses additionally carry a ``replica_id`` (stamped by the HTTP server,
+0 for a single-process deployment): under a pre-fork fleet (``repro serve
+--replicas N``) it names the replica that served the request, which is what
+lets the open-loop loadtest report attribute traffic per replica.  Interners
+are per-replica — each replica re-interns a topology on first sight — but
+references are *digests* of the canonical network payload, pure functions of
+its content, so a ``network_ref`` learned from one replica names the same
+topology on every other; a replica that has not interned it yet answers
+"unknown network ref" and the client transparently re-posts the full
+payload once (:meth:`ServiceClient.solve`).
 """
 
 from __future__ import annotations

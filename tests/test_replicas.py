@@ -1,0 +1,383 @@
+"""Tests for pre-fork service replicas (repro.service.replicas).
+
+Covers the PR's replica acceptance surface: the shared-listener binding
+modes, the shared-memory fleet table, fleet-aggregated ``/healthz`` through
+a real ``repro serve --replicas 2`` subprocess, per-replica interner
+independence with portable ``network_ref`` digests (a ref learned from one
+replica resolves on another via the client's transparent re-post), and the
+supervisor's crash-restart loop keeping clients served while a replica is
+killed mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.generators import random_network, random_pipeline, random_request
+from repro.model import ProblemInstance
+from repro.service import (
+    BackgroundServer,
+    FleetState,
+    NetworkInterner,
+    ReplicaSupervisor,
+    ServiceClient,
+    ServiceConfig,
+    SolveService,
+    bind_listeners,
+)
+from repro.service.replicas import FLEET_COUNTERS
+
+requires_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                   reason="pre-fork replicas need os.fork")
+
+
+def _instances(count, *, network_seed=3, n_nodes=12, n_links=30, n_modules=6):
+    network = random_network(n_nodes, n_links, seed=network_seed)
+    return [
+        ProblemInstance(
+            pipeline=random_pipeline(n_modules, seed=100 + i),
+            network=network,
+            request=random_request(network, seed=200 + i, min_hop_distance=2),
+            name=f"replica-{i}")
+        for i in range(count)
+    ]
+
+
+def _spawn_fleet(replicas, *extra_args):
+    """``repro serve --replicas N`` as a subprocess; returns (proc, port)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    args = ["serve", "--port", "0", "--replicas", str(replicas),
+            "--max-wait-ms", "1", *extra_args]
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys; from repro.cli import main; "
+         "raise SystemExit(main(sys.argv[1:]))", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True)
+    announce = proc.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", announce)
+    assert match, f"no announce line, got {announce!r}"
+    if replicas > 1:
+        assert f"replicas={replicas}" in announce
+    return proc, int(match.group(1))
+
+
+def _stop_fleet(proc):
+    proc.send_signal(signal.SIGINT)
+    assert proc.wait(timeout=60) == 0
+    assert "drained and stopped" in proc.stdout.read()
+
+
+def _wait_fleet_ready(client, replicas, timeout=30.0):
+    """Poll ``/healthz`` until every replica is alive (post-fork startup)."""
+    client.wait_ready(timeout=timeout)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.healthz()
+        if status["fleet"]["alive"] == replicas:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"fleet never reached {replicas} alive replicas")
+
+
+class TestBindListeners:
+    def test_single_listener(self):
+        socks, port, reuse = bind_listeners("127.0.0.1", 0, 1)
+        try:
+            assert len(socks) == 1 and port > 0 and reuse is False
+        finally:
+            for sock in socks:
+                sock.close()
+
+    @pytest.mark.skipif(not hasattr(socket, "SO_REUSEPORT"),
+                        reason="platform lacks SO_REUSEPORT")
+    def test_reuseport_gives_one_socket_per_replica(self):
+        socks, port, reuse = bind_listeners("127.0.0.1", 0, 3)
+        try:
+            assert reuse is True
+            assert len(socks) == 3
+            assert all(sock.getsockname()[1] == port for sock in socks)
+        finally:
+            for sock in socks:
+                sock.close()
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(SpecificationError, match="listener count"):
+            bind_listeners("127.0.0.1", 0, 0)
+
+    def test_bound_port_conflict_raises(self):
+        socks, port, _reuse = bind_listeners("127.0.0.1", 0, 1)
+        try:
+            with pytest.raises(OSError):
+                bind_listeners("127.0.0.1", port, 1)
+        finally:
+            for sock in socks:
+                sock.close()
+
+
+class TestFleetState:
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(SpecificationError, match="replicas"):
+            FleetState(0)
+
+    def test_publish_and_summary_roundtrip(self):
+        fleet = FleetState(2)
+        fleet.mark_spawned(0, 111)
+        fleet.mark_spawned(1, 222)
+        fleet.publish(0, (10, 9, 4, 9, 3))
+        fleet.publish(1, (20, 18, 7, 18, 5))
+        rows = fleet.per_replica()
+        assert [row["replica_id"] for row in rows] == [0, 1]
+        assert [row["pid"] for row in rows] == [111, 222]
+        assert all(row["alive"] for row in rows)
+        assert rows[0]["requests_total"] == 10
+        assert rows[1]["connections_total"] == 5
+        summary = fleet.summary()
+        assert summary["replicas"] == 2
+        assert summary["alive"] == 2
+        assert summary["restarts_total"] == 0
+        assert summary["requests_total"] == 30
+        assert summary["responses_total"] == 27
+        assert set(FLEET_COUNTERS) <= set(summary)
+
+    def test_death_and_restart_accounting(self):
+        fleet = FleetState(2)
+        fleet.mark_spawned(0, 111)
+        fleet.mark_spawned(1, 222)
+        fleet.mark_dead(1)
+        assert fleet.summary()["alive"] == 1
+        fleet.record_restart(1)
+        fleet.mark_spawned(1, 333)
+        summary = fleet.summary()
+        assert summary["alive"] == 2
+        assert summary["restarts_total"] == 1
+        assert fleet.per_replica()[1]["pid"] == 333
+
+
+class TestSupervisorValidation:
+    @requires_fork
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(SpecificationError, match="replicas"):
+            ReplicaSupervisor(replicas=0)
+
+    @requires_fork
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(SpecificationError, match="backoff"):
+            ReplicaSupervisor(replicas=2, restart_backoff_s=1.0,
+                              max_backoff_s=0.5)
+
+
+class TestInternerIndependence:
+    def test_each_service_owns_its_interner(self):
+        config = ServiceConfig(max_wait_ms=0.0)
+        a, b = SolveService(config), SolveService(config)
+        assert a.interner is not b.interner
+        payload = _instances(1)[0].network.to_dict()
+        a.interner.intern(payload)
+        assert len(a.interner) == 1 and len(b.interner) == 0
+
+    def test_replica_id_tagged_on_status(self):
+        service = SolveService(ServiceConfig(max_wait_ms=0.0), replica_id=3)
+        assert service.replica_id == 3
+        assert service.status()["replica_id"] == 3
+        assert SolveService(ServiceConfig(max_wait_ms=0.0)).status()[
+            "replica_id"] == 0
+
+    @requires_fork
+    def test_ref_digest_identical_across_fork(self):
+        """network_ref is a pure digest of the payload, so independent
+        per-replica interners assign the same ref to the same topology."""
+        import multiprocessing
+
+        payload = _instances(1)[0].network.to_dict()
+        parent_ref = NetworkInterner.ref_of(payload)
+        context = multiprocessing.get_context("fork")
+        child_queue = context.Queue()
+
+        def child():
+            child_queue.put(NetworkInterner.ref_of(payload))
+
+        process = context.Process(target=child)
+        process.start()
+        child_ref = child_queue.get(timeout=30)
+        process.join(timeout=30)
+        assert child_ref == parent_ref
+
+    def test_ref_learned_on_one_server_resolves_on_another(self):
+        """A client that learned a network_ref from server A keeps using it
+        against server B (fresh interner): B answers unknown-ref once, the
+        client re-posts in full transparently, and the re-assigned ref is
+        the same digest."""
+        instances = _instances(2)
+        config = ServiceConfig(max_wait_ms=0.0)
+        with BackgroundServer(config) as a, BackgroundServer(config) as b:
+            client = ServiceClient(port=a.port)
+            try:
+                first = client.solve(instances[0])
+                assert first["ok"] and first["network_ref"]
+                # Rebind the same client object (and its learned refs) to B.
+                client.close()
+                client.port = b.port
+                second = client.solve(instances[1])
+                assert second["ok"]
+                assert second["network_ref"] == first["network_ref"]
+            finally:
+                client.close()
+
+
+@requires_fork
+class TestReplicaFleet:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        proc, port = _spawn_fleet(2)
+        try:
+            yield port
+        finally:
+            _stop_fleet(proc)
+
+    def test_healthz_aggregates_the_fleet(self, fleet):
+        with ServiceClient(port=fleet, timeout=30) as client:
+            status = _wait_fleet_ready(client, 2)
+        assert status["replica_id"] in (0, 1)
+        assert status["fleet"]["replicas"] == 2
+        assert status["fleet"]["alive"] == 2
+        rows = status["per_replica"]
+        assert [row["replica_id"] for row in rows] == [0, 1]
+        assert all(row["alive"] for row in rows)
+        pids = {row["pid"] for row in rows}
+        assert len(pids) == 2 and all(pid > 0 for pid in pids)
+
+    def test_refs_portable_across_replicas_under_kernel_balancing(self, fleet):
+        """Per-request connections hash across replicas; every solve keeps
+        using the ref learned from whichever replica answered first, and the
+        unknown-ref re-post makes that invisible to the caller."""
+        instances = _instances(6)
+        seen = set()
+        with ServiceClient(port=fleet, timeout=30, keep_alive=False) as client:
+            _wait_fleet_ready(client, 2)
+            refs = set()
+            for attempt in range(40):
+                response = client.solve(instances[attempt % len(instances)])
+                assert response["ok"], response.get("error")
+                assert "replica_id" in response
+                seen.add(response["replica_id"])
+                refs.add(response["network_ref"])
+                if len(seen) == 2 and attempt >= 12:
+                    break
+        assert seen == {0, 1}, f"kernel never balanced: {seen}"
+        assert len(refs) == 1  # same topology -> same digest on every replica
+
+    def test_fleet_counters_accumulate_across_replicas(self, fleet):
+        instances = _instances(3)
+        with ServiceClient(port=fleet, timeout=30) as client:
+            before = _wait_fleet_ready(client, 2)["fleet"]
+            for instance in instances:
+                assert client.solve(instance)["ok"]
+            after = client.healthz()["fleet"]
+        assert after["responses_total"] - before["responses_total"] \
+            >= len(instances)
+        assert after["requests_total"] >= after["responses_total"] - 1
+
+
+@requires_fork
+class TestReplicaRestart:
+    def test_killed_replica_restarts_and_clients_keep_being_served(self):
+        """SIGKILL one replica mid-run: the supervisor restarts it, the
+        fleet returns to full strength, and a client hammering the fleet
+        the whole time never hangs and never loses a request silently —
+        every solve() returns (ok or a raised error), and service resumes
+        within the run."""
+        proc, port = _spawn_fleet(2)
+        instances = _instances(4)
+        outcomes = []  # (phase, ok) tuples, append-only from one thread
+        phase = {"value": "before"}
+        stop = threading.Event()
+
+        def requester():
+            with ServiceClient(port=port, timeout=30) as client:
+                while not stop.is_set():
+                    try:
+                        response = client.solve(
+                            instances[len(outcomes) % len(instances)])
+                        outcomes.append((phase["value"],
+                                         bool(response.get("ok"))))
+                    except Exception:
+                        # A connection torn down by the kill may surface
+                        # once; what matters is that it *returns*.
+                        outcomes.append((phase["value"], False))
+                    time.sleep(0.01)
+
+        try:
+            with ServiceClient(port=port, timeout=30) as probe:
+                status = _wait_fleet_ready(probe, 2)
+                victim = status["per_replica"][1]["pid"]
+                thread = threading.Thread(target=requester, daemon=True)
+                thread.start()
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline and not any(
+                        ok for _p, ok in outcomes):
+                    time.sleep(0.02)
+                assert any(ok for _p, ok in outcomes), \
+                    "no successful solve before the kill"
+                phase["value"] = "during"
+                os.kill(victim, signal.SIGKILL)
+                restarted = None
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    fleet = probe.healthz()["fleet"]
+                    if fleet["alive"] == 2 and fleet["restarts_total"] >= 1:
+                        restarted = fleet
+                        break
+                    time.sleep(0.05)
+                assert restarted, "supervisor never restarted the replica"
+                phase["value"] = "after"
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline and not any(
+                        p == "after" and ok for p, ok in outcomes):
+                    time.sleep(0.02)
+                stop.set()
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "requester hung"
+                assert any(p == "after" and ok for p, ok in outcomes), \
+                    "no successful solve after the restart"
+                # The kill may cost individual exchanges an error, but the
+                # client as a whole kept being served.
+                assert sum(ok for _p, ok in outcomes) \
+                    > sum(not ok for _p, ok in outcomes)
+        finally:
+            stop.set()
+            _stop_fleet(proc)
+
+
+@requires_fork
+class TestReplicaCLI:
+    def test_replicas_must_be_positive(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--port", "0", "--replicas", "0"]) == 1
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_solo_replica_stays_single_process(self):
+        """--replicas 1 keeps the plain in-process server (no supervisor),
+        so the non-POSIX path and the default path stay identical."""
+        proc, port = _spawn_fleet(1)
+        try:
+            with ServiceClient(port=port, timeout=30) as client:
+                client.wait_ready(timeout=30)
+                status = client.healthz()
+                assert status["replica_id"] == 0
+                assert "fleet" not in status
+        finally:
+            _stop_fleet(proc)

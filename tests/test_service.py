@@ -524,6 +524,21 @@ class TestServeCli:
             assert proc.wait(timeout=30) == 0
         assert "drained and stopped" in proc.stdout.read()
 
+class TestReplicaTagging:
+    def test_responses_carry_replica_id_zero_by_default(self):
+        """Every JSON response names its serving replica; a plain
+        single-process server is replica 0 (so loadtest attribution and the
+        fleet tests have one uniform field to read)."""
+        instances = _instances(1)
+        with BackgroundServer(ServiceConfig(max_wait_ms=0.0)) as server:
+            with server.client() as client:
+                response = client.solve(instances[0])
+                status = client.healthz()
+        assert response["ok"] and response["replica_id"] == 0
+        assert status["replica_id"] == 0
+        assert "fleet" not in status  # no fleet table without --replicas
+
+
 class TestKeepAlive:
     def test_multi_solve_session_uses_one_connection(self):
         """Regression: a session of solves + healthz rides ONE server-side
@@ -578,9 +593,12 @@ class TestKeepAlive:
         try:
             with ServiceClient(port=port, timeout=5) as client:
                 assert client.request("GET", "/healthz")["ok"] is True
+                assert client.reconnects_total == 0
                 # The persistent socket is now dead; this must retry once on
                 # a fresh connection rather than surface an error.
                 assert client.request("GET", "/healthz")["ok"] is True
+                # ...and the silent retry is observable for monitoring.
+                assert client.reconnects_total == 1
             thread.join(timeout=5)
             assert len(accepted) == 2
         finally:
