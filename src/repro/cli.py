@@ -462,7 +462,11 @@ def _build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
                              "(repro.placement.ClusterState) and reject, "
                              "rather than answer, requests the cluster "
                              "cannot hold; higher-priority requests in a "
-                             "batch are admitted first")
+                             "batch are admitted first; with --replicas N "
+                             "the supervisor creates one shared-memory "
+                             "fleet ledger so all replicas charge the same "
+                             "budgets (and a crashed replica's reservations "
+                             "are released on reap)")
     parser.add_argument("--admission-capacity-factor", type=float, default=1.0,
                         help="scale the ledger's node and link budgets "
                              "(with --admission-control; default: 1.0)")
@@ -524,7 +528,10 @@ def main_serve(argv: Optional[Sequence[str]] = None, *,
                   f"max_wait_ms={config.max_wait_ms:g}, "
                   f"workers={int(config.workers or 1)}, "
                   f"replicas={sup.replicas}, "
-                  f"listener={'so_reuseport' if sup.reuse_port else 'shared-fd'})",
+                  f"listener={'so_reuseport' if sup.reuse_port else 'shared-fd'}"
+                  + (", admission=shared-ledger"
+                     if config.admission_control else "")
+                  + ")",
                   flush=True)
 
         try:

@@ -207,8 +207,11 @@ def _build_flow_network(coerced: Sequence[PlacementRequest],
     # among equals.
     hop_penalty = 0.1 * float(np.median(per_op_ms))
 
+    # One consistent read of the budgets: against a shared store the live
+    # array can move while the flow network is being built.
+    remaining_vec = cluster.node_remaining_vector()
     for index in range(k):
-        remaining = float(cluster.node_remaining[index])
+        remaining = float(remaining_vec[index])
         if remaining > 0:
             mcmf.add_edge(node_vertex(index), 1, remaining, 0.0)
 
@@ -235,7 +238,7 @@ def _build_flow_network(coerced: Sequence[PlacementRequest],
             demand = fps * workloads[j]
             mcmf.add_edge(pipeline_vertex[i], stage_vertex, demand, 0.0)
             for v_index in range(k):
-                if cluster.node_remaining[v_index] <= 0:
+                if remaining_vec[v_index] <= 0:
                     continue
                 hs, hd = int(hop_src[v_index]), int(hop_dst[v_index])
                 if hs < 0 or hd < 0:

@@ -81,11 +81,10 @@ def _prefilter(request: PlacementRequest, cluster: ClusterState
     min_inner = min((w for w in inner if w > 0), default=0.0)
     if min_inner > 0:
         min_node_need = fps * min_inner
-        for index, node_id in enumerate(cluster.view.node_ids):
+        for node_id, remaining, slack in cluster.node_budgets():
             if node_id in (req.source, req.destination):
                 continue
-            slack = cluster._slack(cluster.node_capacity[index])
-            if cluster.node_remaining[index] + slack < min_node_need:
+            if remaining + slack < min_node_need:
                 excluded_nodes.add(node_id)
 
     messages = [pipeline.message_size(j)
@@ -93,8 +92,7 @@ def _prefilter(request: PlacementRequest, cluster: ClusterState
     min_bytes = min((b for b in messages if b > 0), default=0.0)
     if min_bytes > 0:
         min_link_need = fps * min_bytes * BITS_PER_BYTE
-        for key, remaining in cluster.link_remaining.items():
-            slack = cluster._slack(cluster.link_capacity[key])
+        for key, remaining, slack in cluster.link_budgets():
             if remaining + slack < min_link_need:
                 excluded_links.add(key)
     return excluded_nodes, excluded_links
@@ -127,20 +125,19 @@ def solve_on_residual(request: PlacementRequest, cluster: ClusterState, *,
             "requests in a placement batch must share one TransportNetwork "
             "object")
     req = instance.request
-    source_index = cluster.view.index_of[req.source]
-    dest_index = cluster.view.index_of[req.destination]
-    for label, index in (("source", source_index), ("destination", dest_index)):
+    for label, node_id in (("source", req.source),
+                           ("destination", req.destination)):
         # An endpoint with a fully drained compute budget can never host its
         # pinned module; fail fast with the real reason instead of a generic
         # infeasibility from a network missing the endpoint.
-        slack = cluster._slack(cluster.node_capacity[index])
-        if cluster.node_remaining[index] + slack <= 0 and request.demand_fps > 0:
+        if (cluster.remaining_node(node_id) + cluster.node_slack(node_id) <= 0
+                and request.demand_fps > 0):
             workloads = instance.pipeline.workloads()
             pinned = workloads[0] if label == "source" else workloads[-1]
             if pinned > 0:
                 raise CapacityError(
-                    f"{label} node {cluster.view.node_ids[index]} has no "
-                    "remaining compute capacity")
+                    f"{label} node {node_id} has no remaining compute "
+                    "capacity")
 
     bad_nodes, bad_links = _prefilter(request, cluster)
     if excluded_nodes:

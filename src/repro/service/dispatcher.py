@@ -47,7 +47,8 @@ from ..core.batch import SolveOptions, resolve_solver_backend, solve_many
 from ..core.mapping import Objective
 from ..exceptions import CapacityError, ReproError, SpecificationError
 from .wire import (SUPPORTED_SCHEMAS, WIRE_SCHEMA, NetworkInterner,
-                   SolveRequest, error_response, item_result_to_wire)
+                   SolveRequest, error_response, item_result_to_wire,
+                   occupancy_to_wire)
 
 __all__ = ["ServiceConfig", "SolveService"]
 
@@ -202,7 +203,8 @@ class SolveService:
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
                  options: Optional[SolveOptions] = None,
-                 replica_id: int = 0) -> None:
+                 replica_id: int = 0,
+                 fleet_ledger: Optional[Any] = None) -> None:
         self.config = config or ServiceConfig()
         #: Which pre-fork replica this service runs in (0 for a single
         #: process).  Stamped into every response and the healthz payload;
@@ -210,6 +212,14 @@ class SolveService:
         #: dispatch state — the pending queue, the flush executor and the
         #: network interner — is never shared across replicas.
         self.replica_id = int(replica_id)
+        #: The fleet's shared admission slab
+        #: (:class:`repro.placement.SharedLedger`, already attached), or
+        #: ``None`` for private per-service ledgers.  When set, admission
+        #: ledgers are backed by :class:`repro.placement.SharedStore` slots
+        #: keyed by the network's wire ref, so every replica charges the
+        #: same budgets — an N-replica fleet admits exactly what one ledger
+        #: allows.
+        self.fleet_ledger = fleet_ledger
         if options is not None:
             # Late options merge: same rules as ServiceConfig(options=...),
             # re-validated by the replacement config's __post_init__.
@@ -464,6 +474,11 @@ class SolveService:
             if self.staleness_samples else 0.0)
         if self.config.admission_control:
             payload["admission_ledgers"] = len(self._ledgers)
+            payload["admission_store"] = ("shared"
+                                          if self.fleet_ledger is not None
+                                          else "local")
+            payload["admission_occupancy"] = occupancy_to_wire(
+                self._occupancy_raw())
         if self._runner is not None:
             payload["runner"] = self._runner.stats()
         return payload
@@ -633,6 +648,33 @@ class SolveService:
     # ------------------------------------------------------------------ #
     # Admission control
     # ------------------------------------------------------------------ #
+    def _occupancy_raw(self) -> Dict[str, float]:
+        """Raw ledger-occupancy sums behind healthz ``admission_occupancy``.
+
+        Against a shared fleet slab the sums are fleet-wide and come straight
+        from :meth:`repro.placement.SharedLedger.occupancy`; against private
+        ledgers they aggregate this service's own :class:`ClusterState`
+        objects (``released_total`` then counts this service's releases).
+        """
+        if self.fleet_ledger is not None:
+            return self.fleet_ledger.occupancy()
+        import numpy as np
+
+        totals = {"networks": 0.0, "node_capacity": 0.0,
+                  "node_remaining": 0.0, "link_capacity": 0.0,
+                  "link_remaining": 0.0, "released_total": 0.0}
+        for ledger in self._ledgers.values():
+            totals["networks"] += 1.0
+            totals["node_capacity"] += float(ledger.node_capacity.sum())
+            totals["node_remaining"] += float(
+                np.asarray(ledger.node_remaining).sum())
+            totals["link_capacity"] += float(
+                sum(ledger.link_capacity.values()))
+            totals["link_remaining"] += float(
+                sum(ledger.link_remaining.values()))
+            totals["released_total"] += float(ledger.releases_total)
+        return totals
+
     def _ledger_for(self, request: SolveRequest):
         """The capacity ledger of this request's (interned) network."""
         from ..placement import ClusterState
@@ -641,11 +683,21 @@ class SolveService:
         ledger = self._ledgers.get(key)
         if ledger is None or ledger.network is not request.instance.network:
             # New topology — or the interner evicted and re-interned it as a
-            # fresh object, which voids the old ledger's node indices.
+            # fresh object, which voids the old ledger's node indices.  A
+            # shared-slab slot is keyed by the ref digest, so a re-interned
+            # network *rejoins* its existing slot with the drained budgets
+            # intact (the fleet's commitments survive this replica's cache
+            # churn); a private LocalStore starts fresh, as before.
+            store_factory = None
+            if self.fleet_ledger is not None and request.network_ref is not None:
+                base = request.network_ref.split("@", 1)[0]
+                store_factory = partial(self.fleet_ledger.store_for, base,
+                                        self.replica_id)
             ledger = ClusterState.from_network(
                 request.instance.network,
                 node_capacity_factor=self.config.admission_capacity_factor,
-                link_capacity_factor=self.config.admission_capacity_factor)
+                link_capacity_factor=self.config.admission_capacity_factor,
+                store_factory=store_factory)
             self._ledgers[key] = ledger
         return ledger
 
@@ -671,8 +723,11 @@ class SolveService:
                     item, solver=result.solver, objective=result.objective,
                     network_ref=self._response_ref(request))
                 continue
-            ledger = self._ledger_for(request)
             try:
+                # Inside the try: a full shared-slab registry (or a network
+                # exceeding the slot geometry) is a CapacityError too, and
+                # must reject the request, not crash the flush.
+                ledger = self._ledger_for(request)
                 demand = ledger.demand_of(
                     item.mapping,
                     demand_fps=self.config.admission_demand_fps)

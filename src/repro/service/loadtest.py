@@ -296,6 +296,15 @@ class LoadtestResult:
             lines.append(
                 f"{'connections':>18}: "
                 f"{self.server.get('connections', 0):.0f} opened during run")
+            admitted = self.server.get("admitted", 0.0)
+            rejected = self.server.get("rejected", 0.0)
+            if admitted or rejected:
+                total = admitted + rejected
+                share = rejected / total if total else 0.0
+                lines.append(
+                    f"{'admission':>18}: {admitted:.0f} admitted, "
+                    f"{rejected:.0f} rejected "
+                    f"({share:.1%} of decided requests)")
         return "\n".join(lines)
 
     def to_bench_json(self, *, sha: Optional[str] = None) -> Dict[str, Any]:
@@ -321,6 +330,9 @@ class LoadtestResult:
         if "mean_flush_size" in self.server:
             metric["extra:mean_flush_size"] = round(
                 self.server["mean_flush_size"], 3)
+        if self.server.get("admitted") or self.server.get("rejected"):
+            metric["extra:admitted"] = round(self.server["admitted"], 0)
+            metric["extra:rejected"] = round(self.server["rejected"], 0)
         payload: Dict[str, Any] = {
             "schema": BENCH_JSON_SCHEMA,
             "source": "repro-loadtest",
@@ -656,6 +668,12 @@ def _finalize(flat: List[_Record], *, mode: str, clients: int,
             "connections": delta("connections_total"),
             "queue_wait_ms_mean": float(
                 status_after.get("queue_wait_ms_mean", 0.0) or 0.0),
+            # Admission deltas: fleet-block aware like every other counter
+            # (under --replicas N the per-replica healthz totals reset on
+            # restart, the summed fleet block does not).  Zero when the
+            # server runs without --admission-control.
+            "admitted": delta("admitted_total"),
+            "rejected": delta("rejected_total"),
         },
         responses=[(i, r) for i, r in ok_responses] if keep_responses else None,
     )

@@ -69,8 +69,13 @@ __all__ = ["FLEET_COUNTERS", "FleetState", "bind_listeners", "run_replica",
 
 #: Counters every replica publishes into its :class:`FleetState` row, in slot
 #: order.  Summed into the ``fleet`` block of every ``/healthz`` answer.
+#: ``admitted_total``/``rejected_total`` make replicated admission control
+#: observable fleet-wide — on the single-process path they only exist as
+#: top-level healthz fields, and they vanished under ``--replicas N`` before
+#: they had slots here.
 FLEET_COUNTERS = ("requests_total", "responses_total", "flushes_total",
-                  "flushed_requests_total", "connections_total")
+                  "flushed_requests_total", "connections_total",
+                  "admitted_total", "rejected_total")
 
 #: Supervisor-owned per-replica meta slots (pid / liveness / restart count).
 _META_PID, _META_ALIVE, _META_RESTARTS = 0, 1, 2
@@ -204,14 +209,19 @@ def bind_listeners(host: str, port: int, count: int, *, backlog: int = 512
 
 
 def run_replica(config: Optional[ServiceConfig], sock: socket.socket,
-                replica_id: int, fleet: Optional[FleetState] = None) -> int:
+                replica_id: int, fleet: Optional[FleetState] = None,
+                shared_ledger: Optional[Any] = None) -> int:
     """One replica's main: serve on the inherited socket until ``SIGTERM``.
 
     Constructs the :class:`SolveService` *after* the fork, so every replica
-    owns an independent dispatcher, interner and flush executor.  ``SIGTERM``
-    / ``SIGINT`` trigger a graceful drain (every accepted request answered)
-    before the function returns; the caller (the forked child) exits with
-    the returned code.
+    owns an independent dispatcher, interner and flush executor.  When the
+    supervisor created a shared admission slab
+    (:class:`repro.placement.SharedLedger`), the replica *re-attaches* to it
+    by segment name here — the slab's lock rides the fork, only the memory
+    is re-mapped — so every replica's admission ledgers charge one set of
+    budgets.  ``SIGTERM`` / ``SIGINT`` trigger a graceful drain (every
+    accepted request answered) before the function returns; the caller (the
+    forked child) exits with the returned code.
     """
     from .server import SolveServer
 
@@ -219,6 +229,10 @@ def run_replica(config: Optional[ServiceConfig], sock: socket.socket,
     # the event loop installs its own drain triggers.
     signal.signal(signal.SIGINT, signal.SIG_DFL)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    fleet_ledger = None
+    if shared_ledger is not None:
+        fleet_ledger = shared_ledger.attach()
 
     async def main() -> None:
         loop = asyncio.get_running_loop()
@@ -229,12 +243,17 @@ def run_replica(config: Optional[ServiceConfig], sock: socket.socket,
             except NotImplementedError:  # pragma: no cover - non-POSIX loop
                 pass
         server = SolveServer(
-            SolveService(config, replica_id=replica_id),
+            SolveService(config, replica_id=replica_id,
+                         fleet_ledger=fleet_ledger),
             sock=sock, replica_id=replica_id, fleet=fleet)
         await server.start()
         await server.serve_until(stop)
 
-    asyncio.run(main())
+    try:
+        asyncio.run(main())
+    finally:
+        if fleet_ledger is not None:
+            fleet_ledger.close()
     return 0
 
 
@@ -287,6 +306,11 @@ class ReplicaSupervisor:
         self.announce = announce
         self.reuse_port = False
         self.fleet: Optional[FleetState] = None
+        #: The fleet's shared admission slab (created in :meth:`run` when the
+        #: config enables admission control; ``None`` otherwise).  The
+        #: supervisor owns the segment: it creates it pre-fork, refunds dead
+        #: replicas' holdings on reap, and unlinks it at drain.
+        self.shared_ledger: Optional[Any] = None
         self._socks: List[socket.socket] = []
         self._children: Dict[int, int] = {}  # pid -> replica_id
         self._spawned_at: List[float] = [0.0] * replicas
@@ -300,6 +324,12 @@ class ReplicaSupervisor:
         self._socks, self.port, self.reuse_port = bind_listeners(
             self.host, self.port, self.replicas, backlog=self.backlog)
         self.fleet = FleetState(self.replicas)
+        if self.config.admission_control:
+            # Created before any fork so every replica can re-attach by name
+            # and the slab's cross-process lock is inherited by all of them.
+            from ..placement import SharedLedger
+
+            self.shared_ledger = SharedLedger.create(replicas=self.replicas)
         if self.announce is not None:
             self.announce(self)
         previous = {
@@ -320,6 +350,10 @@ class ReplicaSupervisor:
             for sock in self._socks:
                 sock.close()
             self._socks = []
+            if self.shared_ledger is not None:
+                self.shared_ledger.close()
+                self.shared_ledger.unlink()
+                self.shared_ledger = None
         return 0
 
     # ------------------------------------------------------------------ #
@@ -338,7 +372,8 @@ class ReplicaSupervisor:
                 for other in self._socks:
                     if other is not sock:
                         other.close()
-                code = run_replica(self.config, sock, replica_id, self.fleet)
+                code = run_replica(self.config, sock, replica_id, self.fleet,
+                                   self.shared_ledger)
             except BaseException:  # pragma: no cover - child crash path
                 traceback.print_exc()
             finally:
@@ -365,6 +400,14 @@ class ReplicaSupervisor:
             if replica_id is None:  # pragma: no cover - foreign child
                 continue
             self.fleet.mark_dead(replica_id)
+            if self.shared_ledger is not None:
+                # Crash-release: refund whatever capacity the dead replica's
+                # holdings journal says it had reserved, so its admissions do
+                # not leak budget until the fleet restarts.  A replica that
+                # drained cleanly has nothing to refund only if its tenants
+                # released; admission commitments are deliberately sticky, so
+                # the refund applies on every exit path.
+                self.shared_ledger.release_replica(replica_id)
             if self._stopping:
                 continue
             lived = time.monotonic() - self._spawned_at[replica_id]

@@ -202,7 +202,8 @@ class SolveServer:
         self.fleet.publish(self.replica_id, (
             service.requests_total, service.responses_total,
             service.flushes_total, service.flushed_requests_total,
-            self.connections_total))
+            self.connections_total,
+            service.admitted_total, service.rejected_total))
 
     async def _respond(self, method: str, path: str, body: bytes
                        ) -> Tuple[int, Dict[str, Any]]:

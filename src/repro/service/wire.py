@@ -71,7 +71,7 @@ from ..model.serialization import ProblemInstance, mapping_to_dict
 __all__ = ["WIRE_SCHEMA", "WIRE_SCHEMA_V1", "SUPPORTED_SCHEMAS",
            "SolveRequest", "NetworkInterner",
            "apply_network_edits", "versioned_ref",
-           "item_result_to_wire", "error_response"]
+           "item_result_to_wire", "error_response", "occupancy_to_wire"]
 
 #: Schema tag carried by every service response (and advertised by clients).
 WIRE_SCHEMA = "repro-serve/2"
@@ -528,3 +528,34 @@ def error_response(message: str, *, solver: Optional[str] = None,
     if admission is not None:
         payload["admission"] = dict(admission)
     return payload
+
+
+def occupancy_to_wire(raw: Mapping[str, float]) -> Dict[str, Any]:
+    """The healthz ``admission_occupancy`` block from raw ledger sums.
+
+    ``raw`` carries resource-unit totals over every admission ledger —
+    ``networks``, ``node_capacity`` / ``node_remaining`` (ops/s),
+    ``link_capacity`` / ``link_remaining`` (bits/s) and ``released_total``
+    (crash-release reaps) — whether they came from one process's private
+    ledgers or a fleet's :meth:`repro.placement.SharedLedger.occupancy`.
+    The wire block reports *fractions* so operators read occupancy without
+    knowing the cluster's absolute scale: ``node_residual_fraction`` /
+    ``link_residual_fraction`` (remaining ÷ capacity, 1.0 for an idle or
+    empty ledger) and the complementary ``node_occupancy_fraction`` /
+    ``link_occupancy_fraction``; a healthy fleet never shows occupancy
+    above 1.0 (shared budgets make overdraw structurally impossible).
+    """
+    node_cap = float(raw.get("node_capacity", 0.0))
+    link_cap = float(raw.get("link_capacity", 0.0))
+    node_res = (float(raw.get("node_remaining", 0.0)) / node_cap
+                if node_cap > 0 else 1.0)
+    link_res = (float(raw.get("link_remaining", 0.0)) / link_cap
+                if link_cap > 0 else 1.0)
+    return {
+        "networks": int(raw.get("networks", 0.0)),
+        "node_residual_fraction": node_res,
+        "link_residual_fraction": link_res,
+        "node_occupancy_fraction": 1.0 - node_res,
+        "link_occupancy_fraction": 1.0 - link_res,
+        "released_total": int(raw.get("released_total", 0.0)),
+    }

@@ -127,6 +127,16 @@ class TestAdmissionControl:
         assert status["admitted_total"] == 4
         assert status["rejected_total"] == 0
         assert status["admission_ledgers"] == 1
+        # Single-process serving charges an in-process LocalStore; healthz
+        # still reports the occupancy block the fleet path exposes.
+        assert status["admission_store"] == "local"
+        occupancy = status["admission_occupancy"]
+        assert occupancy["networks"] == 1
+        assert 0.0 <= occupancy["node_occupancy_fraction"] <= 1.0
+        assert 0.0 <= occupancy["link_occupancy_fraction"] <= 1.0
+        assert occupancy["node_residual_fraction"] == pytest.approx(
+            1.0 - occupancy["node_occupancy_fraction"])
+        assert occupancy["released_total"] == 0
 
     def test_oversubscribed_rejects_with_reason(self):
         instances = _instances(6, n_modules=10)

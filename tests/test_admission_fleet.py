@@ -1,0 +1,228 @@
+"""Replicated admission control against the shared fleet ledger.
+
+The PR's acceptance surface: with ``--replicas N --admission-control`` every
+replica charges ONE shared capacity ledger, so an oversubscribed 2-replica
+fleet admits exactly the same multiset of request priorities as a 1-replica
+fleet — and as direct :func:`repro.place_many` over the same budgets (the
+differential test).  Also the crash-release protocol: SIGKILL a replica
+holding reservations and its journalled holdings are refunded by the
+supervisor's reap, after which a previously-rejected request is admitted by
+a surviving replica.
+
+The workload is a *forced-mapping* construction: a two-node cluster (both
+nodes are the request's endpoints) leaves the solver exactly one grouping,
+so service-side admission (solve on the full network, then commit), greedy
+packing (solve on the residual, repair, commit) and raw ledger arithmetic
+all make identical decisions — any divergence is an accounting bug, not a
+solver degree of freedom.  Demands are uniform and requests are posted
+sequentially in descending priority order, so "the same multiset of
+priorities" is exact, not probabilistic.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+import repro
+from repro import (
+    CommunicationLink,
+    ComputingModule,
+    ComputingNode,
+    EndToEndRequest,
+    Objective,
+    Pipeline,
+    ProblemInstance,
+    TransportNetwork,
+)
+from repro import place_many
+from repro.placement import ClusterState, PlacementRequest
+from repro.service import ServiceClient
+
+from test_replicas import _spawn_fleet, _stop_fleet, _wait_fleet_ready
+
+requires_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                   reason="pre-fork replicas need os.fork")
+
+#: Distinct priorities, deliberately not sorted: the test posts in
+#: descending priority order (so arrival order == priority order and the
+#: sequential service path matches place_greedy's priority order), and the
+#: admitted multiset must be exactly the top-K.
+PRIORITIES = [7.0, 3.0, 9.0, 1.0, 5.0, 8.0, 2.0, 6.0]
+
+
+def _two_node_network() -> TransportNetwork:
+    return TransportNetwork(
+        nodes=[ComputingNode(node_id=0, processing_power=100.0),
+               ComputingNode(node_id=1, processing_power=100.0)],
+        links=[CommunicationLink(start_node=0, end_node=1,
+                                 bandwidth_mbps=100.0, min_delay_ms=1.0)],
+        name="admission-two-node")
+
+
+def _pipeline() -> Pipeline:
+    return Pipeline(modules=(
+        ComputingModule(module_id=0, complexity=0.0, input_bytes=0.0,
+                        output_bytes=1000.0),
+        ComputingModule(module_id=1, complexity=3.0, input_bytes=1000.0,
+                        output_bytes=500.0),
+        ComputingModule(module_id=2, complexity=2.0, input_bytes=500.0,
+                        output_bytes=0.0)))
+
+
+def _capacity_factor_for(admit_exactly: int) -> float:
+    """The capacity factor at which exactly ``admit_exactly`` requests fit.
+
+    Uniform demands make admission pure counting: scale the budgets so the
+    binding resource holds ``admit_exactly + 0.5`` per-request demands.
+    """
+    network = _two_node_network()
+    pipeline = _pipeline()
+    mapping = repro.solve("elpc", pipeline, network,
+                          EndToEndRequest(source=0, destination=1),
+                          Objective.MIN_DELAY)
+    probe = ClusterState.from_network(network)
+    demand = probe.demand_of(mapping, demand_fps=1.0)
+    ratios = [need / probe.node_capacity[probe.view.index_of[node_id]]
+              for node_id, need in demand.nodes.items()]
+    ratios += [need / probe.link_capacity[key]
+               for key, need in demand.links.items()]
+    return (admit_exactly + 0.5) * max(ratios)
+
+
+def _instances(priorities=PRIORITIES):
+    network = _two_node_network()
+    pipeline = _pipeline()
+    return network, [
+        ProblemInstance(name=f"adm-{i}", pipeline=pipeline, network=network,
+                        request=EndToEndRequest(source=0, destination=1))
+        for i in range(len(priorities))
+    ]
+
+
+def _admitted_priorities_via_fleet(replicas: int, factor: float) -> Counter:
+    """Post the workload to a live fleet; the admitted-priority multiset."""
+    proc, port = _spawn_fleet(replicas, "--admission-control",
+                              "--admission-capacity-factor", f"{factor!r}")
+    try:
+        # keep_alive=False: every request opens a fresh connection, so under
+        # SO_REUSEPORT the kernel spreads the stream across replicas — the
+        # shared ledger, not connection affinity, must serialise admission.
+        with ServiceClient(port=port, keep_alive=False,
+                           timeout=60.0) as client:
+            if replicas > 1:
+                _wait_fleet_ready(client, replicas)
+            else:
+                client.wait_ready(timeout=30.0)
+            _network, instances = _instances()
+            order = sorted(range(len(PRIORITIES)),
+                           key=lambda i: -PRIORITIES[i])
+            admitted: Counter = Counter()
+            replicas_seen = set()
+            for i in order:
+                response = client.solve(instances[i],
+                                        priority=PRIORITIES[i])
+                assert "admission" in response, response
+                replicas_seen.add(response.get("replica_id"))
+                if response["admission"]["admitted"]:
+                    assert response["ok"], response
+                    admitted[PRIORITIES[i]] += 1
+                else:
+                    assert not response["ok"]
+                    assert "admission rejected" in (response["error"] or "")
+            status = client.healthz()
+        fleet = status.get("fleet") or {}
+        if replicas > 1:
+            # The satellite counters: fleet healthz sums admission per-replica
+            # slots, and the summed occupancy never exceeds the cluster.
+            assert fleet["admitted_total"] == sum(admitted.values())
+            assert fleet["rejected_total"] == \
+                len(PRIORITIES) - sum(admitted.values())
+            assert status["admission_store"] == "shared"
+        occupancy = status["admission_occupancy"]
+        for kind in ("node", "link"):
+            assert 0.0 <= occupancy[f"{kind}_occupancy_fraction"] <= 1.0
+    finally:
+        _stop_fleet(proc)
+    return admitted
+
+
+@requires_fork
+class TestDifferentialAdmission:
+    def test_fleet_sizes_and_place_many_admit_identically(self):
+        admit_exactly = 3
+        factor = _capacity_factor_for(admit_exactly)
+
+        two = _admitted_priorities_via_fleet(2, factor)
+        one = _admitted_priorities_via_fleet(1, factor)
+
+        network, instances = _instances()
+        cluster = ClusterState.from_network(
+            network, node_capacity_factor=factor,
+            link_capacity_factor=factor)
+        result = place_many(
+            [PlacementRequest(instance, priority=PRIORITIES[i])
+             for i, instance in enumerate(instances)],
+            placer="place-greedy", cluster=cluster)
+        direct = Counter(item.priority for item in result.items
+                         if item.mapping is not None)
+
+        expected = Counter(sorted(PRIORITIES, reverse=True)[:admit_exactly])
+        assert two == one == direct == expected
+
+
+@requires_fork
+class TestCrashRelease:
+    def test_sigkill_releases_holdings_and_survivor_admits(self):
+        factor = _capacity_factor_for(1)  # room for exactly one admission
+        proc, port = _spawn_fleet(2, "--admission-control",
+                                  "--admission-capacity-factor",
+                                  f"{factor!r}")
+        try:
+            with ServiceClient(port=port, keep_alive=False,
+                               timeout=60.0) as client:
+                _wait_fleet_ready(client, 2)
+                _network, instances = _instances()
+
+                hog = client.solve(instances[0], priority=9.0)
+                assert hog["admission"]["admitted"], hog
+                holder = int(hog["replica_id"])
+
+                rejected = client.solve(instances[1], priority=1.0)
+                assert rejected["admission"]["admitted"] is False, rejected
+
+                status = client.healthz()
+                pid = next(row["pid"] for row in status["per_replica"]
+                           if row["replica_id"] == holder)
+                os.kill(pid, signal.SIGKILL)
+
+                # The reap refunds the dead replica's journalled holdings;
+                # once it lands, the previously-rejected request fits.  Posts
+                # before the reap keep being rejected, posts landing on the
+                # dying socket are retried — poll until admission flips.
+                deadline = time.monotonic() + 30.0
+                admitted_after_crash = None
+                while time.monotonic() < deadline:
+                    try:
+                        retry = client.solve(instances[1], priority=1.0)
+                    except OSError:
+                        time.sleep(0.1)
+                        continue
+                    if retry.get("admission", {}).get("admitted"):
+                        admitted_after_crash = retry
+                        break
+                    time.sleep(0.1)
+                assert admitted_after_crash is not None, \
+                    "crashed replica's reservations were never released"
+
+                status = client.healthz()
+                occupancy = status["admission_occupancy"]
+                assert occupancy["released_total"] >= 1
+                assert 0.0 <= occupancy["node_occupancy_fraction"] <= 1.0
+                assert 0.0 <= occupancy["link_occupancy_fraction"] <= 1.0
+        finally:
+            _stop_fleet(proc)

@@ -1,0 +1,361 @@
+"""Unit tests for the ledger storage seam (repro.placement.ledger).
+
+Covers the two :class:`LedgerStore` implementations behind
+:class:`ClusterState`: the default in-process :class:`LocalStore` (must stay
+bit-identical to the pre-seam ledger) and the :class:`SharedStore` slots of a
+:class:`SharedLedger` slab (cross-holder budget visibility, per-replica
+holdings journals, crash-release refunds, snapshot/restore that only rolls
+back the caller's own delta).  Also the concurrency fix that the seam
+required: ``snapshot()``/``restore()`` hold the store lock for the whole
+copy, proven by a threaded race test, and a forked-child attach test proving
+the segment-name protocol the replica supervisor relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CapacityError, SpecificationError
+from repro.generators import random_network, random_pipeline, random_request
+from repro.placement import ClusterState, LocalStore, SharedLedger, SharedStore
+
+requires_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="shared-segment attach test needs fork")
+
+
+def _network(seed=1, n_nodes=6, n_links=10):
+    return random_network(n_nodes, n_links, seed=seed)
+
+
+def _mapping(network, *, pipe_seed=2, req_seed=3, n_modules=3):
+    import repro
+    from repro.core import Objective
+
+    pipeline = random_pipeline(n_modules=n_modules, seed=pipe_seed)
+    request = random_request(network, seed=req_seed)
+    return repro.solve("elpc", pipeline, network, request, Objective.MIN_DELAY)
+
+
+@pytest.fixture
+def fleet():
+    ledger = SharedLedger.create(replicas=2)
+    yield ledger
+    ledger.close()
+    ledger.unlink()
+
+
+def _shared_cluster(fleet, network, replica_id, key="net0"):
+    def factory(node_cap, link_cap, link_keys):
+        return fleet.store_for(key, replica_id, node_cap, link_cap, link_keys)
+
+    return ClusterState.from_network(network, store_factory=factory)
+
+
+# ---------------------------------------------------------------------- #
+# LocalStore (the default)
+# ---------------------------------------------------------------------- #
+class TestLocalStore:
+    def test_default_store_is_local(self):
+        cluster = ClusterState.from_network(_network())
+        assert isinstance(cluster.store, LocalStore)
+        assert cluster.store.kind == "local"
+
+    def test_node_remaining_is_live_and_writable(self):
+        cluster = ClusterState.from_network(_network())
+        cluster.node_remaining[0] = 0.0
+        assert cluster.node_remaining[0] == 0.0
+        assert cluster.remaining_node(cluster.view.node_ids[0]) == 0.0
+
+    def test_link_remaining_behaves_like_the_old_dict(self):
+        cluster = ClusterState.from_network(_network())
+        view = cluster.link_remaining
+        assert set(view) == set(cluster.link_capacity)
+        assert len(view) == len(cluster.link_capacity)
+        assert dict(view) == {k: cluster.link_capacity[k] for k in view}
+        assert view == {k: cluster.link_capacity[k] for k in view}
+        key = next(iter(view))
+        view[key] = 1.5
+        assert cluster.link_remaining[key] == 1.5
+        assert key in view
+
+    def test_budget_queries_match_arrays(self):
+        network = _network()
+        cluster = ClusterState.from_network(network)
+        mapping = _mapping(network)
+        cluster.commit(cluster.demand_of(mapping, demand_fps=3.0))
+        for node_id, remaining, slack in cluster.node_budgets():
+            assert remaining == cluster.remaining_node(node_id)
+            assert slack == cluster.node_slack(node_id)
+        for key, remaining, slack in cluster.link_budgets():
+            assert remaining == cluster.link_remaining[key]
+            assert slack == cluster.link_slack(*key)
+        vec = cluster.node_remaining_vector()
+        assert np.array_equal(vec, np.asarray(cluster.node_remaining))
+        vec[0] = -1.0  # a copy, not the live array
+        assert cluster.node_remaining[0] != -1.0
+
+
+# ---------------------------------------------------------------------- #
+# SharedStore / SharedLedger
+# ---------------------------------------------------------------------- #
+class TestSharedStore:
+    def test_commits_visible_across_holders(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        c1 = _shared_cluster(fleet, network, 1)
+        assert isinstance(c0.store, SharedStore)
+        mapping = _mapping(network)
+        before = c1.node_remaining_vector()
+        c0.commit(c0.demand_of(mapping, demand_fps=4.0))
+        after = c1.node_remaining_vector()
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, c0.node_remaining_vector())
+
+    def test_bit_identical_with_local_store(self, fleet):
+        network = _network()
+        shared = _shared_cluster(fleet, network, 0)
+        local = ClusterState.from_network(network)
+        mapping = _mapping(network)
+        for fps in (5.0, 1.0, 0.25):
+            shared.commit(shared.demand_of(mapping, demand_fps=fps))
+            local.commit(local.demand_of(mapping, demand_fps=fps))
+        assert np.array_equal(np.asarray(shared.node_remaining),
+                              np.asarray(local.node_remaining))
+        assert dict(shared.link_remaining) == dict(local.link_remaining)
+
+    def test_rejoining_a_slot_keeps_drained_budgets(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        mapping = _mapping(network)
+        c0.commit(c0.demand_of(mapping, demand_fps=4.0))
+        drained = c0.node_remaining_vector()
+        # A later holder of the same network key (e.g. a replica whose
+        # interner evicted and re-interned the topology) must land on the
+        # same slot with the fleet's commitments intact.
+        rejoined = _shared_cluster(fleet, network, 1)
+        assert np.array_equal(rejoined.node_remaining_vector(), drained)
+
+    def test_capacity_mismatch_is_configuration_drift(self, fleet):
+        network = _network()
+        _shared_cluster(fleet, network, 0)
+
+        def bad_factory(node_cap, link_cap, link_keys):
+            return fleet.store_for("net0", 1, node_cap * 2.0, link_cap,
+                                   link_keys)
+
+        with pytest.raises(SpecificationError, match="disagree"):
+            ClusterState.from_network(network, store_factory=bad_factory)
+
+    def test_slab_geometry_overflow_is_capacity_error(self):
+        small = SharedLedger.create(replicas=1, max_nodes=2, max_links=2)
+        try:
+            network = _network()
+            with pytest.raises(CapacityError, match="geometry"):
+                _shared_cluster(small, network, 0)
+        finally:
+            small.close()
+            small.unlink()
+
+    def test_full_registry_is_capacity_error(self):
+        small = SharedLedger.create(replicas=1, max_networks=1)
+        try:
+            _shared_cluster(small, _network(seed=1), 0, key="a")
+            with pytest.raises(CapacityError, match="full"):
+                _shared_cluster(small, _network(seed=2), 0, key="b")
+        finally:
+            small.close()
+            small.unlink()
+
+    def test_validate_sees_fleet_wide_usage(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        c1 = _shared_cluster(fleet, network, 1)
+        mapping = _mapping(network)
+        c0.commit(c0.demand_of(mapping, demand_fps=2.0))
+        c1.commit(c1.demand_of(mapping, demand_fps=3.0))
+        # Each holder only has its own committed list, but validate() must
+        # reconcile against the *sum* of every replica's journal.
+        c0.validate()
+        c1.validate()
+
+    def test_release_replica_refunds_and_is_idempotent(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        c1 = _shared_cluster(fleet, network, 1)
+        mapping = _mapping(network)
+        c1.commit(c1.demand_of(mapping, demand_fps=3.0))
+        pristine = ClusterState.from_network(network)
+        assert fleet.release_replica(1) > 0.0
+        assert np.array_equal(c0.node_remaining_vector(),
+                              np.asarray(pristine.node_remaining))
+        assert fleet.release_replica(1) == 0.0
+        assert fleet.occupancy()["released_total"] == 1.0
+
+    def test_restore_refunds_own_delta_only(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        c1 = _shared_cluster(fleet, network, 1)
+        mapping = _mapping(network)
+        snap = c0.snapshot()
+        c0.commit(c0.demand_of(mapping, demand_fps=1.0))
+        other = c1.commit(c1.demand_of(mapping, demand_fps=2.0))
+        c0.restore(snap)
+        # c1's commit survives c0's rollback...
+        c0.validate()
+        c1.validate()
+        assert c0.committed == []
+        expected = ClusterState.from_network(network)
+        expected.commit(expected.demand_of(mapping, demand_fps=2.0))
+        assert np.array_equal(c0.node_remaining_vector(),
+                              np.asarray(expected.node_remaining))
+        # ...and releasing it returns the slab to pristine.
+        c1.release(other)
+        pristine = ClusterState.from_network(network)
+        assert np.array_equal(c1.node_remaining_vector(),
+                              np.asarray(pristine.node_remaining))
+
+    def test_shared_store_refuses_rebase(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        node = network.nodes()[0]
+        network.set_processing_power(node.node_id,
+                                     node.processing_power * 2.0)
+        with pytest.raises(SpecificationError, match="shared"):
+            c0.rebase()
+
+    def test_occupancy_totals(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        mapping = _mapping(network)
+        c0.commit(c0.demand_of(mapping, demand_fps=5.0))
+        occ = fleet.occupancy()
+        assert occ["networks"] == 1.0
+        assert occ["node_capacity"] == pytest.approx(
+            float(c0.node_capacity.sum()))
+        used = occ["node_capacity"] - occ["node_remaining"]
+        assert used == pytest.approx(c0.committed[0].total_node_ops)
+
+    @requires_fork
+    def test_forked_child_attaches_by_name(self, fleet):
+        network = _network()
+        c0 = _shared_cluster(fleet, network, 0)
+        mapping = _mapping(network)
+        demand = c0.demand_of(mapping, demand_fps=3.0)
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: attach by segment name, commit, exit
+            code = 1
+            try:
+                os.close(read_fd)
+                attached = fleet.attach()
+                child = _shared_cluster(attached, network, 1)
+                child.commit(child.demand_of(mapping, demand_fps=3.0))
+                attached.close()
+                os.write(write_fd, b"ok")
+                code = 0
+            except BaseException:
+                import traceback
+
+                traceback.print_exc()
+            finally:
+                os._exit(code)
+        os.close(write_fd)
+        assert os.read(read_fd, 2) == b"ok"
+        os.close(read_fd)
+        _pid, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # The child's charge must be visible here, and must equal one local
+        # commit of the same demand.
+        expected = ClusterState.from_network(network)
+        expected.commit(expected.demand_of(mapping, demand_fps=3.0))
+        assert np.array_equal(c0.node_remaining_vector(),
+                              np.asarray(expected.node_remaining))
+        # The supervisor reaps the "crashed" child's journal.
+        assert fleet.release_replica(1) > 0.0
+        pristine = ClusterState.from_network(network)
+        assert np.array_equal(c0.node_remaining_vector(),
+                              np.asarray(pristine.node_remaining))
+
+
+# ---------------------------------------------------------------------- #
+# snapshot()/restore() under concurrent committers (the satellite fix)
+# ---------------------------------------------------------------------- #
+class TestSnapshotConcurrency:
+    def test_snapshot_never_tears_under_concurrent_commits(self):
+        network = _network(seed=5, n_nodes=8, n_links=16)
+        cluster = ClusterState.from_network(network)
+        mapping = _mapping(network, pipe_seed=6, req_seed=7)
+        demand = cluster.demand_of(mapping, demand_fps=0.5)
+        stop = threading.Event()
+        failures: list = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    held = cluster.commit(demand)
+                    cluster.release(held)
+                except CapacityError:
+                    pass
+                except Exception as exc:  # pragma: no cover - the failure
+                    failures.append(exc)
+                    return
+
+        workers = [threading.Thread(target=churn) for _ in range(3)]
+        for t in workers:
+            t.start()
+        try:
+            for _ in range(300):
+                snap = cluster.snapshot()
+                # Internal consistency: the snapshot's budgets must equal
+                # capacity minus exactly the demands in the snapshot's
+                # committed tuple.  A snapshot torn between a commit's charge
+                # and its committed-list append (or vice versa) breaks this.
+                node_used = np.zeros_like(cluster.node_capacity)
+                for d in snap.committed:
+                    for node_id, needed in d.nodes.items():
+                        node_used[cluster.view.index_of[node_id]] += needed
+                expected = cluster.node_capacity - node_used
+                assert np.allclose(snap.node_remaining, expected,
+                                   rtol=1e-9, atol=1e-6), \
+                    "snapshot tore between budgets and committed list"
+        finally:
+            stop.set()
+            for t in workers:
+                t.join()
+        assert not failures
+
+    def test_restore_is_atomic_against_committers(self):
+        network = _network(seed=9)
+        cluster = ClusterState.from_network(network)
+        mapping = _mapping(network, pipe_seed=10, req_seed=11)
+        demand = cluster.demand_of(mapping, demand_fps=0.25)
+        snap = cluster.snapshot()
+        stop = threading.Event()
+        failures: list = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    cluster.commit(demand)
+                except CapacityError:
+                    pass
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        worker = threading.Thread(target=churn)
+        worker.start()
+        try:
+            for _ in range(100):
+                cluster.restore(snap)
+                cluster.validate()
+        finally:
+            stop.set()
+            worker.join()
+        cluster.restore(snap)
+        cluster.validate()
+        assert not failures

@@ -214,6 +214,9 @@ class TestRunLoadtest:
         assert result.mean_group_size >= 1.0
         assert result.server["responses"] >= result.requests_total
         assert result.server["flushes"] >= 1
+        # Admission deltas are always reported; zero without --admission-control.
+        assert result.server["admitted"] == 0
+        assert result.server["rejected"] == 0
         assert result.responses, "keep_responses=True must record responses"
 
         direct = solve_many(instances, solver="elpc-tensor",
@@ -226,6 +229,29 @@ class TestRunLoadtest:
                 list(group) for group in item.mapping.groups]
             assert response["mapping"]["path"] == list(item.mapping.path)
             assert response["mapping"]["delay_ms"] == item.mapping.delay_ms
+
+    def test_admission_deltas_reported(self):
+        """Against an admission-control server the report carries the
+        admitted/rejected healthz deltas and the table gains an admission
+        line.  Admitted tenants hold their capacity for the service
+        lifetime, so a sustained loadtest inevitably drains the ledger and
+        later requests bounce — those rejections surface as ``ok: false``
+        errors AND as the rejected delta."""
+        instances = generate_workload(6, n_modules=4, n_nodes=8, n_links=16,
+                                      seed=7)
+        with BackgroundServer(ServiceConfig(admission_control=True)) as server:
+            result = run_loadtest(host="127.0.0.1", port=server.port,
+                                  clients=2, duration_s=0.4,
+                                  instances=instances)
+        assert result.server["admitted"] > 0
+        assert result.server["admitted"] + result.server["rejected"] \
+            >= result.requests_total
+        # Every capacity rejection is an ok:false response.
+        assert result.errors_total >= result.server["rejected"] > 0
+        assert "admission" in result.table_text()
+        metrics = result.to_bench_json()["metrics"]["loadtest/request_latency"]
+        assert metrics["extra:admitted"] == result.server["admitted"]
+        assert metrics["extra:rejected"] == result.server["rejected"]
 
     def test_parameter_validation(self):
         with pytest.raises(SpecificationError, match="clients"):

@@ -137,20 +137,23 @@ class TestFleetState:
         fleet = FleetState(2)
         fleet.mark_spawned(0, 111)
         fleet.mark_spawned(1, 222)
-        fleet.publish(0, (10, 9, 4, 9, 3))
-        fleet.publish(1, (20, 18, 7, 18, 5))
+        fleet.publish(0, (10, 9, 4, 9, 3, 6, 1))
+        fleet.publish(1, (20, 18, 7, 18, 5, 11, 2))
         rows = fleet.per_replica()
         assert [row["replica_id"] for row in rows] == [0, 1]
         assert [row["pid"] for row in rows] == [111, 222]
         assert all(row["alive"] for row in rows)
         assert rows[0]["requests_total"] == 10
         assert rows[1]["connections_total"] == 5
+        assert rows[1]["admitted_total"] == 11
         summary = fleet.summary()
         assert summary["replicas"] == 2
         assert summary["alive"] == 2
         assert summary["restarts_total"] == 0
         assert summary["requests_total"] == 30
         assert summary["responses_total"] == 27
+        assert summary["admitted_total"] == 17
+        assert summary["rejected_total"] == 3
         assert set(FLEET_COUNTERS) <= set(summary)
 
     def test_death_and_restart_accounting(self):
